@@ -1,0 +1,149 @@
+// Shared helpers for the figure/table reproduction benches: scaled-down
+// engine configurations (the paper's server + 400M rows do not fit a CI
+// machine; shapes, not absolute numbers, are the target), design builders,
+// loaders, and table printing.
+//
+// Scale: set LASER_BENCH_SCALE=full for a ~10x larger run.
+
+#ifndef LASER_BENCH_BENCH_COMMON_H_
+#define LASER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "laser/laser_db.h"
+#include "util/env.h"
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/random.h"
+
+namespace laser::bench {
+
+inline double ScaleFactor() {
+  const char* scale = getenv("LASER_BENCH_SCALE");
+  if (scale != nullptr && std::string(scale) == "full") return 10.0;
+  return 1.0;
+}
+
+/// Engine options for the narrow-table experiments (30 columns, T=2,
+/// 8 levels — §7.1's narrow configuration, scaled down).
+inline LaserOptions NarrowTableOptions(Env* env, const std::string& path,
+                                       const CgConfig& config, int num_levels = 8,
+                                       int size_ratio = 2) {
+  LaserOptions options;
+  options.env = env;
+  options.path = path;
+  options.schema = Schema::UniformInt32(30);
+  options.num_levels = num_levels;
+  options.size_ratio = size_ratio;
+  options.cg_config = config;
+  options.write_buffer_size = 128 * 1024;
+  options.level0_bytes = 256 * 1024;
+  options.target_sst_size = 256 * 1024;
+  options.block_size = 4096;
+  options.background_threads = 4;
+  options.block_cache_bytes = 0;  // count every block fetch (§5 validation)
+  options.use_wal = false;        // loads dominate; the WAL is tested elsewhere
+  options.level0_stop_writes_trigger = 40;
+  return options;
+}
+
+/// Wide-table options (100 columns, T=10, 5 levels — §7.1).
+inline LaserOptions WideTableOptions(Env* env, const std::string& path,
+                                     const CgConfig& config) {
+  LaserOptions options = NarrowTableOptions(env, path, config, 5, 10);
+  options.schema = Schema::UniformInt32(100);
+  return options;
+}
+
+/// Deterministic row content for key `key`.
+inline std::vector<ColumnValue> BenchRow(uint64_t key, int columns) {
+  std::vector<ColumnValue> row(columns);
+  for (int c = 1; c <= columns; ++c) {
+    char buf[12];
+    memcpy(buf, &key, 8);
+    memcpy(buf + 8, &c, 4);
+    row[c - 1] = Hash32(buf, 12, 0x5eedf00d) & 0x7fffffffu;
+  }
+  return row;
+}
+
+/// Loads `n` rows with uniformly spread keys and settles compactions.
+inline Status LoadUniform(LaserDB* db, uint64_t n, uint64_t key_stride = 7919) {
+  const int columns = db->options().schema.num_columns();
+  for (uint64_t i = 0; i < n; ++i) {
+    // stride coprime with n spreads keys uniformly over [0, n*stride).
+    const uint64_t key = (i * key_stride) % (n * 16 + 1);
+    LASER_RETURN_IF_ERROR(db->Insert(key, BenchRow(key, columns)));
+  }
+  return db->CompactUntilStable();
+}
+
+struct Measurement {
+  double avg_micros = 0;
+  double p95_micros = 0;
+  double blocks_per_op = 0;
+};
+
+/// Runs `count` point reads of `projection` on uniformly random existing
+/// keys from [0, key_space).
+inline Measurement MeasureReads(LaserDB* db, uint64_t key_space,
+                                uint64_t key_stride, const ColumnSet& projection,
+                                int count, uint64_t seed) {
+  Random rng(seed);
+  Histogram latency;
+  Env* env = Env::Default();
+  const uint64_t blocks_before = db->stats().data_block_reads.load();
+  for (int i = 0; i < count; ++i) {
+    const uint64_t index = rng.Uniform(key_space);
+    const uint64_t key = (index * key_stride) % (key_space * 16 + 1);
+    LaserDB::ReadResult result;
+    const uint64_t t0 = env->NowMicros();
+    db->Read(key, projection, &result);
+    latency.Add(static_cast<double>(env->NowMicros() - t0));
+  }
+  Measurement m;
+  m.avg_micros = latency.Average();
+  m.p95_micros = latency.Percentile(95);
+  m.blocks_per_op =
+      static_cast<double>(db->stats().data_block_reads.load() - blocks_before) /
+      count;
+  return m;
+}
+
+/// Runs `count` scans of `selectivity` of the key domain with `projection`.
+inline Measurement MeasureScans(LaserDB* db, uint64_t key_domain,
+                                const ColumnSet& projection, double selectivity,
+                                int count, uint64_t seed) {
+  Random rng(seed);
+  Histogram latency;
+  Env* env = Env::Default();
+  const uint64_t blocks_before = db->stats().data_block_reads.load();
+  const uint64_t span = static_cast<uint64_t>(selectivity * key_domain);
+  for (int i = 0; i < count; ++i) {
+    const uint64_t lo = span >= key_domain ? 0 : rng.Uniform(key_domain - span);
+    const uint64_t t0 = env->NowMicros();
+    auto scan = db->NewScan(lo, lo + span, projection);
+    uint64_t rows = 0;
+    for (; scan->Valid(); scan->Next()) ++rows;
+    latency.Add(static_cast<double>(env->NowMicros() - t0));
+  }
+  Measurement m;
+  m.avg_micros = latency.Average();
+  m.p95_micros = latency.Percentile(95);
+  m.blocks_per_op =
+      static_cast<double>(db->stats().data_block_reads.load() - blocks_before) /
+      count;
+  return m;
+}
+
+inline void PrintHeader(const std::string& title) {
+  printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace laser::bench
+
+#endif  // LASER_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,226 @@
+// Figure 7: validation of the §5 cost model.
+//   (a) point-read latency vs projection size, per CG size
+//   (b) point-read latency vs #CGs, per projection size (same data, pivoted)
+//   (c) scan latency vs projection size, per CG size
+//   (d) scan latency vs CG size, per projection size (pivoted)
+//   (e) compaction time and bytes vs #CGs (write amplification, Eq. 4)
+// Narrow table (30 columns, T=2, 8 levels) by default; set
+// LASER_BENCH_WIDE=1 to add the wide table (100 columns, T=10, 5 levels).
+// Alongside wall-clock we print measured data-block fetches per operation
+// and the model's prediction (Eq. 5 / Eq. 6), which is the apples-to-apples
+// comparison on a scaled-down tree.
+
+#include <cinttypes>
+#include <cstdlib>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "cost/cost_model.h"
+
+namespace laser::bench {
+namespace {
+
+struct TableConfig {
+  int columns;
+  int levels;
+  int size_ratio;
+  std::vector<int> cg_sizes;
+  std::vector<int> projection_sizes;
+  uint64_t rows;
+};
+
+TableConfig NarrowConfig(double scale) {
+  TableConfig tc;
+  tc.columns = 30;
+  tc.levels = 8;
+  tc.size_ratio = 2;
+  tc.cg_sizes = {1, 2, 3, 6, 15, 30};          // the paper's six designs
+  tc.projection_sizes = {1, 5, 10, 15, 20, 30};
+  tc.rows = static_cast<uint64_t>(80000 * scale);
+  return tc;
+}
+
+TableConfig WideConfig(double scale) {
+  TableConfig tc;
+  tc.columns = 100;
+  tc.levels = 5;
+  tc.size_ratio = 10;
+  tc.cg_sizes = {1, 4, 10, 100};               // the paper's four designs
+  tc.projection_sizes = {1, 25, 50, 100};
+  tc.rows = static_cast<uint64_t>(30000 * scale);
+  return tc;
+}
+
+struct CellData {
+  Measurement read;
+  Measurement scan;
+  double model_read = 0;
+  double model_scan = 0;
+};
+
+void RunTable(const TableConfig& tc) {
+  const double scan_selectivity = 0.10;
+  const uint64_t key_stride = 7919;
+  std::map<int, std::map<int, CellData>> cells;  // cg_size -> proj -> data
+  std::map<int, double> compaction_seconds;
+  std::map<int, uint64_t> compaction_bytes;
+
+  for (int cg_size : tc.cg_sizes) {
+    auto env = NewMemEnv();
+    CgConfig config = CgConfig::EquiWidth(tc.columns, tc.levels, cg_size);
+    LaserOptions options = tc.columns <= 30
+                               ? NarrowTableOptions(env.get(), "/fig7", config,
+                                                    tc.levels, tc.size_ratio)
+                               : WideTableOptions(env.get(), "/fig7", config);
+
+    // ---- (e): write amplification — load into L0, compact manually. ----
+    {
+      LaserOptions load_options = options;
+      load_options.disable_auto_compactions = true;
+      load_options.path = "/fig7e";
+      load_options.level0_stop_writes_trigger = 1 << 20;  // never stall
+      std::unique_ptr<LaserDB> db;
+      if (!LaserDB::Open(load_options, &db).ok()) continue;
+      for (uint64_t i = 0; i < tc.rows; ++i) {
+        const uint64_t key = (i * key_stride) % (tc.rows * 16 + 1);
+        db->Insert(key, BenchRow(key, tc.columns));
+      }
+      db->Flush();
+      Env* timer = Env::Default();
+      const uint64_t bytes_before = db->stats().bytes_compacted.load();
+      const uint64_t t0 = timer->NowMicros();
+      db->CompactUntilStable();
+      compaction_seconds[cg_size] =
+          static_cast<double>(timer->NowMicros() - t0) / 1e6;
+      compaction_bytes[cg_size] =
+          db->stats().bytes_compacted.load() - bytes_before;
+    }
+
+    // ---- (a)-(d): reads and scans on a settled tree. ----
+    std::unique_ptr<LaserDB> db;
+    if (!LaserDB::Open(options, &db).ok()) continue;
+    if (!LoadUniform(db.get(), tc.rows, key_stride).ok()) continue;
+
+    LsmShape shape;
+    shape.num_levels = tc.levels;
+    shape.size_ratio = tc.size_ratio;
+    const double row_bytes =
+        8.0 + 8.0 + 4.0 * tc.columns + tc.columns / 8.0;  // key+trailer+data
+    shape.entries_per_block = options.block_size / row_bytes;
+    shape.blocks_level0 = static_cast<double>(options.level0_bytes) /
+                          static_cast<double>(options.block_size);
+    shape.num_columns = tc.columns;
+    CostModel model(shape, &options.cg_config);
+
+    for (int k : tc.projection_sizes) {
+      const ColumnSet projection = MakeColumnRange(1, k);
+      CellData cell;
+      cell.read = MeasureReads(db.get(), tc.rows, key_stride, projection,
+                               /*count=*/300, /*seed=*/k);
+      cell.scan = MeasureScans(db.get(), tc.rows * 16 + 1, projection,
+                               scan_selectivity, /*count=*/3, /*seed=*/k);
+      cell.model_read = model.PointReadCost(projection);
+      cell.model_scan = model.RangeScanCost(
+          scan_selectivity * static_cast<double>(tc.rows), projection);
+      cells[cg_size][k] = cell;
+    }
+  }
+
+  const std::vector<int> pivot_projections = {1, tc.columns / 3,
+                                              2 * tc.columns / 3, tc.columns};
+  auto nearest = [&](int cg, int k) -> const CellData& {
+    auto& row = cells[cg];
+    auto found = row.find(k);
+    if (found == row.end()) {
+      found = row.lower_bound(k);
+      if (found == row.end()) --found;
+    }
+    return found->second;
+  };
+
+  PrintHeader("Fig 7(a): point-read avg latency (us) vs projection size");
+  printf("%-6s", "proj");
+  for (int cg : tc.cg_sizes) printf("   cg=%-3d(model)", cg);
+  printf("\n");
+  for (int k : tc.projection_sizes) {
+    printf("%-6d", k);
+    for (int cg : tc.cg_sizes) {
+      const CellData& cell = cells[cg][k];
+      printf("  %7.0f(%5.1f)", cell.read.avg_micros, cell.model_read);
+    }
+    printf("\n");
+  }
+  printf("measured data-blocks fetched per read:\n");
+  for (int k : tc.projection_sizes) {
+    printf("%-6d", k);
+    for (int cg : tc.cg_sizes) {
+      printf("  %7.2f(%5.1f)", cells[cg][k].read.blocks_per_op,
+             cells[cg][k].model_read);
+    }
+    printf("\n");
+  }
+
+  PrintHeader("Fig 7(b): point-read avg latency (us) vs #CGs");
+  printf("%-8s", "#CGs");
+  for (int k : pivot_projections) printf("  proj=%-5d", k);
+  printf("\n");
+  for (auto it = tc.cg_sizes.rbegin(); it != tc.cg_sizes.rend(); ++it) {
+    printf("%-8d", (tc.columns + *it - 1) / *it);
+    for (int k : pivot_projections) printf("  %10.0f", nearest(*it, k).read.avg_micros);
+    printf("\n");
+  }
+
+  PrintHeader("Fig 7(c): scan avg latency (us) vs projection size");
+  printf("%-6s", "proj");
+  for (int cg : tc.cg_sizes) printf("  cg=%-7d", cg);
+  printf("  (10%% selectivity)\n");
+  for (int k : tc.projection_sizes) {
+    printf("%-6d", k);
+    for (int cg : tc.cg_sizes) printf("  %10.0f", cells[cg][k].scan.avg_micros);
+    printf("\n");
+  }
+  printf("measured data-blocks fetched per scan (model Eq.6):\n");
+  for (int k : tc.projection_sizes) {
+    printf("%-6d", k);
+    for (int cg : tc.cg_sizes) {
+      printf("  %6.0f(%4.0f)", cells[cg][k].scan.blocks_per_op,
+             cells[cg][k].model_scan);
+    }
+    printf("\n");
+  }
+
+  PrintHeader("Fig 7(d): scan avg latency (us) vs CG size");
+  printf("%-8s", "cg-size");
+  for (int k : pivot_projections) printf("  proj=%-5d", k);
+  printf("\n");
+  for (int cg : tc.cg_sizes) {
+    printf("%-8d", cg);
+    for (int k : pivot_projections) printf("  %10.0f", nearest(cg, k).scan.avg_micros);
+    printf("\n");
+  }
+
+  PrintHeader("Fig 7(e): compaction time and bytes vs #CGs (Eq. 4)");
+  printf("%-8s %-8s %12s %14s\n", "cg-size", "#CGs", "seconds", "bytes written");
+  for (int cg : tc.cg_sizes) {
+    printf("%-8d %-8d %12.2f %14" PRIu64 "\n", cg, (tc.columns + cg - 1) / cg,
+           compaction_seconds[cg], compaction_bytes[cg]);
+  }
+  printf("Expected shape: bytes and time grow with #CGs (key replication\n"
+         "overhead, the second term of Eq. 4).\n");
+}
+
+}  // namespace
+}  // namespace laser::bench
+
+int main() {
+  using laser::bench::PrintHeader;
+  const double scale = laser::bench::ScaleFactor();
+
+  PrintHeader("Figure 7 — narrow table (30 columns, T=2, 8 levels)");
+  laser::bench::RunTable(laser::bench::NarrowConfig(scale));
+  if (getenv("LASER_BENCH_WIDE") != nullptr) {
+    PrintHeader("Figure 7 — wide table (100 columns, T=10, 5 levels)");
+    laser::bench::RunTable(laser::bench::WideConfig(scale));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Figure 9: (a) the recency distributions of the HW point-read classes
+// (Q2a: N(0.98, 0.02); Q2b: N(0.85, 0.02)) mapped onto LSM levels, and
+// (b) the design D-opt selected by the advisor for HW. Also prints the
+// §6.3 design-selection timing for the wide schema (paper: ~3 seconds for
+// 100 columns and 8 levels).
+
+#include <cinttypes>
+
+#include "bench/bench_common.h"
+#include "cost/design_advisor.h"
+#include "workload/htap_workload.h"
+
+int main() {
+  using namespace laser;
+  using namespace laser::bench;
+
+  constexpr int kLevels = 8;
+  constexpr int kSizeRatio = 2;
+
+  PrintHeader("Figure 9(a): read recency distributions per level");
+  HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(1.0);
+  WorkloadTrace trace(kLevels);
+  HtapWorkloadRunner(spec).FillTrace(&trace, kLevels, kSizeRatio);
+  const auto reads = trace.point_reads();
+  printf("%-10s", "query");
+  for (int level = 0; level < kLevels; ++level) printf("  L%-7d", level);
+  printf("\n");
+  for (const auto& [projection, by_level] : reads) {
+    const bool is_q2a = projection == MakeColumnRange(1, 30);
+    printf("%-10s", is_q2a ? "Q2a(.98)" : "Q2b(.85)");
+    uint64_t total = 0;
+    for (uint64_t n : by_level) total += n;
+    for (uint64_t n : by_level) {
+      printf("  %6.1f%%", total ? 100.0 * static_cast<double>(n) / total : 0.0);
+    }
+    printf("\n");
+  }
+  printf("Expected shape: Q2a concentrates near the top levels, Q2b a few\n"
+         "levels deeper (paper: skiplists/L0/L1 vs L2/L3).\n");
+
+  PrintHeader("Figure 9(b): D-opt — the design selected for HW");
+  Schema schema = Schema::UniformInt32(30);
+  LsmShape shape;
+  shape.num_levels = kLevels;
+  shape.size_ratio = kSizeRatio;
+  shape.entries_per_block = 4096.0 / 140.0;
+  shape.blocks_level0 = 64;
+  shape.num_columns = 30;
+  DesignAdvisor advisor(&schema, shape);
+  CgConfig dopt = advisor.SelectDesign(trace);
+  printf("%s\n", dopt.ToString().c_str());
+  printf("Paper's D-opt for reference:\n"
+         "L0:<1-30>\nL1:<1-30>\nL2:<1-15><16-30>\nL3:<1-15><16-30>\n"
+         "L4:<1-15><16-20><21-30>\nL5:<1-15><16-20><21-30>\n"
+         "L6:<1-15><16-20><21-27><28-30>\nL7:<1-15><16-20><21-27><28-30>\n");
+
+  PrintHeader("Section 6.3: design-selection time, 100 columns x 8 levels");
+  Schema wide_schema = Schema::UniformInt32(100);
+  LsmShape wide_shape = shape;
+  wide_shape.num_columns = 100;
+  DesignAdvisor wide_advisor(&wide_schema, wide_shape);
+  WorkloadTrace wide_trace(kLevels);
+  wide_trace.AddInsert(1000000);
+  wide_trace.AddPointRead(MakeColumnRange(1, 100), 1, 500000);
+  wide_trace.AddPointRead(MakeColumnRange(51, 100), 3, 500000);
+  wide_trace.AddRangeScan(MakeColumnRange(71, 100), 2e7, 12);
+  wide_trace.AddRangeScan(MakeColumnRange(91, 100), 2e8, 12);
+  wide_trace.AddUpdate({17}, 2000);
+
+  Env* env = Env::Default();
+  const uint64_t t0 = env->NowMicros();
+  CgConfig wide_design = wide_advisor.SelectDesign(wide_trace);
+  const double seconds = static_cast<double>(env->NowMicros() - t0) / 1e6;
+  printf("selection took %.3f s (paper reports ~3 s)\n", seconds);
+  printf("%s\n", wide_design.ToString().c_str());
+  return 0;
+}

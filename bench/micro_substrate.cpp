@@ -1,0 +1,155 @@
+// google-benchmark microbenches for the storage substrate: skiplist,
+// memtable, block builder/seek, bloom filter, CRC32C, LightLZ, SST get.
+// These are regression guards for the hot paths the figures depend on.
+
+#include <benchmark/benchmark.h>
+
+#include "lsm/dbformat.h"
+#include "memtable/memtable.h"
+#include "sst/block.h"
+#include "sst/block_builder.h"
+#include "sst/bloom.h"
+#include "sst/sst_builder.h"
+#include "sst/sst_reader.h"
+#include "util/codec.h"
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/env.h"
+#include "util/random.h"
+
+namespace laser {
+namespace {
+
+void BM_SkipListInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    MemTable* mem = new MemTable();
+    mem->Ref();
+    Random rng(42);
+    state.ResumeTiming();
+    for (int i = 0; i < 10000; ++i) {
+      mem->Add(i + 1, kTypeFullRow, EncodeKey64(rng.Next()), "value");
+    }
+    state.PauseTiming();
+    mem->Unref();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SkipListInsert);
+
+void BM_MemTableGet(benchmark::State& state) {
+  MemTable* mem = new MemTable();
+  mem->Ref();
+  Random rng(42);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 100000; ++i) {
+    keys.push_back(rng.Next());
+    mem->Add(i + 1, kTypeFullRow, EncodeKey64(keys.back()), "value");
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    MemTable::GetResult result;
+    benchmark::DoNotOptimize(
+        mem->Get(EncodeKey64(keys[i++ % keys.size()]), kMaxSequenceNumber, &result));
+  }
+  mem->Unref();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableGet);
+
+void BM_BlockBuild(benchmark::State& state) {
+  const int restart = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    BlockBuilder builder(restart);
+    for (uint64_t i = 0; i < 100; ++i) {
+      builder.Add(MakeInternalKey(EncodeKey64(i), 1, kTypeFullRow),
+                  "0123456789012345678901234567890123456789");
+    }
+    benchmark::DoNotOptimize(builder.Finish());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_BlockBuild)->Arg(1)->Arg(16);
+
+void BM_BlockSeek(benchmark::State& state) {
+  BlockBuilder builder(16);
+  for (uint64_t i = 0; i < 100; ++i) {
+    builder.Add(MakeInternalKey(EncodeKey64(i * 2), 1, kTypeFullRow), "value");
+  }
+  Block block(builder.Finish().ToString());
+  Random rng(7);
+  for (auto _ : state) {
+    auto iter = block.NewIterator();
+    iter->Seek(MakeLookupKey(EncodeKey64(rng.Uniform(200)), kMaxSequenceNumber));
+    benchmark::DoNotOptimize(iter->Valid());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockSeek);
+
+void BM_BloomCheck(benchmark::State& state) {
+  BloomFilterBuilder builder(10);
+  for (uint64_t i = 0; i < 10000; ++i) builder.AddKey(EncodeKey64(i));
+  const std::string data = builder.Finish();
+  BloomFilterReader reader((Slice(data)));
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reader.KeyMayMatch(EncodeKey64(key++ % 20000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BloomCheck);
+
+void BM_Crc32c(benchmark::State& state) {
+  const std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4096)->Arg(32768);
+
+void BM_LightLZCompress(benchmark::State& state) {
+  Random rng(9);
+  std::string input;
+  for (int i = 0; i < 200; ++i) {
+    input += "column value " + std::to_string(rng.Uniform(50)) + "; ";
+  }
+  std::string output;
+  for (auto _ : state) {
+    LightLZCompress(Slice(input), &output);
+    benchmark::DoNotOptimize(output.data());
+  }
+  state.SetBytesProcessed(state.iterations() * input.size());
+}
+BENCHMARK(BM_LightLZCompress);
+
+void BM_SstPointGet(benchmark::State& state) {
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> file;
+  env->NewWritableFile("/bm.sst", &file);
+  SstBuilder builder(SstBuildOptions(), std::move(file));
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    builder.Add(MakeInternalKey(EncodeKey64(i * 2), i + 1, kTypeFullRow),
+                "0123456789012345678901234567890123456789");
+  }
+  builder.Finish();
+  std::unique_ptr<SstReader> reader;
+  SstReader::Open(env.get(), "/bm.sst", 1, nullptr, nullptr, &reader);
+  Random rng(5);
+  std::vector<KeyVersion> versions;
+  for (auto _ : state) {
+    versions.clear();
+    benchmark::DoNotOptimize(reader->Get(EncodeKey64(rng.Uniform(n) * 2),
+                                         kMaxSequenceNumber, &versions));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SstPointGet);
+
+}  // namespace
+}  // namespace laser
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Lifecycle inspector: watch data age through the Real-Time LSM-Tree.
+// Inserts a steady stream, then prints, per level and column group, how many
+// entries live there and which age band they cover — the mechanism from
+// Figure 2 that makes per-level layouts match per-age access patterns.
+//
+//   ./examples/lifecycle_inspect [rows]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "laser/laser_db.h"
+#include "util/random.h"
+
+using namespace laser;
+
+int main(int argc, char** argv) {
+  const uint64_t rows = argc > 1 ? strtoull(argv[1], nullptr, 10) : 120000;
+  constexpr int kColumns = 10;
+  constexpr int kLevels = 6;
+
+  LaserOptions options;
+  options.path = "/tmp/laser_lifecycle";
+  options.schema = Schema::UniformInt32(kColumns);
+  options.num_levels = kLevels;
+  // Progressive narrowing: row on top, columnar at the bottom.
+  std::vector<std::vector<ColumnSet>> levels;
+  levels.push_back({MakeColumnRange(1, kColumns)});
+  levels.push_back({MakeColumnRange(1, kColumns)});
+  levels.push_back({MakeColumnRange(1, 5), MakeColumnRange(6, 10)});
+  levels.push_back({MakeColumnRange(1, 5), MakeColumnRange(6, 10)});
+  levels.push_back(
+      {MakeColumnRange(1, 5), MakeColumnRange(6, 8), MakeColumnRange(9, 10)});
+  std::vector<ColumnSet> bottom;
+  for (int c = 1; c <= kColumns; ++c) bottom.push_back({c});
+  levels.push_back(bottom);
+  options.cg_config = CgConfig(levels);
+  options.write_buffer_size = 64 * 1024;
+  options.level0_bytes = 128 * 1024;
+  options.target_sst_size = 128 * 1024;
+  options.use_wal = false;
+  Env::Default()->RemoveDir(options.path);
+
+  std::unique_ptr<LaserDB> db;
+  Status status = LaserDB::Open(options, &db);
+  if (!status.ok()) {
+    fprintf(stderr, "open failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  printf("Configured layout:\n%s\n", options.cg_config.ToString().c_str());
+
+  Random rng(11);
+  for (uint64_t i = 0; i < rows; ++i) {
+    const uint64_t key = rng.Next() % (1ull << 32);
+    std::vector<ColumnValue> row(kColumns, i & 0x7fffffff);
+    db->Insert(key, row);
+  }
+  db->WaitForBackgroundWork();
+
+  const SequenceNumber newest = db->LastSequence();
+  auto version = db->current_version();
+
+  printf("Where the data lives (ages as %% of stream, 0%% = newest):\n");
+  printf("%-6s %-12s %10s %10s %9s %9s\n", "level", "group", "entries",
+         "bytes", "age-from", "age-to");
+  for (int level = 0; level < version->num_levels(); ++level) {
+    for (int group = 0; group < version->num_groups(level); ++group) {
+      const auto& files = version->files(level, group);
+      if (files.empty()) continue;
+      SequenceNumber lo = kMaxSequenceNumber;
+      SequenceNumber hi = 0;
+      for (const auto& f : files) {
+        lo = std::min(lo, f->props.smallest_seq);
+        hi = std::max(hi, f->props.largest_seq);
+      }
+      const auto& cols = options.cg_config.groups(level)[group];
+      printf("L%-5d <%-10s> %10" PRIu64 " %10" PRIu64 " %8.1f%% %8.1f%%\n",
+             level, ColumnSetToString(cols).c_str(),
+             version->GroupEntries(level, group),
+             version->GroupBytes(level, group),
+             100.0 * (1.0 - static_cast<double>(hi) / newest),
+             100.0 * (1.0 - static_cast<double>(lo) / newest));
+    }
+  }
+  printf("\nReads of recent keys touch the row-format top; historical column\n"
+         "scans touch only the narrow groups at the bottom.\n");
+  return 0;
+}

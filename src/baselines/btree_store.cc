@@ -1,0 +1,403 @@
+#include "baselines/btree_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace laser {
+
+namespace {
+constexpr size_t kHeaderSize = 8;
+constexpr uint8_t kLeafType = 0;
+constexpr uint8_t kInnerType = 1;
+constexpr uint32_t kNoPage = 0xffffffffu;
+}  // namespace
+
+BTreeStore::BTreeStore(const Options& options) : options_(options) {
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  size_t offset = 8;  // key first
+  for (int c = 1; c <= options_.schema.num_columns(); ++c) {
+    column_offsets_.push_back(offset);
+    offset += options_.schema.value_size(c);
+  }
+  row_size_ = offset;
+}
+
+Status BTreeStore::Open(const Options& options,
+                        std::unique_ptr<BTreeStore>* store) {
+  if (options.schema.num_columns() <= 0) {
+    return Status::InvalidArgument("schema has no columns");
+  }
+  auto s = std::unique_ptr<BTreeStore>(new BTreeStore(options));
+  if (s->RowSize() + kHeaderSize + 8 > kPageSize) {
+    return Status::InvalidArgument("row too large for a page");
+  }
+  // Fresh tree: one empty leaf as root.
+  s->root_ = s->AllocPage();
+  Page* root = s->GetPage(s->root_);
+  root->data[0] = kLeafType;
+  SetNumKeys(root, 0);
+  SetNextLeaf(root, kNoPage);
+  *store = std::move(s);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- pages --
+
+BTreeStore::Page* BTreeStore::GetPage(uint32_t id) const {
+  ++page_touches_;
+  return pages_[id].get();
+}
+
+uint32_t BTreeStore::AllocPage() {
+  pages_.push_back(std::make_unique<Page>());
+  memset(pages_.back()->data, 0, kPageSize);
+  return static_cast<uint32_t>(pages_.size() - 1);
+}
+
+size_t BTreeStore::LeafCapacity() const {
+  return (kPageSize - kHeaderSize) / row_size_;
+}
+
+size_t BTreeStore::InnerCapacity() const {
+  // n keys (8B) + (n+1) children (4B) <= payload.
+  return (kPageSize - kHeaderSize - 4) / 12;
+}
+
+uint16_t BTreeStore::NumKeys(const Page* p) {
+  uint16_t n;
+  memcpy(&n, p->data + 1, 2);
+  return n;
+}
+void BTreeStore::SetNumKeys(Page* p, uint16_t n) { memcpy(p->data + 1, &n, 2); }
+
+uint32_t BTreeStore::NextLeaf(const Page* p) {
+  uint32_t id;
+  memcpy(&id, p->data + 3, 4);
+  return id;
+}
+void BTreeStore::SetNextLeaf(Page* p, uint32_t id) { memcpy(p->data + 3, &id, 4); }
+
+uint8_t* BTreeStore::LeafRow(Page* p, size_t index) const {
+  return p->data + kHeaderSize + index * row_size_;
+}
+const uint8_t* BTreeStore::LeafRow(const Page* p, size_t index) const {
+  return p->data + kHeaderSize + index * row_size_;
+}
+
+uint64_t BTreeStore::RowKey(const uint8_t* row) {
+  uint64_t key;
+  memcpy(&key, row, 8);
+  return key;
+}
+
+uint64_t BTreeStore::InnerKey(const Page* p, size_t index) const {
+  uint64_t key;
+  memcpy(&key, p->data + kHeaderSize + (InnerCapacity() + 1) * 4 + index * 8, 8);
+  return key;
+}
+void BTreeStore::SetInnerKey(Page* p, size_t index, uint64_t key) const {
+  memcpy(p->data + kHeaderSize + (InnerCapacity() + 1) * 4 + index * 8, &key, 8);
+}
+uint32_t BTreeStore::InnerChild(const Page* p, size_t index) const {
+  uint32_t child;
+  memcpy(&child, p->data + kHeaderSize + index * 4, 4);
+  return child;
+}
+void BTreeStore::SetInnerChild(Page* p, size_t index, uint32_t child) const {
+  memcpy(p->data + kHeaderSize + index * 4, &child, 4);
+}
+
+// ------------------------------------------------------------- traversal --
+
+size_t BTreeStore::LeafLowerBound(const Page* leaf, uint64_t key) const {
+  size_t lo = 0;
+  size_t hi = NumKeys(leaf);
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (RowKey(LeafRow(leaf, mid)) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+uint32_t BTreeStore::FindLeaf(uint64_t key, std::vector<uint32_t>* path,
+                              std::vector<size_t>* slots) const {
+  uint32_t current = root_;
+  while (true) {
+    const Page* page = GetPage(current);
+    if (PageType(page) == kLeafType) return current;
+    const uint16_t n = NumKeys(page);
+    // First separator > key decides the child (keys[i] = smallest key of
+    // child i+1).
+    size_t slot = 0;
+    while (slot < n && key >= InnerKey(page, slot)) ++slot;
+    if (path != nullptr) {
+      path->push_back(current);
+      slots->push_back(slot);
+    }
+    current = InnerChild(page, slot);
+  }
+}
+
+// --------------------------------------------------------------- writes --
+
+Status BTreeStore::InsertRow(const uint8_t* row_bytes) {
+  const uint64_t key = RowKey(row_bytes);
+  std::vector<uint32_t> path;
+  std::vector<size_t> slots;
+  const uint32_t leaf_id = FindLeaf(key, &path, &slots);
+  Page* leaf = GetPage(leaf_id);
+  const size_t pos = LeafLowerBound(leaf, key);
+  const uint16_t n = NumKeys(leaf);
+
+  if (pos < n && RowKey(LeafRow(leaf, pos)) == key) {
+    // Overwrite in place (insert of an existing key replaces the row).
+    memcpy(LeafRow(leaf, pos), row_bytes, row_size_);
+    return Status::OK();
+  }
+
+  if (n < LeafCapacity()) {
+    memmove(LeafRow(leaf, pos + 1), LeafRow(leaf, pos), (n - pos) * row_size_);
+    memcpy(LeafRow(leaf, pos), row_bytes, row_size_);
+    SetNumKeys(leaf, n + 1);
+    ++num_rows_;
+    return Status::OK();
+  }
+
+  // Split the leaf.
+  const uint32_t right_id = AllocPage();
+  Page* right = GetPage(right_id);
+  leaf = GetPage(leaf_id);  // pages_ may have reallocated
+  right->data[0] = kLeafType;
+  const size_t mid = n / 2;
+  const size_t right_count = n - mid;
+  memcpy(LeafRow(right, 0), LeafRow(leaf, mid), right_count * row_size_);
+  SetNumKeys(right, static_cast<uint16_t>(right_count));
+  SetNumKeys(leaf, static_cast<uint16_t>(mid));
+  SetNextLeaf(right, NextLeaf(leaf));
+  SetNextLeaf(leaf, right_id);
+
+  // Insert into the proper half.
+  Page* target = key >= RowKey(LeafRow(right, 0)) ? right : leaf;
+  {
+    const size_t tpos = LeafLowerBound(target, key);
+    const uint16_t tn = NumKeys(target);
+    memmove(LeafRow(target, tpos + 1), LeafRow(target, tpos),
+            (tn - tpos) * row_size_);
+    memcpy(LeafRow(target, tpos), row_bytes, row_size_);
+    SetNumKeys(target, tn + 1);
+    ++num_rows_;
+  }
+
+  // Propagate the split key (smallest of the right page) upward.
+  uint64_t sep = RowKey(LeafRow(right, 0));
+  uint32_t new_child = right_id;
+  while (!path.empty()) {
+    const uint32_t inner_id = path.back();
+    const size_t slot = slots.back();
+    path.pop_back();
+    slots.pop_back();
+    Page* inner = GetPage(inner_id);
+    const uint16_t in = NumKeys(inner);
+    if (in < InnerCapacity()) {
+      // Shift keys/children right of `slot`.
+      for (size_t i = in; i > slot; --i) SetInnerKey(inner, i, InnerKey(inner, i - 1));
+      for (size_t i = in + 1; i > slot + 1; --i) {
+        SetInnerChild(inner, i, InnerChild(inner, i - 1));
+      }
+      SetInnerKey(inner, slot, sep);
+      SetInnerChild(inner, slot + 1, new_child);
+      SetNumKeys(inner, in + 1);
+      return Status::OK();
+    }
+    // Split the inner node: temp arrays of in+1 keys / in+2 children.
+    std::vector<uint64_t> keys(in + 1);
+    std::vector<uint32_t> children(in + 2);
+    for (size_t i = 0; i < in; ++i) keys[i] = InnerKey(inner, i);
+    for (size_t i = 0; i <= in; ++i) children[i] = InnerChild(inner, i);
+    keys.insert(keys.begin() + slot, sep);
+    keys.resize(in + 1);
+    children.insert(children.begin() + slot + 1, new_child);
+    children.resize(in + 2);
+
+    const size_t total = in + 1;
+    const size_t lmid = total / 2;  // keys[lmid] moves up
+    const uint64_t up_key = keys[lmid];
+
+    const uint32_t new_inner_id = AllocPage();
+    Page* new_inner = GetPage(new_inner_id);
+    inner = GetPage(inner_id);
+    new_inner->data[0] = kInnerType;
+
+    SetNumKeys(inner, static_cast<uint16_t>(lmid));
+    for (size_t i = 0; i < lmid; ++i) SetInnerKey(inner, i, keys[i]);
+    for (size_t i = 0; i <= lmid; ++i) SetInnerChild(inner, i, children[i]);
+
+    const size_t rkeys = total - lmid - 1;
+    SetNumKeys(new_inner, static_cast<uint16_t>(rkeys));
+    for (size_t i = 0; i < rkeys; ++i) SetInnerKey(new_inner, i, keys[lmid + 1 + i]);
+    for (size_t i = 0; i <= rkeys; ++i) {
+      SetInnerChild(new_inner, i, children[lmid + 1 + i]);
+    }
+
+    sep = up_key;
+    new_child = new_inner_id;
+    if (path.empty()) {
+      // Split reached the root: grow the tree.
+      const uint32_t new_root_id = AllocPage();
+      Page* new_root = GetPage(new_root_id);
+      new_root->data[0] = kInnerType;
+      SetNumKeys(new_root, 1);
+      SetInnerKey(new_root, 0, sep);
+      SetInnerChild(new_root, 0, inner_id);
+      SetInnerChild(new_root, 1, new_child);
+      root_ = new_root_id;
+      return Status::OK();
+    }
+  }
+  // Leaf split below a still-roomy root path handled above; reaching here
+  // means the root itself was a leaf.
+  const uint32_t new_root_id = AllocPage();
+  Page* new_root = GetPage(new_root_id);
+  new_root->data[0] = kInnerType;
+  SetNumKeys(new_root, 1);
+  SetInnerKey(new_root, 0, sep);
+  SetInnerChild(new_root, 0, leaf_id);
+  SetInnerChild(new_root, 1, new_child);
+  root_ = new_root_id;
+  return Status::OK();
+}
+
+Status BTreeStore::Insert(uint64_t key, const std::vector<ColumnValue>& row) {
+  if (static_cast<int>(row.size()) != options_.schema.num_columns()) {
+    return Status::InvalidArgument("row arity != schema");
+  }
+  std::vector<uint8_t> bytes(row_size_);
+  memcpy(bytes.data(), &key, 8);
+  for (int c = 1; c <= options_.schema.num_columns(); ++c) {
+    const size_t width = options_.schema.value_size(c);
+    memcpy(bytes.data() + column_offsets_[c - 1], &row[c - 1], width);
+  }
+  return InsertRow(bytes.data());
+}
+
+Status BTreeStore::Update(uint64_t key,
+                          const std::vector<ColumnValuePair>& values) {
+  const uint32_t leaf_id = FindLeaf(key, nullptr, nullptr);
+  Page* leaf = GetPage(leaf_id);
+  const size_t pos = LeafLowerBound(leaf, key);
+  if (pos >= NumKeys(leaf) || RowKey(LeafRow(leaf, pos)) != key) {
+    return Status::NotFound("update of missing key");
+  }
+  uint8_t* row = LeafRow(leaf, pos);
+  for (const auto& [column, value] : values) {
+    if (column < 1 || column > options_.schema.num_columns()) {
+      return Status::InvalidArgument("column out of range");
+    }
+    memcpy(row + column_offsets_[column - 1], &value,
+           options_.schema.value_size(column));
+  }
+  return Status::OK();
+}
+
+Status BTreeStore::Delete(uint64_t key) {
+  const uint32_t leaf_id = FindLeaf(key, nullptr, nullptr);
+  Page* leaf = GetPage(leaf_id);
+  const size_t pos = LeafLowerBound(leaf, key);
+  const uint16_t n = NumKeys(leaf);
+  if (pos >= n || RowKey(LeafRow(leaf, pos)) != key) {
+    return Status::OK();  // deleting a missing key is a no-op
+  }
+  memmove(LeafRow(leaf, pos), LeafRow(leaf, pos + 1), (n - pos - 1) * row_size_);
+  SetNumKeys(leaf, n - 1);
+  --num_rows_;
+  return Status::OK();  // no rebalancing: underfull leaves are tolerated
+}
+
+// ---------------------------------------------------------------- reads --
+
+Status BTreeStore::Read(uint64_t key, const ColumnSet& projection,
+                        std::vector<std::optional<ColumnValue>>* values,
+                        bool* found) {
+  values->assign(projection.size(), std::nullopt);
+  *found = false;
+  const uint32_t leaf_id = FindLeaf(key, nullptr, nullptr);
+  const Page* leaf = GetPage(leaf_id);
+  const size_t pos = LeafLowerBound(leaf, key);
+  if (pos >= NumKeys(leaf) || RowKey(LeafRow(leaf, pos)) != key) {
+    return Status::OK();
+  }
+  const uint8_t* row = LeafRow(leaf, pos);
+  for (size_t i = 0; i < projection.size(); ++i) {
+    const int column = projection[i];
+    if (column < 1 || column > options_.schema.num_columns()) {
+      return Status::InvalidArgument("column out of range");
+    }
+    ColumnValue value = 0;
+    memcpy(&value, row + column_offsets_[column - 1],
+           options_.schema.value_size(column));
+    (*values)[i] = value;
+  }
+  *found = true;
+  return Status::OK();
+}
+
+Status BTreeStore::ScanAggregate(uint64_t lo, uint64_t hi,
+                                 const ColumnSet& projection,
+                                 AggregateResult* result) {
+  result->sums.assign(projection.size(), 0);
+  result->maxima.assign(projection.size(), 0);
+  result->rows = 0;
+
+  uint32_t leaf_id = FindLeaf(lo, nullptr, nullptr);
+  while (leaf_id != kNoPage) {
+    const Page* leaf = GetPage(leaf_id);
+    const uint16_t n = NumKeys(leaf);
+    for (size_t pos = LeafLowerBound(leaf, lo); pos < n; ++pos) {
+      const uint8_t* row = LeafRow(leaf, pos);
+      const uint64_t key = RowKey(row);
+      if (key > hi) return Status::OK();
+      for (size_t i = 0; i < projection.size(); ++i) {
+        ColumnValue value = 0;
+        memcpy(&value, row + column_offsets_[projection[i] - 1],
+               options_.schema.value_size(projection[i]));
+        result->sums[i] += value;
+        result->maxima[i] = std::max(result->maxima[i], value);
+      }
+      ++result->rows;
+    }
+    leaf_id = NextLeaf(leaf);
+  }
+  return Status::OK();
+}
+
+int BTreeStore::height() const {
+  int h = 1;
+  uint32_t current = root_;
+  while (PageType(pages_[current].get()) == kInnerType) {
+    current = InnerChild(pages_[current].get(), 0);
+    ++h;
+  }
+  return h;
+}
+
+Status BTreeStore::Checkpoint() {
+  if (options_.path.empty()) return Status::OK();
+  std::string out;
+  out.reserve(pages_.size() * kPageSize + 16);
+  PutFixed32(&out, root_);
+  PutFixed64(&out, num_rows_);
+  PutFixed32(&out, static_cast<uint32_t>(pages_.size()));
+  for (const auto& page : pages_) {
+    out.append(reinterpret_cast<const char*>(page->data), kPageSize);
+  }
+  return env_->WriteStringToFile(Slice(out), options_.path, /*sync=*/true);
+}
+
+}  // namespace laser

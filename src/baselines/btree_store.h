@@ -1,0 +1,114 @@
+// BTreeStore: a paged B+-tree row store — the baseline playing the role of
+// the row-store DBMSs (Postgres/MySQL) in the §7.2 comparison: in-place
+// updates, O(log N) point access, row-at-a-time scans via chained leaves.
+//
+// Pages are 4KB, held in an in-memory page pool and persisted wholesale on
+// Checkpoint() (benchmarks run in-process; durability-per-write is not what
+// this baseline is measuring).
+
+#ifndef LASER_BASELINES_BTREE_STORE_H_
+#define LASER_BASELINES_BTREE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "laser/schema.h"
+#include "util/env.h"
+#include "workload/table_engine.h"
+
+namespace laser {
+
+class BTreeStore final : public TableEngine {
+ public:
+  struct Options {
+    Env* env = nullptr;  // nullptr -> Env::Default()
+    std::string path;    // file for Checkpoint persistence
+    Schema schema;
+  };
+
+  static Status Open(const Options& options, std::unique_ptr<BTreeStore>* store);
+  ~BTreeStore() override = default;
+
+  std::string name() const override { return "btree-rowstore"; }
+
+  Status Insert(uint64_t key, const std::vector<ColumnValue>& row) override;
+  Status Update(uint64_t key, const std::vector<ColumnValuePair>& values) override;
+  Status Delete(uint64_t key) override;
+  Status Read(uint64_t key, const ColumnSet& projection,
+              std::vector<std::optional<ColumnValue>>* values,
+              bool* found) override;
+  Status ScanAggregate(uint64_t lo, uint64_t hi, const ColumnSet& projection,
+                       AggregateResult* result) override;
+  Status Checkpoint() override;
+
+  // -- introspection --
+  uint64_t num_rows() const { return num_rows_; }
+  uint64_t num_pages() const { return static_cast<uint64_t>(pages_.size()); }
+  uint64_t page_touches() const { return page_touches_; }
+  int height() const;
+
+  static constexpr size_t kPageSize = 4096;
+
+ private:
+  // Page layout:
+  //   byte 0: type (0 = leaf, 1 = inner)
+  //   bytes 1-2: nkeys (uint16)
+  //   bytes 3-6: next leaf page id (leaves) / unused (inner)
+  //   payload: leaf -> nkeys rows of (8-byte key + fixed row payload)
+  //            inner -> nkeys 8-byte separator keys + (nkeys+1) 4-byte child
+  //                     page ids (children first, then keys)
+  struct Page {
+    uint8_t data[kPageSize];
+  };
+
+  explicit BTreeStore(const Options& options);
+
+  Page* GetPage(uint32_t id) const;
+  uint32_t AllocPage();
+
+  size_t LeafCapacity() const;
+  size_t InnerCapacity() const;
+  size_t RowSize() const { return row_size_; }
+
+  // Leaf/inner accessors (operate on raw page bytes).
+  static uint8_t PageType(const Page* p) { return p->data[0]; }
+  static uint16_t NumKeys(const Page* p);
+  static void SetNumKeys(Page* p, uint16_t n);
+  static uint32_t NextLeaf(const Page* p);
+  static void SetNextLeaf(Page* p, uint32_t id);
+
+  uint8_t* LeafRow(Page* p, size_t index) const;
+  const uint8_t* LeafRow(const Page* p, size_t index) const;
+  static uint64_t RowKey(const uint8_t* row);
+
+  uint64_t InnerKey(const Page* p, size_t index) const;
+  uint32_t InnerChild(const Page* p, size_t index) const;
+  void SetInnerKey(Page* p, size_t index, uint64_t key) const;
+  void SetInnerChild(Page* p, size_t index, uint32_t child) const;
+
+  /// Descends to the leaf that may contain `key`; fills `path`/`slots` with
+  /// the inner pages and chosen child indices.
+  uint32_t FindLeaf(uint64_t key, std::vector<uint32_t>* path,
+                    std::vector<size_t>* slots) const;
+
+  /// Inserts the row bytes into the tree; splits as needed.
+  Status InsertRow(const uint8_t* row_bytes);
+
+  /// Position of key in leaf (first slot with key >= target).
+  size_t LeafLowerBound(const Page* leaf, uint64_t key) const;
+
+  Options options_;
+  Env* env_;
+  size_t row_size_ = 0;
+  std::vector<size_t> column_offsets_;  // offset of each column in a row
+
+  mutable std::vector<std::unique_ptr<Page>> pages_;
+  uint32_t root_ = 0;
+  uint64_t num_rows_ = 0;
+  mutable uint64_t page_touches_ = 0;
+};
+
+}  // namespace laser
+
+#endif  // LASER_BASELINES_BTREE_STORE_H_

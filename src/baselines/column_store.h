@@ -1,0 +1,90 @@
+// ColumnStore: a contiguous column store — the baseline playing MonetDB's
+// role in the §7.2 comparison. Columns live in dense arrays aligned with a
+// sorted key array (no per-row key replication, unlike the simulated CGs of
+// §4.1); fresh writes go to a sorted delta that is merged into the arrays
+// when it grows past a threshold, mirroring the delta/main split of
+// column-store engines. Scans stream contiguous column values; point reads
+// pay one binary search per query but touch every projected column array.
+
+#ifndef LASER_BASELINES_COLUMN_STORE_H_
+#define LASER_BASELINES_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "laser/schema.h"
+#include "util/env.h"
+#include "workload/table_engine.h"
+
+namespace laser {
+
+class ColumnStore final : public TableEngine {
+ public:
+  struct Options {
+    Env* env = nullptr;       // nullptr -> Env::Default()
+    std::string path_prefix;  // per-column files written on Checkpoint
+    Schema schema;
+    size_t delta_merge_threshold = 1 << 16;  ///< rows buffered before merge
+  };
+
+  static Status Open(const Options& options, std::unique_ptr<ColumnStore>* store);
+  ~ColumnStore() override = default;
+
+  std::string name() const override { return "column-store"; }
+
+  Status Insert(uint64_t key, const std::vector<ColumnValue>& row) override;
+  Status Update(uint64_t key, const std::vector<ColumnValuePair>& values) override;
+  Status Delete(uint64_t key) override;
+  Status Read(uint64_t key, const ColumnSet& projection,
+              std::vector<std::optional<ColumnValue>>* values,
+              bool* found) override;
+  Status ScanAggregate(uint64_t lo, uint64_t hi, const ColumnSet& projection,
+                       AggregateResult* result) override;
+  Status Checkpoint() override;
+
+  // -- introspection --
+  uint64_t main_rows() const { return keys_.size(); }
+  uint64_t delta_rows() const { return delta_.size(); }
+  uint64_t cells_touched() const { return cells_touched_; }
+  uint64_t merges() const { return merges_; }
+
+  /// Forces the delta into the main arrays.
+  void MergeDelta();
+
+ private:
+  explicit ColumnStore(const Options& options);
+
+  /// Index of `key` in the main arrays or npos.
+  size_t FindMain(uint64_t key) const;
+
+  /// Masks a value to the column's declared width (int32 semantics).
+  ColumnValue Truncate(int column, ColumnValue value) const;
+
+  static constexpr size_t kNpos = ~size_t{0};
+
+  Options options_;
+  Env* env_;
+  int num_columns_ = 0;
+
+  // Main: sorted keys with per-column value arrays (parallel).
+  std::vector<uint64_t> keys_;
+  std::vector<std::vector<ColumnValue>> columns_;
+  std::vector<bool> deleted_;  // tombstones until the next merge
+
+  // Delta: recent writes, ordered by key. nullopt row value = deleted.
+  struct DeltaRow {
+    bool tombstone = false;
+    std::vector<ColumnValue> values;
+    std::vector<bool> present;  // partial updates mark only some columns
+  };
+  std::map<uint64_t, DeltaRow> delta_;
+
+  mutable uint64_t cells_touched_ = 0;
+  uint64_t merges_ = 0;
+};
+
+}  // namespace laser
+
+#endif  // LASER_BASELINES_COLUMN_STORE_H_

@@ -1,0 +1,98 @@
+#include "cost/cost_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace laser {
+
+int ComputeNumLevels(double num_entries, double entries_per_block,
+                     double blocks_level0, int size_ratio) {
+  // Equation 1: L = ceil(log_T(N/(B*pg) * (T-1)/T)).
+  const double t = size_ratio;
+  const double inner =
+      num_entries / (entries_per_block * blocks_level0) * (t - 1.0) / t;
+  if (inner <= 1.0) return 1;
+  return static_cast<int>(std::ceil(std::log(inner) / std::log(t)));
+}
+
+CostModel::CostModel(const LsmShape& shape, const CgConfig* config)
+    : shape_(shape), config_(config) {
+  assert(config_->num_levels() == shape_.num_levels);
+  total_capacity_ = 0;
+  for (int level = 0; level < shape_.num_levels; ++level) {
+    total_capacity_ += std::pow(shape_.size_ratio, level);
+  }
+}
+
+double CostModel::EntriesPerBlock(int level, int group) const {
+  // Equation 3: B_ji = B * (1 + c) / (1 + cg_size_ji).
+  const double cg_size =
+      static_cast<double>(config_->groups(level)[group].size());
+  return shape_.entries_per_block * (1.0 + shape_.num_columns) / (1.0 + cg_size);
+}
+
+double CostModel::Eg(int level, const ColumnSet& projection) const {
+  return static_cast<double>(
+      config_->OverlappingGroups(level, projection).size());
+}
+
+double CostModel::EG(int level, const ColumnSet& projection) const {
+  double total = 0;
+  for (int g : config_->OverlappingGroups(level, projection)) {
+    total += 1.0 + static_cast<double>(config_->groups(level)[g].size());
+  }
+  return total;
+}
+
+double CostModel::InsertCost() const {
+  // Equation 4: W = T*L/B + (T/(B*c)) * sum_i g_i.
+  const double t = shape_.size_ratio;
+  const double b = shape_.entries_per_block;
+  const double c = shape_.num_columns;
+  const double levels = shape_.num_levels;
+  double sum_groups = 0;
+  for (int level = 0; level < shape_.num_levels; ++level) {
+    sum_groups += config_->num_groups(level);
+  }
+  return t * levels / b + t * sum_groups / (b * c);
+}
+
+double CostModel::PointReadCost(const ColumnSet& projection) const {
+  // Equation 5: P = sum_i E^g_i.
+  double total = 0;
+  for (int level = 0; level < shape_.num_levels; ++level) {
+    total += Eg(level, projection);
+  }
+  return total;
+}
+
+double CostModel::LevelSelectivityShare(int level) const {
+  return std::pow(shape_.size_ratio, level) / total_capacity_;
+}
+
+double CostModel::RangeScanCost(double selectivity,
+                                const ColumnSet& projection) const {
+  // Equation 6: Q = sum_i s_i * E^G_i / (c * B).
+  const double b = shape_.entries_per_block;
+  const double c = shape_.num_columns;
+  double total = 0;
+  for (int level = 0; level < shape_.num_levels; ++level) {
+    const double s_i = selectivity * LevelSelectivityShare(level);
+    total += s_i * EG(level, projection) / (c * b);
+  }
+  return total;
+}
+
+double CostModel::UpdateCost(const ColumnSet& updated) const {
+  // Equation 7: U = sum_i T * E^G_i / (c * B).
+  const double t = shape_.size_ratio;
+  const double b = shape_.entries_per_block;
+  const double c = shape_.num_columns;
+  double total = 0;
+  for (int level = 0; level < shape_.num_levels; ++level) {
+    total += t * EG(level, updated) / (c * b);
+  }
+  return total;
+}
+
+}  // namespace laser

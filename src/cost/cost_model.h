@@ -1,0 +1,79 @@
+// Cost model of §5 (Equations 1-7, Table 2): I/O costs of inserts, point
+// reads, range scans and updates for an arbitrary Real-Time LSM-Tree design,
+// with the pure row / pure column designs as special cases. Costs are in
+// block fetches (reads) or amortized block writes per entry (amplification),
+// matching the instrumentation counters in util/stats.h.
+
+#ifndef LASER_COST_COST_MODEL_H_
+#define LASER_COST_COST_MODEL_H_
+
+#include "laser/cg_config.h"
+#include "laser/schema.h"
+
+namespace laser {
+
+/// Structural parameters of the tree (Table 1).
+struct LsmShape {
+  int num_levels = 8;            ///< L + 1 in the paper's terms: levels 0..L
+  int size_ratio = 2;            ///< T
+  double entries_per_block = 40; ///< B (row-format entries per block)
+  double blocks_level0 = 1000;   ///< pg
+  int num_columns = 30;          ///< c
+};
+
+/// Equation 1: number of levels needed for N entries.
+int ComputeNumLevels(double num_entries, double entries_per_block,
+                     double blocks_level0, int size_ratio);
+
+class CostModel {
+ public:
+  /// `config` must outlive the model and have shape.num_levels levels.
+  CostModel(const LsmShape& shape, const CgConfig* config);
+
+  // -- Equation 3 --
+
+  /// B_ji: entries per block for group `group` at `level`.
+  double EntriesPerBlock(int level, int group) const;
+
+  // -- Equation 5 helpers --
+
+  /// E^g_i: number of CGs at `level` needed to cover `projection`.
+  double Eg(int level, const ColumnSet& projection) const;
+
+  /// E^G_i: sum over required CGs of (1 + cg_size) at `level`.
+  double EG(int level, const ColumnSet& projection) const;
+
+  // -- Operation costs --
+
+  /// Equation 4 (W): amortized block writes per inserted entry.
+  double InsertCost() const;
+
+  /// Equation 5 (P): block fetches for an existing-key lookup of `projection`
+  /// (worst case: summed over all levels).
+  double PointReadCost(const ColumnSet& projection) const;
+
+  /// Equation 6 (Q): block fetches for a range scan selecting `selectivity`
+  /// entries (across all levels) of `projection`.
+  double RangeScanCost(double selectivity, const ColumnSet& projection) const;
+
+  /// Equation 7 (U): amortized block writes per update of `updated` columns.
+  double UpdateCost(const ColumnSet& updated) const;
+
+  /// Worst-case space amplification (§5): O(1/T).
+  double SpaceAmplification() const { return 1.0 / shape_.size_ratio; }
+
+  /// Per-level share of a range query's selectivity (s_i / s): capacity of
+  /// the level divided by total capacity.
+  double LevelSelectivityShare(int level) const;
+
+  const LsmShape& shape() const { return shape_; }
+
+ private:
+  LsmShape shape_;
+  const CgConfig* config_;
+  double total_capacity_;  // sum over levels of T^i
+};
+
+}  // namespace laser
+
+#endif  // LASER_COST_COST_MODEL_H_

@@ -1,0 +1,212 @@
+#include "cost/design_advisor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace laser {
+
+namespace {
+
+/// E^g for a candidate partition: groups overlapping the projection.
+int EgOf(const std::vector<ColumnSet>& groups, const ColumnSet& projection) {
+  int count = 0;
+  for (const ColumnSet& g : groups) {
+    if (ColumnSetsIntersect(g, projection)) ++count;
+  }
+  return count;
+}
+
+/// E^G for a candidate partition: sum of (1 + cg_size) over required groups.
+double EGOf(const std::vector<ColumnSet>& groups, const ColumnSet& projection) {
+  double total = 0;
+  for (const ColumnSet& g : groups) {
+    if (ColumnSetsIntersect(g, projection)) {
+      total += 1.0 + static_cast<double>(g.size());
+    }
+  }
+  return total;
+}
+
+ColumnSet UnionOf(const ColumnSet& a, const ColumnSet& b) {
+  ColumnSet out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+DesignAdvisor::DesignAdvisor(const Schema* schema, const LsmShape& shape,
+                             AdvisorOptions options)
+    : schema_(schema), shape_(shape), options_(options) {
+  double total = 0;
+  for (int level = 0; level < shape_.num_levels; ++level) {
+    total += std::pow(shape_.size_ratio, level);
+  }
+  for (int level = 0; level < shape_.num_levels; ++level) {
+    level_share_.push_back(std::pow(shape_.size_ratio, level) / total);
+  }
+}
+
+double DesignAdvisor::LevelCost(int level, const std::vector<ColumnSet>& groups,
+                                const WorkloadTrace& trace) const {
+  const double t = shape_.size_ratio;
+  const double b = shape_.entries_per_block;
+  const double c = shape_.num_columns;
+
+  // Insert term: w * T * g_i / (B * c).
+  double cost = static_cast<double>(trace.inserts()) * t *
+                static_cast<double>(groups.size()) / (b * c);
+
+  // Point reads served at this level: sum of E^g.
+  for (const auto& [projection, by_level] : trace.point_reads()) {
+    if (level < static_cast<int>(by_level.size()) && by_level[level] > 0) {
+      cost += static_cast<double>(by_level[level]) * EgOf(groups, projection);
+    }
+  }
+
+  // Range scans: every scan touches this level with s_i entries.
+  for (const auto& [projection, stats] : trace.range_scans()) {
+    if (stats.count == 0) continue;
+    const double s_i = stats.total_selected * level_share_[level];
+    cost += s_i * EGOf(groups, projection) / (c * b);
+  }
+
+  // Updates: flow through every level.
+  for (const auto& [columns, count] : trace.updates()) {
+    cost += static_cast<double>(count) * t * EGOf(groups, columns) / (c * b);
+  }
+  return cost;
+}
+
+std::vector<ColumnSet> DesignAdvisor::ComputeAtoms(
+    const ColumnSet& parent, const WorkloadTrace& trace) const {
+  std::vector<ColumnSet> atoms{parent};
+  for (const ColumnSet& projection : trace.CoAccessSets()) {
+    std::vector<ColumnSet> next;
+    for (const ColumnSet& atom : atoms) {
+      ColumnSet inside = ColumnSetIntersection(atom, projection);
+      if (inside.empty() || inside.size() == atom.size()) {
+        next.push_back(atom);
+        continue;
+      }
+      ColumnSet outside;
+      std::set_difference(atom.begin(), atom.end(), inside.begin(), inside.end(),
+                          std::back_inserter(outside));
+      next.push_back(std::move(inside));
+      next.push_back(std::move(outside));
+    }
+    atoms = std::move(next);
+  }
+  // Keep atoms ordered by first column for deterministic output.
+  std::sort(atoms.begin(), atoms.end());
+  return atoms;
+}
+
+std::vector<ColumnSet> DesignAdvisor::OptimizeParent(
+    int level, const ColumnSet& parent, const WorkloadTrace& trace) const {
+  std::vector<ColumnSet> atoms = ComputeAtoms(parent, trace);
+  if (atoms.size() == 1) return atoms;
+
+  if (static_cast<int>(atoms.size()) <= options_.max_exact_atoms) {
+    // Exact: enumerate all set partitions of the atoms (restricted growth
+    // strings), evaluating Eq. 9 for each.
+    const size_t n = atoms.size();
+    std::vector<ColumnSet> best;
+    double best_cost = std::numeric_limits<double>::infinity();
+
+    // Recursive enumeration: atom i may join groups 0..max_used+1.
+    auto evaluate = [&](const std::vector<int>& assign, int num_groups) {
+      std::vector<ColumnSet> groups(num_groups);
+      for (size_t i = 0; i < n; ++i) {
+        groups[assign[i]] = UnionOf(groups[assign[i]], atoms[i]);
+      }
+      const double cost = LevelCost(level, groups, trace);
+      if (cost < best_cost) {
+        best_cost = cost;
+        std::sort(groups.begin(), groups.end());
+        best = std::move(groups);
+      }
+    };
+
+    // Iterative restricted-growth-string enumeration.
+    std::vector<int> rgs(n, 0);
+    while (true) {
+      int max_used = 0;
+      for (size_t i = 0; i < n; ++i) max_used = std::max(max_used, rgs[i]);
+      evaluate(rgs, max_used + 1);
+      // Advance to the next restricted growth string.
+      int i = static_cast<int>(n) - 1;
+      for (; i > 0; --i) {
+        int prefix_max = 0;
+        for (int j = 0; j < i; ++j) prefix_max = std::max(prefix_max, rgs[j]);
+        if (rgs[i] <= prefix_max) {
+          ++rgs[i];
+          for (size_t j = i + 1; j < n; ++j) rgs[j] = 0;
+          break;
+        }
+        rgs[i] = 0;
+      }
+      if (i == 0) break;
+    }
+    return best;
+  }
+
+  // Greedy agglomerative fallback: merge the pair that lowers cost most.
+  std::vector<ColumnSet> groups = atoms;
+  double current = LevelCost(level, groups, trace);
+  while (groups.size() > 1) {
+    double best_cost = current;
+    int best_a = -1;
+    int best_b = -1;
+    for (size_t a = 0; a < groups.size(); ++a) {
+      for (size_t b = a + 1; b < groups.size(); ++b) {
+        std::vector<ColumnSet> candidate;
+        candidate.reserve(groups.size() - 1);
+        for (size_t k = 0; k < groups.size(); ++k) {
+          if (k != a && k != b) candidate.push_back(groups[k]);
+        }
+        candidate.push_back(UnionOf(groups[a], groups[b]));
+        const double cost = LevelCost(level, candidate, trace);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_a = static_cast<int>(a);
+          best_b = static_cast<int>(b);
+        }
+      }
+    }
+    if (best_a < 0) break;  // no improving merge
+    ColumnSet merged = UnionOf(groups[best_a], groups[best_b]);
+    groups.erase(groups.begin() + best_b);
+    groups.erase(groups.begin() + best_a);
+    groups.push_back(std::move(merged));
+    current = best_cost;
+  }
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+CgConfig DesignAdvisor::SelectDesign(const WorkloadTrace& trace) const {
+  std::vector<std::vector<ColumnSet>> levels;
+  levels.reserve(shape_.num_levels);
+  const ColumnSet all = MakeColumnRange(1, schema_->num_columns());
+  levels.push_back({all});  // level 0 stays row-oriented (§6.2)
+
+  for (int level = 1; level < shape_.num_levels; ++level) {
+    std::vector<ColumnSet> level_groups;
+    // Containment: optimize each parent CG of level-1 independently (§6.3).
+    for (const ColumnSet& parent : levels[level - 1]) {
+      std::vector<ColumnSet> sub = OptimizeParent(level, parent, trace);
+      level_groups.insert(level_groups.end(), sub.begin(), sub.end());
+    }
+    std::sort(level_groups.begin(), level_groups.end());
+    levels.push_back(std::move(level_groups));
+  }
+
+  CgConfig config(std::move(levels));
+  assert(config.Validate(schema_->num_columns()).ok());
+  return config;
+}
+
+}  // namespace laser

@@ -1,0 +1,61 @@
+// Design advisor (§6): selects a per-level CG partition minimizing the Eq. 9
+// workload cost, level by level, under the CG containment constraint. The
+// three-step Hyrise-style procedure of §6.3:
+//   1. split the parent's columns into atoms co-accessed by the level's
+//      projections;
+//   2/3. enumerate partitions of the atoms (exact for small atom counts,
+//      greedy agglomerative merging beyond) and keep the least-cost one.
+// Containment is obtained by solving one sub-problem per parent CG.
+
+#ifndef LASER_COST_DESIGN_ADVISOR_H_
+#define LASER_COST_DESIGN_ADVISOR_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/trace.h"
+#include "laser/cg_config.h"
+
+namespace laser {
+
+struct AdvisorOptions {
+  /// Maximum atom count for exact partition enumeration (Bell(9) = 21147
+  /// candidates); larger inputs fall back to greedy merging.
+  int max_exact_atoms = 9;
+};
+
+class DesignAdvisor {
+ public:
+  /// `schema` must outlive the advisor.
+  DesignAdvisor(const Schema* schema, const LsmShape& shape,
+                AdvisorOptions options = AdvisorOptions());
+
+  /// Computes the optimal design for the trace. Level 0 is always row
+  /// format; the result has shape.num_levels levels and passes
+  /// CgConfig::Validate.
+  CgConfig SelectDesign(const WorkloadTrace& trace) const;
+
+  /// Eq. 9: cost of using partition `groups` at `level` for the trace,
+  /// counting only columns covered by the partition.
+  double LevelCost(int level, const std::vector<ColumnSet>& groups,
+                   const WorkloadTrace& trace) const;
+
+ private:
+  /// Splits `parent` into the smallest subsets such that every relevant
+  /// projection either contains or is disjoint from each subset (step 1).
+  std::vector<ColumnSet> ComputeAtoms(const ColumnSet& parent,
+                                      const WorkloadTrace& trace) const;
+
+  /// Finds the least-cost partition of `parent` at `level` (steps 2-3).
+  std::vector<ColumnSet> OptimizeParent(int level, const ColumnSet& parent,
+                                        const WorkloadTrace& trace) const;
+
+  const Schema* schema_;
+  LsmShape shape_;
+  AdvisorOptions options_;
+  std::vector<double> level_share_;  // selectivity share per level
+};
+
+}  // namespace laser
+
+#endif  // LASER_COST_DESIGN_ADVISOR_H_

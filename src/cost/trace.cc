@@ -1,0 +1,88 @@
+#include "cost/trace.h"
+
+#include <algorithm>
+#include <set>
+
+namespace laser {
+
+WorkloadTrace::WorkloadTrace(int num_levels) : num_levels_(num_levels) {}
+
+void WorkloadTrace::AddInsert(uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inserts_ += count;
+}
+
+void WorkloadTrace::AddPointRead(const ColumnSet& projection, int level,
+                                 uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& histogram = point_reads_[projection];
+  if (histogram.empty()) histogram.resize(num_levels_, 0);
+  if (level < 0) level = 0;
+  if (level >= num_levels_) level = num_levels_ - 1;
+  histogram[level] += count;
+}
+
+void WorkloadTrace::AddRangeScan(const ColumnSet& projection,
+                                 double selected_entries, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& stats = range_scans_[projection];
+  stats.count += count;
+  stats.total_selected += selected_entries * static_cast<double>(count);
+}
+
+void WorkloadTrace::AddUpdate(const ColumnSet& columns, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_[columns] += count;
+}
+
+uint64_t WorkloadTrace::inserts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inserts_;
+}
+
+std::map<ColumnSet, std::vector<uint64_t>> WorkloadTrace::point_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return point_reads_;
+}
+
+std::map<ColumnSet, WorkloadTrace::ScanStats> WorkloadTrace::range_scans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return range_scans_;
+}
+
+std::map<ColumnSet, uint64_t> WorkloadTrace::updates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return updates_;
+}
+
+std::vector<ColumnSet> WorkloadTrace::CoAccessSets() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<ColumnSet> sets;
+  for (const auto& [proj, unused] : point_reads_) sets.insert(proj);
+  for (const auto& [proj, unused] : range_scans_) sets.insert(proj);
+  return std::vector<ColumnSet>(sets.begin(), sets.end());
+}
+
+std::string WorkloadTrace::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "inserts=" + std::to_string(inserts_) + "\n";
+  for (const auto& [proj, by_level] : point_reads_) {
+    out += "read <" + ColumnSetToString(proj) + ">:";
+    for (uint64_t n : by_level) out += " " + std::to_string(n);
+    out += "\n";
+  }
+  for (const auto& [proj, stats] : range_scans_) {
+    out += "scan <" + ColumnSetToString(proj) +
+           ">: count=" + std::to_string(stats.count) +
+           " avg_sel=" + std::to_string(stats.count
+                                            ? stats.total_selected / stats.count
+                                            : 0) +
+           "\n";
+  }
+  for (const auto& [cols, n] : updates_) {
+    out += "update <" + ColumnSetToString(cols) + ">: " + std::to_string(n) + "\n";
+  }
+  return out;
+}
+
+}  // namespace laser

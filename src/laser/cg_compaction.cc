@@ -1,0 +1,412 @@
+#include "laser/cg_compaction.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "lsm/merging_iterator.h"
+#include "lsm/run_iterator.h"
+#include "sst/sst_builder.h"
+#include "util/coding.h"
+
+namespace laser {
+
+// ---------------------------------------------------------------------------
+// VersionMerger
+// ---------------------------------------------------------------------------
+
+VersionMerger::VersionMerger(const RowCodec* codec, ColumnSet cg,
+                             std::vector<SequenceNumber> snapshots,
+                             bool bottom_level)
+    : codec_(codec),
+      cg_(std::move(cg)),
+      snapshots_(std::move(snapshots)),
+      bottom_level_(bottom_level) {
+  assert(std::is_sorted(snapshots_.rbegin(), snapshots_.rend()));
+}
+
+size_t VersionMerger::StripeOf(SequenceNumber seq) const {
+  // snapshots_ descending: stripe k holds seqs in (snapshots_[k], inf) for
+  // k == 0 conceptually reversed — we count how many snapshots are >= seq.
+  size_t stripe = 0;
+  for (SequenceNumber snap : snapshots_) {
+    if (seq <= snap) {
+      ++stripe;
+    } else {
+      break;
+    }
+  }
+  return stripe;
+}
+
+std::vector<MergedEntry> VersionMerger::Merge(
+    const std::vector<MergedEntry>& versions) const {
+  std::vector<MergedEntry> out;
+  if (versions.empty()) return out;
+
+  bool have_acc = false;
+  MergedEntry acc;
+  size_t acc_stripe = 0;
+
+  auto emit = [&] {
+    if (have_acc) {
+      out.push_back(acc);
+      have_acc = false;
+    }
+  };
+
+  for (const MergedEntry& v : versions) {
+    assert(!have_acc || v.sequence < acc.sequence);
+    const size_t stripe = StripeOf(v.sequence);
+    if (have_acc && stripe != acc_stripe) {
+      // A snapshot boundary: versions on the older side must stay visible.
+      emit();
+    }
+    if (!have_acc) {
+      acc = v;
+      acc_stripe = stripe;
+      have_acc = true;
+      continue;
+    }
+    // Fold v (older) under acc (newer), same stripe.
+    switch (acc.type) {
+      case kTypeDeletion:
+      case kTypeFullRow:
+        break;  // v is invisible
+      case kTypePartialRow:
+        switch (v.type) {
+          case kTypeDeletion:
+            // Partial over tombstone: not representable as one entry (the
+            // tombstone must still mask deeper values), so emit both.
+            emit();
+            acc = v;
+            acc_stripe = stripe;
+            have_acc = true;
+            break;
+          case kTypeFullRow:
+          case kTypePartialRow: {
+            std::string merged =
+                codec_->Merge(cg_, Slice(acc.value), Slice(v.value));
+            acc.value = std::move(merged);
+            if (codec_->IsComplete(cg_, Slice(acc.value))) {
+              acc.type = kTypeFullRow;
+            }
+            break;
+          }
+        }
+        break;
+    }
+  }
+  emit();
+
+  // Bottom level: the oldest emitted entry, if a tombstone, masks nothing —
+  // there is no deeper data in this chain — so it is always droppable (a
+  // snapshot reader finds nothing either way).
+  if (bottom_level_ && !out.empty() && out.back().type == kTypeDeletion) {
+    out.pop_back();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ProjectingIterator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class ProjectingIterator final : public Iterator {
+ public:
+  ProjectingIterator(std::unique_ptr<Iterator> base, const RowCodec* codec,
+                     ColumnSet parent, ColumnSet child)
+      : base_(std::move(base)),
+        codec_(codec),
+        parent_(std::move(parent)),
+        child_(std::move(child)),
+        identity_(parent_ == child_) {}
+
+  bool Valid() const override { return base_->Valid(); }
+
+  void SeekToFirst() override {
+    base_->SeekToFirst();
+    SkipEmpty();
+  }
+  void Seek(const Slice& target) override {
+    base_->Seek(target);
+    SkipEmpty();
+  }
+  void Next() override {
+    base_->Next();
+    SkipEmpty();
+  }
+
+  Slice key() const override { return base_->key(); }
+
+  Slice value() const override {
+    if (identity_ || ExtractValueType(base_->key()) == kTypeDeletion) {
+      return base_->value();
+    }
+    projected_ = codec_->Project(parent_, child_, base_->value());
+    return Slice(projected_);
+  }
+
+  Status status() const override { return base_->status(); }
+
+ private:
+  /// Skips partial rows that carry none of the child's columns.
+  void SkipEmpty() {
+    if (identity_) return;
+    while (base_->Valid()) {
+      const ValueType type = ExtractValueType(base_->key());
+      if (type != kTypePartialRow) return;
+      projected_ = codec_->Project(parent_, child_, base_->value());
+      if (codec_->PresentCount(child_, Slice(projected_)) > 0) return;
+      base_->Next();
+    }
+  }
+
+  std::unique_ptr<Iterator> base_;
+  const RowCodec* codec_;
+  const ColumnSet parent_;
+  const ColumnSet child_;
+  const bool identity_;
+  mutable std::string projected_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewProjectingIterator(std::unique_ptr<Iterator> base,
+                                                const RowCodec* codec,
+                                                ColumnSet parent,
+                                                ColumnSet child) {
+  return std::make_unique<ProjectingIterator>(std::move(base), codec,
+                                              std::move(parent), std::move(child));
+}
+
+// ---------------------------------------------------------------------------
+// Output writing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Writes a stream of internal entries into target-sized SSTs, cutting only
+/// at user-key boundaries so one key's versions never straddle files.
+class OutputWriter {
+ public:
+  explicit OutputWriter(const JobContext& ctx) : ctx_(ctx) {}
+
+  Status Add(const Slice& internal_key, const Slice& value) {
+    const Slice user_key = ExtractUserKey(internal_key);
+    if (builder_ != nullptr &&
+        builder_->FileSize() + pending_bytes_ >= ctx_.options->target_sst_size &&
+        user_key != Slice(last_user_key_)) {
+      LASER_RETURN_IF_ERROR(FinishCurrent());
+    }
+    if (builder_ == nullptr) {
+      LASER_RETURN_IF_ERROR(StartNew());
+    }
+    builder_->Add(internal_key, value);
+    pending_bytes_ += internal_key.size() + value.size();
+    last_user_key_.assign(user_key.data(), user_key.size());
+    return Status::OK();
+  }
+
+  Status Finish(Version::FileList* files, uint64_t* bytes, uint64_t* entries) {
+    LASER_RETURN_IF_ERROR(FinishCurrent());
+    *files = std::move(files_);
+    *bytes = total_bytes_;
+    *entries = total_entries_;
+    return Status::OK();
+  }
+
+ private:
+  Status StartNew() {
+    current_number_ = ctx_.next_file_number();
+    std::unique_ptr<WritableFile> file;
+    LASER_RETURN_IF_ERROR(ctx_.options->env->NewWritableFile(
+        ctx_.db_path + "/" + SstFileName(current_number_), &file));
+    SstBuildOptions build_options;
+    build_options.block_size = ctx_.options->block_size;
+    build_options.restart_interval = ctx_.options->restart_interval;
+    build_options.compression = ctx_.options->compression;
+    build_options.bloom_bits_per_key = ctx_.options->bloom_bits_per_key;
+    builder_ = std::make_unique<SstBuilder>(build_options, std::move(file));
+    pending_bytes_ = 0;
+    return Status::OK();
+  }
+
+  Status FinishCurrent() {
+    if (builder_ == nullptr) return Status::OK();
+    if (builder_->NumEntries() == 0) {
+      builder_.reset();
+      return Status::OK();
+    }
+    LASER_RETURN_IF_ERROR(builder_->Finish());
+
+    auto meta = std::make_shared<FileMetaData>();
+    meta->file_number = current_number_;
+    meta->file_size = builder_->FileSize();
+    meta->smallest = builder_->smallest_key();
+    meta->largest = builder_->largest_key();
+    meta->props = builder_->properties();
+
+    std::unique_ptr<SstReader> reader;
+    LASER_RETURN_IF_ERROR(SstReader::Open(
+        ctx_.options->env, ctx_.db_path + "/" + SstFileName(current_number_),
+        current_number_, ctx_.cache, ctx_.stats, &reader));
+    meta->reader = std::move(reader);
+
+    total_bytes_ += meta->file_size;
+    total_entries_ += meta->props.num_entries;
+    files_.push_back(std::move(meta));
+    builder_.reset();
+    return Status::OK();
+  }
+
+  const JobContext& ctx_;
+  std::unique_ptr<SstBuilder> builder_;
+  uint64_t current_number_ = 0;
+  uint64_t pending_bytes_ = 0;
+  std::string last_user_key_;
+  Version::FileList files_;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_entries_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compaction and flush execution
+// ---------------------------------------------------------------------------
+
+Status RunCompaction(const JobContext& ctx, const CompactionJob& job,
+                     CompactionResult* result) {
+  const CgConfig& config = ctx.options->cg_config;
+  const ColumnSet& parent_cols = config.groups(job.level)[job.group];
+
+  result->outputs.clear();
+  result->outputs.resize(job.child_groups.size());
+
+  for (size_t ci = 0; ci < job.child_groups.size(); ++ci) {
+    const int child_group = job.child_groups[ci];
+    const ColumnSet& child_cols = config.groups(job.level + 1)[child_group];
+
+    // Parent stream, projected onto the child's columns.
+    std::unique_ptr<Iterator> parent_iter;
+    if (job.level == 0) {
+      // L0 files overlap: merge them all.
+      std::vector<std::unique_ptr<Iterator>> l0_iters;
+      for (const auto& f : job.parent_files) {
+        l0_iters.push_back(f->reader->NewIterator());
+      }
+      parent_iter = NewMergingIterator(std::move(l0_iters));
+    } else {
+      parent_iter = NewRunIterator(job.parent_files);
+    }
+    parent_iter = NewProjectingIterator(std::move(parent_iter), ctx.codec,
+                                        parent_cols, child_cols);
+
+    std::vector<std::unique_ptr<Iterator>> streams;
+    streams.push_back(std::move(parent_iter));
+    streams.push_back(NewRunIterator(job.child_files[ci]));
+    auto merged = NewMergingIterator(std::move(streams));
+
+    VersionMerger merger(ctx.codec, child_cols, ctx.snapshots, job.to_bottom_level);
+    OutputWriter writer(ctx);
+
+    merged->SeekToFirst();
+    std::string current_user_key;
+    std::vector<MergedEntry> versions;
+
+    auto flush_key = [&]() -> Status {
+      if (versions.empty()) return Status::OK();
+      std::vector<MergedEntry> merged_entries = merger.Merge(versions);
+      for (const MergedEntry& e : merged_entries) {
+        const std::string ikey =
+            MakeInternalKey(Slice(current_user_key), e.sequence, e.type);
+        LASER_RETURN_IF_ERROR(writer.Add(Slice(ikey), Slice(e.value)));
+      }
+      versions.clear();
+      return Status::OK();
+    };
+
+    for (; merged->Valid(); merged->Next()) {
+      ParsedInternalKey parsed;
+      if (!ParseInternalKey(merged->key(), &parsed)) {
+        return Status::Corruption("bad internal key during compaction");
+      }
+      if (parsed.user_key != Slice(current_user_key)) {
+        LASER_RETURN_IF_ERROR(flush_key());
+        current_user_key.assign(parsed.user_key.data(), parsed.user_key.size());
+      }
+      MergedEntry e;
+      e.type = parsed.type;
+      e.sequence = parsed.sequence;
+      e.value = merged->value().ToString();
+      versions.push_back(std::move(e));
+    }
+    LASER_RETURN_IF_ERROR(merged->status());
+    LASER_RETURN_IF_ERROR(flush_key());
+
+    uint64_t bytes = 0;
+    uint64_t entries = 0;
+    LASER_RETURN_IF_ERROR(writer.Finish(&result->outputs[ci], &bytes, &entries));
+    result->bytes_written += bytes;
+    result->entries_written += entries;
+  }
+
+  if (ctx.stats != nullptr) {
+    ctx.stats->bytes_compacted.fetch_add(result->bytes_written,
+                                         std::memory_order_relaxed);
+    ctx.stats->compaction_jobs.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status RunFlush(const JobContext& ctx, const MemTable& imm,
+                std::shared_ptr<FileMetaData>* output) {
+  const uint64_t file_number = ctx.next_file_number();
+  std::unique_ptr<WritableFile> file;
+  LASER_RETURN_IF_ERROR(ctx.options->env->NewWritableFile(
+      ctx.db_path + "/" + SstFileName(file_number), &file));
+
+  SstBuildOptions build_options;
+  build_options.block_size = ctx.options->block_size;
+  build_options.restart_interval = ctx.options->restart_interval;
+  build_options.compression = ctx.options->compression;
+  build_options.bloom_bits_per_key = ctx.options->bloom_bits_per_key;
+  SstBuilder builder(build_options, std::move(file));
+
+  auto iter = imm.NewIterator();
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    builder.Add(iter->key(), iter->value());
+  }
+  if (builder.NumEntries() == 0) {
+    // Nothing to flush (possible after WAL replay of an empty tail).
+    *output = nullptr;
+    builder.Finish();
+    ctx.options->env->RemoveFile(ctx.db_path + "/" + SstFileName(file_number));
+    return Status::OK();
+  }
+  LASER_RETURN_IF_ERROR(builder.Finish());
+
+  auto meta = std::make_shared<FileMetaData>();
+  meta->file_number = file_number;
+  meta->file_size = builder.FileSize();
+  meta->smallest = builder.smallest_key();
+  meta->largest = builder.largest_key();
+  meta->props = builder.properties();
+
+  std::unique_ptr<SstReader> reader;
+  LASER_RETURN_IF_ERROR(
+      SstReader::Open(ctx.options->env, ctx.db_path + "/" + SstFileName(file_number),
+                      file_number, ctx.cache, ctx.stats, &reader));
+  meta->reader = std::move(reader);
+
+  if (ctx.stats != nullptr) {
+    ctx.stats->bytes_flushed.fetch_add(meta->file_size, std::memory_order_relaxed);
+    ctx.stats->flush_jobs.fetch_add(1, std::memory_order_relaxed);
+  }
+  *output = std::move(meta);
+  return Status::OK();
+}
+
+}  // namespace laser

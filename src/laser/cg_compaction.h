@@ -1,0 +1,92 @@
+// CG-local compaction (§4.4): merges one overflowing column group of level i
+// into its contained child groups at level i+1, changing the data layout in
+// flight (row → narrower CGs) via projection, and merging row versions
+// newest-wins-per-column (§4.2). Also hosts the flush job (memtable → L0).
+
+#ifndef LASER_LASER_CG_COMPACTION_H_
+#define LASER_LASER_CG_COMPACTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "laser/options.h"
+#include "laser/row_codec.h"
+#include "lsm/compaction_picker.h"
+#include "lsm/version.h"
+#include "memtable/memtable.h"
+#include "util/stats.h"
+
+namespace laser {
+
+/// One internal entry: (type, sequence, encoded row value).
+struct MergedEntry {
+  ValueType type = kTypeFullRow;
+  SequenceNumber sequence = 0;
+  std::string value;
+};
+
+/// Folds the versions of one user key (newest first) within snapshot stripes:
+/// partial rows merge into older rows column-wise, full rows and tombstones
+/// absorb everything older in their stripe, and bottom-level tombstones are
+/// dropped. Exposed separately for property testing.
+class VersionMerger {
+ public:
+  /// `snapshots` must be sorted descending; `bottom_level` enables tombstone
+  /// dropping.
+  VersionMerger(const RowCodec* codec, ColumnSet cg,
+                std::vector<SequenceNumber> snapshots, bool bottom_level);
+
+  /// Returns the entries to emit, newest first.
+  std::vector<MergedEntry> Merge(const std::vector<MergedEntry>& versions) const;
+
+ private:
+  /// Index of the snapshot stripe containing `seq` (0 = newest stripe).
+  size_t StripeOf(SequenceNumber seq) const;
+
+  const RowCodec* codec_;
+  const ColumnSet cg_;
+  const std::vector<SequenceNumber> snapshots_;  // descending
+  const bool bottom_level_;
+};
+
+/// Wraps an internal-key iterator over rows encoded for `parent`, re-encoding
+/// each value for `child` ⊆ parent. Partial rows whose projection is empty
+/// are skipped; tombstones pass through (they must reach every child chain).
+std::unique_ptr<Iterator> NewProjectingIterator(std::unique_ptr<Iterator> base,
+                                                const RowCodec* codec,
+                                                ColumnSet parent, ColumnSet child);
+
+/// Everything a background job needs from the engine.
+struct JobContext {
+  const LaserOptions* options = nullptr;
+  const RowCodec* codec = nullptr;
+  std::string db_path;
+  BlockCache* cache = nullptr;
+  Stats* stats = nullptr;
+  /// Allocates a fresh SST file number.
+  std::function<uint64_t()> next_file_number;
+  /// Alive snapshot sequences, descending.
+  std::vector<SequenceNumber> snapshots;
+};
+
+/// Output of one compaction job.
+struct CompactionResult {
+  /// Parallel to job.child_groups: the new files of each child run segment.
+  std::vector<Version::FileList> outputs;
+  uint64_t bytes_written = 0;
+  uint64_t entries_written = 0;
+};
+
+/// Executes a compaction job (outside the engine mutex).
+Status RunCompaction(const JobContext& ctx, const CompactionJob& job,
+                     CompactionResult* result);
+
+/// Flushes an immutable memtable to a row-format L0 SST.
+Status RunFlush(const JobContext& ctx, const MemTable& imm,
+                std::shared_ptr<FileMetaData>* output);
+
+}  // namespace laser
+
+#endif  // LASER_LASER_CG_COMPACTION_H_

@@ -1,0 +1,179 @@
+#include "laser/column_merging_iterator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace laser {
+
+ContributionIterator::ContributionIterator(std::unique_ptr<Iterator> iter,
+                                           const RowCodec* codec,
+                                           ColumnSet source_columns,
+                                           ColumnSet projection,
+                                           SequenceNumber snapshot)
+    : iter_(std::move(iter)),
+      codec_(codec),
+      source_columns_(std::move(source_columns)),
+      projection_(std::move(projection)),
+      snapshot_(snapshot) {
+  proj_position_of_source_column_.reserve(source_columns_.size());
+  for (int col : source_columns_) {
+    auto it = std::lower_bound(projection_.begin(), projection_.end(), col);
+    if (it != projection_.end() && *it == col) {
+      proj_position_of_source_column_.push_back(
+          static_cast<int>(it - projection_.begin()));
+    } else {
+      proj_position_of_source_column_.push_back(-1);
+    }
+  }
+  states_.resize(projection_.size());
+  values_.resize(projection_.size());
+}
+
+void ContributionIterator::SeekToFirst() {
+  iter_->SeekToFirst();
+  BuildNext();
+}
+
+void ContributionIterator::Seek(const Slice& target_user_key) {
+  iter_->Seek(MakeLookupKey(target_user_key, kMaxSequenceNumber));
+  BuildNext();
+}
+
+void ContributionIterator::Next() {
+  assert(valid_);
+  // The underlying iterator is already positioned past the folded key.
+  BuildNext();
+}
+
+void ContributionIterator::BuildNext() {
+  valid_ = false;
+  while (iter_->Valid()) {
+    // Start of a candidate user key.
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(iter_->key(), &parsed)) {
+      iter_->Next();
+      continue;
+    }
+    current_key_.assign(parsed.user_key.data(), parsed.user_key.size());
+    std::fill(states_.begin(), states_.end(), ColumnState::kAbsent);
+    bool touched = false;
+    bool terminated = false;
+
+    // Fold all versions of this user key, newest first.
+    while (iter_->Valid()) {
+      if (!ParseInternalKey(iter_->key(), &parsed)) break;
+      if (parsed.user_key != Slice(current_key_)) break;
+      if (terminated || parsed.sequence > snapshot_) {
+        iter_->Next();
+        continue;
+      }
+      switch (parsed.type) {
+        case kTypeDeletion:
+          for (size_t i = 0; i < source_columns_.size(); ++i) {
+            const int pos = proj_position_of_source_column_[i];
+            if (pos >= 0 && states_[pos] == ColumnState::kAbsent) {
+              states_[pos] = ColumnState::kTombstone;
+              touched = true;
+            }
+          }
+          terminated = true;
+          break;
+        case kTypeFullRow:
+        case kTypePartialRow: {
+          decode_scratch_.clear();
+          if (codec_->Decode(source_columns_, iter_->value(), &decode_scratch_)
+                  .ok()) {
+            for (const auto& pair : decode_scratch_) {
+              const auto it = std::lower_bound(source_columns_.begin(),
+                                               source_columns_.end(), pair.column);
+              const size_t src_idx = it - source_columns_.begin();
+              const int pos = proj_position_of_source_column_[src_idx];
+              if (pos >= 0 && states_[pos] == ColumnState::kAbsent) {
+                states_[pos] = ColumnState::kValue;
+                values_[pos] = pair.value;
+                touched = true;
+              }
+            }
+          }
+          if (parsed.type == kTypeFullRow) terminated = true;
+          break;
+        }
+      }
+      iter_->Next();
+    }
+
+    if (touched) {
+      valid_ = true;
+      return;
+    }
+    // This key contributed nothing to the projection (e.g. a partial update
+    // of other columns in the group, or every version above the snapshot);
+    // move on to the next user key.
+  }
+}
+
+ColumnMergingIterator::ColumnMergingIterator(
+    std::vector<std::unique_ptr<ContributionSource>> children,
+    size_t projection_size)
+    : children_(std::move(children)) {
+  states_.resize(projection_size);
+  values_.resize(projection_size);
+}
+
+void ColumnMergingIterator::SeekToFirst() {
+  for (auto& child : children_) child->SeekToFirst();
+  Combine();
+}
+
+void ColumnMergingIterator::Seek(const Slice& target_user_key) {
+  for (auto& child : children_) child->Seek(target_user_key);
+  Combine();
+}
+
+void ColumnMergingIterator::Next() {
+  assert(valid_);
+  for (auto& child : children_) {
+    if (child->Valid() && child->user_key() == Slice(current_key_)) {
+      child->Next();
+    }
+  }
+  Combine();
+}
+
+void ColumnMergingIterator::Combine() {
+  valid_ = false;
+  const ContributionSource* smallest = nullptr;
+  for (const auto& child : children_) {
+    if (!child->Valid()) continue;
+    if (smallest == nullptr ||
+        child->user_key().compare(smallest->user_key()) < 0) {
+      smallest = child.get();
+    }
+  }
+  if (smallest == nullptr) return;
+
+  current_key_ = smallest->user_key().ToString();
+  std::fill(states_.begin(), states_.end(), ColumnState::kAbsent);
+  for (const auto& child : children_) {
+    if (!child->Valid() || child->user_key() != Slice(current_key_)) continue;
+    const auto& child_states = child->states();
+    const auto& child_values = child->values();
+    for (size_t pos = 0; pos < child_states.size(); ++pos) {
+      if (child_states[pos] != ColumnState::kAbsent) {
+        // Groups within a level are disjoint: no position is written twice.
+        states_[pos] = child_states[pos];
+        values_[pos] = child_values[pos];
+      }
+    }
+  }
+  valid_ = true;
+}
+
+Status ColumnMergingIterator::status() const {
+  for (const auto& child : children_) {
+    if (!child->status().ok()) return child->status();
+  }
+  return Status::OK();
+}
+
+}  // namespace laser

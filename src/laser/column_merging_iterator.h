@@ -1,0 +1,96 @@
+// ContributionIterator adapts one sorted source of internal-key entries
+// (memtable, L0 file, or a level's CG run) into a ContributionSource;
+// ColumnMergingIterator stitches the contribution sources of one level's
+// overlapping column groups into a single per-level source (§4.3/§4.4:
+// "ColumnMergingIterators combine values from different column groups within
+// the same level").
+
+#ifndef LASER_LASER_COLUMN_MERGING_ITERATOR_H_
+#define LASER_LASER_COLUMN_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "laser/contribution.h"
+#include "laser/row_codec.h"
+#include "lsm/dbformat.h"
+#include "util/iterator.h"
+
+namespace laser {
+
+/// Adapts an internal-key iterator whose values are rows encoded for
+/// `source_columns` into a ContributionSource for projection `projection`.
+/// Versions newer than `snapshot` are skipped; remaining versions of a key
+/// are folded newest-first until a full row or tombstone terminates the key.
+///
+/// REQUIRES: projection ∩ source_columns is non-empty (callers only open
+/// sources for overlapping groups).
+class ContributionIterator final : public ContributionSource {
+ public:
+  ContributionIterator(std::unique_ptr<Iterator> iter, const RowCodec* codec,
+                       ColumnSet source_columns, ColumnSet projection,
+                       SequenceNumber snapshot);
+
+  bool Valid() const override { return valid_; }
+  void SeekToFirst() override;
+  void Seek(const Slice& target_user_key) override;
+  void Next() override;
+
+  Slice user_key() const override { return Slice(current_key_); }
+  const std::vector<ColumnState>& states() const override { return states_; }
+  const std::vector<ColumnValue>& values() const override { return values_; }
+  Status status() const override { return iter_->status(); }
+
+ private:
+  /// Advances over the underlying iterator to build the next contribution
+  /// that touches the projection. Folding starts at the iterator's current
+  /// position.
+  void BuildNext();
+
+  std::unique_ptr<Iterator> iter_;
+  const RowCodec* codec_;
+  const ColumnSet source_columns_;
+  const ColumnSet projection_;
+  // position of each source column in the projection, or -1.
+  std::vector<int> proj_position_of_source_column_;
+  const SequenceNumber snapshot_;
+
+  bool valid_ = false;
+  std::string current_key_;
+  std::vector<ColumnState> states_;
+  std::vector<ColumnValue> values_;
+  std::vector<ColumnValuePair> decode_scratch_;
+};
+
+/// Merges the ContributionSources of one level (disjoint column groups) by
+/// user key; each column position is filled by the unique group covering it.
+class ColumnMergingIterator final : public ContributionSource {
+ public:
+  /// `projection_size` is |Π| (all children use the same positional layout).
+  ColumnMergingIterator(std::vector<std::unique_ptr<ContributionSource>> children,
+                        size_t projection_size);
+
+  bool Valid() const override { return valid_; }
+  void SeekToFirst() override;
+  void Seek(const Slice& target_user_key) override;
+  void Next() override;
+
+  Slice user_key() const override { return Slice(current_key_); }
+  const std::vector<ColumnState>& states() const override { return states_; }
+  const std::vector<ColumnValue>& values() const override { return values_; }
+  Status status() const override;
+
+ private:
+  /// Recomputes the current smallest key and combines matching children.
+  void Combine();
+
+  std::vector<std::unique_ptr<ContributionSource>> children_;
+  bool valid_ = false;
+  std::string current_key_;
+  std::vector<ColumnState> states_;
+  std::vector<ColumnValue> values_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LASER_COLUMN_MERGING_ITERATOR_H_

@@ -1,0 +1,56 @@
+// Contribution model for projection-aware reads (§4.3).
+//
+// A scan over projection Π opens one "contribution source" per physical
+// source of column values: each memtable, each L0 file (row format), and per
+// deeper level the column groups overlapping Π. A source yields, per user
+// key, a tri-state per projected column:
+//   kAbsent    — this source says nothing; look at an older source
+//   kValue     — resolved with a value
+//   kTombstone — resolved as deleted (a tombstone terminates the chain)
+// Column states use fixed positions in Π, so merging across sources is a
+// positional first-non-absent-wins fold, which is exactly the newest-wins
+// semantics of §4.2/§4.3.
+
+#ifndef LASER_LASER_CONTRIBUTION_H_
+#define LASER_LASER_CONTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "laser/schema.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace laser {
+
+enum class ColumnState : uint8_t {
+  kAbsent = 0,
+  kValue = 1,
+  kTombstone = 2,
+};
+
+/// Cursor yielding one combined contribution per user key, ordered by user
+/// key ascending. States/values are parallel to the scan's projection Π.
+class ContributionSource {
+ public:
+  virtual ~ContributionSource() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// Positions at the first user key >= target.
+  virtual void Seek(const Slice& target_user_key) = 0;
+  virtual void Next() = 0;
+
+  /// Current user key. REQUIRES: Valid().
+  virtual Slice user_key() const = 0;
+  /// Per-projected-column state (size |Π|). REQUIRES: Valid().
+  virtual const std::vector<ColumnState>& states() const = 0;
+  /// Values for positions whose state is kValue. REQUIRES: Valid().
+  virtual const std::vector<ColumnValue>& values() const = 0;
+
+  virtual Status status() const = 0;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LASER_CONTRIBUTION_H_

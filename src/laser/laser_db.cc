@@ -1,0 +1,854 @@
+#include "laser/laser_db.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "laser/column_merging_iterator.h"
+#include "lsm/run_iterator.h"
+#include "util/coding.h"
+#include "wal/log_reader.h"
+
+namespace laser {
+
+namespace {
+
+constexpr size_t kMaxImmutableMemtables = 2;
+
+// WAL record: varint64 seq | 1-byte type | 8-byte user key | varint32 len |
+// value bytes.
+std::string EncodeWalRecord(SequenceNumber seq, ValueType type,
+                            const Slice& user_key, const Slice& value) {
+  std::string record;
+  record.reserve(10 + 1 + user_key.size() + 5 + value.size());
+  PutVarint64(&record, seq);
+  record.push_back(static_cast<char>(type));
+  record.append(user_key.data(), user_key.size());
+  PutVarint32(&record, static_cast<uint32_t>(value.size()));
+  record.append(value.data(), value.size());
+  return record;
+}
+
+bool DecodeWalRecord(Slice record, SequenceNumber* seq, ValueType* type,
+                     Slice* user_key, Slice* value) {
+  uint64_t s;
+  if (!GetVarint64(&record, &s)) return false;
+  if (record.size() < 1 + 8) return false;
+  const uint8_t t = static_cast<uint8_t>(record[0]);
+  if (t > kTypePartialRow) return false;
+  record.remove_prefix(1);
+  *user_key = Slice(record.data(), 8);
+  record.remove_prefix(8);
+  uint32_t len;
+  if (!GetVarint32(&record, &len) || record.size() < len) return false;
+  *value = Slice(record.data(), len);
+  *seq = s;
+  *type = static_cast<ValueType>(t);
+  return true;
+}
+
+bool HasSuffix(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / recovery
+// ---------------------------------------------------------------------------
+
+LaserDB::LaserDB(const LaserOptions& options)
+    : options_(options),
+      env_(options_.env),
+      db_path_(options_.path),
+      codec_(&options_.schema),
+      picker_(&options_),
+      manifest_(options_.env, options_.path) {
+  if (options_.block_cache_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+  }
+}
+
+Status LaserDB::Open(const LaserOptions& options, std::unique_ptr<LaserDB>* db) {
+  LaserOptions finalized = options;
+  LASER_RETURN_IF_ERROR(finalized.Finalize());
+
+  auto instance = std::unique_ptr<LaserDB>(new LaserDB(finalized));
+  LASER_RETURN_IF_ERROR(instance->Recover());
+  instance->pool_ =
+      std::make_unique<ThreadPool>(instance->options_.background_threads);
+  {
+    std::unique_lock<std::mutex> lock(instance->mu_);
+    instance->MaybeScheduleBackgroundWork();
+  }
+  *db = std::move(instance);
+  return Status::OK();
+}
+
+Status LaserDB::Recover() {
+  LASER_RETURN_IF_ERROR(env_->CreateDir(db_path_));
+
+  std::vector<int> groups_per_level;
+  for (int level = 0; level < options_.num_levels; ++level) {
+    groups_per_level.push_back(options_.cg_config.num_groups(level));
+  }
+
+  if (manifest_.Exists()) {
+    ManifestData data;
+    LASER_RETURN_IF_ERROR(manifest_.Load(cache_.get(), &stats_, &data));
+    if (data.version->num_levels() != options_.num_levels) {
+      return Status::InvalidArgument("manifest level count != options");
+    }
+    version_ = std::move(data.version);
+    next_file_number_.store(data.next_file_number);
+    last_sequence_.store(data.last_sequence);
+  } else {
+    if (!options_.create_if_missing) {
+      return Status::NotFound("no database at " + db_path_);
+    }
+    version_ = Version::Empty(options_.num_levels, groups_per_level);
+  }
+
+  // Remove SSTs not referenced by the manifest (crash leftovers) and find
+  // WALs to replay.
+  std::set<uint64_t> live;
+  for (int level = 0; level < version_->num_levels(); ++level) {
+    for (int group = 0; group < version_->num_groups(level); ++group) {
+      for (const auto& f : version_->files(level, group)) {
+        live.insert(f->file_number);
+      }
+    }
+  }
+  std::vector<std::string> children;
+  LASER_RETURN_IF_ERROR(env_->GetChildren(db_path_, &children));
+  std::vector<std::string> wals;
+  for (const std::string& name : children) {
+    if (HasSuffix(name, ".sst")) {
+      const uint64_t number = std::strtoull(name.c_str(), nullptr, 10);
+      if (live.count(number) == 0) {
+        env_->RemoveFile(db_path_ + "/" + name);
+      }
+    } else if (HasSuffix(name, ".wal")) {
+      wals.push_back(name);
+    } else if (HasSuffix(name, ".tmp")) {
+      env_->RemoveFile(db_path_ + "/" + name);
+    }
+  }
+  std::sort(wals.begin(), wals.end());
+
+  mem_ = new MemTable();
+  mem_->Ref();
+
+  for (const std::string& wal : wals) {
+    LASER_RETURN_IF_ERROR(ReplayWal(db_path_ + "/" + wal));
+  }
+
+  if (mem_->num_entries() > 0) {
+    // Make replayed data durable as an L0 file, then discard the WALs.
+    JobContext ctx = MakeJobContext();
+    std::shared_ptr<FileMetaData> meta;
+    LASER_RETURN_IF_ERROR(RunFlush(ctx, *mem_, &meta));
+    if (meta != nullptr) {
+      version_->AddLevel0File(std::move(meta));
+    }
+    mem_->Unref();
+    mem_ = new MemTable();
+    mem_->Ref();
+  }
+
+  LASER_RETURN_IF_ERROR(NewWal());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    LASER_RETURN_IF_ERROR(SaveManifest());
+  }
+  for (const std::string& wal : wals) {
+    env_->RemoveFile(db_path_ + "/" + wal);
+  }
+  return Status::OK();
+}
+
+Status LaserDB::ReplayWal(const std::string& fname) {
+  std::unique_ptr<SequentialFile> file;
+  Status s = env_->NewSequentialFile(fname, &file);
+  if (s.IsNotFound()) return Status::OK();
+  LASER_RETURN_IF_ERROR(s);
+
+  wal::LogReader reader(std::move(file));
+  Slice record;
+  std::string scratch;
+  while (reader.ReadRecord(&record, &scratch)) {
+    SequenceNumber seq;
+    ValueType type;
+    Slice user_key, value;
+    if (!DecodeWalRecord(record, &seq, &type, &user_key, &value)) {
+      return Status::Corruption("bad WAL record in " + fname);
+    }
+    mem_->Add(seq, type, user_key, value);
+    if (seq > last_sequence_.load()) last_sequence_.store(seq);
+  }
+  // A torn tail is expected after a crash; anything before it was replayed.
+  return Status::OK();
+}
+
+Status LaserDB::NewWal() {
+  if (!options_.use_wal) return Status::OK();
+  wal_number_ = next_file_number_.fetch_add(1);
+  std::unique_ptr<WritableFile> file;
+  LASER_RETURN_IF_ERROR(
+      env_->NewWritableFile(db_path_ + "/" + WalFileName(wal_number_), &file));
+  wal_ = std::make_unique<wal::LogWriter>(std::move(file));
+  return Status::OK();
+}
+
+LaserDB::~LaserDB() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    cv_.wait(lock, [this] { return running_jobs_ == 0; });
+  }
+  pool_.reset();  // joins workers
+  if (wal_ != nullptr) wal_->Close();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    CollectObsoleteFiles();
+  }
+  if (mem_ != nullptr) mem_->Unref();
+  for (MemTable* imm : imm_) imm->Unref();
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+void LaserDB::SetTraceCollector(WorkloadTrace* trace) {
+  trace_.store(trace, std::memory_order_release);
+}
+
+Status LaserDB::Insert(uint64_t key, const std::vector<ColumnValue>& row) {
+  if (static_cast<int>(row.size()) != options_.schema.num_columns()) {
+    return Status::InvalidArgument("row arity != schema");
+  }
+  const std::string value =
+      codec_.Encode(options_.schema.AllColumns(), MakeFullRow(row));
+  Status s = WriteInternal(kTypeFullRow, key, Slice(value));
+  if (s.ok()) {
+    if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
+      trace->AddInsert();
+    }
+  }
+  return s;
+}
+
+Status LaserDB::Update(uint64_t key, const std::vector<ColumnValuePair>& values) {
+  if (values.empty()) return Status::InvalidArgument("empty update");
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].column < 1 ||
+        values[i].column > options_.schema.num_columns()) {
+      return Status::InvalidArgument("update column out of range");
+    }
+    if (i > 0 && values[i].column <= values[i - 1].column) {
+      return Status::InvalidArgument("update columns must be sorted and unique");
+    }
+  }
+  const std::string value = codec_.Encode(options_.schema.AllColumns(), values);
+  Status s = WriteInternal(kTypePartialRow, key, Slice(value));
+  if (s.ok()) {
+    if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
+      ColumnSet columns;
+      columns.reserve(values.size());
+      for (const auto& pair : values) columns.push_back(pair.column);
+      trace->AddUpdate(columns);
+    }
+  }
+  return s;
+}
+
+Status LaserDB::Delete(uint64_t key) {
+  return WriteInternal(kTypeDeletion, key, Slice());
+}
+
+Status LaserDB::WriteInternal(ValueType type, uint64_t key,
+                              const Slice& encoded_value) {
+  const std::string user_key = EncodeKey64(key);
+  std::unique_lock<std::mutex> lock(mu_);
+  LASER_RETURN_IF_ERROR(MakeRoomForWrite(&lock));
+  const SequenceNumber seq = last_sequence_.load(std::memory_order_relaxed) + 1;
+
+  if (wal_ != nullptr) {
+    const std::string record =
+        EncodeWalRecord(seq, type, Slice(user_key), encoded_value);
+    LASER_RETURN_IF_ERROR(wal_->AddRecord(Slice(record)));
+    if (options_.sync_wal) LASER_RETURN_IF_ERROR(wal_->Sync());
+    stats_.bytes_written_wal.fetch_add(record.size(), std::memory_order_relaxed);
+  }
+
+  mem_->Add(seq, type, Slice(user_key), encoded_value);
+  last_sequence_.store(seq, std::memory_order_release);
+  return Status::OK();
+}
+
+Status LaserDB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
+  while (true) {
+    if (!bg_error_.ok()) return bg_error_;
+    if (mem_->ApproximateMemoryUsage() < options_.write_buffer_size) {
+      return Status::OK();
+    }
+    const size_t l0_files = version_->files(0, 0).size();
+    if (imm_.size() >= kMaxImmutableMemtables ||
+        l0_files >= static_cast<size_t>(options_.level0_stop_writes_trigger)) {
+      // Backpressure: compaction/flush must catch up (§7.2's write stalls).
+      const uint64_t start = env_->NowMicros();
+      MaybeScheduleBackgroundWork();
+      cv_.wait(*lock);
+      stats_.write_stall_micros.fetch_add(env_->NowMicros() - start,
+                                          std::memory_order_relaxed);
+      continue;
+    }
+    // Rotate the memtable.
+    imm_.push_back(mem_);
+    imm_wal_numbers_.push_back(wal_number_);
+    mem_ = new MemTable();
+    mem_->Ref();
+    if (wal_ != nullptr) {
+      wal_->Close();
+      LASER_RETURN_IF_ERROR(NewWal());
+    }
+    MaybeScheduleBackgroundWork();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Background work
+// ---------------------------------------------------------------------------
+
+JobContext LaserDB::MakeJobContext() {
+  JobContext ctx;
+  ctx.options = &options_;
+  ctx.codec = &codec_;
+  ctx.db_path = db_path_;
+  ctx.cache = cache_.get();
+  ctx.stats = &stats_;
+  ctx.next_file_number = [this] { return next_file_number_.fetch_add(1); };
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ctx.snapshots.assign(snapshots_.rbegin(), snapshots_.rend());
+  }
+  return ctx;
+}
+
+void LaserDB::MaybeScheduleBackgroundWork() {
+  if (shutting_down_ || !bg_error_.ok()) return;
+  if (!imm_.empty() && !flush_scheduled_) {
+    flush_scheduled_ = true;
+    ++running_jobs_;
+    pool_->Submit([this] { BackgroundFlush(); });
+  }
+  if (!options_.disable_auto_compactions) {
+    ScheduleCompactions();
+  }
+}
+
+void LaserDB::ScheduleCompactions() {
+  while (running_jobs_ < options_.background_threads) {
+    auto job = picker_.Pick(*version_, busy_);
+    if (!job.has_value()) break;
+    for (const auto& claim : job->Claims()) busy_.insert(claim);
+    ++running_jobs_;
+    pool_->Submit([this, j = std::move(*job)]() mutable {
+      BackgroundCompact(std::move(j));
+    });
+  }
+}
+
+void LaserDB::BackgroundFlush() {
+  MemTable* imm = nullptr;
+  uint64_t wal_number = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (imm_.empty() || shutting_down_) {
+      flush_scheduled_ = false;
+      --running_jobs_;
+      cv_.notify_all();
+      return;
+    }
+    imm = imm_.front();
+    wal_number = imm_wal_numbers_.front();
+  }
+
+  JobContext ctx = MakeJobContext();
+  std::shared_ptr<FileMetaData> meta;
+  Status s = RunFlush(ctx, *imm, &meta);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (s.ok()) {
+      auto next = version_->Clone();
+      if (meta != nullptr) next->AddLevel0File(std::move(meta));
+      version_ = std::move(next);
+      s = SaveManifest();
+    }
+    if (s.ok()) {
+      imm_.erase(imm_.begin());
+      imm_wal_numbers_.erase(imm_wal_numbers_.begin());
+      imm->Unref();
+      if (options_.use_wal) {
+        env_->RemoveFile(db_path_ + "/" + WalFileName(wal_number));
+      }
+    } else {
+      bg_error_ = s;
+    }
+    flush_scheduled_ = false;
+    --running_jobs_;
+    MaybeScheduleBackgroundWork();
+    cv_.notify_all();
+  }
+}
+
+void LaserDB::BackgroundCompact(CompactionJob job) {
+  JobContext ctx = MakeJobContext();
+  CompactionResult result;
+  Status s = RunCompaction(ctx, job, &result);
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (s.ok()) {
+      auto next = version_->Clone();
+      next->ReplaceFiles(job.level, job.group, job.parent_files, {});
+      for (size_t ci = 0; ci < job.child_groups.size(); ++ci) {
+        next->ReplaceFiles(job.level + 1, job.child_groups[ci],
+                           job.child_files[ci], result.outputs[ci]);
+      }
+      version_ = std::move(next);
+      s = SaveManifest();
+    }
+    if (s.ok()) {
+      for (const auto& f : job.parent_files) obsolete_.push_back(f);
+      for (const auto& child_run : job.child_files) {
+        for (const auto& f : child_run) obsolete_.push_back(f);
+      }
+      // Release this job's references before sweeping, so the obsolete list
+      // holds the last reference and the files can be unlinked now.
+      job.parent_files.clear();
+      job.child_files.clear();
+      CollectObsoleteFiles();
+    } else {
+      bg_error_ = s;
+      // The output files are orphans; remove what we can.
+      for (const auto& run : result.outputs) {
+        for (const auto& f : run) {
+          env_->RemoveFile(db_path_ + "/" + SstFileName(f->file_number));
+        }
+      }
+    }
+    for (const auto& claim : job.Claims()) busy_.erase(claim);
+    --running_jobs_;
+    MaybeScheduleBackgroundWork();
+    cv_.notify_all();
+  }
+}
+
+void LaserDB::CollectObsoleteFiles() {
+  for (auto it = obsolete_.begin(); it != obsolete_.end();) {
+    if (it->use_count() == 1) {
+      const uint64_t number = (*it)->file_number;
+      (*it)->reader.reset();  // close before unlink (portability)
+      env_->RemoveFile(db_path_ + "/" + SstFileName(number));
+      if (cache_ != nullptr) cache_->EraseFile(number);
+      it = obsolete_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status LaserDB::SaveManifest() {
+  ManifestData data;
+  data.version = version_;
+  data.next_file_number = next_file_number_.load();
+  data.last_sequence = last_sequence_.load();
+  data.wal_number = wal_number_;
+  return manifest_.Save(data);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+Status LaserDB::Flush() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (mem_->num_entries() > 0) {
+      imm_.push_back(mem_);
+      imm_wal_numbers_.push_back(wal_number_);
+      mem_ = new MemTable();
+      mem_->Ref();
+      if (wal_ != nullptr) {
+        wal_->Close();
+        LASER_RETURN_IF_ERROR(NewWal());
+      }
+    }
+    MaybeScheduleBackgroundWork();
+    cv_.wait(lock, [this] { return imm_.empty() || !bg_error_.ok(); });
+    return bg_error_;
+  }
+}
+
+Status LaserDB::CompactUntilStable() {
+  LASER_RETURN_IF_ERROR(Flush());
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!bg_error_.ok()) return bg_error_;
+    // Schedule work even when auto compactions are disabled.
+    ScheduleCompactions();
+    if (running_jobs_ == 0 && imm_.empty() &&
+        !picker_.NeedsCompaction(*version_)) {
+      CollectObsoleteFiles();
+      return Status::OK();
+    }
+    cv_.wait(lock);
+  }
+}
+
+void LaserDB::WaitForBackgroundWork() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return (running_jobs_ == 0 && imm_.empty()) || !bg_error_.ok();
+  });
+  CollectObsoleteFiles();
+}
+
+SequenceNumber LaserDB::LastSequence() const {
+  return last_sequence_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const Version> LaserDB::current_version() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return version_;
+}
+
+std::string LaserDB::DebugString() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return version_->DebugString();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<LaserSnapshot> LaserDB::GetSnapshot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const SequenceNumber seq = last_sequence_.load();
+  snapshots_.insert(seq);
+  return std::make_shared<LaserSnapshot>(this, seq);
+}
+
+LaserSnapshot::~LaserSnapshot() {
+  std::unique_lock<std::mutex> lock(db_->mu_);
+  auto it = db_->snapshots_.find(sequence_);
+  if (it != db_->snapshots_.end()) db_->snapshots_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Point reads (§4.3)
+// ---------------------------------------------------------------------------
+
+Status LaserDB::CheckProjection(const ColumnSet& projection) const {
+  if (projection.empty()) return Status::InvalidArgument("empty projection");
+  for (size_t i = 0; i < projection.size(); ++i) {
+    if (projection[i] < 1 || projection[i] > options_.schema.num_columns()) {
+      return Status::InvalidArgument("projection column out of range");
+    }
+    if (i > 0 && projection[i] <= projection[i - 1]) {
+      return Status::InvalidArgument("projection must be sorted and unique");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Tracks which projected columns still need resolution during the top-down
+/// walk of a point lookup.
+class PointResolver {
+ public:
+  PointResolver(const ColumnSet& projection, const RowCodec* codec)
+      : projection_(projection), codec_(codec) {
+    resolved_.assign(projection.size(), false);
+    values_.resize(projection.size());
+    unresolved_ = projection.size();
+  }
+
+  bool done() const { return unresolved_ == 0; }
+
+  /// Projected columns not yet resolved that the given source covers.
+  ColumnSet UnresolvedIn(const ColumnSet& source_columns) const {
+    ColumnSet result;
+    for (size_t i = 0; i < projection_.size(); ++i) {
+      if (!resolved_[i] && ColumnSetContains(source_columns, projection_[i])) {
+        result.push_back(projection_[i]);
+      }
+    }
+    return result;
+  }
+
+  /// Applies the versions (newest first) of one source covering
+  /// `source_columns`.
+  void Apply(const ColumnSet& source_columns,
+             const std::vector<KeyVersion>& versions) {
+    for (const KeyVersion& v : versions) {
+      switch (v.type) {
+        case kTypeDeletion:
+          // The whole chain below is dead for this source's columns.
+          for (size_t i = 0; i < projection_.size(); ++i) {
+            if (!resolved_[i] &&
+                ColumnSetContains(source_columns, projection_[i])) {
+              MarkResolved(i, std::nullopt);
+            }
+          }
+          return;
+        case kTypeFullRow:
+        case kTypePartialRow: {
+          scratch_.clear();
+          if (!codec_->Decode(source_columns, Slice(v.value), &scratch_).ok()) {
+            return;
+          }
+          for (const auto& pair : scratch_) {
+            const auto it = std::lower_bound(projection_.begin(),
+                                             projection_.end(), pair.column);
+            if (it == projection_.end() || *it != pair.column) continue;
+            const size_t pos = it - projection_.begin();
+            if (!resolved_[pos]) MarkResolved(pos, pair.value);
+          }
+          if (v.type == kTypeFullRow) return;  // chain terminator
+          break;
+        }
+      }
+    }
+  }
+
+  /// Deepest level that resolved at least one column (0 for memtable/L0).
+  int resolve_level() const { return resolve_level_; }
+  void set_current_level(int level) { current_level_ = level; }
+
+  /// Builds the final result: found iff any column has a value.
+  void Finish(LaserDB::ReadResult* result) const {
+    result->values = values_;
+    result->found = false;
+    for (const auto& v : values_) {
+      if (v.has_value()) {
+        result->found = true;
+        break;
+      }
+    }
+  }
+
+ private:
+  void MarkResolved(size_t pos, std::optional<ColumnValue> value) {
+    resolved_[pos] = true;
+    values_[pos] = value;
+    --unresolved_;
+    if (current_level_ > resolve_level_) resolve_level_ = current_level_;
+  }
+
+  const ColumnSet& projection_;
+  const RowCodec* codec_;
+  std::vector<bool> resolved_;
+  std::vector<std::optional<ColumnValue>> values_;
+  size_t unresolved_;
+  int current_level_ = 0;
+  int resolve_level_ = 0;
+  std::vector<ColumnValuePair> scratch_;
+};
+
+}  // namespace
+
+Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
+                     ReadResult* result) {
+  LASER_RETURN_IF_ERROR(CheckProjection(projection));
+  stats_.point_reads.fetch_add(1, std::memory_order_relaxed);
+
+  // Pin a consistent view.
+  MemTable* mem;
+  std::vector<MemTable*> imms;
+  std::shared_ptr<const Version> version;
+  SequenceNumber snapshot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    mem = mem_;
+    mem->Ref();
+    imms = imm_;
+    for (MemTable* m : imms) m->Ref();
+    version = version_;
+    snapshot = last_sequence_.load();
+  }
+
+  const ColumnSet all_columns = options_.schema.AllColumns();
+  const std::string user_key = EncodeKey64(key);
+  PointResolver resolver(projection, &codec_);
+  std::vector<KeyVersion> versions;
+
+  // 1. Memtables, newest first.
+  versions.clear();
+  if (mem->GetVersions(Slice(user_key), snapshot, &versions)) {
+    resolver.Apply(all_columns, versions);
+  }
+  for (auto it = imms.rbegin(); it != imms.rend() && !resolver.done(); ++it) {
+    versions.clear();
+    if ((*it)->GetVersions(Slice(user_key), snapshot, &versions)) {
+      resolver.Apply(all_columns, versions);
+    }
+  }
+
+  // 2. Level-0 files, newest first.
+  if (!resolver.done()) {
+    const auto& l0 = version->files(0, 0);
+    for (auto it = l0.rbegin(); it != l0.rend() && !resolver.done(); ++it) {
+      if (!(*it)->OverlapsUserRange(Slice(user_key), Slice(user_key))) continue;
+      versions.clear();
+      if ((*it)->reader->Get(Slice(user_key), snapshot, &versions)) {
+        resolver.Apply(all_columns, versions);
+      }
+    }
+  }
+
+  // 3. Deeper levels: probe only CGs still covering unresolved columns.
+  for (int level = 1; level < version->num_levels() && !resolver.done(); ++level) {
+    resolver.set_current_level(level);
+    const auto& groups = options_.cg_config.groups(level);
+    for (size_t g = 0; g < groups.size() && !resolver.done(); ++g) {
+      const ColumnSet needed = resolver.UnresolvedIn(groups[g]);
+      if (needed.empty()) continue;
+      auto file = version->FileContaining(level, static_cast<int>(g),
+                                          Slice(user_key));
+      if (file == nullptr) continue;
+      versions.clear();
+      if (file->reader->Get(Slice(user_key), snapshot, &versions)) {
+        resolver.Apply(groups[g], versions);
+      }
+    }
+  }
+
+  resolver.Finish(result);
+  if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
+    if (result->found) trace->AddPointRead(projection, resolver.resolve_level());
+  }
+
+  mem->Unref();
+  for (MemTable* m : imms) m->Unref();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Range scans (§4.3)
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
+                                               ColumnSet projection) {
+  if (!CheckProjection(projection).ok()) return nullptr;
+  stats_.range_scans.fetch_add(1, std::memory_order_relaxed);
+
+  MemTable* mem;
+  std::vector<MemTable*> imms;
+  std::shared_ptr<const Version> version;
+  SequenceNumber snapshot;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    mem = mem_;
+    mem->Ref();
+    imms = imm_;
+    for (MemTable* m : imms) m->Ref();
+    version = version_;
+    snapshot = last_sequence_.load();
+  }
+
+  const ColumnSet all_columns = options_.schema.AllColumns();
+  std::vector<std::unique_ptr<ContributionSource>> sources;
+
+  // Memtables: newest first.
+  sources.push_back(std::make_unique<ContributionIterator>(
+      mem->NewIterator(), &codec_, all_columns, projection, snapshot));
+  for (auto it = imms.rbegin(); it != imms.rend(); ++it) {
+    sources.push_back(std::make_unique<ContributionIterator>(
+        (*it)->NewIterator(), &codec_, all_columns, projection, snapshot));
+  }
+
+  // Level-0 files: newest first, each its own source (they overlap).
+  const auto& l0 = version->files(0, 0);
+  for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+    sources.push_back(std::make_unique<ContributionIterator>(
+        (*it)->reader->NewIterator(), &codec_, all_columns, projection, snapshot));
+  }
+
+  // Levels >= 1: one ColumnMergingIterator per level over the overlapping
+  // groups (§4.3: "we optimize range queries with projections by opening
+  // iterators only for the overlapping column-groups in each level").
+  for (int level = 1; level < version->num_levels(); ++level) {
+    const auto& groups = options_.cg_config.groups(level);
+    std::vector<std::unique_ptr<ContributionSource>> level_sources;
+    for (int g : options_.cg_config.OverlappingGroups(level, projection)) {
+      if (version->files(level, g).empty()) continue;
+      level_sources.push_back(std::make_unique<ContributionIterator>(
+          NewRunIterator(version->files(level, g)), &codec_, groups[g],
+          projection, snapshot));
+    }
+    if (level_sources.empty()) continue;
+    if (level_sources.size() == 1) {
+      sources.push_back(std::move(level_sources[0]));
+    } else {
+      sources.push_back(std::make_unique<ColumnMergingIterator>(
+          std::move(level_sources), projection.size()));
+    }
+  }
+
+  auto impl = std::make_unique<LevelMergingIterator>(std::move(sources),
+                                                     projection.size());
+  impl->Seek(EncodeKey64(lo_key));
+
+  std::vector<MemTable*> pinned;
+  pinned.push_back(mem);
+  pinned.insert(pinned.end(), imms.begin(), imms.end());
+  return std::make_unique<ScanIterator>(
+      hi_key, std::move(projection), std::move(pinned), std::move(version),
+      std::move(impl), trace_.load(std::memory_order_acquire));
+}
+
+ScanIterator::ScanIterator(uint64_t hi_key, ColumnSet projection,
+                           std::vector<MemTable*> pinned_memtables,
+                           std::shared_ptr<const Version> pinned_version,
+                           std::unique_ptr<LevelMergingIterator> impl,
+                           WorkloadTrace* trace)
+    : projection_(std::move(projection)),
+      hi_key_encoded_(EncodeKey64(hi_key)),
+      pinned_memtables_(std::move(pinned_memtables)),
+      pinned_version_(std::move(pinned_version)),
+      impl_(std::move(impl)),
+      trace_(trace) {
+  if (Valid()) rows_emitted_ = 1;
+}
+
+ScanIterator::~ScanIterator() {
+  if (trace_ != nullptr) {
+    trace_->AddRangeScan(projection_, static_cast<double>(rows_emitted_));
+  }
+  for (MemTable* m : pinned_memtables_) m->Unref();
+}
+
+bool ScanIterator::Valid() const {
+  return impl_->Valid() &&
+         impl_->user_key().compare(Slice(hi_key_encoded_)) <= 0;
+}
+
+void ScanIterator::Next() {
+  assert(Valid());
+  impl_->Next();
+  if (Valid()) ++rows_emitted_;
+}
+
+uint64_t ScanIterator::key() const { return DecodeKey64(impl_->user_key()); }
+
+const std::vector<std::optional<ColumnValue>>& ScanIterator::values() const {
+  return impl_->row();
+}
+
+}  // namespace laser

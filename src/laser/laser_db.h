@@ -1,0 +1,242 @@
+// LaserDB: the Real-Time LSM-Tree storage engine (the paper's LASER, §4).
+//
+// Public operations mirror §3.1:
+//   Insert(key, row)        — full row
+//   Read(key, Π)            — point lookup with projection
+//   Scan(lo, hi, Π)         — range scan with projection
+//   Update(key, valueΠ)     — partial-row update of a column subset
+//   Delete(key)             — tombstone
+//
+// Internally: a skiplist memtable + WAL absorb writes; flushes produce
+// row-format L0 SSTs; CG-local compaction (§4.4) migrates data down the
+// levels, re-laying it out per the CgConfig; reads probe only the column
+// groups overlapping the projection (§4.3).
+
+#ifndef LASER_LASER_LASER_DB_H_
+#define LASER_LASER_LASER_DB_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "cost/trace.h"
+#include "laser/cg_compaction.h"
+#include "laser/level_merging_iterator.h"
+#include "laser/options.h"
+#include "laser/row_codec.h"
+#include "lsm/compaction_picker.h"
+#include "lsm/manifest.h"
+#include "lsm/version.h"
+#include "memtable/memtable.h"
+#include "util/thread_pool.h"
+#include "wal/log_writer.h"
+
+namespace laser {
+
+class ScanIterator;
+class LaserSnapshot;
+
+class LaserDB {
+ public:
+  /// Opens (or creates) a database. Recovers from MANIFEST + WAL.
+  static Status Open(const LaserOptions& options, std::unique_ptr<LaserDB>* db);
+
+  ~LaserDB();
+
+  LaserDB(const LaserDB&) = delete;
+  LaserDB& operator=(const LaserDB&) = delete;
+
+  // -- writes (§3.1 / §4.2) --
+
+  /// Inserts a full row; `row[i]` is the value of column i+1. Re-inserting a
+  /// key overwrites the whole row.
+  Status Insert(uint64_t key, const std::vector<ColumnValue>& row);
+
+  /// Updates a subset of columns (sorted by column id) without reading the
+  /// old row: a partial row is inserted and merged during compaction.
+  Status Update(uint64_t key, const std::vector<ColumnValuePair>& values);
+
+  /// Deletes the row (tombstone).
+  Status Delete(uint64_t key);
+
+  // -- reads (§3.1 / §4.3) --
+
+  struct ReadResult {
+    bool found = false;
+    /// Parallel to the projection; nullopt = column is null (deleted or
+    /// never written).
+    std::vector<std::optional<ColumnValue>> values;
+  };
+
+  /// Point lookup of `projection` (sorted column ids). NotFound status is
+  /// not used; check result->found.
+  Status Read(uint64_t key, const ColumnSet& projection, ReadResult* result);
+
+  /// Range scan over user keys [lo_key, hi_key] with projection. The
+  /// iterator pins a consistent snapshot; it must not outlive the DB.
+  std::unique_ptr<ScanIterator> NewScan(uint64_t lo_key, uint64_t hi_key,
+                                        ColumnSet projection);
+
+  // -- snapshots --
+
+  /// Pins a read point for compaction (old versions survive until release).
+  std::shared_ptr<LaserSnapshot> GetSnapshot();
+
+  // -- maintenance --
+
+  /// Rotates the memtable and waits for all pending flushes.
+  Status Flush();
+
+  /// Runs compactions until no level/CG exceeds capacity (works with
+  /// disable_auto_compactions too). Returns the first background error.
+  Status CompactUntilStable();
+
+  /// Waits for all scheduled background work to finish.
+  void WaitForBackgroundWork();
+
+  // -- workload profiling (§6.1) --
+
+  /// Starts recording operations into `trace` (reads are attributed to the
+  /// level where they resolved; scans record their projection and observed
+  /// selectivity). Pass nullptr to stop. The trace must outlive profiling.
+  void SetTraceCollector(WorkloadTrace* trace);
+
+  // -- introspection (used by benches and tests) --
+
+  const LaserOptions& options() const { return options_; }
+  Stats& stats() { return stats_; }
+  const RowCodec& codec() const { return codec_; }
+  SequenceNumber LastSequence() const;
+  std::shared_ptr<const Version> current_version() const;
+  /// Per-level/group file + byte summary.
+  std::string DebugString() const;
+
+ private:
+  friend class ScanIterator;
+  friend class LaserSnapshot;
+
+  explicit LaserDB(const LaserOptions& options);
+
+  Status Recover();
+  Status ReplayWal(const std::string& fname);
+  Status NewWal();
+
+  /// Validates a projection (sorted, in range, non-empty).
+  Status CheckProjection(const ColumnSet& projection) const;
+
+  /// Common write path.
+  Status WriteInternal(ValueType type, uint64_t key, const Slice& encoded_value);
+
+  /// Blocks while the memtable is full and background work is behind.
+  /// REQUIRES: mu_ held (via lock).
+  Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock);
+
+  /// Schedules flushes/compactions as needed. REQUIRES: mu_ held.
+  void MaybeScheduleBackgroundWork();
+  /// REQUIRES: mu_ held.
+  void ScheduleCompactions();
+
+  void BackgroundFlush();
+  void BackgroundCompact(CompactionJob job);
+
+  JobContext MakeJobContext();
+
+  /// Deletes obsolete files whose last reference is the obsolete list.
+  /// REQUIRES: mu_ held.
+  void CollectObsoleteFiles();
+
+  /// Persists the manifest. REQUIRES: mu_ held.
+  Status SaveManifest();
+
+  LaserOptions options_;
+  Env* env_;
+  std::string db_path_;
+  RowCodec codec_;
+  Stats stats_;
+  std::unique_ptr<BlockCache> cache_;
+  CompactionPicker picker_;
+  Manifest manifest_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+
+  MemTable* mem_ = nullptr;
+  std::vector<MemTable*> imm_;             // oldest first
+  std::vector<uint64_t> imm_wal_numbers_;  // parallel to imm_
+  std::shared_ptr<Version> version_;
+
+  std::atomic<uint64_t> next_file_number_{1};
+  std::atomic<SequenceNumber> last_sequence_{0};
+
+  std::unique_ptr<wal::LogWriter> wal_;
+  uint64_t wal_number_ = 0;
+
+  bool flush_scheduled_ = false;
+  std::set<std::pair<int, int>> busy_;
+  int running_jobs_ = 0;
+  bool shutting_down_ = false;
+  Status bg_error_;
+
+  std::vector<std::shared_ptr<FileMetaData>> obsolete_;
+  std::multiset<SequenceNumber> snapshots_;
+  std::atomic<WorkloadTrace*> trace_{nullptr};
+};
+
+/// Pinned read point; released on destruction.
+class LaserSnapshot {
+ public:
+  LaserSnapshot(LaserDB* db, SequenceNumber seq) : db_(db), sequence_(seq) {}
+  ~LaserSnapshot();
+  SequenceNumber sequence() const { return sequence_; }
+
+ private:
+  LaserDB* db_;
+  SequenceNumber sequence_;
+};
+
+/// Cursor over the rows of a range scan (§4.3), in key order, with old
+/// versions discarded and columns stitched across levels and CGs.
+class ScanIterator {
+ public:
+  ScanIterator(uint64_t hi_key, ColumnSet projection,
+               std::vector<MemTable*> pinned_memtables,
+               std::shared_ptr<const Version> pinned_version,
+               std::unique_ptr<LevelMergingIterator> impl,
+               WorkloadTrace* trace = nullptr);
+  /// Reports the scan to the trace collector (if any) with the number of
+  /// rows actually emitted as its selectivity.
+  ~ScanIterator();
+
+  ScanIterator(const ScanIterator&) = delete;
+  ScanIterator& operator=(const ScanIterator&) = delete;
+
+  bool Valid() const;
+  void Next();
+
+  /// Current primary key. REQUIRES: Valid().
+  uint64_t key() const;
+
+  /// Values parallel to the projection. REQUIRES: Valid().
+  const std::vector<std::optional<ColumnValue>>& values() const;
+
+  Status status() const { return impl_->status(); }
+  const ColumnSet& projection() const { return projection_; }
+
+ private:
+  ColumnSet projection_;
+  std::string hi_key_encoded_;
+  std::vector<MemTable*> pinned_memtables_;
+  std::shared_ptr<const Version> pinned_version_;
+  std::unique_ptr<LevelMergingIterator> impl_;
+  WorkloadTrace* trace_;
+  mutable uint64_t rows_emitted_ = 0;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LASER_LASER_DB_H_

@@ -1,0 +1,89 @@
+#include "laser/level_merging_iterator.h"
+
+#include <cassert>
+
+namespace laser {
+
+LevelMergingIterator::LevelMergingIterator(
+    std::vector<std::unique_ptr<ContributionSource>> sources,
+    size_t projection_size)
+    : sources_(std::move(sources)) {
+  row_.resize(projection_size);
+}
+
+void LevelMergingIterator::SeekToFirst() {
+  for (auto& source : sources_) source->SeekToFirst();
+  CombineSkippingDeleted();
+}
+
+void LevelMergingIterator::Seek(const Slice& target_user_key) {
+  for (auto& source : sources_) source->Seek(target_user_key);
+  CombineSkippingDeleted();
+}
+
+void LevelMergingIterator::Next() {
+  assert(valid_);
+  for (auto& source : sources_) {
+    if (source->Valid() && source->user_key() == Slice(current_key_)) {
+      source->Next();
+    }
+  }
+  CombineSkippingDeleted();
+}
+
+void LevelMergingIterator::CombineSkippingDeleted() {
+  while (true) {
+    valid_ = false;
+    const ContributionSource* smallest = nullptr;
+    for (const auto& source : sources_) {
+      if (!source->Valid()) continue;
+      if (smallest == nullptr ||
+          source->user_key().compare(smallest->user_key()) < 0) {
+        smallest = source.get();
+      }
+    }
+    if (smallest == nullptr) return;  // exhausted
+
+    current_key_ = smallest->user_key().ToString();
+    std::fill(row_.begin(), row_.end(), std::nullopt);
+    std::vector<bool> resolved(row_.size(), false);
+    bool any_value = false;
+
+    // Sources are in newest-to-oldest order; the first non-absent state per
+    // column wins (per-column chains preserve sequence order across levels).
+    for (const auto& source : sources_) {
+      if (!source->Valid() || source->user_key() != Slice(current_key_)) continue;
+      const auto& states = source->states();
+      const auto& values = source->values();
+      for (size_t pos = 0; pos < states.size(); ++pos) {
+        if (resolved[pos] || states[pos] == ColumnState::kAbsent) continue;
+        resolved[pos] = true;
+        if (states[pos] == ColumnState::kValue) {
+          row_[pos] = values[pos];
+          any_value = true;
+        }
+        // kTombstone -> stays nullopt.
+      }
+    }
+
+    if (any_value) {
+      valid_ = true;
+      return;
+    }
+    // Fully deleted key: advance every source past it and retry.
+    for (auto& source : sources_) {
+      if (source->Valid() && source->user_key() == Slice(current_key_)) {
+        source->Next();
+      }
+    }
+  }
+}
+
+Status LevelMergingIterator::status() const {
+  for (const auto& source : sources_) {
+    if (!source->status().ok()) return source->status();
+  }
+  return Status::OK();
+}
+
+}  // namespace laser

@@ -1,0 +1,52 @@
+// LevelMergingIterator (§4.3/§4.4): merges contribution sources across the
+// LSM-Tree's lifecycle order — memtables, then L0 files (newest first), then
+// levels 1..L-1 — resolving each projected column with the newest
+// contribution and discarding old versions, and emitting fully stitched rows
+// in user-key order.
+
+#ifndef LASER_LASER_LEVEL_MERGING_ITERATOR_H_
+#define LASER_LASER_LEVEL_MERGING_ITERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "laser/contribution.h"
+
+namespace laser {
+
+class LevelMergingIterator {
+ public:
+  /// `sources` must be ordered newest to oldest (priority order);
+  /// `projection_size` is |Π|.
+  LevelMergingIterator(std::vector<std::unique_ptr<ContributionSource>> sources,
+                       size_t projection_size);
+
+  bool Valid() const { return valid_; }
+  void SeekToFirst();
+  void Seek(const Slice& target_user_key);
+  void Next();
+
+  /// Current user key. REQUIRES: Valid().
+  Slice user_key() const { return Slice(current_key_); }
+
+  /// Resolved values, parallel to Π; nullopt = deleted or never written.
+  /// REQUIRES: Valid().
+  const std::vector<std::optional<ColumnValue>>& row() const { return row_; }
+
+  Status status() const;
+
+ private:
+  /// Combines sources at the smallest current key; skips keys that resolve
+  /// to nothing (fully deleted rows).
+  void CombineSkippingDeleted();
+
+  std::vector<std::unique_ptr<ContributionSource>> sources_;
+  bool valid_ = false;
+  std::string current_key_;
+  std::vector<std::optional<ColumnValue>> row_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LASER_LEVEL_MERGING_ITERATOR_H_

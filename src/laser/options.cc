@@ -1,0 +1,36 @@
+#include "laser/options.h"
+
+namespace laser {
+
+Status LaserOptions::Finalize() {
+  if (env == nullptr) env = Env::Default();
+  if (path.empty()) return Status::InvalidArgument("options.path is empty");
+  if (schema.num_columns() <= 0) {
+    return Status::InvalidArgument("schema has no columns");
+  }
+  if (num_levels < 2) return Status::InvalidArgument("num_levels must be >= 2");
+  if (size_ratio < 2) return Status::InvalidArgument("size_ratio must be >= 2");
+  if (cg_config.num_levels() == 0) {
+    cg_config = CgConfig::RowOnly(schema.num_columns(), num_levels);
+  }
+  if (cg_config.num_levels() != num_levels) {
+    return Status::InvalidArgument("cg_config level count != num_levels");
+  }
+  LASER_RETURN_IF_ERROR(cg_config.Validate(schema.num_columns()));
+  if (write_buffer_size < 4096) {
+    return Status::InvalidArgument("write_buffer_size too small");
+  }
+  if (target_sst_size < block_size) {
+    return Status::InvalidArgument("target_sst_size must be >= block_size");
+  }
+  if (level0_stop_writes_trigger <= level0_file_compaction_trigger) {
+    return Status::InvalidArgument(
+        "level0_stop_writes_trigger must exceed the compaction trigger");
+  }
+  if (background_threads < 1) {
+    return Status::InvalidArgument("background_threads must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace laser

@@ -1,0 +1,99 @@
+// LaserOptions: configuration of a Real-Time LSM-Tree instance. The defaults
+// mirror the paper's setup (§7): leveling, T configurable, 4KB blocks,
+// kOldestSmallestSeqFirst compaction priority, bloom filters, up to six
+// background compaction threads.
+
+#ifndef LASER_LASER_OPTIONS_H_
+#define LASER_LASER_OPTIONS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "laser/cg_config.h"
+#include "laser/schema.h"
+#include "util/codec.h"
+#include "util/env.h"
+
+namespace laser {
+
+/// Which SST of an overflowing sorted run is compacted first (§2.1, Fig. 2).
+enum class CompactionPriority {
+  /// Largest SST first (RocksDB kByCompensatedSize).
+  kByCompensatedSize,
+  /// SST whose keys went longest without compaction — smallest sequence
+  /// number first (RocksDB kOldestSmallestSeqFirst). Default, as in §7: it
+  /// distributes keys across levels by time-since-insertion.
+  kOldestSmallestSeqFirst,
+};
+
+struct LaserOptions {
+  /// Host environment; defaults to the Posix filesystem.
+  Env* env = nullptr;  // nullptr -> Env::Default()
+
+  /// Database directory.
+  std::string path;
+
+  /// Table schema (payload columns a1..ac).
+  Schema schema;
+
+  /// Per-level column-group layout. Must have num_levels entries.
+  CgConfig cg_config;
+
+  /// Total number of levels L (including level 0).
+  int num_levels = 8;
+
+  /// Size ratio T between adjacent levels.
+  int size_ratio = 2;
+
+  /// Memtable size before rotation.
+  size_t write_buffer_size = 512 * 1024;
+
+  /// Capacity of level 0 in bytes (the paper's B·pg entries).
+  size_t level0_bytes = 2 * 1024 * 1024;
+
+  /// Number of L0 files that triggers an L0->L1 compaction.
+  int level0_file_compaction_trigger = 4;
+
+  /// Number of L0 files at which writes stall until compaction catches up.
+  int level0_stop_writes_trigger = 20;
+
+  /// Target size of one SST within a sorted run.
+  size_t target_sst_size = 1 * 1024 * 1024;
+
+  /// SST data-block size (RocksDB default: 4KB).
+  size_t block_size = 4096;
+
+  /// Restart interval for key delta-encoding inside blocks (1 disables).
+  int restart_interval = 16;
+
+  /// Per-block compression.
+  CompressionType compression = CompressionType::kNone;
+
+  /// Bloom filter sizing; <= 0 disables filters.
+  int bloom_bits_per_key = 10;
+
+  CompactionPriority compaction_priority = CompactionPriority::kOldestSmallestSeqFirst;
+
+  /// Background flush+compaction threads (paper: up to 6 compaction threads).
+  int background_threads = 4;
+
+  /// Shared uncompressed-block cache; 0 disables.
+  size_t block_cache_bytes = 32 * 1024 * 1024;
+
+  /// Write-ahead logging (durability) and whether to fsync each write batch.
+  bool use_wal = true;
+  bool sync_wal = false;
+
+  bool create_if_missing = true;
+
+  /// When true, compactions run only via LaserDB::CompactUntilStable()
+  /// (used by the write-amplification experiment, Fig. 7(e)).
+  bool disable_auto_compactions = false;
+
+  /// Fills defaults (env, cg_config if empty) and checks consistency.
+  Status Finalize();
+};
+
+}  // namespace laser
+
+#endif  // LASER_LASER_OPTIONS_H_

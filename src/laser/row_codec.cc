@@ -1,0 +1,139 @@
+#include "laser/row_codec.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace laser {
+
+void RowCodec::EncodeValue(int column, ColumnValue value, std::string* dst) const {
+  char buf[8];
+  const size_t width = schema_->value_size(column);
+  // Little-endian truncation to the column width.
+  for (size_t i = 0; i < width; ++i) {
+    buf[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+  dst->append(buf, width);
+}
+
+ColumnValue RowCodec::DecodeValue(int column, const char* src) const {
+  const size_t width = schema_->value_size(column);
+  ColumnValue value = 0;
+  for (size_t i = 0; i < width; ++i) {
+    value |= static_cast<ColumnValue>(static_cast<unsigned char>(src[i])) << (8 * i);
+  }
+  return value;
+}
+
+std::string RowCodec::Encode(const ColumnSet& cg,
+                             const std::vector<ColumnValuePair>& values) const {
+  std::string out(BitmapBytes(cg), '\0');
+  size_t vi = 0;
+  for (size_t i = 0; i < cg.size(); ++i) {
+    if (vi < values.size() && values[vi].column == cg[i]) {
+      BitmapSet(out.data(), i);
+      EncodeValue(cg[i], values[vi].value, &out);
+      ++vi;
+    }
+  }
+  assert(vi == values.size() && "every value's column must be in the CG");
+  return out;
+}
+
+Status RowCodec::Decode(const ColumnSet& cg, const Slice& data,
+                        std::vector<ColumnValuePair>* values) const {
+  const size_t bitmap_bytes = BitmapBytes(cg);
+  if (data.size() < bitmap_bytes) return Status::Corruption("row too short");
+  const char* bitmap = data.data();
+  const char* p = data.data() + bitmap_bytes;
+  const char* limit = data.data() + data.size();
+  for (size_t i = 0; i < cg.size(); ++i) {
+    if (!BitmapTest(bitmap, i)) continue;
+    const size_t width = schema_->value_size(cg[i]);
+    if (p + width > limit) return Status::Corruption("row value overrun");
+    values->push_back(ColumnValuePair{cg[i], DecodeValue(cg[i], p)});
+    p += width;
+  }
+  return Status::OK();
+}
+
+bool RowCodec::IsComplete(const ColumnSet& cg, const Slice& data) const {
+  const size_t bitmap_bytes = BitmapBytes(cg);
+  if (data.size() < bitmap_bytes) return false;
+  for (size_t i = 0; i < cg.size(); ++i) {
+    if (!BitmapTest(data.data(), i)) return false;
+  }
+  return true;
+}
+
+int RowCodec::PresentCount(const ColumnSet& cg, const Slice& data) const {
+  const size_t bitmap_bytes = BitmapBytes(cg);
+  if (data.size() < bitmap_bytes) return 0;
+  int count = 0;
+  for (size_t i = 0; i < cg.size(); ++i) {
+    count += BitmapTest(data.data(), i) ? 1 : 0;
+  }
+  return count;
+}
+
+std::string RowCodec::Merge(const ColumnSet& cg, const Slice& newer,
+                            const Slice& older) const {
+  std::vector<ColumnValuePair> newer_vals;
+  std::vector<ColumnValuePair> older_vals;
+  // Decode failures cannot happen for data we encoded; assert via status.
+  Status s = Decode(cg, newer, &newer_vals);
+  assert(s.ok());
+  s = Decode(cg, older, &older_vals);
+  assert(s.ok());
+  (void)s;
+
+  std::vector<ColumnValuePair> merged;
+  merged.reserve(newer_vals.size() + older_vals.size());
+  size_t a = 0;
+  size_t b = 0;
+  while (a < newer_vals.size() || b < older_vals.size()) {
+    if (b >= older_vals.size()) {
+      merged.push_back(newer_vals[a++]);
+    } else if (a >= newer_vals.size()) {
+      merged.push_back(older_vals[b++]);
+    } else if (newer_vals[a].column < older_vals[b].column) {
+      merged.push_back(newer_vals[a++]);
+    } else if (newer_vals[a].column > older_vals[b].column) {
+      merged.push_back(older_vals[b++]);
+    } else {
+      merged.push_back(newer_vals[a++]);  // newer wins
+      ++b;
+    }
+  }
+  return Encode(cg, merged);
+}
+
+std::string RowCodec::Project(const ColumnSet& parent, const ColumnSet& child,
+                              const Slice& data) const {
+  assert(ColumnSetIsSubset(child, parent));
+  std::vector<ColumnValuePair> values;
+  Status s = Decode(parent, data, &values);
+  assert(s.ok());
+  (void)s;
+  std::vector<ColumnValuePair> child_values;
+  for (const auto& v : values) {
+    if (ColumnSetContains(child, v.column)) child_values.push_back(v);
+  }
+  return Encode(child, child_values);
+}
+
+size_t RowCodec::FullRowSize(const ColumnSet& cg) const {
+  size_t size = BitmapBytes(cg);
+  for (int col : cg) size += schema_->value_size(col);
+  return size;
+}
+
+std::vector<ColumnValuePair> MakeFullRow(const std::vector<ColumnValue>& values) {
+  std::vector<ColumnValuePair> pairs;
+  pairs.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    pairs.push_back(ColumnValuePair{static_cast<int>(i + 1), values[i]});
+  }
+  return pairs;
+}
+
+}  // namespace laser

@@ -1,0 +1,73 @@
+// RowCodec: encoding of (partial) rows within a column group.
+//
+// Layout for a CG with columns S (sorted): a presence bitmap of |S| bits,
+// then the fixed-width values of the present columns in S order. Full rows
+// have every bit set; partial rows (§4.2 column updates) a subset. The key
+// is *not* part of the value — it lives in the internal key, which is the
+// "simulated columnar" overhead the paper analyses in §4.1/§5.
+
+#ifndef LASER_LASER_ROW_CODEC_H_
+#define LASER_LASER_ROW_CODEC_H_
+
+#include <string>
+#include <vector>
+
+#include "laser/schema.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace laser {
+
+class RowCodec {
+ public:
+  explicit RowCodec(const Schema* schema) : schema_(schema) {}
+
+  /// Encodes `values` (sorted by column id; every column must be in `cg`).
+  std::string Encode(const ColumnSet& cg,
+                     const std::vector<ColumnValuePair>& values) const;
+
+  /// Decodes an encoded row, appending present (column, value) pairs.
+  Status Decode(const ColumnSet& cg, const Slice& data,
+                std::vector<ColumnValuePair>* values) const;
+
+  /// True iff every column of `cg` is present in `data`.
+  bool IsComplete(const ColumnSet& cg, const Slice& data) const;
+
+  /// Merges two encodings of the same CG: `newer` wins on columns present in
+  /// both; the union of presence is kept (the §4.2 compaction merge).
+  std::string Merge(const ColumnSet& cg, const Slice& newer,
+                    const Slice& older) const;
+
+  /// Re-encodes the columns of `child` (child ⊆ parent) out of a row encoded
+  /// for `parent`. Used when compaction changes the layout (§4.4). The result
+  /// may be empty-presence if none of the child's columns are present; the
+  /// caller drops such entries.
+  std::string Project(const ColumnSet& parent, const ColumnSet& child,
+                      const Slice& data) const;
+
+  /// Number of present columns in an encoded row.
+  int PresentCount(const ColumnSet& cg, const Slice& data) const;
+
+  /// Byte size of a full row for this CG (bitmap + all values).
+  size_t FullRowSize(const ColumnSet& cg) const;
+
+ private:
+  static size_t BitmapBytes(const ColumnSet& cg) { return (cg.size() + 7) / 8; }
+  static bool BitmapTest(const char* bitmap, size_t i) {
+    return (bitmap[i / 8] >> (i % 8)) & 1;
+  }
+  static void BitmapSet(char* bitmap, size_t i) { bitmap[i / 8] |= (1 << (i % 8)); }
+
+  /// Writes a value at `dst` using the column's width.
+  void EncodeValue(int column, ColumnValue value, std::string* dst) const;
+  ColumnValue DecodeValue(int column, const char* src) const;
+
+  const Schema* schema_;
+};
+
+/// Convenience: full-row pairs (1..c) from a plain vector of c values.
+std::vector<ColumnValuePair> MakeFullRow(const std::vector<ColumnValue>& values);
+
+}  // namespace laser
+
+#endif  // LASER_LASER_ROW_CODEC_H_

@@ -1,0 +1,93 @@
+// Table schema and column sets.
+//
+// The paper's model (§3.1): rows have an 8-byte integer primary key a0 plus c
+// payload columns a1..ac. We generalize slightly to typed fixed-width
+// columns; the HTAP benchmark tables (30 and 100 four-byte integer columns)
+// are the common case.
+
+#ifndef LASER_LASER_SCHEMA_H_
+#define LASER_LASER_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace laser {
+
+enum class ColumnType : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat = 2,
+  kDouble = 3,
+};
+
+/// Width in bytes of a column value on disk.
+size_t ColumnTypeSize(ColumnType type);
+
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kInt32;
+};
+
+/// A sorted list of column ids (1-based, matching the paper's a1..ac).
+using ColumnSet = std::vector<int>;
+
+/// Raw column value: the bit pattern of the typed value, widened to 64 bits.
+using ColumnValue = uint64_t;
+
+/// (column id, value) pair; vectors of these are kept sorted by column id.
+struct ColumnValuePair {
+  int column = 0;
+  ColumnValue value = 0;
+
+  bool operator==(const ColumnValuePair&) const = default;
+};
+
+// -- ColumnSet helpers (sets are sorted, duplicate-free) --
+
+bool ColumnSetContains(const ColumnSet& set, int column);
+bool ColumnSetsIntersect(const ColumnSet& a, const ColumnSet& b);
+/// True iff a ⊆ b.
+bool ColumnSetIsSubset(const ColumnSet& a, const ColumnSet& b);
+ColumnSet ColumnSetIntersection(const ColumnSet& a, const ColumnSet& b);
+/// "1-4,7,9-12"-style compact rendering.
+std::string ColumnSetToString(const ColumnSet& set);
+/// A contiguous range [lo, hi].
+ColumnSet MakeColumnRange(int lo, int hi);
+
+/// Immutable table schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  /// The benchmark table: `c` int32 payload columns named a1..ac.
+  static Schema UniformInt32(int c);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Spec of column `id` (1-based).
+  const ColumnSpec& column(int id) const { return columns_[id - 1]; }
+
+  /// On-disk width of column `id`.
+  size_t value_size(int id) const { return ColumnTypeSize(columns_[id - 1].type); }
+
+  /// Set {1..c} of all columns.
+  ColumnSet AllColumns() const;
+
+  /// Average datatype size in bytes (the paper's dt_size), including the key
+  /// as a column of 8 bytes.
+  double AverageDatatypeSize() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LASER_SCHEMA_H_

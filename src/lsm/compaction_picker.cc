@@ -1,0 +1,145 @@
+#include "lsm/compaction_picker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace laser {
+
+std::vector<std::pair<int, int>> CompactionJob::Claims() const {
+  std::vector<std::pair<int, int>> claims;
+  claims.emplace_back(level, group);
+  for (int child : child_groups) claims.emplace_back(level + 1, child);
+  return claims;
+}
+
+CompactionPicker::CompactionPicker(const LaserOptions* options)
+    : options_(options) {
+  const CgConfig& config = options_->cg_config;
+  const Schema& schema = options_->schema;
+  weights_.resize(config.num_levels());
+  level_weight_total_.resize(config.num_levels());
+  for (int level = 0; level < config.num_levels(); ++level) {
+    double total = 0;
+    for (const ColumnSet& group : config.groups(level)) {
+      double width = 8.0;  // key stored with every CG (simulated columns)
+      for (int col : group) {
+        width += static_cast<double>(schema.value_size(col));
+      }
+      weights_[level].push_back(width);
+      total += width;
+    }
+    level_weight_total_[level] = total;
+  }
+}
+
+uint64_t CompactionPicker::GroupCapacityBytes(int level, int group) const {
+  const double level_bytes = static_cast<double>(options_->level0_bytes) *
+                             std::pow(options_->size_ratio, level);
+  const double share = weights_[level][group] / level_weight_total_[level];
+  return static_cast<uint64_t>(level_bytes * share);
+}
+
+double CompactionPicker::Score(const Version& version, int level, int group) const {
+  if (level == 0) {
+    return static_cast<double>(version.files(0, 0).size()) /
+           static_cast<double>(options_->level0_file_compaction_trigger);
+  }
+  const uint64_t capacity = GroupCapacityBytes(level, group);
+  if (capacity == 0) return 0;
+  return static_cast<double>(version.GroupBytes(level, group)) /
+         static_cast<double>(capacity);
+}
+
+bool CompactionPicker::NeedsCompaction(const Version& version) const {
+  for (int level = 0; level + 1 < version.num_levels(); ++level) {
+    for (int group = 0; group < version.num_groups(level); ++group) {
+      if (Score(version, level, group) >= 1.0) return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<FileMetaData> CompactionPicker::PickParentFile(
+    const Version::FileList& run) const {
+  assert(!run.empty());
+  if (options_->compaction_priority == CompactionPriority::kByCompensatedSize) {
+    return *std::max_element(run.begin(), run.end(),
+                             [](const auto& a, const auto& b) {
+                               return a->file_size < b->file_size;
+                             });
+  }
+  // kOldestSmallestSeqFirst: the SST whose key range has gone longest
+  // without compaction.
+  return *std::min_element(run.begin(), run.end(), [](const auto& a, const auto& b) {
+    return a->props.smallest_seq < b->props.smallest_seq;
+  });
+}
+
+CompactionJob CompactionPicker::BuildJob(const Version& version, int level,
+                                         int group,
+                                         Version::FileList parent_files) const {
+  CompactionJob job;
+  job.level = level;
+  job.group = group;
+  job.parent_files = std::move(parent_files);
+  job.to_bottom_level = (level + 1 == version.num_levels() - 1);
+
+  // Combined user-key range of the parent files.
+  Slice lo = job.parent_files[0]->smallest_user_key();
+  Slice hi = job.parent_files[0]->largest_user_key();
+  for (const auto& f : job.parent_files) {
+    if (f->smallest_user_key().compare(lo) < 0) lo = f->smallest_user_key();
+    if (f->largest_user_key().compare(hi) > 0) hi = f->largest_user_key();
+  }
+
+  job.child_groups = options_->cg_config.ChildGroups(level, group);
+  for (int child : job.child_groups) {
+    job.child_files.push_back(version.OverlappingFiles(level + 1, child, lo, hi));
+  }
+  return job;
+}
+
+std::optional<CompactionJob> CompactionPicker::Pick(
+    const Version& version, const std::set<std::pair<int, int>>& busy) const {
+  struct Candidate {
+    double score;
+    int level;
+    int group;
+  };
+  std::vector<Candidate> candidates;
+  for (int level = 0; level + 1 < version.num_levels(); ++level) {
+    const int groups = version.num_groups(level);
+    for (int group = 0; group < groups; ++group) {
+      const double score = Score(version, level, group);
+      if (score >= 1.0) candidates.push_back(Candidate{score, level, group});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.score > b.score; });
+
+  for (const Candidate& cand : candidates) {
+    const auto& run = version.files(cand.level, cand.group);
+    if (run.empty()) continue;
+
+    Version::FileList parents;
+    if (cand.level == 0) {
+      parents = run;  // L0 runs overlap: compact them together
+    } else {
+      parents.push_back(PickParentFile(run));
+    }
+    CompactionJob job = BuildJob(version, cand.level, cand.group, std::move(parents));
+
+    bool conflict = false;
+    for (const auto& claim : job.Claims()) {
+      if (busy.count(claim) > 0) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) return job;
+  }
+  return std::nullopt;
+}
+
+}  // namespace laser

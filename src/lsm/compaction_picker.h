@@ -1,0 +1,72 @@
+// CompactionPicker: implements the CG-local compaction strategy of §4.4 —
+// "select the most overflowing CG in the most overflowing level" — plus the
+// two RocksDB file-priorities compared in Figure 2. A CG's capacity within a
+// level is the level capacity apportioned to the group by its stored width
+// (key + column bytes), as §4.4 prescribes.
+
+#ifndef LASER_LSM_COMPACTION_PICKER_H_
+#define LASER_LSM_COMPACTION_PICKER_H_
+
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "laser/options.h"
+#include "lsm/version.h"
+
+namespace laser {
+
+/// A unit of compaction work: one parent (level, group) run segment merged
+/// into the overlapping child groups at level+1.
+struct CompactionJob {
+  int level = 0;  ///< parent level
+  int group = 0;  ///< parent group index
+  Version::FileList parent_files;
+  std::vector<int> child_groups;                 ///< group indices at level+1
+  std::vector<Version::FileList> child_files;    ///< parallel to child_groups
+  bool to_bottom_level = false;  ///< output level is the last level
+
+  /// (level, group) pairs this job locks (parent + all touched children).
+  std::vector<std::pair<int, int>> Claims() const;
+};
+
+class CompactionPicker {
+ public:
+  CompactionPicker(const LaserOptions* options);
+
+  /// Byte capacity of a sorted run (level, group).
+  uint64_t GroupCapacityBytes(int level, int group) const;
+
+  /// Overflow score; > 1 means compaction needed. Level 0 scores by file
+  /// count against the compaction trigger.
+  double Score(const Version& version, int level, int group) const;
+
+  /// Picks the highest-score eligible job, skipping any whose claims
+  /// intersect `busy`. Returns nullopt when nothing needs compacting.
+  std::optional<CompactionJob> Pick(
+      const Version& version,
+      const std::set<std::pair<int, int>>& busy) const;
+
+  /// True if any (level, group) has score >= 1 (used to keep background
+  /// threads working until the tree is within shape).
+  bool NeedsCompaction(const Version& version) const;
+
+ private:
+  /// Builds the job for parent (level, group) given the chosen parent files.
+  CompactionJob BuildJob(const Version& version, int level, int group,
+                         Version::FileList parent_files) const;
+
+  /// Picks one parent SST according to the configured priority.
+  std::shared_ptr<FileMetaData> PickParentFile(const Version::FileList& run) const;
+
+  const LaserOptions* options_;
+  // row width in bytes (key + all columns) per level/group, for capacity
+  // apportioning: weights_[level][group].
+  std::vector<std::vector<double>> weights_;
+  std::vector<double> level_weight_total_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LSM_COMPACTION_PICKER_H_

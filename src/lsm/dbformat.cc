@@ -1,0 +1,64 @@
+#include "lsm/dbformat.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace laser {
+
+uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t) {
+  assert(seq <= kMaxSequenceNumber);
+  return (seq << 8) | static_cast<uint64_t>(t);
+}
+
+void AppendInternalKey(std::string* result, const ParsedInternalKey& key) {
+  result->append(key.user_key.data(), key.user_key.size());
+  PutFixed64(result, PackSequenceAndType(key.sequence, key.type));
+}
+
+std::string MakeInternalKey(const Slice& user_key, SequenceNumber seq,
+                            ValueType t) {
+  std::string result;
+  result.reserve(user_key.size() + 8);
+  AppendInternalKey(&result, ParsedInternalKey(user_key, seq, t));
+  return result;
+}
+
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result) {
+  if (internal_key.size() < 8) return false;
+  uint64_t trailer = DecodeFixed64(internal_key.data() + internal_key.size() - 8);
+  uint8_t t = trailer & 0xff;
+  if (t > kTypePartialRow) return false;
+  result->sequence = trailer >> 8;
+  result->type = static_cast<ValueType>(t);
+  result->user_key = Slice(internal_key.data(), internal_key.size() - 8);
+  return true;
+}
+
+SequenceNumber ExtractSequence(const Slice& internal_key) {
+  assert(internal_key.size() >= 8);
+  return DecodeFixed64(internal_key.data() + internal_key.size() - 8) >> 8;
+}
+
+ValueType ExtractValueType(const Slice& internal_key) {
+  assert(internal_key.size() >= 8);
+  return static_cast<ValueType>(
+      DecodeFixed64(internal_key.data() + internal_key.size() - 8) & 0xff);
+}
+
+int InternalKeyComparator::Compare(const Slice& a, const Slice& b) const {
+  int r = ExtractUserKey(a).compare(ExtractUserKey(b));
+  if (r != 0) return r;
+  // Same user key: larger trailer (higher sequence) sorts first.
+  uint64_t atrailer = DecodeFixed64(a.data() + a.size() - 8);
+  uint64_t btrailer = DecodeFixed64(b.data() + b.size() - 8);
+  if (atrailer > btrailer) return -1;
+  if (atrailer < btrailer) return +1;
+  return 0;
+}
+
+std::string MakeLookupKey(const Slice& user_key, SequenceNumber snapshot) {
+  return MakeInternalKey(user_key, snapshot, kValueTypeForSeek);
+}
+
+}  // namespace laser

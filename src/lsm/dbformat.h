@@ -1,0 +1,98 @@
+// Internal key format shared by the memtable, SSTs and compaction.
+//
+// An internal key is  user_key ⊕ fixed64(sequence << 8 | type).
+// Ordering: user_key ascending (bytewise), then sequence descending, so the
+// newest version of a key sorts first — the property every read path and the
+// newest-wins-per-column merge of §4.2 rely on.
+//
+// Value types:
+//   kTypeDeletion   — tombstone (paper: insert of key with tombstone flag)
+//   kTypeFullRow    — a complete row (insert / full update)
+//   kTypePartialRow — a partial row carrying only updated columns (§4.2)
+
+#ifndef LASER_LSM_DBFORMAT_H_
+#define LASER_LSM_DBFORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace laser {
+
+using SequenceNumber = uint64_t;
+
+/// Largest sequence number that fits in the 56 bits of the trailer.
+constexpr SequenceNumber kMaxSequenceNumber = ((1ull << 56) - 1);
+
+enum ValueType : uint8_t {
+  kTypeDeletion = 0x0,
+  kTypeFullRow = 0x1,
+  kTypePartialRow = 0x2,
+};
+
+/// Type used when seeking: sorts before all entries with the same user key
+/// and sequence number.
+constexpr ValueType kValueTypeForSeek = kTypePartialRow;
+
+/// Decomposed internal key.
+struct ParsedInternalKey {
+  Slice user_key;
+  SequenceNumber sequence = 0;
+  ValueType type = kTypeFullRow;
+
+  ParsedInternalKey() = default;
+  ParsedInternalKey(const Slice& u, SequenceNumber seq, ValueType t)
+      : user_key(u), sequence(seq), type(t) {}
+};
+
+/// Packs (seq, type) into the 8-byte trailer.
+uint64_t PackSequenceAndType(SequenceNumber seq, ValueType t);
+
+/// Appends the serialization of `key` to *result.
+void AppendInternalKey(std::string* result, const ParsedInternalKey& key);
+
+/// Builds an internal key string directly.
+std::string MakeInternalKey(const Slice& user_key, SequenceNumber seq, ValueType t);
+
+/// Parses an internal key; returns false if malformed (too short).
+bool ParseInternalKey(const Slice& internal_key, ParsedInternalKey* result);
+
+/// The user-key prefix of an internal key. REQUIRES: valid internal key.
+inline Slice ExtractUserKey(const Slice& internal_key) {
+  return Slice(internal_key.data(), internal_key.size() - 8);
+}
+
+/// The sequence number of an internal key. REQUIRES: valid internal key.
+SequenceNumber ExtractSequence(const Slice& internal_key);
+
+/// The value type of an internal key. REQUIRES: valid internal key.
+ValueType ExtractValueType(const Slice& internal_key);
+
+/// Comparator over internal keys: user key ascending, sequence descending.
+class InternalKeyComparator {
+ public:
+  /// Three-way comparison.
+  int Compare(const Slice& a, const Slice& b) const;
+
+  /// Compares user-key parts only.
+  int CompareUserKeys(const Slice& a, const Slice& b) const {
+    return ExtractUserKey(a).compare(ExtractUserKey(b));
+  }
+};
+
+/// A key for memtable/tree lookups at a snapshot: seeks to the first entry
+/// with the given user key and sequence <= snapshot.
+std::string MakeLookupKey(const Slice& user_key, SequenceNumber snapshot);
+
+/// One version of a user key returned by point lookups (memtable or SST).
+struct KeyVersion {
+  ValueType type = kTypeFullRow;
+  SequenceNumber sequence = 0;
+  std::string value;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LSM_DBFORMAT_H_

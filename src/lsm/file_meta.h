@@ -1,0 +1,43 @@
+// FileMetaData: one SST within a sorted run — its key range, sequence range
+// and an open reader. Shared between Versions via shared_ptr; a file becomes
+// obsolete when no Version or iterator references it any more.
+
+#ifndef LASER_LSM_FILE_META_H_
+#define LASER_LSM_FILE_META_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "sst/sst_reader.h"
+
+namespace laser {
+
+struct FileMetaData {
+  uint64_t file_number = 0;
+  uint64_t file_size = 0;
+  std::string smallest;  // smallest internal key
+  std::string largest;   // largest internal key
+  SstProperties props;
+  std::shared_ptr<SstReader> reader;
+
+  Slice smallest_user_key() const { return ExtractUserKey(Slice(smallest)); }
+  Slice largest_user_key() const { return ExtractUserKey(Slice(largest)); }
+
+  /// True iff this file's user-key range intersects [lo, hi] (inclusive).
+  bool OverlapsUserRange(const Slice& lo, const Slice& hi) const {
+    return largest_user_key().compare(lo) >= 0 && smallest_user_key().compare(hi) <= 0;
+  }
+};
+
+/// SST filename within the DB directory: <number>.sst, zero-padded so that
+/// lexicographic order matches numeric order in directory listings.
+std::string SstFileName(uint64_t file_number);
+
+/// WAL filename: <number>.wal.
+std::string WalFileName(uint64_t file_number);
+
+}  // namespace laser
+
+#endif  // LASER_LSM_FILE_META_H_

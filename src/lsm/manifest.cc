@@ -1,0 +1,125 @@
+#include "lsm/manifest.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace laser {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x4c4d414eu;  // "LMAN"
+}  // namespace
+
+Manifest::Manifest(Env* env, std::string db_path)
+    : env_(env), db_path_(std::move(db_path)) {}
+
+bool Manifest::Exists() const { return env_->FileExists(FilePath()); }
+
+Status Manifest::Save(const ManifestData& data) {
+  std::string out;
+  PutFixed32(&out, kManifestMagic);
+  PutVarint64(&out, data.next_file_number);
+  PutVarint64(&out, data.last_sequence);
+  PutVarint64(&out, data.wal_number);
+
+  const Version& v = *data.version;
+  PutVarint32(&out, static_cast<uint32_t>(v.num_levels()));
+  for (int level = 0; level < v.num_levels(); ++level) {
+    PutVarint32(&out, static_cast<uint32_t>(v.num_groups(level)));
+    for (int group = 0; group < v.num_groups(level); ++group) {
+      const auto& run = v.files(level, group);
+      PutVarint32(&out, static_cast<uint32_t>(run.size()));
+      for (const auto& f : run) {
+        PutVarint64(&out, f->file_number);
+        PutVarint64(&out, f->file_size);
+        PutLengthPrefixedSlice(&out, Slice(f->smallest));
+        PutLengthPrefixedSlice(&out, Slice(f->largest));
+        f->props.EncodeTo(&out);
+      }
+    }
+  }
+  PutFixed32(&out, crc32c::Mask(crc32c::Value(out.data(), out.size())));
+
+  LASER_RETURN_IF_ERROR(env_->WriteStringToFile(Slice(out), TempPath(), true));
+  return env_->RenameFile(TempPath(), FilePath());
+}
+
+Status Manifest::Load(BlockCache* cache, Stats* stats, ManifestData* data) {
+  std::string contents;
+  LASER_RETURN_IF_ERROR(env_->ReadFileToString(FilePath(), &contents));
+  if (contents.size() < 8) return Status::Corruption("manifest too short");
+
+  const uint32_t stored_crc =
+      crc32c::Unmask(DecodeFixed32(contents.data() + contents.size() - 4));
+  const uint32_t actual_crc = crc32c::Value(contents.data(), contents.size() - 4);
+  if (stored_crc != actual_crc) {
+    return Status::Corruption("manifest checksum mismatch");
+  }
+
+  Slice in(contents.data(), contents.size() - 4);
+  if (DecodeFixed32(in.data()) != kManifestMagic) {
+    return Status::Corruption("bad manifest magic");
+  }
+  in.remove_prefix(4);
+
+  if (!GetVarint64(&in, &data->next_file_number) ||
+      !GetVarint64(&in, &data->last_sequence) ||
+      !GetVarint64(&in, &data->wal_number)) {
+    return Status::Corruption("bad manifest counters");
+  }
+
+  uint32_t num_levels;
+  if (!GetVarint32(&in, &num_levels)) return Status::Corruption("bad level count");
+  std::vector<int> groups_per_level(num_levels, 0);
+
+  auto version = std::make_shared<Version>();
+  // First pass builds shape lazily: read groups per level as encountered.
+  std::vector<std::vector<Version::FileList>> files;
+  files.resize(num_levels);
+  for (uint32_t level = 0; level < num_levels; ++level) {
+    uint32_t num_groups;
+    if (!GetVarint32(&in, &num_groups)) {
+      return Status::Corruption("bad group count");
+    }
+    files[level].resize(num_groups);
+    groups_per_level[level] = static_cast<int>(num_groups);
+    for (uint32_t group = 0; group < num_groups; ++group) {
+      uint32_t num_files;
+      if (!GetVarint32(&in, &num_files)) {
+        return Status::Corruption("bad file count");
+      }
+      for (uint32_t i = 0; i < num_files; ++i) {
+        auto meta = std::make_shared<FileMetaData>();
+        Slice smallest, largest;
+        if (!GetVarint64(&in, &meta->file_number) ||
+            !GetVarint64(&in, &meta->file_size) ||
+            !GetLengthPrefixedSlice(&in, &smallest) ||
+            !GetLengthPrefixedSlice(&in, &largest)) {
+          return Status::Corruption("bad file record");
+        }
+        meta->smallest = smallest.ToString();
+        meta->largest = largest.ToString();
+        LASER_RETURN_IF_ERROR(meta->props.DecodeFrom(&in));
+        std::unique_ptr<SstReader> reader;
+        LASER_RETURN_IF_ERROR(
+            SstReader::Open(env_, db_path_ + "/" + SstFileName(meta->file_number),
+                            meta->file_number, cache, stats, &reader));
+        meta->reader = std::move(reader);
+        files[level][group].push_back(std::move(meta));
+      }
+    }
+  }
+
+  version = Version::Empty(static_cast<int>(num_levels), groups_per_level);
+  for (uint32_t level = 0; level < num_levels; ++level) {
+    for (size_t group = 0; group < files[level].size(); ++group) {
+      for (auto& f : files[level][group]) {
+        version->mutable_files(static_cast<int>(level), static_cast<int>(group))
+            .push_back(std::move(f));
+      }
+    }
+  }
+  data->version = std::move(version);
+  return Status::OK();
+}
+
+}  // namespace laser

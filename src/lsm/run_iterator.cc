@@ -1,0 +1,92 @@
+#include "lsm/run_iterator.h"
+
+#include <cassert>
+
+#include "lsm/dbformat.h"
+
+namespace laser {
+
+namespace {
+
+class RunIterator final : public Iterator {
+ public:
+  explicit RunIterator(Version::FileList files) : files_(std::move(files)) {}
+
+  bool Valid() const override { return iter_ != nullptr && iter_->Valid(); }
+
+  void SeekToFirst() override {
+    index_ = 0;
+    InitIterator();
+    if (iter_ != nullptr) iter_->SeekToFirst();
+    SkipEmptyFilesForward();
+  }
+
+  void Seek(const Slice& target) override {
+    // Binary search for the first file whose largest key >= target.
+    size_t lo = 0;
+    size_t hi = files_.size();
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cmp_.Compare(Slice(files_[mid]->largest), target) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    index_ = lo;
+    InitIterator();
+    if (iter_ != nullptr) iter_->Seek(target);
+    SkipEmptyFilesForward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    iter_->Next();
+    SkipEmptyFilesForward();
+  }
+
+  Slice key() const override { return iter_->key(); }
+  Slice value() const override { return iter_->value(); }
+
+  Status status() const override {
+    if (iter_ != nullptr && !iter_->status().ok()) return iter_->status();
+    return status_;
+  }
+
+ private:
+  void InitIterator() {
+    if (index_ >= files_.size()) {
+      iter_.reset();
+    } else {
+      iter_ = files_[index_]->reader->NewIterator();
+    }
+  }
+
+  void SkipEmptyFilesForward() {
+    while (iter_ != nullptr && !iter_->Valid()) {
+      if (!iter_->status().ok()) {
+        status_ = iter_->status();
+        iter_.reset();
+        return;
+      }
+      ++index_;
+      InitIterator();
+      if (iter_ != nullptr) iter_->SeekToFirst();
+    }
+  }
+
+  InternalKeyComparator cmp_;
+  Version::FileList files_;
+  size_t index_ = 0;
+  std::unique_ptr<Iterator> iter_;
+  Status status_;
+};
+
+}  // namespace
+
+std::unique_ptr<Iterator> NewRunIterator(Version::FileList files) {
+  if (files.empty()) return std::make_unique<EmptyIterator>();
+  return std::make_unique<RunIterator>(std::move(files));
+}
+
+}  // namespace laser

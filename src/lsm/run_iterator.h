@@ -1,0 +1,20 @@
+// RunIterator: sequential view over one sorted run — the concatenation of a
+// level/group's non-overlapping SSTs in key order.
+
+#ifndef LASER_LSM_RUN_ITERATOR_H_
+#define LASER_LSM_RUN_ITERATOR_H_
+
+#include <memory>
+
+#include "lsm/version.h"
+#include "util/iterator.h"
+
+namespace laser {
+
+/// Creates an iterator over `files` (must be sorted by smallest key and
+/// non-overlapping). Pins the files via shared_ptr.
+std::unique_ptr<Iterator> NewRunIterator(Version::FileList files);
+
+}  // namespace laser
+
+#endif  // LASER_LSM_RUN_ITERATOR_H_

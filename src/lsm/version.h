@@ -1,0 +1,83 @@
+// Version: an immutable snapshot of the LSM-Tree file layout —
+// files[level][group] is the sorted run of that column group at that level
+// (level 0 has one row-format group whose files may overlap; deeper runs are
+// partitioned into non-overlapping SSTs).
+//
+// Versions are copy-on-write: flush/compaction builds a successor Version
+// and the engine atomically swaps the shared_ptr. Readers pin the Version
+// (and thereby its files) for the duration of a query.
+
+#ifndef LASER_LSM_VERSION_H_
+#define LASER_LSM_VERSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/file_meta.h"
+
+namespace laser {
+
+class Version {
+ public:
+  using FileList = std::vector<std::shared_ptr<FileMetaData>>;
+
+  Version() = default;
+
+  /// An empty tree with the given shape.
+  static std::shared_ptr<Version> Empty(int num_levels,
+                                        const std::vector<int>& groups_per_level);
+
+  /// Deep-copies the level/group structure (file pointers are shared).
+  std::shared_ptr<Version> Clone() const;
+
+  int num_levels() const { return static_cast<int>(files_.size()); }
+  int num_groups(int level) const {
+    return static_cast<int>(files_[level].size());
+  }
+
+  const FileList& files(int level, int group) const {
+    return files_[level][group];
+  }
+  FileList& mutable_files(int level, int group) { return files_[level][group]; }
+
+  /// Total bytes in one sorted run.
+  uint64_t GroupBytes(int level, int group) const;
+
+  /// Total entries in one sorted run.
+  uint64_t GroupEntries(int level, int group) const;
+
+  /// Total bytes across all runs.
+  uint64_t TotalBytes() const;
+
+  /// Files in (level, group) whose user-key range intersects [lo, hi].
+  FileList OverlappingFiles(int level, int group, const Slice& lo,
+                            const Slice& hi) const;
+
+  /// For level >= 1 (non-overlapping run): the file whose user-key range
+  /// contains `user_key`, or nullptr.
+  std::shared_ptr<FileMetaData> FileContaining(int level, int group,
+                                               const Slice& user_key) const;
+
+  /// Replaces run (level, group): removes `remove` (matched by file_number)
+  /// and inserts `add`, keeping the run sorted by smallest key.
+  /// REQUIRES: called on a Clone not yet published.
+  void ReplaceFiles(int level, int group, const FileList& remove,
+                    const FileList& add);
+
+  /// Appends a file to level-0 (newest last).
+  void AddLevel0File(std::shared_ptr<FileMetaData> file);
+
+  /// Multi-line human-readable summary (files and bytes per level/group).
+  std::string DebugString() const;
+
+ private:
+  // files_[level][group] -> run; L0 ordered by flush time (oldest first),
+  // deeper runs ordered by smallest key.
+  std::vector<std::vector<FileList>> files_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LSM_VERSION_H_

@@ -1,0 +1,153 @@
+#include "memtable/memtable.h"
+
+#include "util/coding.h"
+
+namespace laser {
+
+// Entry layout in the arena:
+//   varint32 internal_key_length
+//   internal_key bytes (user key + 8-byte trailer)
+//   varint32 value_length
+//   value bytes
+namespace {
+
+Slice GetLengthPrefixed(const char* data) {
+  uint32_t len;
+  const char* p = GetVarint32Ptr(data, data + 5, &len);
+  return Slice(p, len);
+}
+
+}  // namespace
+
+int MemTable::KeyComparator::operator()(const char* a, const char* b) const {
+  Slice ka = GetLengthPrefixed(a);
+  Slice kb = GetLengthPrefixed(b);
+  return comparator.Compare(ka, kb);
+}
+
+MemTable::MemTable() : table_(KeyComparator(), &arena_) {}
+
+void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+                   const Slice& value) {
+  const size_t internal_key_size = user_key.size() + 8;
+  const size_t encoded_len = VarintLength(internal_key_size) + internal_key_size +
+                             VarintLength(value.size()) + value.size();
+  char* buf = arena_.Allocate(encoded_len);
+  char* p = EncodeVarint32(buf, static_cast<uint32_t>(internal_key_size));
+  memcpy(p, user_key.data(), user_key.size());
+  p += user_key.size();
+  EncodeFixed64(p, PackSequenceAndType(seq, type));
+  p += 8;
+  p = EncodeVarint32(p, static_cast<uint32_t>(value.size()));
+  memcpy(p, value.data(), value.size());
+  assert(p + value.size() == buf + encoded_len);
+  table_.Insert(buf);
+  ++num_entries_;
+  if (smallest_seq_ == 0 || seq < smallest_seq_) smallest_seq_ = seq;
+  if (seq > largest_seq_) largest_seq_ = seq;
+}
+
+bool MemTable::Get(const Slice& user_key, SequenceNumber snapshot,
+                   GetResult* result) const {
+  std::string lookup = MakeLookupKey(user_key, snapshot);
+  std::string entry;
+  entry.reserve(5 + lookup.size());
+  {
+    char buf[5];
+    char* p = EncodeVarint32(buf, static_cast<uint32_t>(lookup.size()));
+    entry.append(buf, p - buf);
+    entry.append(lookup);
+  }
+  Table::Iterator iter(&table_);
+  iter.Seek(entry.data());
+  if (!iter.Valid()) return false;
+
+  const char* stored = iter.key();
+  Slice internal_key = GetLengthPrefixed(stored);
+  ParsedInternalKey parsed;
+  if (!ParseInternalKey(internal_key, &parsed)) return false;
+  if (parsed.user_key != user_key) return false;
+
+  result->found = true;
+  result->type = parsed.type;
+  result->sequence = parsed.sequence;
+  if (parsed.type != kTypeDeletion) {
+    const char* value_start = internal_key.data() + internal_key.size();
+    Slice value = GetLengthPrefixed(value_start);
+    result->value.assign(value.data(), value.size());
+  } else {
+    result->value.clear();
+  }
+  return true;
+}
+
+bool MemTable::GetVersions(const Slice& user_key, SequenceNumber snapshot,
+                           std::vector<KeyVersion>* versions) const {
+  std::string lookup = MakeLookupKey(user_key, snapshot);
+  std::string entry;
+  {
+    char buf[5];
+    char* p = EncodeVarint32(buf, static_cast<uint32_t>(lookup.size()));
+    entry.append(buf, p - buf);
+    entry.append(lookup);
+  }
+  Table::Iterator iter(&table_);
+  bool added = false;
+  for (iter.Seek(entry.data()); iter.Valid(); iter.Next()) {
+    Slice internal_key = GetLengthPrefixed(iter.key());
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(internal_key, &parsed)) break;
+    if (parsed.user_key != user_key) break;
+    KeyVersion v;
+    v.type = parsed.type;
+    v.sequence = parsed.sequence;
+    if (parsed.type != kTypeDeletion) {
+      Slice value = GetLengthPrefixed(internal_key.data() + internal_key.size());
+      v.value.assign(value.data(), value.size());
+    }
+    versions->push_back(std::move(v));
+    added = true;
+    if (parsed.type == kTypeFullRow || parsed.type == kTypeDeletion) break;
+  }
+  return added;
+}
+
+/// Adapts a skiplist cursor to the Iterator interface; keys/values point into
+/// the arena and remain valid for the memtable's lifetime.
+class MemTableIterator final : public Iterator {
+ public:
+  explicit MemTableIterator(const MemTable::Table* table) : iter_(table) {}
+
+  bool Valid() const override { return iter_.Valid(); }
+  void SeekToFirst() override { iter_.SeekToFirst(); }
+
+  void Seek(const Slice& target) override {
+    scratch_.clear();
+    char buf[5];
+    char* p = EncodeVarint32(buf, static_cast<uint32_t>(target.size()));
+    scratch_.append(buf, p - buf);
+    scratch_.append(target.data(), target.size());
+    iter_.Seek(scratch_.data());
+  }
+
+  void Next() override { iter_.Next(); }
+
+  Slice key() const override { return GetLengthPrefixed(iter_.key()); }
+
+  Slice value() const override {
+    Slice k = GetLengthPrefixed(iter_.key());
+    return GetLengthPrefixed(k.data() + k.size());
+  }
+
+  Status status() const override { return Status::OK(); }
+
+ private:
+  MemTable::Table::Iterator iter_;
+  std::string scratch_;  // holds the encoded seek target
+};
+
+std::unique_ptr<Iterator> MemTable::NewIterator() const {
+  return std::make_unique<MemTableIterator>(&table_);
+}
+
+}  // namespace laser

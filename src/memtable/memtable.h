@@ -1,0 +1,96 @@
+// MemTable: the mutable in-memory piece of the (Real-Time) LSM-Tree.
+// Stores entries in a skiplist ordered by internal key; flushed to a
+// row-format Level-0 SST when full (§2.1, §3.2 keeps Level-0 row-oriented).
+
+#ifndef LASER_MEMTABLE_MEMTABLE_H_
+#define LASER_MEMTABLE_MEMTABLE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "memtable/skiplist.h"
+#include "util/arena.h"
+#include "util/iterator.h"
+
+namespace laser {
+
+/// Reference-counted so that readers and the flush job can hold an immutable
+/// memtable alive after it is swapped out.
+class MemTable {
+ public:
+  MemTable();
+
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  void Ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void Unref() {
+    const int prev = refs_.fetch_sub(1, std::memory_order_acq_rel);
+    assert(prev >= 1);
+    if (prev == 1) delete this;
+  }
+
+  /// Adds an entry. `value` is the encoded row (full or partial, per type).
+  void Add(SequenceNumber seq, ValueType type, const Slice& user_key,
+           const Slice& value);
+
+  /// Outcome of a point lookup in this memtable.
+  struct GetResult {
+    bool found = false;          // an entry for the user key was found
+    ValueType type = kTypeFullRow;
+    SequenceNumber sequence = 0;
+    std::string value;           // set unless type == kTypeDeletion
+  };
+
+  /// Finds the newest entry for `user_key` with sequence <= snapshot.
+  bool Get(const Slice& user_key, SequenceNumber snapshot, GetResult* result) const;
+
+  /// Collects the versions of `user_key` visible at `snapshot`, newest first,
+  /// stopping after the first full row or tombstone (nothing older can
+  /// contribute columns past that point). Appends to *versions; returns true
+  /// if anything was appended.
+  bool GetVersions(const Slice& user_key, SequenceNumber snapshot,
+                   std::vector<KeyVersion>* versions) const;
+
+  /// Iterator over internal keys (keys are internal-key encoded).
+  /// The iterator keeps the memtable alive via Ref/Unref externally.
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  /// Approximate memory used by entries.
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+
+  /// Number of entries added.
+  uint64_t num_entries() const { return num_entries_; }
+
+  /// Smallest sequence number in this memtable (0 if empty). Used by the
+  /// time-based compaction priority for freshly flushed L0 runs.
+  SequenceNumber smallest_sequence() const { return smallest_seq_; }
+  SequenceNumber largest_sequence() const { return largest_seq_; }
+
+ private:
+  friend class MemTableIterator;
+
+  struct KeyComparator {
+    InternalKeyComparator comparator;
+    /// Entries are length-prefixed internal keys stored in the arena.
+    int operator()(const char* a, const char* b) const;
+  };
+
+  using Table = SkipList<const char*, KeyComparator>;
+
+  ~MemTable() = default;  // via Unref()
+
+  Arena arena_;
+  Table table_;
+  std::atomic<int> refs_{0};
+  uint64_t num_entries_ = 0;
+  SequenceNumber smallest_seq_ = 0;
+  SequenceNumber largest_seq_ = 0;
+};
+
+}  // namespace laser
+
+#endif  // LASER_MEMTABLE_MEMTABLE_H_

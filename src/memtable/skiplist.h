@@ -1,0 +1,180 @@
+// Arena-backed skiplist, the in-memory piece of the LSM-Tree (§2.1).
+// Template over key type + comparator; supports concurrent readers with a
+// single writer (atomic next pointers, as in LevelDB).
+
+#ifndef LASER_MEMTABLE_SKIPLIST_H_
+#define LASER_MEMTABLE_SKIPLIST_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+
+#include "util/arena.h"
+#include "util/random.h"
+
+namespace laser {
+
+/// Comparator must define: int operator()(const Key& a, const Key& b) const.
+template <typename Key, class Comparator>
+class SkipList {
+ public:
+  SkipList(Comparator cmp, Arena* arena);
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts key. REQUIRES: nothing equal to key is present.
+  void Insert(const Key& key);
+
+  /// True iff an entry equal to key is in the list.
+  bool Contains(const Key& key) const;
+
+  /// Cursor over the list; safe to use concurrently with inserts.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    const Key& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->Next(0);
+    }
+    void Seek(const Key& target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void SeekToFirst() { node_ = list_->head_->Next(0); }
+
+   private:
+    const SkipList* list_;
+    const typename SkipList::Node* node_;
+  };
+
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    explicit Node(const Key& k) : key(k) {}
+
+    const Key key;
+
+    Node* Next(int n) const {
+      assert(n >= 0);
+      return next_[n].load(std::memory_order_acquire);
+    }
+    void SetNext(int n, Node* x) {
+      assert(n >= 0);
+      next_[n].store(x, std::memory_order_release);
+    }
+    Node* NoBarrier_Next(int n) const {
+      return next_[n].load(std::memory_order_relaxed);
+    }
+    void NoBarrier_SetNext(int n, Node* x) {
+      next_[n].store(x, std::memory_order_relaxed);
+    }
+
+   private:
+    // Array of length equal to the node height; [0] is the lowest level.
+    std::atomic<Node*> next_[1];
+  };
+
+  Node* NewNode(const Key& key, int height);
+  int RandomHeight();
+  bool Equal(const Key& a, const Key& b) const { return compare_(a, b) == 0; }
+  bool KeyIsAfterNode(const Key& key, Node* n) const {
+    return (n != nullptr) && (compare_(n->key, key) < 0);
+  }
+  Node* FindGreaterOrEqual(const Key& key, Node** prev) const;
+
+  int GetMaxHeight() const {
+    return max_height_.load(std::memory_order_relaxed);
+  }
+
+  Comparator const compare_;
+  Arena* const arena_;
+  Node* const head_;
+  std::atomic<int> max_height_;
+  Random rnd_;
+};
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node* SkipList<Key, Comparator>::NewNode(
+    const Key& key, int height) {
+  char* const node_memory = arena_->AllocateAligned(
+      sizeof(Node) + sizeof(std::atomic<Node*>) * (height - 1));
+  return new (node_memory) Node(key);
+}
+
+template <typename Key, class Comparator>
+int SkipList<Key, Comparator>::RandomHeight() {
+  static const unsigned kBranching = 4;
+  int height = 1;
+  while (height < kMaxHeight && rnd_.OneIn(kBranching)) {
+    ++height;
+  }
+  assert(height > 0 && height <= kMaxHeight);
+  return height;
+}
+
+template <typename Key, class Comparator>
+typename SkipList<Key, Comparator>::Node*
+SkipList<Key, Comparator>::FindGreaterOrEqual(const Key& key, Node** prev) const {
+  Node* x = head_;
+  int level = GetMaxHeight() - 1;
+  while (true) {
+    Node* next = x->Next(level);
+    if (KeyIsAfterNode(key, next)) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+}
+
+template <typename Key, class Comparator>
+SkipList<Key, Comparator>::SkipList(Comparator cmp, Arena* arena)
+    : compare_(cmp),
+      arena_(arena),
+      head_(NewNode(Key(), kMaxHeight)),
+      max_height_(1),
+      rnd_(0xdeadbeef) {
+  for (int i = 0; i < kMaxHeight; ++i) {
+    head_->SetNext(i, nullptr);
+  }
+}
+
+template <typename Key, class Comparator>
+void SkipList<Key, Comparator>::Insert(const Key& key) {
+  Node* prev[kMaxHeight];
+  Node* x = FindGreaterOrEqual(key, prev);
+  assert(x == nullptr || !Equal(key, x->key));
+
+  int height = RandomHeight();
+  if (height > GetMaxHeight()) {
+    for (int i = GetMaxHeight(); i < height; ++i) {
+      prev[i] = head_;
+    }
+    max_height_.store(height, std::memory_order_relaxed);
+  }
+
+  x = NewNode(key, height);
+  for (int i = 0; i < height; ++i) {
+    x->NoBarrier_SetNext(i, prev[i]->NoBarrier_Next(i));
+    prev[i]->SetNext(i, x);
+  }
+}
+
+template <typename Key, class Comparator>
+bool SkipList<Key, Comparator>::Contains(const Key& key) const {
+  Node* x = FindGreaterOrEqual(key, nullptr);
+  return x != nullptr && Equal(key, x->key);
+}
+
+}  // namespace laser
+
+#endif  // LASER_MEMTABLE_SKIPLIST_H_

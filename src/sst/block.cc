@@ -1,0 +1,173 @@
+#include "sst/block.h"
+
+#include <cassert>
+
+#include "util/coding.h"
+
+namespace laser {
+
+Block::Block(std::string contents) : data_(std::move(contents)) {
+  if (data_.size() < sizeof(uint32_t)) {
+    malformed_ = true;
+    return;
+  }
+  const uint32_t num_restarts = NumRestarts();
+  const size_t trailer = (1 + static_cast<size_t>(num_restarts)) * sizeof(uint32_t);
+  if (trailer > data_.size()) {
+    malformed_ = true;
+    return;
+  }
+  restart_offset_ = static_cast<uint32_t>(data_.size() - trailer);
+}
+
+uint32_t Block::NumRestarts() const {
+  return DecodeFixed32(data_.data() + data_.size() - sizeof(uint32_t));
+}
+
+/// Decodes the entry header at `p`; returns pointer to the key suffix or
+/// nullptr on corruption.
+static const char* DecodeEntry(const char* p, const char* limit, uint32_t* shared,
+                               uint32_t* non_shared, uint32_t* value_length) {
+  if (limit - p < 3) return nullptr;
+  *shared = static_cast<unsigned char>(p[0]);
+  *non_shared = static_cast<unsigned char>(p[1]);
+  *value_length = static_cast<unsigned char>(p[2]);
+  if ((*shared | *non_shared | *value_length) < 128) {
+    // Fast path: all three values fit in one byte each.
+    p += 3;
+  } else {
+    if ((p = GetVarint32Ptr(p, limit, shared)) == nullptr) return nullptr;
+    if ((p = GetVarint32Ptr(p, limit, non_shared)) == nullptr) return nullptr;
+    if ((p = GetVarint32Ptr(p, limit, value_length)) == nullptr) return nullptr;
+  }
+  if (static_cast<uint32_t>(limit - p) < (*non_shared + *value_length)) {
+    return nullptr;
+  }
+  return p;
+}
+
+class Block::Iter final : public Iterator {
+ public:
+  Iter(const char* data, uint32_t restarts, uint32_t num_restarts)
+      : data_(data), restarts_(restarts), num_restarts_(num_restarts) {}
+
+  bool Valid() const override { return current_ < restarts_; }
+
+  void SeekToFirst() override {
+    SeekToRestartPoint(0);
+    ParseNextKey();
+  }
+
+  void Seek(const Slice& target) override {
+    // Binary search over restart points for the last restart with key < target.
+    uint32_t left = 0;
+    uint32_t right = num_restarts_ - 1;
+    while (left < right) {
+      uint32_t mid = (left + right + 1) / 2;
+      uint32_t region_offset = GetRestartPoint(mid);
+      uint32_t shared, non_shared, value_length;
+      const char* key_ptr =
+          DecodeEntry(data_ + region_offset, data_ + restarts_, &shared,
+                      &non_shared, &value_length);
+      if (key_ptr == nullptr || shared != 0) {
+        CorruptionError();
+        return;
+      }
+      Slice mid_key(key_ptr, non_shared);
+      if (cmp_.Compare(mid_key, target) < 0) {
+        left = mid;
+      } else {
+        right = mid - 1;
+      }
+    }
+    SeekToRestartPoint(left);
+    // Linear scan to the first key >= target.
+    while (true) {
+      if (!ParseNextKey()) return;
+      if (cmp_.Compare(Slice(key_), target) >= 0) return;
+    }
+  }
+
+  void Next() override {
+    assert(Valid());
+    ParseNextKey();
+  }
+
+  Slice key() const override {
+    assert(Valid());
+    return Slice(key_);
+  }
+  Slice value() const override {
+    assert(Valid());
+    return value_;
+  }
+  Status status() const override { return status_; }
+
+ private:
+  uint32_t GetRestartPoint(uint32_t index) const {
+    assert(index < num_restarts_);
+    return DecodeFixed32(data_ + restarts_ + index * sizeof(uint32_t));
+  }
+
+  void SeekToRestartPoint(uint32_t index) {
+    key_.clear();
+    restart_index_ = index;
+    const uint32_t offset = GetRestartPoint(index);
+    value_ = Slice(data_ + offset, 0);
+    current_ = offset;
+    next_entry_offset_ = offset;
+  }
+
+  bool ParseNextKey() {
+    current_ = next_entry_offset_;
+    const char* p = data_ + current_;
+    const char* limit = data_ + restarts_;
+    if (p >= limit) {
+      current_ = restarts_;  // mark invalid
+      return false;
+    }
+    uint32_t shared, non_shared, value_length;
+    p = DecodeEntry(p, limit, &shared, &non_shared, &value_length);
+    if (p == nullptr || key_.size() < shared) {
+      CorruptionError();
+      return false;
+    }
+    key_.resize(shared);
+    key_.append(p, non_shared);
+    value_ = Slice(p + non_shared, value_length);
+    next_entry_offset_ = static_cast<uint32_t>((p + non_shared + value_length) - data_);
+    return true;
+  }
+
+  void CorruptionError() {
+    current_ = restarts_;
+    status_ = Status::Corruption("bad entry in block");
+    key_.clear();
+    value_.clear();
+  }
+
+  InternalKeyComparator cmp_;
+  const char* const data_;
+  const uint32_t restarts_;
+  const uint32_t num_restarts_;
+
+  uint32_t current_ = 0;            // offset of current entry
+  uint32_t next_entry_offset_ = 0;  // offset past current entry
+  uint32_t restart_index_ = 0;
+  std::string key_;
+  Slice value_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> Block::NewIterator() const {
+  if (malformed_) {
+    return std::make_unique<EmptyIterator>(Status::Corruption("bad block"));
+  }
+  const uint32_t num_restarts = NumRestarts();
+  if (num_restarts == 0) {
+    return std::make_unique<EmptyIterator>();
+  }
+  return std::make_unique<Iter>(data_.data(), restart_offset_, num_restarts);
+}
+
+}  // namespace laser

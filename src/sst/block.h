@@ -1,0 +1,43 @@
+// Block: read-side of BlockBuilder output; iterator does restart-point
+// binary search followed by linear delta-decoding.
+
+#ifndef LASER_SST_BLOCK_H_
+#define LASER_SST_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "util/iterator.h"
+
+namespace laser {
+
+/// An immutable parsed block; shared between the cache and iterators.
+class Block {
+ public:
+  /// Takes ownership of `contents` (uncompressed block bytes incl. trailer).
+  explicit Block(std::string contents);
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  size_t size() const { return data_.size(); }
+
+  /// Iterates entries in key order. Keys are compared with the internal-key
+  /// comparator (all engine blocks store internal keys).
+  std::unique_ptr<Iterator> NewIterator() const;
+
+ private:
+  class Iter;
+
+  uint32_t NumRestarts() const;
+
+  std::string data_;
+  uint32_t restart_offset_ = 0;  // offset of the restart array
+  bool malformed_ = false;
+};
+
+}  // namespace laser
+
+#endif  // LASER_SST_BLOCK_H_

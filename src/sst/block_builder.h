@@ -1,0 +1,56 @@
+// BlockBuilder: builds a sorted data/index block with restart-point prefix
+// compression — the key delta-encoding that §4.1 credits for shrinking the
+// simulated column-group representation.
+//
+// Entry:   shared_len varint32 | non_shared_len varint32 | value_len varint32
+//          | key_suffix | value
+// Trailer: restart offsets (fixed32 each) | num_restarts (fixed32)
+
+#ifndef LASER_SST_BLOCK_BUILDER_H_
+#define LASER_SST_BLOCK_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace laser {
+
+class BlockBuilder {
+ public:
+  /// `restart_interval`: one uncompressed key every N entries; 1 disables
+  /// delta-encoding entirely (used by the §4.1 storage-overhead experiment).
+  explicit BlockBuilder(int restart_interval = 16);
+
+  BlockBuilder(const BlockBuilder&) = delete;
+  BlockBuilder& operator=(const BlockBuilder&) = delete;
+
+  /// Appends an entry. REQUIRES: key > all previously added keys.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Appends the restart trailer and returns the block contents. The returned
+  /// slice remains valid until Reset().
+  Slice Finish();
+
+  void Reset();
+
+  /// Estimated size of the finished block so far.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return buffer_.empty(); }
+  int num_entries() const { return counter_total_; }
+
+ private:
+  const int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;        // entries since last restart
+  int counter_total_ = 0;  // total entries
+  bool finished_ = false;
+  std::string last_key_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_SST_BLOCK_BUILDER_H_

@@ -1,0 +1,60 @@
+#include "sst/block_cache.h"
+
+namespace laser {
+
+BlockCache::BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+std::shared_ptr<Block> BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(CacheKey{file_number, offset});
+  if (it == index_.end()) return nullptr;
+  // Move to front.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->block;
+}
+
+void BlockCache::Insert(uint64_t file_number, uint64_t offset,
+                        std::shared_ptr<Block> block) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const CacheKey key{file_number, offset};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    charge_ -= it->second->charge;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  const size_t charge = block->size() + sizeof(Entry);
+  lru_.push_front(Entry{key, std::move(block), charge});
+  index_[key] = lru_.begin();
+  charge_ += charge;
+  EvictIfNeeded();
+}
+
+void BlockCache::EraseFile(uint64_t file_number) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.file_number == file_number) {
+      charge_ -= it->charge;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t BlockCache::charge() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return charge_;
+}
+
+void BlockCache::EvictIfNeeded() {
+  while (charge_ > capacity_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    charge_ -= victim.charge;
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace laser

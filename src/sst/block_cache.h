@@ -1,0 +1,68 @@
+// Sharded LRU cache of uncompressed blocks, keyed by (file_number, offset).
+// §2.1 assumes index blocks and bloom filters are cached in memory; the
+// block cache extends that to hot data blocks, as RocksDB does.
+
+#ifndef LASER_SST_BLOCK_CACHE_H_
+#define LASER_SST_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sst/block.h"
+
+namespace laser {
+
+/// Thread-safe LRU cache with a byte-size capacity.
+class BlockCache {
+ public:
+  explicit BlockCache(size_t capacity_bytes);
+
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns the cached block or nullptr.
+  std::shared_ptr<Block> Lookup(uint64_t file_number, uint64_t offset);
+
+  /// Inserts a block (replacing any previous entry for the key).
+  void Insert(uint64_t file_number, uint64_t offset, std::shared_ptr<Block> block);
+
+  /// Drops all blocks belonging to a deleted file.
+  void EraseFile(uint64_t file_number);
+
+  size_t charge() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct CacheKey {
+    uint64_t file_number;
+    uint64_t offset;
+    bool operator==(const CacheKey& o) const {
+      return file_number == o.file_number && offset == o.offset;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const {
+      return std::hash<uint64_t>()(k.file_number * 0x9e3779b97f4a7c15ull + k.offset);
+    }
+  };
+  struct Entry {
+    CacheKey key;
+    std::shared_ptr<Block> block;
+    size_t charge;
+  };
+
+  void EvictIfNeeded();  // REQUIRES: mu_ held
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index_;
+  size_t charge_ = 0;
+};
+
+}  // namespace laser
+
+#endif  // LASER_SST_BLOCK_CACHE_H_

@@ -1,0 +1,60 @@
+#include "sst/bloom.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace laser {
+
+namespace {
+uint32_t BloomHash(const Slice& key) { return Hash32(key.data(), key.size(), 0xbc9f1d34); }
+}  // namespace
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(bits_per_key),
+      // k = ln(2) * bits/key, clamped to [1, 30].
+      num_probes_(std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30)) {}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  hashes_.push_back(BloomHash(key));
+}
+
+std::string BloomFilterBuilder::Finish() {
+  size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+  // Tiny filters have a high false positive rate; enforce a floor.
+  if (bits < 64) bits = 64;
+  const size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+
+  std::string result(bytes, '\0');
+  for (uint32_t h : hashes_) {
+    // Double hashing (Kirsch-Mitzenmacher).
+    const uint32_t delta = (h >> 17) | (h << 15);
+    for (int j = 0; j < num_probes_; ++j) {
+      const uint32_t bitpos = h % bits;
+      result[bitpos / 8] |= static_cast<char>(1 << (bitpos % 8));
+      h += delta;
+    }
+  }
+  result.push_back(static_cast<char>(num_probes_));
+  return result;
+}
+
+bool BloomFilterReader::KeyMayMatch(const Slice& key) const {
+  if (data_.size() < 2) return true;  // malformed: be conservative
+  const size_t bytes = data_.size() - 1;
+  const size_t bits = bytes * 8;
+  const int num_probes = static_cast<unsigned char>(data_[data_.size() - 1]);
+  if (num_probes > 30 || num_probes < 1) return true;
+
+  uint32_t h = BloomHash(key);
+  const uint32_t delta = (h >> 17) | (h << 15);
+  for (int j = 0; j < num_probes; ++j) {
+    const uint32_t bitpos = h % bits;
+    if ((data_[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace laser

@@ -1,0 +1,49 @@
+// Bloom filter over the user keys of one SST (§2.1: "many LSM-Tree
+// implementations include a bloom filter with each SST"). The cost model
+// assumes fpr ≈ 1%, which 10 bits/key with k=7 delivers.
+
+#ifndef LASER_SST_BLOOM_H_
+#define LASER_SST_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace laser {
+
+/// Builds the serialized filter: bit array followed by a 1-byte probe count.
+class BloomFilterBuilder {
+ public:
+  explicit BloomFilterBuilder(int bits_per_key = 10);
+
+  void AddKey(const Slice& key);
+
+  /// Serializes the filter for the keys added so far.
+  std::string Finish();
+
+  size_t num_keys() const { return hashes_.size(); }
+
+ private:
+  const int bits_per_key_;
+  int num_probes_;
+  std::vector<uint32_t> hashes_;
+};
+
+/// Read-side view over a serialized filter (non-owning).
+class BloomFilterReader {
+ public:
+  /// `data` must outlive the reader.
+  explicit BloomFilterReader(const Slice& data) : data_(data) {}
+
+  /// False means the key is definitely absent.
+  bool KeyMayMatch(const Slice& key) const;
+
+ private:
+  Slice data_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_SST_BLOOM_H_

@@ -1,0 +1,111 @@
+// On-disk SST format shared by builder and reader.
+//
+// File layout:
+//   [data block]*           each block: contents | 1-byte compression tag |
+//                           4-byte masked CRC32C
+//   [filter block]          serialized bloom filter (uncompressed, CRC'd)
+//   [properties block]      fixed set of varint fields (uncompressed, CRC'd)
+//   [index block]           key = last internal key of data block,
+//                           value = BlockHandle
+//   footer (fixed size)     filter handle | props handle | index handle |
+//                           padding | magic
+
+#ifndef LASER_SST_FORMAT_H_
+#define LASER_SST_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace laser {
+
+/// Points at a byte range within the SST file.
+struct BlockHandle {
+  uint64_t offset = 0;
+  uint64_t size = 0;  // excluding the 5-byte tag+crc trailer
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, offset);
+    PutVarint64(dst, size);
+  }
+
+  Status DecodeFrom(Slice* input) {
+    if (GetVarint64(input, &offset) && GetVarint64(input, &size)) {
+      return Status::OK();
+    }
+    return Status::Corruption("bad block handle");
+  }
+
+  /// Maximum encoded length of a BlockHandle.
+  static constexpr size_t kMaxEncodedLength = 10 + 10;
+};
+
+/// Per-file statistics carried in the properties block; version metadata and
+/// the time-based compaction priority depend on them.
+struct SstProperties {
+  uint64_t num_entries = 0;
+  uint64_t raw_key_bytes = 0;
+  uint64_t raw_value_bytes = 0;
+  uint64_t smallest_seq = 0;
+  uint64_t largest_seq = 0;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, num_entries);
+    PutVarint64(dst, raw_key_bytes);
+    PutVarint64(dst, raw_value_bytes);
+    PutVarint64(dst, smallest_seq);
+    PutVarint64(dst, largest_seq);
+  }
+
+  Status DecodeFrom(Slice* input) {
+    if (GetVarint64(input, &num_entries) && GetVarint64(input, &raw_key_bytes) &&
+        GetVarint64(input, &raw_value_bytes) && GetVarint64(input, &smallest_seq) &&
+        GetVarint64(input, &largest_seq)) {
+      return Status::OK();
+    }
+    return Status::Corruption("bad properties block");
+  }
+};
+
+/// Fixed-size footer at the end of every SST.
+struct Footer {
+  BlockHandle filter_handle;
+  BlockHandle props_handle;
+  BlockHandle index_handle;
+
+  static constexpr uint64_t kMagic = 0x4c41534552445221ull;  // "LASERDR!"
+  static constexpr size_t kEncodedLength = 3 * BlockHandle::kMaxEncodedLength + 8;
+
+  void EncodeTo(std::string* dst) const {
+    const size_t original_size = dst->size();
+    filter_handle.EncodeTo(dst);
+    props_handle.EncodeTo(dst);
+    index_handle.EncodeTo(dst);
+    dst->resize(original_size + kEncodedLength - 8);  // zero-pad
+    PutFixed64(dst, kMagic);
+  }
+
+  Status DecodeFrom(Slice* input) {
+    if (input->size() < kEncodedLength) {
+      return Status::Corruption("footer too short");
+    }
+    const char* magic_ptr = input->data() + kEncodedLength - 8;
+    if (DecodeFixed64(magic_ptr) != kMagic) {
+      return Status::Corruption("bad SST magic number");
+    }
+    Slice handles(input->data(), kEncodedLength - 8);
+    LASER_RETURN_IF_ERROR(filter_handle.DecodeFrom(&handles));
+    LASER_RETURN_IF_ERROR(props_handle.DecodeFrom(&handles));
+    return index_handle.DecodeFrom(&handles);
+  }
+};
+
+/// 1-byte compression tag + 4-byte masked CRC32C appended to every block.
+constexpr size_t kBlockTrailerSize = 5;
+
+}  // namespace laser
+
+#endif  // LASER_SST_FORMAT_H_

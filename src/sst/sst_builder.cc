@@ -1,0 +1,128 @@
+#include "sst/sst_builder.h"
+
+#include <cassert>
+
+#include "util/crc32c.h"
+
+namespace laser {
+
+SstBuilder::SstBuilder(const SstBuildOptions& options,
+                       std::unique_ptr<WritableFile> file)
+    : options_(options),
+      file_(std::move(file)),
+      data_block_(options.restart_interval),
+      index_block_(1),
+      filter_(options.bloom_bits_per_key) {
+  props_.smallest_seq = kMaxSequenceNumber;
+}
+
+void SstBuilder::Add(const Slice& internal_key, const Slice& value) {
+  if (!status_.ok()) return;
+
+  if (pending_index_entry_) {
+    // The previous block is complete; index it by its last key.
+    index_block_.Add(Slice(pending_index_key_), [this] {
+      std::string handle;
+      pending_handle_.EncodeTo(&handle);
+      return handle;
+    }());
+    pending_index_entry_ = false;
+  }
+
+  if (smallest_key_.empty()) smallest_key_ = internal_key.ToString();
+  largest_key_ = internal_key.ToString();
+
+  filter_.AddKey(ExtractUserKey(internal_key));
+  const SequenceNumber seq = ExtractSequence(internal_key);
+  if (seq < props_.smallest_seq) props_.smallest_seq = seq;
+  if (seq > props_.largest_seq) props_.largest_seq = seq;
+  props_.num_entries++;
+  props_.raw_key_bytes += internal_key.size();
+  props_.raw_value_bytes += value.size();
+
+  data_block_.Add(internal_key, value);
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    FlushDataBlock();
+  }
+}
+
+void SstBuilder::FlushDataBlock() {
+  if (data_block_.empty() || !status_.ok()) return;
+  Slice contents = data_block_.Finish();
+  WriteBlock(contents, options_.compression, &pending_handle_);
+  data_block_.Reset();
+  pending_index_key_ = largest_key_;
+  pending_index_entry_ = true;
+}
+
+void SstBuilder::WriteBlock(const Slice& contents, CompressionType type,
+                            BlockHandle* handle) {
+  Slice block_contents = contents;
+  char tag = static_cast<char>(CompressionType::kNone);
+  if (type == CompressionType::kLightLZ) {
+    LightLZCompress(contents, &compression_scratch_);
+    // Keep compression only when it actually saves space (RocksDB does the
+    // same with its 87.5% threshold).
+    if (compression_scratch_.size() < contents.size() * 7 / 8) {
+      block_contents = Slice(compression_scratch_);
+      tag = static_cast<char>(CompressionType::kLightLZ);
+    }
+  }
+
+  handle->offset = offset_;
+  handle->size = block_contents.size();
+
+  status_ = file_->Append(block_contents);
+  if (!status_.ok()) return;
+
+  char trailer[kBlockTrailerSize];
+  trailer[0] = tag;
+  uint32_t crc = crc32c::Value(block_contents.data(), block_contents.size());
+  crc = crc32c::Extend(crc, trailer, 1);
+  EncodeFixed32(trailer + 1, crc32c::Mask(crc));
+  status_ = file_->Append(Slice(trailer, kBlockTrailerSize));
+  if (status_.ok()) {
+    offset_ += block_contents.size() + kBlockTrailerSize;
+  }
+}
+
+Status SstBuilder::Finish() {
+  FlushDataBlock();
+  if (!status_.ok()) return status_;
+
+  Footer footer;
+
+  // Filter block (never compressed: it is random bits).
+  std::string filter_contents = filter_.Finish();
+  WriteBlock(Slice(filter_contents), CompressionType::kNone, &footer.filter_handle);
+  if (!status_.ok()) return status_;
+
+  // Properties block.
+  std::string props_contents;
+  props_.EncodeTo(&props_contents);
+  WriteBlock(Slice(props_contents), CompressionType::kNone, &footer.props_handle);
+  if (!status_.ok()) return status_;
+
+  // Index block.
+  if (pending_index_entry_) {
+    std::string handle;
+    pending_handle_.EncodeTo(&handle);
+    index_block_.Add(Slice(pending_index_key_), Slice(handle));
+    pending_index_entry_ = false;
+  }
+  WriteBlock(index_block_.Finish(), CompressionType::kNone, &footer.index_handle);
+  if (!status_.ok()) return status_;
+
+  // Footer.
+  std::string footer_encoding;
+  footer.EncodeTo(&footer_encoding);
+  status_ = file_->Append(Slice(footer_encoding));
+  if (!status_.ok()) return status_;
+  offset_ += footer_encoding.size();
+
+  status_ = file_->Sync();
+  if (status_.ok()) status_ = file_->Close();
+  return status_;
+}
+
+}  // namespace laser

@@ -1,0 +1,77 @@
+// SstBuilder: serializes a sorted run of internal-key entries into one SST
+// file: 4KB data blocks (delta-encoded keys, optional compression), a bloom
+// filter over user keys, a properties block and an index block.
+
+#ifndef LASER_SST_SST_BUILDER_H_
+#define LASER_SST_SST_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "sst/block_builder.h"
+#include "sst/bloom.h"
+#include "sst/format.h"
+#include "util/codec.h"
+#include "util/env.h"
+
+namespace laser {
+
+/// Build-time knobs; defaults mirror RocksDB's (4KB blocks, bloom 10 bits).
+struct SstBuildOptions {
+  size_t block_size = 4096;
+  int restart_interval = 16;
+  CompressionType compression = CompressionType::kNone;
+  int bloom_bits_per_key = 10;
+};
+
+class SstBuilder {
+ public:
+  /// Takes ownership of `file`.
+  SstBuilder(const SstBuildOptions& options, std::unique_ptr<WritableFile> file);
+  ~SstBuilder() = default;
+
+  SstBuilder(const SstBuilder&) = delete;
+  SstBuilder& operator=(const SstBuilder&) = delete;
+
+  /// Adds an entry. REQUIRES: internal key ordering, no duplicates.
+  void Add(const Slice& internal_key, const Slice& value);
+
+  /// Finalizes the file (filter, properties, index, footer) and syncs it.
+  Status Finish();
+
+  /// Final file size. REQUIRES: Finish() returned OK.
+  uint64_t FileSize() const { return offset_; }
+
+  uint64_t NumEntries() const { return props_.num_entries; }
+  const SstProperties& properties() const { return props_; }
+  const std::string& smallest_key() const { return smallest_key_; }
+  const std::string& largest_key() const { return largest_key_; }
+  Status status() const { return status_; }
+
+ private:
+  void FlushDataBlock();
+  /// Writes `contents` with the block trailer; sets *handle.
+  void WriteBlock(const Slice& contents, CompressionType type, BlockHandle* handle);
+
+  SstBuildOptions options_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t offset_ = 0;
+  Status status_;
+
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder filter_;
+  SstProperties props_;
+
+  std::string smallest_key_;  // first internal key added
+  std::string largest_key_;   // last internal key added
+  std::string pending_index_key_;
+  BlockHandle pending_handle_;
+  bool pending_index_entry_ = false;
+  std::string compression_scratch_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_SST_SST_BUILDER_H_

@@ -1,0 +1,231 @@
+#include "sst/sst_reader.h"
+
+#include <cassert>
+
+#include "util/codec.h"
+#include "util/crc32c.h"
+
+namespace laser {
+
+Status SstReader::ReadRawBlock(RandomAccessFile* file, const BlockHandle& handle,
+                               std::string* contents) {
+  const size_t n = handle.size + kBlockTrailerSize;
+  auto scratch = std::make_unique<char[]>(n);
+  Slice raw;
+  LASER_RETURN_IF_ERROR(file->Read(handle.offset, n, &raw, scratch.get()));
+  if (raw.size() != n) return Status::Corruption("truncated block read");
+
+  // Verify CRC over contents + tag byte.
+  const char* trailer = raw.data() + handle.size;
+  const uint32_t expected = crc32c::Unmask(DecodeFixed32(trailer + 1));
+  uint32_t actual = crc32c::Value(raw.data(), handle.size);
+  actual = crc32c::Extend(actual, trailer, 1);
+  if (actual != expected) return Status::Corruption("block checksum mismatch");
+
+  const auto tag = static_cast<CompressionType>(trailer[0]);
+  switch (tag) {
+    case CompressionType::kNone:
+      contents->assign(raw.data(), handle.size);
+      return Status::OK();
+    case CompressionType::kLightLZ:
+      return LightLZDecompress(Slice(raw.data(), handle.size), contents);
+  }
+  return Status::Corruption("unknown block compression tag");
+}
+
+Status SstReader::Open(Env* env, const std::string& fname, uint64_t file_number,
+                       BlockCache* cache, Stats* stats,
+                       std::unique_ptr<SstReader>* reader) {
+  std::unique_ptr<RandomAccessFile> file;
+  LASER_RETURN_IF_ERROR(env->NewRandomAccessFile(fname, &file));
+  uint64_t file_size;
+  LASER_RETURN_IF_ERROR(env->GetFileSize(fname, &file_size));
+  if (file_size < Footer::kEncodedLength) {
+    return Status::Corruption("file too short to be an SST: " + fname);
+  }
+
+  char footer_space[Footer::kEncodedLength];
+  Slice footer_input;
+  LASER_RETURN_IF_ERROR(file->Read(file_size - Footer::kEncodedLength,
+                                   Footer::kEncodedLength, &footer_input,
+                                   footer_space));
+  Footer footer;
+  LASER_RETURN_IF_ERROR(footer.DecodeFrom(&footer_input));
+
+  auto r = std::unique_ptr<SstReader>(new SstReader());
+  r->file_ = std::move(file);
+  r->file_number_ = file_number;
+  r->file_size_ = file_size;
+  r->cache_ = cache;
+  r->stats_ = stats;
+
+  std::string index_contents;
+  LASER_RETURN_IF_ERROR(
+      ReadRawBlock(r->file_.get(), footer.index_handle, &index_contents));
+  r->index_block_ = std::make_unique<Block>(std::move(index_contents));
+
+  LASER_RETURN_IF_ERROR(
+      ReadRawBlock(r->file_.get(), footer.filter_handle, &r->filter_data_));
+
+  std::string props_contents;
+  LASER_RETURN_IF_ERROR(
+      ReadRawBlock(r->file_.get(), footer.props_handle, &props_contents));
+  Slice props_input(props_contents);
+  LASER_RETURN_IF_ERROR(r->props_.DecodeFrom(&props_input));
+
+  *reader = std::move(r);
+  return Status::OK();
+}
+
+bool SstReader::KeyMayMatch(const Slice& user_key) const {
+  if (stats_ != nullptr) {
+    stats_->bloom_checks.fetch_add(1, std::memory_order_relaxed);
+  }
+  BloomFilterReader filter((Slice(filter_data_)));
+  bool may_match = filter.KeyMayMatch(user_key);
+  if (!may_match && stats_ != nullptr) {
+    stats_->bloom_negatives.fetch_add(1, std::memory_order_relaxed);
+  }
+  return may_match;
+}
+
+Status SstReader::ReadDataBlock(const BlockHandle& handle,
+                                std::shared_ptr<Block>* block) const {
+  if (cache_ != nullptr) {
+    auto cached = cache_->Lookup(file_number_, handle.offset);
+    if (cached != nullptr) {
+      if (stats_ != nullptr) {
+        stats_->block_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      *block = std::move(cached);
+      return Status::OK();
+    }
+    if (stats_ != nullptr) {
+      stats_->block_cache_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::string contents;
+  LASER_RETURN_IF_ERROR(ReadRawBlock(file_.get(), handle, &contents));
+  if (stats_ != nullptr) {
+    stats_->data_block_reads.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto loaded = std::make_shared<Block>(std::move(contents));
+  if (cache_ != nullptr) {
+    cache_->Insert(file_number_, handle.offset, loaded);
+  }
+  *block = std::move(loaded);
+  return Status::OK();
+}
+
+bool SstReader::Get(const Slice& user_key, SequenceNumber snapshot,
+                    std::vector<KeyVersion>* versions) const {
+  if (!KeyMayMatch(user_key)) return false;
+
+  auto iter = NewIterator();
+  iter->Seek(MakeLookupKey(user_key, snapshot));
+  bool added = false;
+  for (; iter->Valid(); iter->Next()) {
+    ParsedInternalKey parsed;
+    if (!ParseInternalKey(iter->key(), &parsed)) break;
+    if (parsed.user_key != user_key) break;
+    KeyVersion v;
+    v.type = parsed.type;
+    v.sequence = parsed.sequence;
+    if (parsed.type != kTypeDeletion) v.value = iter->value().ToString();
+    versions->push_back(std::move(v));
+    added = true;
+    if (parsed.type == kTypeFullRow || parsed.type == kTypeDeletion) break;
+  }
+  return added;
+}
+
+/// Classic two-level iterator: an index cursor picks data blocks; a block
+/// cursor yields entries.
+class SstReader::TwoLevelIterator final : public Iterator {
+ public:
+  explicit TwoLevelIterator(const SstReader* reader)
+      : reader_(reader), index_iter_(reader->index_block_->NewIterator()) {}
+
+  bool Valid() const override { return data_iter_ != nullptr && data_iter_->Valid(); }
+
+  void SeekToFirst() override {
+    index_iter_->SeekToFirst();
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Seek(const Slice& target) override {
+    index_iter_->Seek(target);
+    InitDataBlock();
+    if (data_iter_ != nullptr) data_iter_->Seek(target);
+    SkipEmptyDataBlocksForward();
+  }
+
+  void Next() override {
+    assert(Valid());
+    data_iter_->Next();
+    SkipEmptyDataBlocksForward();
+  }
+
+  Slice key() const override { return data_iter_->key(); }
+  Slice value() const override { return data_iter_->value(); }
+
+  Status status() const override {
+    if (!index_iter_->status().ok()) return index_iter_->status();
+    if (data_iter_ != nullptr && !data_iter_->status().ok()) {
+      return data_iter_->status();
+    }
+    return status_;
+  }
+
+ private:
+  void InitDataBlock() {
+    if (!index_iter_->Valid()) {
+      data_iter_.reset();
+      data_block_.reset();
+      return;
+    }
+    Slice handle_contents = index_iter_->value();
+    BlockHandle handle;
+    Status s = handle.DecodeFrom(&handle_contents);
+    if (s.ok()) {
+      std::shared_ptr<Block> block;
+      s = reader_->ReadDataBlock(handle, &block);
+      if (s.ok()) {
+        data_block_ = std::move(block);
+        data_iter_ = data_block_->NewIterator();
+        return;
+      }
+    }
+    status_ = s;
+    data_iter_.reset();
+    data_block_.reset();
+  }
+
+  void SkipEmptyDataBlocksForward() {
+    while (data_iter_ == nullptr || !data_iter_->Valid()) {
+      if (!index_iter_->Valid()) {
+        data_iter_.reset();
+        data_block_.reset();
+        return;
+      }
+      index_iter_->Next();
+      InitDataBlock();
+      if (data_iter_ != nullptr) data_iter_->SeekToFirst();
+    }
+  }
+
+  const SstReader* reader_;
+  std::unique_ptr<Iterator> index_iter_;
+  std::shared_ptr<Block> data_block_;  // keeps the current block alive
+  std::unique_ptr<Iterator> data_iter_;
+  Status status_;
+};
+
+std::unique_ptr<Iterator> SstReader::NewIterator() const {
+  return std::make_unique<TwoLevelIterator>(this);
+}
+
+}  // namespace laser

@@ -1,0 +1,77 @@
+// SstReader: opens an SST, pins its index block, bloom filter and properties
+// in memory (the caching assumption of §2.1), and serves point lookups and
+// iterators over data blocks (via the optional shared block cache).
+
+#ifndef LASER_SST_SST_READER_H_
+#define LASER_SST_SST_READER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lsm/dbformat.h"
+#include "sst/block.h"
+#include "sst/block_cache.h"
+#include "sst/bloom.h"
+#include "sst/format.h"
+#include "util/env.h"
+#include "util/iterator.h"
+#include "util/stats.h"
+
+namespace laser {
+
+class SstReader {
+ public:
+  /// Opens `fname`; `cache` and `stats` may be nullptr. `file_number` keys
+  /// the block cache.
+  static Status Open(Env* env, const std::string& fname, uint64_t file_number,
+                     BlockCache* cache, Stats* stats,
+                     std::unique_ptr<SstReader>* reader);
+
+  SstReader(const SstReader&) = delete;
+  SstReader& operator=(const SstReader&) = delete;
+
+  /// Collects the versions of `user_key` visible at `snapshot`, newest first,
+  /// stopping after the first full row or tombstone (older versions cannot
+  /// contribute columns past that point). Appends to *versions; returns
+  /// true if anything was appended.
+  bool Get(const Slice& user_key, SequenceNumber snapshot,
+           std::vector<KeyVersion>* versions) const;
+
+  /// True if the bloom filter may contain the user key.
+  bool KeyMayMatch(const Slice& user_key) const;
+
+  /// Iterator over all entries (internal keys).
+  std::unique_ptr<Iterator> NewIterator() const;
+
+  const SstProperties& properties() const { return props_; }
+  uint64_t file_number() const { return file_number_; }
+  uint64_t file_size() const { return file_size_; }
+
+ private:
+  class TwoLevelIterator;
+
+  SstReader() = default;
+
+  /// Reads (through the cache) the data block at `handle`.
+  Status ReadDataBlock(const BlockHandle& handle,
+                       std::shared_ptr<Block>* block) const;
+
+  /// Reads a raw block (no cache), verifying its trailer.
+  static Status ReadRawBlock(RandomAccessFile* file, const BlockHandle& handle,
+                             std::string* contents);
+
+  std::unique_ptr<RandomAccessFile> file_;
+  uint64_t file_number_ = 0;
+  uint64_t file_size_ = 0;
+  BlockCache* cache_ = nullptr;
+  Stats* stats_ = nullptr;
+
+  std::unique_ptr<Block> index_block_;
+  std::string filter_data_;
+  SstProperties props_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_SST_SST_READER_H_

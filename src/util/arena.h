@@ -1,0 +1,52 @@
+// Arena: bump-pointer allocation for memtable nodes. All memory is released
+// when the arena is destroyed, which matches the memtable lifecycle (built
+// once, flushed, dropped).
+
+#ifndef LASER_UTIL_ARENA_H_
+#define LASER_UTIL_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace laser {
+
+/// A fast allocator that hands out pointers into progressively allocated
+/// blocks. Not thread-safe for allocation; MemoryUsage() may be read
+/// concurrently.
+class Arena {
+ public:
+  Arena();
+  ~Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns a pointer to `bytes` bytes of fresh memory.
+  char* Allocate(size_t bytes);
+
+  /// Allocate with the platform's maximal alignment (for node structs).
+  char* AllocateAligned(size_t bytes);
+
+  /// Total memory reserved by the arena (approximate).
+  size_t MemoryUsage() const {
+    return memory_usage_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_;
+  size_t alloc_bytes_remaining_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::atomic<size_t> memory_usage_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_ARENA_H_

@@ -1,0 +1,136 @@
+#include "util/codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace laser {
+
+// LightLZ format:
+//   varint32 uncompressed_length
+//   sequence of ops:
+//     literal: tag byte 0x00|len-1 (len 1..64, 2 spare bits used for long
+//              literal lengths), followed by the bytes
+//     copy:    tag byte 0x80 | (len-4), then varint32 distance
+// Greedy matching with a 16-bit rolling hash over 4-byte windows.
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 131;  // len-4 must fit into 7 bits
+constexpr size_t kHashBits = 14;
+constexpr size_t kHashSize = 1 << kHashBits;
+
+inline uint32_t HashWindow(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 0x1e35a7bd) >> (32 - kHashBits);
+}
+
+void EmitLiteral(const char* p, size_t len, std::string* out) {
+  while (len > 0) {
+    size_t chunk = std::min<size_t>(len, 64);
+    out->push_back(static_cast<char>(chunk - 1));  // high bit clear
+    out->append(p, chunk);
+    p += chunk;
+    len -= chunk;
+  }
+}
+
+void EmitCopy(size_t len, size_t distance, std::string* out) {
+  while (len >= kMinMatch) {
+    size_t chunk = std::min(len, kMaxMatch);
+    // Do not leave a tail shorter than kMinMatch that we cannot encode.
+    if (len - chunk > 0 && len - chunk < kMinMatch) chunk = len - kMinMatch;
+    out->push_back(static_cast<char>(0x80 | (chunk - kMinMatch)));
+    PutVarint32(out, static_cast<uint32_t>(distance));
+    len -= chunk;
+  }
+}
+
+}  // namespace
+
+void LightLZCompress(const Slice& input, std::string* output) {
+  output->clear();
+  PutVarint32(output, static_cast<uint32_t>(input.size()));
+  const char* base = input.data();
+  const size_t n = input.size();
+  if (n < kMinMatch) {
+    if (n > 0) EmitLiteral(base, n, output);
+    return;
+  }
+
+  std::vector<uint32_t> table(kHashSize, 0xffffffffu);
+  size_t i = 0;
+  size_t literal_start = 0;
+  const size_t limit = n - kMinMatch;
+
+  while (i <= limit) {
+    uint32_t h = HashWindow(base + i);
+    uint32_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(i);
+    if (candidate != 0xffffffffu &&
+        memcmp(base + candidate, base + i, kMinMatch) == 0) {
+      // Extend the match.
+      size_t match_len = kMinMatch;
+      const size_t max_len = n - i;
+      while (match_len < max_len &&
+             base[candidate + match_len] == base[i + match_len]) {
+        ++match_len;
+      }
+      if (i > literal_start) {
+        EmitLiteral(base + literal_start, i - literal_start, output);
+      }
+      EmitCopy(match_len, i - candidate, output);
+      i += match_len;
+      literal_start = i;
+    } else {
+      ++i;
+    }
+  }
+  if (n > literal_start) {
+    EmitLiteral(base + literal_start, n - literal_start, output);
+  }
+}
+
+Status LightLZDecompress(const Slice& input, std::string* output) {
+  output->clear();
+  Slice in = input;
+  uint32_t expected;
+  if (!GetVarint32(&in, &expected)) {
+    return Status::Corruption("LightLZ: bad length header");
+  }
+  output->reserve(expected);
+  while (!in.empty()) {
+    unsigned char tag = static_cast<unsigned char>(in[0]);
+    in.remove_prefix(1);
+    if (tag & 0x80) {
+      size_t len = (tag & 0x7f) + kMinMatch;
+      uint32_t distance;
+      if (!GetVarint32(&in, &distance)) {
+        return Status::Corruption("LightLZ: bad copy distance");
+      }
+      if (distance == 0 || distance > output->size()) {
+        return Status::Corruption("LightLZ: copy distance out of range");
+      }
+      // Byte-at-a-time copy: overlapping copies (distance < len) replicate
+      // the most recent bytes, as in LZ77.
+      size_t pos = output->size() - distance;
+      for (size_t k = 0; k < len; ++k) {
+        output->push_back((*output)[pos + k]);
+      }
+    } else {
+      size_t len = tag + 1;
+      if (in.size() < len) return Status::Corruption("LightLZ: literal overrun");
+      output->append(in.data(), len);
+      in.remove_prefix(len);
+    }
+  }
+  if (output->size() != expected) {
+    return Status::Corruption("LightLZ: length mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace laser

@@ -1,0 +1,35 @@
+// Block compression codecs. The paper (§4.1) reports storage sizes with
+// Snappy compression; Snappy itself is not available offline, so LightLZ — a
+// byte-oriented LZ77 codec with the same greedy hash-match structure as
+// Snappy — plays its role. Blocks additionally benefit from the restart-point
+// key delta-encoding implemented in sst/block_builder.
+
+#ifndef LASER_UTIL_CODEC_H_
+#define LASER_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace laser {
+
+/// Compression applied to each SST block, recorded per block in a 1-byte tag.
+enum class CompressionType : uint8_t {
+  kNone = 0,
+  kLightLZ = 1,
+};
+
+/// Compresses `input`, appending to `*output` (which is cleared first).
+/// Falls back to no compression internally only on incompressible data if the
+/// caller checks the returned size; the codec always produces valid output.
+void LightLZCompress(const Slice& input, std::string* output);
+
+/// Decompresses a LightLZ buffer into `*output` (cleared first). Returns
+/// Corruption on malformed input.
+Status LightLZDecompress(const Slice& input, std::string* output);
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_CODEC_H_

@@ -1,0 +1,87 @@
+// Binary encoding primitives: fixed-width little-endian integers, varints and
+// length-prefixed slices, plus big-endian helpers used for order-preserving
+// key encoding.
+
+#ifndef LASER_UTIL_CODING_H_
+#define LASER_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace laser {
+
+// ---- fixed-width little-endian ----
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  memcpy(dst, &value, sizeof(value));  // little-endian hosts only
+}
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  memcpy(dst, &value, sizeof(value));
+}
+inline uint32_t DecodeFixed32(const char* ptr) {
+  uint32_t v;
+  memcpy(&v, ptr, sizeof(v));
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* ptr) {
+  uint64_t v;
+  memcpy(&v, ptr, sizeof(v));
+  return v;
+}
+
+void PutFixed32(std::string* dst, uint32_t value);
+void PutFixed64(std::string* dst, uint64_t value);
+
+// ---- varints ----
+
+char* EncodeVarint32(char* dst, uint32_t value);
+char* EncodeVarint64(char* dst, uint64_t value);
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Parses a varint32 from [p, limit); returns pointer past the varint or
+/// nullptr on corruption.
+const char* GetVarint32Ptr(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64Ptr(const char* p, const char* limit, uint64_t* value);
+
+/// Parses a varint from the front of `input`, advancing it. Returns false on
+/// corruption.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+int VarintLength(uint64_t v);
+
+// ---- length-prefixed slices ----
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+// ---- big-endian (order-preserving) key encoding ----
+
+/// Encodes `value` big-endian so that memcmp order equals numeric order.
+inline void EncodeBigEndian64(char* dst, uint64_t value) {
+  for (int i = 7; i >= 0; --i) {
+    dst[i] = static_cast<char>(value & 0xff);
+    value >>= 8;
+  }
+}
+inline uint64_t DecodeBigEndian64(const char* src) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(src[i]);
+  }
+  return v;
+}
+
+/// Returns the 8-byte big-endian encoding of `key` as a string.
+std::string EncodeKey64(uint64_t key);
+
+/// Decodes an 8-byte big-endian key; the slice must be exactly 8 bytes.
+uint64_t DecodeKey64(const Slice& key);
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_CODING_H_

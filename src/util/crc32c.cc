@@ -1,0 +1,58 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace laser::crc32c {
+
+namespace {
+
+// Table-driven CRC32C (Castagnoli polynomial 0x82f63b78, reflected).
+struct Table {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0);
+      }
+      t[0][i] = crc;
+    }
+    // Slice-by-4 tables.
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Table& GetTable() {
+  static const Table table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Table& tab = GetTable();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+  // Process 4 bytes at a time.
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+    crc = tab.t[3][crc & 0xff] ^ tab.t[2][(crc >> 8) & 0xff] ^
+          tab.t[1][(crc >> 16) & 0xff] ^ tab.t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p) & 0xff];
+    ++p;
+    --n;
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace laser::crc32c

@@ -1,0 +1,36 @@
+// CRC32C (Castagnoli) checksums used by the WAL and SST formats, with the
+// LevelDB-style masking so that checksums of data containing embedded CRCs
+// remain well distributed.
+
+#ifndef LASER_UTIL_CRC32C_H_
+#define LASER_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace laser::crc32c {
+
+/// Returns the CRC32C of the concatenation of A (with crc `init_crc`) and
+/// data[0, n).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// Returns the CRC32C of data[0, n).
+inline uint32_t Value(const char* data, size_t n) { return Extend(0, data, n); }
+
+constexpr uint32_t kMaskDelta = 0xa282ead8ul;
+
+/// Returns a masked representation of `crc`, for storing CRCs alongside the
+/// data they cover.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked_crc) {
+  uint32_t rot = masked_crc - kMaskDelta;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace laser::crc32c
+
+#endif  // LASER_UTIL_CRC32C_H_

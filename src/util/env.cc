@@ -1,0 +1,32 @@
+#include "util/env.h"
+
+namespace laser {
+
+Status Env::ReadFileToString(const std::string& fname, std::string* data) {
+  data->clear();
+  std::unique_ptr<SequentialFile> file;
+  LASER_RETURN_IF_ERROR(NewSequentialFile(fname, &file));
+  static const size_t kBufferSize = 8192;
+  auto scratch = std::make_unique<char[]>(kBufferSize);
+  while (true) {
+    Slice fragment;
+    Status s = file->Read(kBufferSize, &fragment, scratch.get());
+    if (!s.ok()) return s;
+    if (fragment.empty()) break;
+    data->append(fragment.data(), fragment.size());
+  }
+  return Status::OK();
+}
+
+Status Env::WriteStringToFile(const Slice& data, const std::string& fname,
+                              bool sync) {
+  std::unique_ptr<WritableFile> file;
+  LASER_RETURN_IF_ERROR(NewWritableFile(fname, &file));
+  Status s = file->Append(data);
+  if (s.ok() && sync) s = file->Sync();
+  if (s.ok()) s = file->Close();
+  if (!s.ok()) RemoveFile(fname);
+  return s;
+}
+
+}  // namespace laser

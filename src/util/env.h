@@ -1,0 +1,96 @@
+// Env: the abstraction of the host environment (files, directories, clock).
+// Production code uses PosixEnv; tests and deterministic benches use MemEnv,
+// an in-memory filesystem with identical semantics.
+
+#ifndef LASER_UTIL_ENV_H_
+#define LASER_UTIL_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace laser {
+
+/// Sequential read-only file (WAL replay, manifest load).
+class SequentialFile {
+ public:
+  virtual ~SequentialFile() = default;
+
+  /// Reads up to `n` bytes into `scratch`; `*result` points into scratch.
+  virtual Status Read(size_t n, Slice* result, char* scratch) = 0;
+
+  /// Skips `n` bytes.
+  virtual Status Skip(uint64_t n) = 0;
+};
+
+/// Random-access read-only file (SSTs).
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads up to `n` bytes at `offset`; `*result` may point into scratch.
+  /// Thread-safe.
+  virtual Status Read(uint64_t offset, size_t n, Slice* result,
+                      char* scratch) const = 0;
+};
+
+/// Append-only writable file (WAL, SST building, manifest).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(const Slice& data) = 0;
+  virtual Status Flush() = 0;
+  /// Durability barrier; a no-op for MemEnv.
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// Host-environment interface. All paths are plain strings; implementations
+/// must be thread-safe.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual Status NewSequentialFile(const std::string& fname,
+                                   std::unique_ptr<SequentialFile>* result) = 0;
+  virtual Status NewRandomAccessFile(const std::string& fname,
+                                     std::unique_ptr<RandomAccessFile>* result) = 0;
+  virtual Status NewWritableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* result) = 0;
+
+  virtual bool FileExists(const std::string& fname) = 0;
+  virtual Status GetChildren(const std::string& dir,
+                             std::vector<std::string>* result) = 0;
+  virtual Status RemoveFile(const std::string& fname) = 0;
+  virtual Status CreateDir(const std::string& dirname) = 0;
+  virtual Status RemoveDir(const std::string& dirname) = 0;
+  virtual Status GetFileSize(const std::string& fname, uint64_t* size) = 0;
+  /// Atomically renames `src` to `target` (used for manifest installs).
+  virtual Status RenameFile(const std::string& src, const std::string& target) = 0;
+
+  /// Monotonic clock in microseconds.
+  virtual uint64_t NowMicros() = 0;
+
+  /// Reads an entire file into `*data`.
+  Status ReadFileToString(const std::string& fname, std::string* data);
+  /// Writes `data` to `fname`, replacing any previous content.
+  Status WriteStringToFile(const Slice& data, const std::string& fname,
+                           bool sync = false);
+
+  /// The process-wide Posix environment.
+  static Env* Default();
+};
+
+/// Creates a fresh in-memory Env; the caller owns it. Files live until the
+/// Env is destroyed. Paths are treated as flat strings (directories are
+/// tracked only so CreateDir/GetChildren behave sensibly).
+std::unique_ptr<Env> NewMemEnv();
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_ENV_H_

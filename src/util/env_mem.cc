@@ -1,0 +1,203 @@
+// MemEnv: an in-memory filesystem with the same semantics as PosixEnv.
+// Used by unit tests (hermetic, fast) and by benches that want to measure
+// block-fetch counts without disk noise.
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "util/env.h"
+
+namespace laser {
+
+namespace {
+
+struct MemFile {
+  std::string data;
+};
+
+class MemFileSystem {
+ public:
+  std::mutex mu;
+  std::map<std::string, std::shared_ptr<MemFile>> files;
+  std::set<std::string> dirs;
+};
+
+class MemSequentialFile final : public SequentialFile {
+ public:
+  explicit MemSequentialFile(std::shared_ptr<MemFile> file)
+      : file_(std::move(file)) {}
+
+  Status Read(size_t n, Slice* result, char* scratch) override {
+    if (pos_ >= file_->data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = std::min(n, file_->data.size() - pos_);
+    memcpy(scratch, file_->data.data() + pos_, avail);
+    pos_ += avail;
+    *result = Slice(scratch, avail);
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    pos_ = std::min<size_t>(file_->data.size(), pos_ + n);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+  size_t pos_ = 0;
+};
+
+class MemRandomAccessFile final : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<MemFile> file)
+      : file_(std::move(file)) {}
+
+  Status Read(uint64_t offset, size_t n, Slice* result,
+              char* scratch) const override {
+    if (offset >= file_->data.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = std::min<size_t>(n, file_->data.size() - offset);
+    memcpy(scratch, file_->data.data() + offset, avail);
+    *result = Slice(scratch, avail);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+};
+
+class MemWritableFile final : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<MemFile> file)
+      : file_(std::move(file)) {}
+
+  Status Append(const Slice& data) override {
+    file_->data.append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<MemFile> file_;
+};
+
+std::string NormalizeDir(const std::string& dir) {
+  if (!dir.empty() && dir.back() == '/') return dir.substr(0, dir.size() - 1);
+  return dir;
+}
+
+class MemEnv final : public Env {
+ public:
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* result) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(fname);
+    if (it == fs_.files.end()) return Status::NotFound(fname);
+    *result = std::make_unique<MemSequentialFile>(it->second);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* result) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(fname);
+    if (it == fs_.files.end()) return Status::NotFound(fname);
+    *result = std::make_unique<MemRandomAccessFile>(it->second);
+    return Status::OK();
+  }
+
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* result) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto file = std::make_shared<MemFile>();
+    fs_.files[fname] = file;
+    *result = std::make_unique<MemWritableFile>(std::move(file));
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    return fs_.files.count(fname) > 0;
+  }
+
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    result->clear();
+    const std::string prefix = NormalizeDir(dir) + "/";
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    for (const auto& [name, file] : fs_.files) {
+      if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+        std::string rest = name.substr(prefix.size());
+        if (rest.find('/') == std::string::npos) result->push_back(rest);
+      }
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& fname) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    if (fs_.files.erase(fname) == 0) return Status::NotFound(fname);
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& dirname) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    fs_.dirs.insert(NormalizeDir(dirname));
+    return Status::OK();
+  }
+
+  Status RemoveDir(const std::string& dirname) override {
+    const std::string prefix = NormalizeDir(dirname) + "/";
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    fs_.dirs.erase(NormalizeDir(dirname));
+    for (auto it = fs_.files.begin(); it != fs_.files.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        it = fs_.files.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(fname);
+    if (it == fs_.files.end()) return Status::NotFound(fname);
+    *size = it->second->data.size();
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& src, const std::string& target) override {
+    std::lock_guard<std::mutex> lock(fs_.mu);
+    auto it = fs_.files.find(src);
+    if (it == fs_.files.end()) return Status::NotFound(src);
+    fs_.files[target] = it->second;
+    fs_.files.erase(it);
+    return Status::OK();
+  }
+
+  uint64_t NowMicros() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  MemFileSystem fs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace laser

@@ -1,0 +1,68 @@
+#include "util/hash.h"
+
+#include <cstring>
+
+namespace laser {
+
+uint32_t Hash32(const char* data, size_t n, uint32_t seed) {
+  // LevelDB-style Murmur-like hash.
+  const uint32_t m = 0xc6a4a793;
+  const uint32_t r = 24;
+  const char* limit = data + n;
+  uint32_t h = seed ^ (static_cast<uint32_t>(n) * m);
+
+  while (data + 4 <= limit) {
+    uint32_t w;
+    memcpy(&w, data, 4);
+    data += 4;
+    h += w;
+    h *= m;
+    h ^= (h >> 16);
+  }
+
+  switch (limit - data) {
+    case 3:
+      h += static_cast<unsigned char>(data[2]) << 16;
+      [[fallthrough]];
+    case 2:
+      h += static_cast<unsigned char>(data[1]) << 8;
+      [[fallthrough]];
+    case 1:
+      h += static_cast<unsigned char>(data[0]);
+      h *= m;
+      h ^= (h >> r);
+      break;
+  }
+  return h;
+}
+
+uint64_t Hash64(const char* data, size_t n, uint64_t seed) {
+  // A simple xor-mult-shift hash over 8-byte lanes (fmix64 finalizer from
+  // MurmurHash3).
+  const uint64_t m = 0xc6a4a7935bd1e995ull;
+  uint64_t h = seed ^ (n * m);
+  const char* limit = data + n;
+
+  while (data + 8 <= limit) {
+    uint64_t w;
+    memcpy(&w, data, 8);
+    data += 8;
+    w *= m;
+    w ^= w >> 47;
+    w *= m;
+    h ^= w;
+    h *= m;
+  }
+  while (data < limit) {
+    h ^= static_cast<unsigned char>(*data++);
+    h *= m;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace laser

@@ -1,0 +1,20 @@
+// Non-cryptographic hashing used by bloom filters, the block cache and the
+// skiplist key sampling.
+
+#ifndef LASER_UTIL_HASH_H_
+#define LASER_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace laser {
+
+/// Murmur-inspired 32-bit hash of data[0, n) with the given seed.
+uint32_t Hash32(const char* data, size_t n, uint32_t seed);
+
+/// 64-bit mix-based hash of data[0, n) with the given seed.
+uint64_t Hash64(const char* data, size_t n, uint64_t seed);
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_HASH_H_

@@ -1,0 +1,72 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace laser {
+
+void Histogram::Add(double value) {
+  values_.push_back(value);
+  sorted_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
+}
+
+void Histogram::Clear() {
+  values_.clear();
+  sorted_ = true;
+}
+
+void Histogram::Sort() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Average() const {
+  if (values_.empty()) return 0;
+  return Sum() / static_cast<double>(values_.size());
+}
+
+double Histogram::Sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Histogram::Min() const {
+  if (values_.empty()) return 0;
+  Sort();
+  return values_.front();
+}
+
+double Histogram::Max() const {
+  if (values_.empty()) return 0;
+  Sort();
+  return values_.back();
+}
+
+double Histogram::Percentile(double p) const {
+  if (values_.empty()) return 0;
+  Sort();
+  double rank = (p / 100.0) * static_cast<double>(values_.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1 - frac) + values_[hi] * frac;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu avg=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+           static_cast<unsigned long long>(count()), Average(), Percentile(50),
+           Percentile(95), Percentile(99), Max());
+  return buf;
+}
+
+}  // namespace laser

@@ -1,0 +1,42 @@
+// Latency histogram used by the benchmark harnesses to report the per-query
+// average / percentile latencies that the paper's figures plot.
+
+#ifndef LASER_UTIL_HISTOGRAM_H_
+#define LASER_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace laser {
+
+/// Records observations (typically microseconds) and reports summary stats.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return static_cast<uint64_t>(values_.size()); }
+  double Average() const;
+  double Min() const;
+  double Max() const;
+  double Sum() const;
+  /// p in [0, 100].
+  double Percentile(double p) const;
+
+  /// One-line summary: "count=... avg=... p50=... p99=... max=...".
+  std::string ToString() const;
+
+ private:
+  void Sort() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_HISTOGRAM_H_

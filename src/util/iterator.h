@@ -1,0 +1,65 @@
+// The common iterator interface over sorted key-value sequences: memtables,
+// SST blocks, whole SSTs, sorted runs, and the merging iterators of §4.4 all
+// implement it.
+
+#ifndef LASER_UTIL_ITERATOR_H_
+#define LASER_UTIL_ITERATOR_H_
+
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace laser {
+
+/// Forward/seekable cursor over an ordered (key, value) sequence. Keys are
+/// internal keys unless documented otherwise. Not thread-safe.
+class Iterator {
+ public:
+  Iterator() = default;
+  virtual ~Iterator() = default;
+
+  Iterator(const Iterator&) = delete;
+  Iterator& operator=(const Iterator&) = delete;
+
+  /// True if the iterator is positioned at a valid entry.
+  virtual bool Valid() const = 0;
+
+  /// Positions at the first entry; Valid() iff the source is non-empty.
+  virtual void SeekToFirst() = 0;
+
+  /// Positions at the first entry with key >= target.
+  virtual void Seek(const Slice& target) = 0;
+
+  /// Advances to the next entry. REQUIRES: Valid().
+  virtual void Next() = 0;
+
+  /// Current key. Valid until the next mutation of the iterator.
+  virtual Slice key() const = 0;
+
+  /// Current value. Valid until the next mutation of the iterator.
+  virtual Slice value() const = 0;
+
+  /// Non-OK if an error was encountered (e.g. block corruption).
+  virtual Status status() const = 0;
+};
+
+/// An iterator over an empty sequence, optionally carrying an error status.
+class EmptyIterator final : public Iterator {
+ public:
+  EmptyIterator() = default;
+  explicit EmptyIterator(Status s) : status_(std::move(s)) {}
+
+  bool Valid() const override { return false; }
+  void SeekToFirst() override {}
+  void Seek(const Slice&) override {}
+  void Next() override {}
+  Slice key() const override { return Slice(); }
+  Slice value() const override { return Slice(); }
+  Status status() const override { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_ITERATOR_H_

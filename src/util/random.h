@@ -1,0 +1,68 @@
+// Deterministic pseudo-random generators used by tests, the skiplist and the
+// workload generators. Reproducibility across runs matters more than
+// cryptographic quality here.
+
+#ifndef LASER_UTIL_RANDOM_H_
+#define LASER_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace laser {
+
+/// xorshift128+ generator; fast, with a 64-bit seed interface.
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    s0_ = seed ? seed : 0x9e3779b97f4a7c15ull;
+    s1_ = SplitMix(&s0_);
+    s0_ = SplitMix(&s1_);
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi). hi must be > lo.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Uniform(hi - lo); }
+
+  /// True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Normal deviate via Box-Muller.
+  double NextGaussian(double mean, double stddev) {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958648 * u2);
+    return mean + stddev * z;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_RANDOM_H_

@@ -1,0 +1,26 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace laser {
+
+std::string Stats::ToString() const {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "data_blocks=%llu index_blocks=%llu cache_hit=%llu cache_miss=%llu "
+           "bloom_neg=%llu/%llu flushed=%lluB compacted=%lluB "
+           "compactions=%llu stalls=%lluus",
+           static_cast<unsigned long long>(data_block_reads.load()),
+           static_cast<unsigned long long>(index_block_reads.load()),
+           static_cast<unsigned long long>(block_cache_hits.load()),
+           static_cast<unsigned long long>(block_cache_misses.load()),
+           static_cast<unsigned long long>(bloom_negatives.load()),
+           static_cast<unsigned long long>(bloom_checks.load()),
+           static_cast<unsigned long long>(bytes_flushed.load()),
+           static_cast<unsigned long long>(bytes_compacted.load()),
+           static_cast<unsigned long long>(compaction_jobs.load()),
+           static_cast<unsigned long long>(write_stall_micros.load()));
+  return buf;
+}
+
+}  // namespace laser

@@ -1,0 +1,58 @@
+// Engine-wide instrumentation counters. The paper's cost model (§5) is
+// expressed in block fetches; every read path increments these so benches can
+// validate measured I/O against Equations 4-7 directly, independent of disk
+// speed.
+
+#ifndef LASER_UTIL_STATS_H_
+#define LASER_UTIL_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace laser {
+
+/// Thread-safe counters; cheap relaxed increments.
+class Stats {
+ public:
+  // -- read path --
+  std::atomic<uint64_t> data_block_reads{0};   ///< data blocks fetched
+  std::atomic<uint64_t> index_block_reads{0};  ///< index blocks fetched
+  std::atomic<uint64_t> block_cache_hits{0};
+  std::atomic<uint64_t> block_cache_misses{0};
+  std::atomic<uint64_t> bloom_checks{0};
+  std::atomic<uint64_t> bloom_negatives{0};  ///< lookups short-circuited
+  std::atomic<uint64_t> point_reads{0};
+  std::atomic<uint64_t> range_scans{0};
+
+  // -- write path --
+  std::atomic<uint64_t> bytes_written_wal{0};
+  std::atomic<uint64_t> bytes_flushed{0};       ///< memtable -> L0 bytes
+  std::atomic<uint64_t> bytes_compacted{0};     ///< compaction output bytes
+  std::atomic<uint64_t> compaction_jobs{0};
+  std::atomic<uint64_t> flush_jobs{0};
+  std::atomic<uint64_t> write_stall_micros{0};  ///< time writers waited
+
+  void Reset() {
+    data_block_reads = 0;
+    index_block_reads = 0;
+    block_cache_hits = 0;
+    block_cache_misses = 0;
+    bloom_checks = 0;
+    bloom_negatives = 0;
+    point_reads = 0;
+    range_scans = 0;
+    bytes_written_wal = 0;
+    bytes_flushed = 0;
+    bytes_compacted = 0;
+    compaction_jobs = 0;
+    flush_jobs = 0;
+    write_stall_micros = 0;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_STATS_H_

@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace laser {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kBusy:
+      return "Busy";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(rep_->code);
+  if (!rep_->message.empty()) {
+    result += ": ";
+    result += rep_->message;
+  }
+  return result;
+}
+
+}  // namespace laser

@@ -1,0 +1,97 @@
+// Status: exception-free error propagation for all storage-engine operations.
+//
+// Modeled after the Status idiom used by LevelDB/RocksDB and mandated by the
+// Google C++ style guide (no exceptions). A Status is cheap to copy when OK
+// (single pointer) and carries a code + message otherwise.
+
+#ifndef LASER_UTIL_STATUS_H_
+#define LASER_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace laser {
+
+/// Result of an operation: OK or an error code with a human-readable message.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+  };
+
+  /// Creates an OK status.
+  Status() noexcept = default;
+
+  Status(const Status& other)
+      : rep_(other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = "") {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(std::string_view msg = "") { return Status(Code::kBusy, msg); }
+
+  bool ok() const { return rep_ == nullptr; }
+  bool IsNotFound() const { return code() == Code::kNotFound; }
+  bool IsCorruption() const { return code() == Code::kCorruption; }
+  bool IsNotSupported() const { return code() == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code() == Code::kInvalidArgument; }
+  bool IsIOError() const { return code() == Code::kIOError; }
+  bool IsBusy() const { return code() == Code::kBusy; }
+
+  Code code() const { return rep_ ? rep_->code : Code::kOk; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    Code code;
+    std::string message;
+  };
+
+  Status(Code code, std::string_view msg)
+      : rep_(std::make_unique<Rep>(Rep{code, std::string(msg)})) {}
+
+  std::unique_ptr<Rep> rep_;  // nullptr means OK.
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define LASER_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::laser::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_STATUS_H_

@@ -1,0 +1,65 @@
+#include "util/thread_pool.h"
+
+namespace laser {
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+int ThreadPool::PendingJobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size()) + running_;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    job();
+    // Drop the functor (and anything its captures pin, e.g. file metadata)
+    // before announcing idleness — waiters may act on resource refcounts.
+    job = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace laser

@@ -1,0 +1,49 @@
+// A small fixed-size thread pool for background flush and compaction jobs,
+// mirroring RocksDB's background work queues (the paper runs with up to six
+// compaction threads).
+
+#ifndef LASER_UTIL_THREAD_POOL_H_
+#define LASER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace laser {
+
+/// Fixed-size pool executing queued std::function jobs FIFO.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Never blocks.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  /// Number of queued + running jobs.
+  int PendingJobs() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int running_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace laser
+
+#endif  // LASER_UTIL_THREAD_POOL_H_

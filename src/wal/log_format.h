@@ -1,0 +1,33 @@
+// Write-ahead-log record format (shared by writer and reader).
+//
+// The log is a sequence of 32KB blocks. Each record fragment is:
+//   checksum  uint32  masked CRC32C of type + payload
+//   length    uint16
+//   type      uint8   {full, first, middle, last}
+//   payload
+// Records never span a block trailer of < 7 bytes (zero-filled instead).
+
+#ifndef LASER_WAL_LOG_FORMAT_H_
+#define LASER_WAL_LOG_FORMAT_H_
+
+#include <cstdint>
+
+namespace laser::wal {
+
+enum RecordType : uint8_t {
+  kZeroType = 0,  // preallocated / trailer filler
+  kFullType = 1,
+  kFirstType = 2,
+  kMiddleType = 3,
+  kLastType = 4,
+};
+constexpr int kMaxRecordType = kLastType;
+
+constexpr int kBlockSize = 32768;
+
+/// Header: checksum (4) + length (2) + type (1).
+constexpr int kHeaderSize = 4 + 2 + 1;
+
+}  // namespace laser::wal
+
+#endif  // LASER_WAL_LOG_FORMAT_H_

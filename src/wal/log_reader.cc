@@ -1,0 +1,118 @@
+#include "wal/log_reader.h"
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+
+namespace laser::wal {
+
+LogReader::LogReader(std::unique_ptr<SequentialFile> file)
+    : file_(std::move(file)), backing_store_(new char[kBlockSize]) {}
+
+bool LogReader::ReadRecord(Slice* record, std::string* scratch) {
+  scratch->clear();
+  record->clear();
+  bool in_fragmented_record = false;
+
+  while (true) {
+    Slice fragment;
+    const unsigned int record_type = ReadPhysicalRecord(&fragment);
+    switch (record_type) {
+      case kFullType:
+        *scratch = fragment.ToString();
+        *record = Slice(*scratch);
+        return true;
+
+      case kFirstType:
+        scratch->assign(fragment.data(), fragment.size());
+        in_fragmented_record = true;
+        break;
+
+      case kMiddleType:
+        if (!in_fragmented_record) {
+          corruption_ = true;
+          return false;
+        }
+        scratch->append(fragment.data(), fragment.size());
+        break;
+
+      case kLastType:
+        if (!in_fragmented_record) {
+          corruption_ = true;
+          return false;
+        }
+        scratch->append(fragment.data(), fragment.size());
+        *record = Slice(*scratch);
+        return true;
+
+      case kEof:
+        // A partially written record at the tail is expected after a crash.
+        return false;
+
+      case kBadRecord:
+        // Torn tail or corruption: stop replay here.
+        corruption_ = true;
+        return false;
+
+      default:
+        corruption_ = true;
+        return false;
+    }
+  }
+}
+
+unsigned int LogReader::ReadPhysicalRecord(Slice* result) {
+  while (true) {
+    if (buffer_.size() < static_cast<size_t>(kHeaderSize)) {
+      if (!eof_) {
+        buffer_.clear();
+        Status status = file_->Read(kBlockSize, &buffer_, backing_store_.get());
+        if (!status.ok()) {
+          buffer_.clear();
+          eof_ = true;
+          return kEof;
+        }
+        if (buffer_.size() < static_cast<size_t>(kBlockSize)) {
+          eof_ = true;
+        }
+        if (buffer_.empty()) return kEof;
+        continue;
+      }
+      // Truncated header at EOF: treat as a clean end.
+      buffer_.clear();
+      return kEof;
+    }
+
+    const char* header = buffer_.data();
+    const uint32_t a = static_cast<uint32_t>(header[4]) & 0xff;
+    const uint32_t b = static_cast<uint32_t>(header[5]) & 0xff;
+    const unsigned int type = static_cast<unsigned char>(header[6]);
+    const uint32_t length = a | (b << 8);
+
+    if (type == kZeroType && length == 0) {
+      // Block trailer filler; skip the rest of this block.
+      buffer_.clear();
+      continue;
+    }
+
+    if (kHeaderSize + length > buffer_.size()) {
+      // Record claims more bytes than the block holds: torn write.
+      buffer_.clear();
+      if (eof_) return kEof;
+      return kBadRecord;
+    }
+
+    const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header));
+    const uint32_t actual_crc =
+        crc32c::Extend(crc32c::Value(header + 6, 1), header + kHeaderSize, length);
+    if (expected_crc != actual_crc) {
+      buffer_.clear();
+      return kBadRecord;
+    }
+
+    *result = Slice(header + kHeaderSize, length);
+    buffer_.remove_prefix(kHeaderSize + length);
+    return type;
+  }
+}
+
+}  // namespace laser::wal

@@ -1,0 +1,48 @@
+// WAL reader: reassembles logical records, verifying CRCs; tolerates a torn
+// tail (reports it and stops) so crash recovery replays every durable write.
+
+#ifndef LASER_WAL_LOG_READER_H_
+#define LASER_WAL_LOG_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "util/env.h"
+#include "wal/log_format.h"
+
+namespace laser::wal {
+
+/// Sequentially yields the records written by LogWriter.
+class LogReader {
+ public:
+  /// Takes ownership of `file`.
+  explicit LogReader(std::unique_ptr<SequentialFile> file);
+
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  /// Reads the next record into *record (backed by *scratch). Returns false
+  /// at EOF or on an unrecoverable tail. Corruption of a middle block stops
+  /// iteration; `corruption_detected()` reports it.
+  bool ReadRecord(Slice* record, std::string* scratch);
+
+  bool corruption_detected() const { return corruption_; }
+
+ private:
+  /// Returns the type of the next physical record, or one of the special
+  /// values kEof / kBadRecord.
+  unsigned int ReadPhysicalRecord(Slice* result);
+
+  static constexpr unsigned int kEof = kMaxRecordType + 1;
+  static constexpr unsigned int kBadRecord = kMaxRecordType + 2;
+
+  std::unique_ptr<SequentialFile> file_;
+  std::unique_ptr<char[]> backing_store_;
+  Slice buffer_;
+  bool eof_ = false;
+  bool corruption_ = false;
+};
+
+}  // namespace laser::wal
+
+#endif  // LASER_WAL_LOG_READER_H_

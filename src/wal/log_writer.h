@@ -1,0 +1,40 @@
+// WAL writer: appends length-prefixed, CRC-protected records; records are
+// fragmented across fixed-size blocks so a torn tail is detectable on replay.
+
+#ifndef LASER_WAL_LOG_WRITER_H_
+#define LASER_WAL_LOG_WRITER_H_
+
+#include <memory>
+
+#include "util/env.h"
+#include "wal/log_format.h"
+
+namespace laser::wal {
+
+/// Not thread-safe; callers serialize writes (the engine holds its write
+/// mutex across AddRecord).
+class LogWriter {
+ public:
+  /// Takes ownership of `dest`, which must be positioned at the file start.
+  explicit LogWriter(std::unique_ptr<WritableFile> dest);
+
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Appends one logical record.
+  Status AddRecord(const Slice& record);
+
+  /// Durability barrier.
+  Status Sync() { return dest_->Sync(); }
+  Status Close() { return dest_->Close(); }
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  std::unique_ptr<WritableFile> dest_;
+  int block_offset_ = 0;  // current offset within the block
+};
+
+}  // namespace laser::wal
+
+#endif  // LASER_WAL_LOG_WRITER_H_

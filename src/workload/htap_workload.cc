@@ -1,0 +1,328 @@
+#include "workload/htap_workload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace laser {
+
+namespace {
+
+/// 48-bit Feistel permutation: maps insertion order to a uniformly spread
+/// key, so keys are "uniformly distributed integer values" (§7) while the
+/// workload can still address rows by age (insertion index).
+class KeyPermutation {
+ public:
+  explicit KeyPermutation(uint64_t seed) : seed_(seed) {}
+
+  uint64_t Permute(uint64_t index) const {
+    uint32_t left = static_cast<uint32_t>(index >> 24) & kHalfMask;
+    uint32_t right = static_cast<uint32_t>(index) & kHalfMask;
+    for (uint32_t round = 0; round < 4; ++round) {
+      const uint32_t f = Round(right, round);
+      const uint32_t next_right = (left ^ f) & kHalfMask;
+      left = right;
+      right = next_right;
+    }
+    return (static_cast<uint64_t>(left) << 24) | right;
+  }
+
+ private:
+  uint32_t Round(uint32_t half, uint32_t round) const {
+    uint64_t input = (static_cast<uint64_t>(half) << 8) | round;
+    char buf[16];
+    memcpy(buf, &input, 8);
+    memcpy(buf + 8, &seed_, 8);
+    return Hash32(buf, 16, 0x9747b28c + round) & kHalfMask;
+  }
+
+  static constexpr uint32_t kHalfMask = (1u << 24) - 1;
+  uint64_t seed_;
+};
+
+constexpr uint64_t kKeyDomain = 1ull << 48;
+
+double Clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+}  // namespace
+
+HtapWorkloadSpec HtapWorkloadSpec::NarrowHW(double scale) {
+  HtapWorkloadSpec spec;
+  spec.num_columns = 30;
+  spec.load_rows = static_cast<uint64_t>(400000 * scale);
+  spec.steady_inserts = static_cast<uint64_t>(20000 * scale);
+  spec.updates_per_insert = 0.01;
+
+  PointReadSpec q2a;
+  q2a.projection = MakeColumnRange(1, 30);
+  q2a.recency_mean = 0.98;
+  q2a.recency_sd = 0.02;
+  q2a.count = static_cast<uint64_t>(500 * scale);
+  spec.point_reads.push_back(q2a);
+
+  PointReadSpec q2b;
+  q2b.projection = MakeColumnRange(16, 30);
+  q2b.recency_mean = 0.85;
+  q2b.recency_sd = 0.02;
+  q2b.count = static_cast<uint64_t>(500 * scale);
+  spec.point_reads.push_back(q2b);
+
+  ScanSpec q4;
+  q4.projection = MakeColumnRange(21, 30);
+  q4.selectivity = 0.05;
+  q4.count = 12;
+  q4.aggregate_max = false;
+  spec.scans.push_back(q4);
+
+  ScanSpec q5;
+  q5.projection = MakeColumnRange(28, 30);
+  q5.selectivity = 0.50;
+  q5.count = 12;
+  q5.aggregate_max = true;
+  spec.scans.push_back(q5);
+  return spec;
+}
+
+std::string HtapWorkloadSpec::ToString() const {
+  std::string out;
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "HW: c=%d load=%llu steady_inserts=%llu updates/insert=%.3f\n",
+           num_columns, static_cast<unsigned long long>(load_rows),
+           static_cast<unsigned long long>(steady_inserts), updates_per_insert);
+  out += buf;
+  for (size_t i = 0; i < point_reads.size(); ++i) {
+    snprintf(buf, sizeof(buf),
+             "  Q2%c: proj=<%s> recency=N(%.2f,%.2f) count=%llu\n",
+             static_cast<char>('a' + i),
+             ColumnSetToString(point_reads[i].projection).c_str(),
+             point_reads[i].recency_mean, point_reads[i].recency_sd,
+             static_cast<unsigned long long>(point_reads[i].count));
+    out += buf;
+  }
+  for (size_t i = 0; i < scans.size(); ++i) {
+    snprintf(buf, sizeof(buf), "  Q%zu: proj=<%s> sel=%.2f count=%llu agg=%s\n",
+             4 + i, ColumnSetToString(scans[i].projection).c_str(),
+             scans[i].selectivity,
+             static_cast<unsigned long long>(scans[i].count),
+             scans[i].aggregate_max ? "max" : "sum");
+    out += buf;
+  }
+  return out;
+}
+
+std::string HtapWorkloadResult::ToString() const {
+  std::string out;
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "[%s] load=%.2fs (%.0f inserts/s) workload=%.2fs\n", engine.c_str(),
+           load_seconds, load_inserts_per_sec, workload_seconds);
+  out += buf;
+  snprintf(buf, sizeof(buf), "  Q1 insert us: %s\n",
+           insert_micros.ToString().c_str());
+  out += buf;
+  for (size_t i = 0; i < read_micros.size(); ++i) {
+    snprintf(buf, sizeof(buf), "  Q2%c read us: %s\n",
+             static_cast<char>('a' + i), read_micros[i].ToString().c_str());
+    out += buf;
+  }
+  snprintf(buf, sizeof(buf), "  Q3 update us: %s\n",
+           update_micros.ToString().c_str());
+  out += buf;
+  for (size_t i = 0; i < scan_micros.size(); ++i) {
+    snprintf(buf, sizeof(buf), "  Q%zu scan us: %s\n", 4 + i,
+             scan_micros[i].ToString().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+HtapWorkloadRunner::HtapWorkloadRunner(HtapWorkloadSpec spec)
+    : spec_(std::move(spec)) {}
+
+std::vector<ColumnValue> HtapWorkloadRunner::MakeRow(uint64_t key) const {
+  std::vector<ColumnValue> row(spec_.num_columns);
+  for (int col = 1; col <= spec_.num_columns; ++col) {
+    char buf[12];
+    memcpy(buf, &key, 8);
+    memcpy(buf + 8, &col, 4);
+    row[col - 1] = Hash32(buf, 12, 0x1234abcd) & 0x7fffffffu;  // int32 payload
+  }
+  return row;
+}
+
+uint64_t HtapWorkloadRunner::KeyAtFraction(double fraction, uint64_t max_index) {
+  const double f = Clamp01(fraction);
+  uint64_t index = static_cast<uint64_t>(f * static_cast<double>(max_index));
+  if (index >= max_index) index = max_index > 0 ? max_index - 1 : 0;
+  return index;
+}
+
+int HtapWorkloadRunner::LevelOfAgeFraction(double fraction, int levels,
+                                           int size_ratio) {
+  // Level i holds a share T^i / sum of the data, newest data on top
+  // (steady-state, full tree). fraction: 1 = newest.
+  double total = 0;
+  for (int i = 0; i < levels; ++i) total += std::pow(size_ratio, i);
+  double depth = 1.0 - Clamp01(fraction);  // 0 = newest
+  double cumulative = 0;
+  for (int i = 0; i < levels; ++i) {
+    cumulative += std::pow(size_ratio, i) / total;
+    if (depth <= cumulative) return i;
+  }
+  return levels - 1;
+}
+
+void HtapWorkloadRunner::FillTrace(WorkloadTrace* trace, int levels,
+                                   int size_ratio) const {
+  Random rng(spec_.seed ^ 0x7ace);
+  const uint64_t total_rows = spec_.load_rows + spec_.steady_inserts;
+  trace->AddInsert(spec_.load_rows + spec_.steady_inserts);
+
+  for (const PointReadSpec& read : spec_.point_reads) {
+    // Attribute the reads to levels by sampling the recency distribution.
+    constexpr int kSamples = 2000;
+    std::vector<uint64_t> per_level(levels, 0);
+    for (int s = 0; s < kSamples; ++s) {
+      const double f = rng.NextGaussian(read.recency_mean, read.recency_sd);
+      per_level[LevelOfAgeFraction(f, levels, size_ratio)]++;
+    }
+    for (int level = 0; level < levels; ++level) {
+      if (per_level[level] == 0) continue;
+      const uint64_t count = read.count * per_level[level] / kSamples;
+      if (count > 0) trace->AddPointRead(read.projection, level, count);
+    }
+  }
+
+  for (const ScanSpec& scan : spec_.scans) {
+    trace->AddRangeScan(scan.projection,
+                        scan.selectivity * static_cast<double>(total_rows),
+                        scan.count);
+  }
+
+  // Q3: one uniformly random column per update.
+  const uint64_t updates = static_cast<uint64_t>(
+      spec_.updates_per_insert * static_cast<double>(spec_.steady_inserts));
+  for (int col = 1; col <= spec_.num_columns && updates > 0; ++col) {
+    trace->AddUpdate({col}, std::max<uint64_t>(1, updates / spec_.num_columns));
+  }
+}
+
+Status HtapWorkloadRunner::Run(TableEngine* engine, HtapWorkloadResult* result,
+                               WorkloadTrace* trace, int levels_for_trace,
+                               int size_ratio_for_trace) {
+  Random rng(spec_.seed);
+  KeyPermutation perm(spec_.seed);
+  result->engine = engine->name();
+  result->read_micros.assign(spec_.point_reads.size(), Histogram());
+  result->scan_micros.assign(spec_.scans.size(), Histogram());
+
+  Env* env = Env::Default();
+
+  // ---- load phase (Q1 only) ----
+  const uint64_t load_start = env->NowMicros();
+  for (uint64_t i = 0; i < spec_.load_rows; ++i) {
+    const uint64_t key = perm.Permute(i);
+    LASER_RETURN_IF_ERROR(engine->Insert(key, MakeRow(key)));
+  }
+  LASER_RETURN_IF_ERROR(engine->Checkpoint());
+  const uint64_t load_end = env->NowMicros();
+  result->load_seconds = static_cast<double>(load_end - load_start) / 1e6;
+  result->load_inserts_per_sec =
+      result->load_seconds > 0
+          ? static_cast<double>(spec_.load_rows) / result->load_seconds
+          : 0;
+
+  // ---- steady phase: interleave Q1/Q3 stream with Q2 reads; Q4/Q5 at the
+  // end (as in §7.2: "Q4 and Q5 are executed towards the end"). ----
+  const uint64_t steady_start = env->NowMicros();
+  uint64_t inserted = spec_.load_rows;
+  double update_debt = 0;
+
+  // Spread Q2 reads uniformly across the insert stream.
+  std::vector<uint64_t> reads_remaining;
+  reads_remaining.reserve(spec_.point_reads.size());
+  for (const auto& read : spec_.point_reads) {
+    reads_remaining.push_back(read.count);
+  }
+
+  for (uint64_t i = 0; i < spec_.steady_inserts; ++i) {
+    const uint64_t key = perm.Permute(inserted);
+    {
+      const uint64_t t0 = env->NowMicros();
+      LASER_RETURN_IF_ERROR(engine->Insert(key, MakeRow(key)));
+      result->insert_micros.Add(static_cast<double>(env->NowMicros() - t0));
+    }
+    ++inserted;
+    if (trace != nullptr) trace->AddInsert();
+
+    // Q3 updates at the configured rate, on recent keys.
+    update_debt += spec_.updates_per_insert;
+    while (update_debt >= 1.0) {
+      update_debt -= 1.0;
+      const double f =
+          rng.NextGaussian(spec_.update_recency_mean, spec_.update_recency_sd);
+      const uint64_t target = perm.Permute(KeyAtFraction(f, inserted));
+      const int col = static_cast<int>(rng.Range(1, spec_.num_columns + 1));
+      const ColumnValue value = rng.Next() & 0x7fffffffu;
+      const uint64_t t0 = env->NowMicros();
+      LASER_RETURN_IF_ERROR(engine->Update(target, {{col, value}}));
+      result->update_micros.Add(static_cast<double>(env->NowMicros() - t0));
+      if (trace != nullptr) trace->AddUpdate({col});
+    }
+
+    // Q2 reads interleaved uniformly.
+    for (size_t r = 0; r < spec_.point_reads.size(); ++r) {
+      const auto& read = spec_.point_reads[r];
+      if (read.count == 0) continue;
+      const uint64_t due =
+          read.count - (read.count * (spec_.steady_inserts - 1 - i)) /
+                           spec_.steady_inserts;
+      while (reads_remaining[r] > read.count - due) {
+        --reads_remaining[r];
+        const double f = rng.NextGaussian(read.recency_mean, read.recency_sd);
+        const uint64_t target = perm.Permute(KeyAtFraction(f, inserted));
+        std::vector<std::optional<ColumnValue>> values;
+        bool found = false;
+        const uint64_t t0 = env->NowMicros();
+        LASER_RETURN_IF_ERROR(
+            engine->Read(target, read.projection, &values, &found));
+        result->read_micros[r].Add(static_cast<double>(env->NowMicros() - t0));
+        if (trace != nullptr) {
+          trace->AddPointRead(
+              read.projection,
+              LevelOfAgeFraction(f, levels_for_trace, size_ratio_for_trace));
+        }
+      }
+    }
+  }
+
+  // Q4 / Q5 scans.
+  for (size_t s = 0; s < spec_.scans.size(); ++s) {
+    const ScanSpec& scan = spec_.scans[s];
+    for (uint64_t q = 0; q < scan.count; ++q) {
+      const uint64_t span =
+          static_cast<uint64_t>(scan.selectivity * static_cast<double>(kKeyDomain));
+      const uint64_t lo =
+          span >= kKeyDomain ? 0 : rng.Uniform(kKeyDomain - span);
+      const uint64_t hi = lo + span;
+      TableEngine::AggregateResult agg;
+      const uint64_t t0 = env->NowMicros();
+      LASER_RETURN_IF_ERROR(engine->ScanAggregate(lo, hi, scan.projection, &agg));
+      result->scan_micros[s].Add(static_cast<double>(env->NowMicros() - t0));
+      if (trace != nullptr) {
+        trace->AddRangeScan(scan.projection, static_cast<double>(agg.rows));
+      }
+    }
+  }
+
+  result->workload_seconds =
+      static_cast<double>(env->NowMicros() - steady_start) / 1e6;
+  return Status::OK();
+}
+
+}  // namespace laser

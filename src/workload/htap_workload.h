@@ -1,0 +1,111 @@
+// HTAP benchmark workload (§7, Table 3): queries Q1-Q5 of the Arulraj /
+// Athanassoulis HTAP micro-benchmark over narrow (30-column) and wide
+// (100-column) tables, with lifecycle-driven access patterns — point reads
+// drawn from normal distributions over time-since-insertion, scans over
+// uniform key ranges with narrow projections.
+
+#ifndef LASER_WORKLOAD_HTAP_WORKLOAD_H_
+#define LASER_WORKLOAD_HTAP_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cost/trace.h"
+#include "laser/schema.h"
+#include "util/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "workload/table_engine.h"
+
+namespace laser {
+
+/// Spec of one point-read class (Q2a / Q2b in §7.2).
+struct PointReadSpec {
+  ColumnSet projection;
+  /// Key chosen by age: fraction of the insertion order drawn from
+  /// N(mean, sd) (1.0 = newest row, 0.0 = oldest), clamped to [0, 1].
+  double recency_mean = 0.98;
+  double recency_sd = 0.02;
+  uint64_t count = 0;
+};
+
+/// Spec of one scan class (Q4 / Q5).
+struct ScanSpec {
+  ColumnSet projection;
+  /// Fraction of the key domain covered by the range predicate.
+  double selectivity = 0.05;
+  uint64_t count = 0;
+  bool aggregate_max = false;  ///< false: Q4-style sum; true: Q5-style max
+};
+
+/// The full HW workload of Table 3.
+struct HtapWorkloadSpec {
+  int num_columns = 30;
+  uint64_t load_rows = 400000;       ///< initial load phase (Q1)
+  uint64_t steady_inserts = 20000;   ///< Q1 during the measured phase
+  double updates_per_insert = 0.01;  ///< Q3 rate (1% of inserts)
+  /// Q3 updates pick one random column of a recently inserted key.
+  double update_recency_mean = 0.98;
+  double update_recency_sd = 0.02;
+  std::vector<PointReadSpec> point_reads;  ///< Q2a, Q2b
+  std::vector<ScanSpec> scans;             ///< Q4, Q5
+  uint64_t seed = 42;
+
+  /// The paper's HW over the narrow table (Table 3), scaled by `scale`
+  /// (1.0 = the row counts above).
+  static HtapWorkloadSpec NarrowHW(double scale = 1.0);
+
+  std::string ToString() const;
+};
+
+/// Latency + throughput measurements of one run (the quantities plotted in
+/// Fig. 8).
+struct HtapWorkloadResult {
+  std::string engine;
+  double load_seconds = 0;
+  double load_inserts_per_sec = 0;
+  double workload_seconds = 0;          ///< steady phase total (Fig. 8(a))
+  Histogram insert_micros;              ///< Q1
+  std::vector<Histogram> read_micros;   ///< per spec.point_reads entry (Q2a..)
+  Histogram update_micros;              ///< Q3
+  std::vector<Histogram> scan_micros;   ///< per spec.scans entry (Q4, Q5)
+
+  std::string ToString() const;
+};
+
+/// Runs the workload against any engine. Deterministic for a fixed seed.
+class HtapWorkloadRunner {
+ public:
+  explicit HtapWorkloadRunner(HtapWorkloadSpec spec);
+
+  /// Executes load + steady phases. If `trace` is non-null, records the
+  /// workload into it for the design advisor (reads are attributed to levels
+  /// by age, using `levels_for_trace` and the size ratio).
+  Status Run(TableEngine* engine, HtapWorkloadResult* result,
+             WorkloadTrace* trace = nullptr, int levels_for_trace = 8,
+             int size_ratio_for_trace = 2);
+
+  /// Fills only the trace (no engine execution) — used to feed the design
+  /// advisor before a database exists, as the paper's offline profiling does.
+  void FillTrace(WorkloadTrace* trace, int levels, int size_ratio) const;
+
+  const HtapWorkloadSpec& spec() const { return spec_; }
+
+  /// Maps an age fraction (1 = newest) to the level expected to hold it,
+  /// given exponentially growing level capacities.
+  static int LevelOfAgeFraction(double fraction, int levels, int size_ratio);
+
+ private:
+  /// One full row for `key` (deterministic content).
+  std::vector<ColumnValue> MakeRow(uint64_t key) const;
+
+  /// Key at the given recency fraction of [1, max_key].
+  static uint64_t KeyAtFraction(double fraction, uint64_t max_key);
+
+  HtapWorkloadSpec spec_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_WORKLOAD_HTAP_WORKLOAD_H_

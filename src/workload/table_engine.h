@@ -1,0 +1,116 @@
+// TableEngine: the minimal storage-engine interface the HTAP benchmark
+// drives, so the same workload runs against LASER (any CG design), the
+// B+-tree row-store baseline and the column-store baseline (§7.2's
+// cross-system comparison).
+
+#ifndef LASER_WORKLOAD_TABLE_ENGINE_H_
+#define LASER_WORKLOAD_TABLE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "laser/laser_db.h"
+#include "laser/schema.h"
+#include "util/status.h"
+
+namespace laser {
+
+class TableEngine {
+ public:
+  virtual ~TableEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Q1: full-row insert.
+  virtual Status Insert(uint64_t key, const std::vector<ColumnValue>& row) = 0;
+
+  /// Q3: partial update.
+  virtual Status Update(uint64_t key,
+                        const std::vector<ColumnValuePair>& values) = 0;
+
+  virtual Status Delete(uint64_t key) = 0;
+
+  /// Q2: point read with projection. `found=false` if the key is absent.
+  virtual Status Read(uint64_t key, const ColumnSet& projection,
+                      std::vector<std::optional<ColumnValue>>* values,
+                      bool* found) = 0;
+
+  /// Q4/Q5 kernel: scans [lo, hi], returning per projected column the sum and
+  /// max of present values plus the number of rows touched. (The benchmark's
+  /// aggregates; doing the fold inside the engine call keeps the interface
+  /// identical across engines.)
+  struct AggregateResult {
+    std::vector<uint64_t> sums;
+    std::vector<uint64_t> maxima;
+    uint64_t rows = 0;
+  };
+  virtual Status ScanAggregate(uint64_t lo, uint64_t hi,
+                               const ColumnSet& projection,
+                               AggregateResult* result) = 0;
+
+  /// Flushes volatile state (end of load phase).
+  virtual Status Checkpoint() { return Status::OK(); }
+};
+
+/// Adapter running the benchmark against a LaserDB instance.
+class LaserTableEngine final : public TableEngine {
+ public:
+  /// Borrows `db` (caller keeps ownership).
+  LaserTableEngine(LaserDB* db, std::string name)
+      : db_(db), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  Status Insert(uint64_t key, const std::vector<ColumnValue>& row) override {
+    return db_->Insert(key, row);
+  }
+
+  Status Update(uint64_t key,
+                const std::vector<ColumnValuePair>& values) override {
+    return db_->Update(key, values);
+  }
+
+  Status Delete(uint64_t key) override { return db_->Delete(key); }
+
+  Status Read(uint64_t key, const ColumnSet& projection,
+              std::vector<std::optional<ColumnValue>>* values,
+              bool* found) override {
+    LaserDB::ReadResult result;
+    LASER_RETURN_IF_ERROR(db_->Read(key, projection, &result));
+    *found = result.found;
+    *values = std::move(result.values);
+    return Status::OK();
+  }
+
+  Status ScanAggregate(uint64_t lo, uint64_t hi, const ColumnSet& projection,
+                       AggregateResult* result) override {
+    result->sums.assign(projection.size(), 0);
+    result->maxima.assign(projection.size(), 0);
+    result->rows = 0;
+    auto scan = db_->NewScan(lo, hi, projection);
+    if (scan == nullptr) return Status::InvalidArgument("bad projection");
+    for (; scan->Valid(); scan->Next()) {
+      const auto& row = scan->values();
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (row[i].has_value()) {
+          result->sums[i] += *row[i];
+          result->maxima[i] = std::max(result->maxima[i], *row[i]);
+        }
+      }
+      ++result->rows;
+    }
+    return scan->status();
+  }
+
+  Status Checkpoint() override { return db_->Flush(); }
+
+ private:
+  LaserDB* db_;
+  std::string name_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_WORKLOAD_TABLE_ENGINE_H_

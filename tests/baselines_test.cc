@@ -1,0 +1,337 @@
+// Baseline engine tests: B+-tree row store and contiguous column store,
+// including a cross-engine equivalence property test — all three engines
+// (LASER included) must agree on every query of a randomized workload.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/btree_store.h"
+#include "baselines/column_store.h"
+#include "util/random.h"
+#include "workload/htap_workload.h"
+
+namespace laser {
+namespace {
+
+std::vector<ColumnValue> Row(uint64_t key, int columns) {
+  std::vector<ColumnValue> row(columns);
+  for (int c = 0; c < columns; ++c) row[c] = key * 1000 + c + 1;
+  return row;
+}
+
+// ------------------------------------------------------------ BTreeStore --
+
+class BTreeStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    BTreeStore::Options options;
+    options.env = env_.get();
+    options.path = "/btree.db";
+    options.schema = Schema::UniformInt32(8);
+    ASSERT_TRUE(BTreeStore::Open(options, &store_).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<BTreeStore> store_;
+};
+
+TEST_F(BTreeStoreTest, InsertReadRoundTrip) {
+  ASSERT_TRUE(store_->Insert(42, Row(42, 8)).ok());
+  std::vector<std::optional<ColumnValue>> values;
+  bool found;
+  ASSERT_TRUE(store_->Read(42, {1, 5}, &values, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(*values[0], 42001u);
+  EXPECT_EQ(*values[1], 42005u);
+  ASSERT_TRUE(store_->Read(43, {1}, &values, &found).ok());
+  EXPECT_FALSE(found);
+}
+
+TEST_F(BTreeStoreTest, SplitsGrowTheTree) {
+  const int n = 20000;  // far beyond one leaf
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(store_->Insert(static_cast<uint64_t>(i) * 7 % n, Row(i, 8)).ok());
+  }
+  EXPECT_GT(store_->height(), 1);
+  EXPECT_GT(store_->num_pages(), 100u);
+  // Every key readable after splits.
+  std::vector<std::optional<ColumnValue>> values;
+  bool found;
+  for (int k = 0; k < n; k += 997) {
+    ASSERT_TRUE(store_->Read(k, {1}, &values, &found).ok());
+    EXPECT_TRUE(found) << k;
+  }
+}
+
+TEST_F(BTreeStoreTest, SequentialAndReverseInsertOrders) {
+  for (uint64_t k = 0; k < 5000; ++k) ASSERT_TRUE(store_->Insert(k, Row(k, 8)).ok());
+  EXPECT_EQ(store_->num_rows(), 5000u);
+  BTreeStore::Options options;
+  options.env = env_.get();
+  options.schema = Schema::UniformInt32(8);
+  std::unique_ptr<BTreeStore> reverse;
+  ASSERT_TRUE(BTreeStore::Open(options, &reverse).ok());
+  for (uint64_t k = 5000; k > 0; --k) {
+    ASSERT_TRUE(reverse->Insert(k, Row(k, 8)).ok());
+  }
+  EXPECT_EQ(reverse->num_rows(), 5000u);
+  bool found;
+  std::vector<std::optional<ColumnValue>> values;
+  ASSERT_TRUE(reverse->Read(1, {1}, &values, &found).ok());
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BTreeStoreTest, UpdateInPlace) {
+  ASSERT_TRUE(store_->Insert(5, Row(5, 8)).ok());
+  ASSERT_TRUE(store_->Update(5, {{3, 99}}).ok());
+  std::vector<std::optional<ColumnValue>> values;
+  bool found;
+  ASSERT_TRUE(store_->Read(5, {3, 4}, &values, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(*values[0], 99u);
+  EXPECT_EQ(*values[1], 5004u);
+  EXPECT_TRUE(store_->Update(6, {{1, 1}}).IsNotFound());
+}
+
+TEST_F(BTreeStoreTest, DeleteRemovesRow) {
+  ASSERT_TRUE(store_->Insert(5, Row(5, 8)).ok());
+  ASSERT_TRUE(store_->Delete(5).ok());
+  std::vector<std::optional<ColumnValue>> values;
+  bool found;
+  ASSERT_TRUE(store_->Read(5, {1}, &values, &found).ok());
+  EXPECT_FALSE(found);
+  EXPECT_EQ(store_->num_rows(), 0u);
+}
+
+TEST_F(BTreeStoreTest, InsertExistingKeyOverwrites) {
+  ASSERT_TRUE(store_->Insert(5, Row(5, 8)).ok());
+  ASSERT_TRUE(store_->Insert(5, Row(7, 8)).ok());
+  EXPECT_EQ(store_->num_rows(), 1u);
+  std::vector<std::optional<ColumnValue>> values;
+  bool found;
+  ASSERT_TRUE(store_->Read(5, {1}, &values, &found).ok());
+  EXPECT_EQ(*values[0], 7001u);
+}
+
+TEST_F(BTreeStoreTest, ScanAggregatesRange) {
+  for (uint64_t k = 0; k < 1000; ++k) ASSERT_TRUE(store_->Insert(k, Row(k, 8)).ok());
+  TableEngine::AggregateResult agg;
+  ASSERT_TRUE(store_->ScanAggregate(100, 199, {1}, &agg).ok());
+  EXPECT_EQ(agg.rows, 100u);
+  uint64_t expected_sum = 0;
+  for (uint64_t k = 100; k <= 199; ++k) expected_sum += k * 1000 + 1;
+  EXPECT_EQ(agg.sums[0], expected_sum);
+  EXPECT_EQ(agg.maxima[0], 199001u);
+}
+
+TEST_F(BTreeStoreTest, CheckpointWritesFile) {
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(store_->Insert(k, Row(k, 8)).ok());
+  ASSERT_TRUE(store_->Checkpoint().ok());
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize("/btree.db", &size).ok());
+  EXPECT_GT(size, store_->num_pages() * BTreeStore::kPageSize - 1);
+}
+
+// ----------------------------------------------------------- ColumnStore --
+
+class ColumnStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    ColumnStore::Options options;
+    options.env = env_.get();
+    options.path_prefix = "/colstore";
+    options.schema = Schema::UniformInt32(8);
+    options.delta_merge_threshold = 256;
+    ASSERT_TRUE(ColumnStore::Open(options, &store_).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<ColumnStore> store_;
+};
+
+TEST_F(ColumnStoreTest, InsertReadThroughDeltaAndMain) {
+  ASSERT_TRUE(store_->Insert(42, Row(42, 8)).ok());
+  std::vector<std::optional<ColumnValue>> values;
+  bool found;
+  ASSERT_TRUE(store_->Read(42, {2}, &values, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(*values[0], 42002u);
+  store_->MergeDelta();
+  EXPECT_EQ(store_->delta_rows(), 0u);
+  EXPECT_EQ(store_->main_rows(), 1u);
+  ASSERT_TRUE(store_->Read(42, {2}, &values, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(*values[0], 42002u);
+}
+
+TEST_F(ColumnStoreTest, AutoMergeAtThreshold) {
+  for (uint64_t k = 0; k < 300; ++k) ASSERT_TRUE(store_->Insert(k, Row(k, 8)).ok());
+  EXPECT_GE(store_->merges(), 1u);
+  EXPECT_GT(store_->main_rows(), 0u);
+}
+
+TEST_F(ColumnStoreTest, UpdateInMainIsInPlace) {
+  ASSERT_TRUE(store_->Insert(5, Row(5, 8)).ok());
+  store_->MergeDelta();
+  ASSERT_TRUE(store_->Update(5, {{4, 777}}).ok());
+  EXPECT_EQ(store_->delta_rows(), 0u);  // updated in place
+  std::vector<std::optional<ColumnValue>> values;
+  bool found;
+  ASSERT_TRUE(store_->Read(5, {4, 5}, &values, &found).ok());
+  EXPECT_EQ(*values[0], 777u);
+  EXPECT_EQ(*values[1], 5005u);
+}
+
+TEST_F(ColumnStoreTest, PartialUpdateInDeltaStitchesWithMain) {
+  ASSERT_TRUE(store_->Insert(5, Row(5, 8)).ok());
+  store_->MergeDelta();
+  ASSERT_TRUE(store_->Delete(5).ok());
+  ASSERT_TRUE(store_->Insert(5, Row(9, 8)).ok());
+  ASSERT_TRUE(store_->Update(5, {{1, 111}}).ok());
+  std::vector<std::optional<ColumnValue>> values;
+  bool found;
+  ASSERT_TRUE(store_->Read(5, {1, 2}, &values, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(*values[0], 111u);
+  EXPECT_EQ(*values[1], 9002u);
+}
+
+TEST_F(ColumnStoreTest, DeleteHidesRowInMainAndDelta) {
+  ASSERT_TRUE(store_->Insert(1, Row(1, 8)).ok());
+  store_->MergeDelta();
+  ASSERT_TRUE(store_->Insert(2, Row(2, 8)).ok());
+  ASSERT_TRUE(store_->Delete(1).ok());
+  ASSERT_TRUE(store_->Delete(2).ok());
+  bool found;
+  std::vector<std::optional<ColumnValue>> values;
+  ASSERT_TRUE(store_->Read(1, {1}, &values, &found).ok());
+  EXPECT_FALSE(found);
+  ASSERT_TRUE(store_->Read(2, {1}, &values, &found).ok());
+  EXPECT_FALSE(found);
+  store_->MergeDelta();
+  EXPECT_EQ(store_->main_rows(), 0u);
+}
+
+TEST_F(ColumnStoreTest, ScanSpansMainAndDelta) {
+  for (uint64_t k = 0; k < 100; ++k) ASSERT_TRUE(store_->Insert(k, Row(k, 8)).ok());
+  store_->MergeDelta();
+  for (uint64_t k = 100; k < 150; ++k) {
+    ASSERT_TRUE(store_->Insert(k, Row(k, 8)).ok());
+  }
+  ASSERT_TRUE(store_->Delete(120).ok());
+  TableEngine::AggregateResult agg;
+  ASSERT_TRUE(store_->ScanAggregate(90, 129, {1}, &agg).ok());
+  EXPECT_EQ(agg.rows, 39u);  // 40 keys minus deleted 120
+}
+
+TEST_F(ColumnStoreTest, CheckpointWritesColumnFiles) {
+  for (uint64_t k = 0; k < 50; ++k) ASSERT_TRUE(store_->Insert(k, Row(k, 8)).ok());
+  ASSERT_TRUE(store_->Checkpoint().ok());
+  uint64_t size;
+  ASSERT_TRUE(env_->GetFileSize("/colstore.key", &size).ok());
+  EXPECT_EQ(size, 50u * 8);
+  ASSERT_TRUE(env_->GetFileSize("/colstore.col1", &size).ok());
+  EXPECT_EQ(size, 50u * 4);  // contiguous int32 values, no keys
+}
+
+// --------------------------------------------- Cross-engine equivalence --
+
+TEST(EngineEquivalenceTest, AllEnginesAgreeOnRandomWorkload) {
+  constexpr int kColumns = 6;
+  auto env = NewMemEnv();
+
+  LaserOptions laser_options;
+  laser_options.env = env.get();
+  laser_options.path = "/laser";
+  laser_options.schema = Schema::UniformInt32(kColumns);
+  laser_options.num_levels = 4;
+  laser_options.cg_config = CgConfig::EquiWidth(kColumns, 4, 2);
+  laser_options.write_buffer_size = 8 * 1024;
+  laser_options.level0_bytes = 16 * 1024;
+  laser_options.target_sst_size = 8 * 1024;
+  std::unique_ptr<LaserDB> laser_db;
+  ASSERT_TRUE(LaserDB::Open(laser_options, &laser_db).ok());
+  LaserTableEngine laser_engine(laser_db.get(), "laser");
+
+  BTreeStore::Options btree_options;
+  btree_options.env = env.get();
+  btree_options.schema = Schema::UniformInt32(kColumns);
+  std::unique_ptr<BTreeStore> btree;
+  ASSERT_TRUE(BTreeStore::Open(btree_options, &btree).ok());
+
+  ColumnStore::Options col_options;
+  col_options.env = env.get();
+  col_options.schema = Schema::UniformInt32(kColumns);
+  col_options.delta_merge_threshold = 128;
+  std::unique_ptr<ColumnStore> colstore;
+  ASSERT_TRUE(ColumnStore::Open(col_options, &colstore).ok());
+
+  std::vector<TableEngine*> engines = {&laser_engine, btree.get(), colstore.get()};
+
+  Random rng(1234);
+  for (int op = 0; op < 3000; ++op) {
+    const uint64_t key = rng.Uniform(200);
+    const int action = static_cast<int>(rng.Uniform(10));
+    if (action < 6) {
+      const auto row = Row(key + rng.Uniform(50) * 100000, kColumns);
+      for (auto* engine : engines) ASSERT_TRUE(engine->Insert(key, row).ok());
+    } else if (action < 8) {
+      const int column = 1 + static_cast<int>(rng.Uniform(kColumns));
+      const ColumnValue value = rng.Next() % 100000;
+      // Engines differ on updating missing keys (the B+-tree returns
+      // NotFound, LASER buffers a partial row); only update live keys.
+      bool found;
+      std::vector<std::optional<ColumnValue>> values;
+      ASSERT_TRUE(btree->Read(key, {1}, &values, &found).ok());
+      if (!found) continue;
+      for (auto* engine : engines) {
+        ASSERT_TRUE(engine->Update(key, {{column, value}}).ok());
+      }
+    } else {
+      for (auto* engine : engines) ASSERT_TRUE(engine->Delete(key).ok());
+    }
+  }
+
+  // Point-read agreement over the whole key space.
+  const ColumnSet full = MakeColumnRange(1, kColumns);
+  for (uint64_t key = 0; key < 200; ++key) {
+    bool expect_found;
+    std::vector<std::optional<ColumnValue>> expected;
+    ASSERT_TRUE(btree->Read(key, full, &expected, &expect_found).ok());
+    for (auto* engine : engines) {
+      bool found;
+      std::vector<std::optional<ColumnValue>> values;
+      ASSERT_TRUE(engine->Read(key, full, &values, &found).ok());
+      ASSERT_EQ(found, expect_found) << engine->name() << " key " << key;
+      if (found) {
+        for (int c = 0; c < kColumns; ++c) {
+          ASSERT_EQ(values[c], expected[c])
+              << engine->name() << " key " << key << " col " << c + 1;
+        }
+      }
+    }
+  }
+
+  // Scan agreement on several ranges and projections.
+  for (const auto& [lo, hi] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {0, 199}, {50, 99}, {150, 250}}) {
+    for (const ColumnSet& proj :
+         std::vector<ColumnSet>{{1}, {2, 5}, MakeColumnRange(1, kColumns)}) {
+      TableEngine::AggregateResult expected;
+      ASSERT_TRUE(btree->ScanAggregate(lo, hi, proj, &expected).ok());
+      for (auto* engine : engines) {
+        TableEngine::AggregateResult agg;
+        ASSERT_TRUE(engine->ScanAggregate(lo, hi, proj, &agg).ok());
+        EXPECT_EQ(agg.rows, expected.rows) << engine->name();
+        EXPECT_EQ(agg.sums, expected.sums) << engine->name();
+        EXPECT_EQ(agg.maxima, expected.maxima) << engine->name();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace laser

@@ -1,0 +1,391 @@
+// Unit tests for the compaction machinery (§4.4): flush jobs, CG-local
+// compaction with layout splitting, tombstone replication into every child
+// chain, multi-SST outputs, and snapshot-aware version merging.
+
+#include <gtest/gtest.h>
+
+#include "laser/cg_compaction.h"
+#include "lsm/run_iterator.h"
+#include "util/coding.h"
+
+namespace laser {
+namespace {
+
+class CgCompactionTest : public ::testing::Test {
+ protected:
+  static constexpr int kColumns = 4;
+
+  void SetUp() override {
+    env_ = NewMemEnv();
+    ASSERT_TRUE(env_->CreateDir("/db").ok());
+    options_.env = env_.get();
+    options_.path = "/db";
+    options_.schema = Schema::UniformInt32(kColumns);
+    options_.num_levels = 3;
+    // L0,L1 row; L2: <1,2><3,4>.
+    std::vector<std::vector<ColumnSet>> levels = {
+        {MakeColumnRange(1, kColumns)},
+        {MakeColumnRange(1, kColumns)},
+        {MakeColumnRange(1, 2), MakeColumnRange(3, 4)},
+    };
+    options_.cg_config = CgConfig(levels);
+    options_.target_sst_size = 4096;
+    ASSERT_TRUE(options_.Finalize().ok());
+    codec_ = std::make_unique<RowCodec>(&options_.schema);
+  }
+
+  JobContext MakeContext() {
+    JobContext ctx;
+    ctx.options = &options_;
+    ctx.codec = codec_.get();
+    ctx.db_path = "/db";
+    ctx.cache = nullptr;
+    ctx.stats = &stats_;
+    ctx.next_file_number = [this] { return next_file_++; };
+    return ctx;
+  }
+
+  /// Builds a memtable with `rows` full rows keyed 0..rows-1.
+  MemTable* FillMemTable(int rows, SequenceNumber base_seq) {
+    MemTable* mem = new MemTable();
+    mem->Ref();
+    const ColumnSet all = options_.schema.AllColumns();
+    for (int k = 0; k < rows; ++k) {
+      std::vector<ColumnValuePair> vals;
+      for (int c = 1; c <= kColumns; ++c) {
+        vals.push_back({c, static_cast<uint64_t>(k * 10 + c)});
+      }
+      mem->Add(base_seq + k, kTypeFullRow, EncodeKey64(k), codec_->Encode(all, vals));
+    }
+    return mem;
+  }
+
+  /// Reads every (user_key, type) from a run.
+  std::vector<std::pair<uint64_t, ValueType>> DumpRun(const Version::FileList& run) {
+    std::vector<std::pair<uint64_t, ValueType>> out;
+    auto iter = NewRunIterator(run);
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+      out.emplace_back(DecodeKey64(ExtractUserKey(iter->key())),
+                       ExtractValueType(iter->key()));
+    }
+    return out;
+  }
+
+  std::unique_ptr<Env> env_;
+  LaserOptions options_;
+  std::unique_ptr<RowCodec> codec_;
+  Stats stats_;
+  uint64_t next_file_ = 1;
+};
+
+TEST_F(CgCompactionTest, FlushWritesRowFormatSst) {
+  MemTable* mem = FillMemTable(100, 1);
+  JobContext ctx = MakeContext();
+  std::shared_ptr<FileMetaData> meta;
+  ASSERT_TRUE(RunFlush(ctx, *mem, &meta).ok());
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->props.num_entries, 100u);
+  EXPECT_EQ(meta->props.smallest_seq, 1u);
+  EXPECT_EQ(meta->props.largest_seq, 100u);
+  EXPECT_EQ(DecodeKey64(meta->smallest_user_key()), 0u);
+  EXPECT_EQ(DecodeKey64(meta->largest_user_key()), 99u);
+  EXPECT_GT(stats_.bytes_flushed.load(), 0u);
+  mem->Unref();
+}
+
+TEST_F(CgCompactionTest, FlushOfEmptyMemtableYieldsNothing) {
+  MemTable* mem = new MemTable();
+  mem->Ref();
+  JobContext ctx = MakeContext();
+  std::shared_ptr<FileMetaData> meta;
+  ASSERT_TRUE(RunFlush(ctx, *mem, &meta).ok());
+  EXPECT_EQ(meta, nullptr);
+  mem->Unref();
+}
+
+TEST_F(CgCompactionTest, CompactionSplitsRowsIntoChildGroups) {
+  // Flush 50 rows to "L1" (row format), then compact L1 -> L2 (two CGs).
+  MemTable* mem = FillMemTable(50, 1);
+  JobContext ctx = MakeContext();
+  std::shared_ptr<FileMetaData> l1_file;
+  ASSERT_TRUE(RunFlush(ctx, *mem, &l1_file).ok());
+  mem->Unref();
+
+  CompactionJob job;
+  job.level = 1;
+  job.group = 0;
+  job.parent_files = {l1_file};
+  job.child_groups = {0, 1};
+  job.child_files = {{}, {}};
+  job.to_bottom_level = true;
+
+  CompactionResult result;
+  ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
+  ASSERT_EQ(result.outputs.size(), 2u);
+  ASSERT_FALSE(result.outputs[0].empty());
+  ASSERT_FALSE(result.outputs[1].empty());
+
+  // Both child runs hold all 50 keys, values restricted to their columns.
+  for (int child = 0; child < 2; ++child) {
+    auto dump = DumpRun(result.outputs[child]);
+    ASSERT_EQ(dump.size(), 50u);
+    const ColumnSet& cols = options_.cg_config.groups(2)[child];
+    auto iter = NewRunIterator(result.outputs[child]);
+    iter->SeekToFirst();
+    for (uint64_t k = 0; k < 50; ++k, iter->Next()) {
+      ASSERT_TRUE(iter->Valid());
+      EXPECT_EQ(DecodeKey64(ExtractUserKey(iter->key())), k);
+      std::vector<ColumnValuePair> vals;
+      ASSERT_TRUE(codec_->Decode(cols, iter->value(), &vals).ok());
+      ASSERT_EQ(vals.size(), 2u);
+      EXPECT_EQ(vals[0].value, k * 10 + cols[0]);
+      EXPECT_EQ(vals[1].value, k * 10 + cols[1]);
+    }
+  }
+}
+
+TEST_F(CgCompactionTest, TombstonesReachEveryChildGroup) {
+  MemTable* mem = new MemTable();
+  mem->Ref();
+  const ColumnSet all = options_.schema.AllColumns();
+  mem->Add(1, kTypeFullRow, EncodeKey64(1),
+           codec_->Encode(all, {{1, 1}, {2, 2}, {3, 3}, {4, 4}}));
+  mem->Add(2, kTypeDeletion, EncodeKey64(2), "");
+  JobContext ctx = MakeContext();
+  std::shared_ptr<FileMetaData> file;
+  ASSERT_TRUE(RunFlush(ctx, *mem, &file).ok());
+  mem->Unref();
+
+  CompactionJob job;
+  job.level = 1;
+  job.group = 0;
+  job.parent_files = {file};
+  job.child_groups = {0, 1};
+  job.child_files = {{}, {}};
+  job.to_bottom_level = false;  // tombstones must survive mid-tree
+
+  CompactionResult result;
+  ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
+  for (int child = 0; child < 2; ++child) {
+    auto dump = DumpRun(result.outputs[child]);
+    ASSERT_EQ(dump.size(), 2u) << "child " << child;
+    EXPECT_EQ(dump[0], (std::pair<uint64_t, ValueType>{1, kTypeFullRow}));
+    EXPECT_EQ(dump[1], (std::pair<uint64_t, ValueType>{2, kTypeDeletion}));
+  }
+}
+
+TEST_F(CgCompactionTest, BottomLevelDropsTombstones) {
+  MemTable* mem = new MemTable();
+  mem->Ref();
+  mem->Add(1, kTypeDeletion, EncodeKey64(7), "");
+  JobContext ctx = MakeContext();
+  std::shared_ptr<FileMetaData> file;
+  ASSERT_TRUE(RunFlush(ctx, *mem, &file).ok());
+  mem->Unref();
+
+  CompactionJob job;
+  job.level = 1;
+  job.group = 0;
+  job.parent_files = {file};
+  job.child_groups = {0, 1};
+  job.child_files = {{}, {}};
+  job.to_bottom_level = true;
+
+  CompactionResult result;
+  ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
+  EXPECT_TRUE(result.outputs[0].empty());
+  EXPECT_TRUE(result.outputs[1].empty());
+}
+
+TEST_F(CgCompactionTest, PartialUpdateMergesWithChildRow) {
+  JobContext ctx = MakeContext();
+  const ColumnSet all = options_.schema.AllColumns();
+
+  // Older full row already in the child level (as two CG runs).
+  MemTable* older = new MemTable();
+  older->Ref();
+  older->Add(1, kTypeFullRow, EncodeKey64(5),
+             codec_->Encode(all, {{1, 10}, {2, 20}, {3, 30}, {4, 40}}));
+  std::shared_ptr<FileMetaData> older_row_file;
+  ASSERT_TRUE(RunFlush(ctx, *older, &older_row_file).ok());
+  older->Unref();
+  CompactionJob seed_job;
+  seed_job.level = 1;
+  seed_job.group = 0;
+  seed_job.parent_files = {older_row_file};
+  seed_job.child_groups = {0, 1};
+  seed_job.child_files = {{}, {}};
+  seed_job.to_bottom_level = true;
+  CompactionResult seeded;
+  ASSERT_TRUE(RunCompaction(ctx, seed_job, &seeded).ok());
+
+  // Newer partial row (update of column 3 only) arrives above.
+  MemTable* newer = new MemTable();
+  newer->Ref();
+  newer->Add(9, kTypePartialRow, EncodeKey64(5), codec_->Encode(all, {{3, 333}}));
+  std::shared_ptr<FileMetaData> newer_file;
+  ASSERT_TRUE(RunFlush(ctx, *newer, &newer_file).ok());
+  newer->Unref();
+
+  CompactionJob job;
+  job.level = 1;
+  job.group = 0;
+  job.parent_files = {newer_file};
+  job.child_groups = {0, 1};
+  job.child_files = {seeded.outputs[0], seeded.outputs[1]};
+  job.to_bottom_level = true;
+
+  CompactionResult result;
+  ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
+
+  // Child <1,2>: untouched by the partial -> old values intact, 1 entry.
+  {
+    auto iter = NewRunIterator(result.outputs[0]);
+    iter->SeekToFirst();
+    ASSERT_TRUE(iter->Valid());
+    std::vector<ColumnValuePair> vals;
+    ASSERT_TRUE(codec_->Decode({1, 2}, iter->value(), &vals).ok());
+    EXPECT_EQ(vals[0].value, 10u);
+    EXPECT_EQ(vals[1].value, 20u);
+  }
+  // Child <3,4>: merged, column 3 updated, column 4 preserved, FULL row.
+  {
+    auto iter = NewRunIterator(result.outputs[1]);
+    iter->SeekToFirst();
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(ExtractValueType(iter->key()), kTypeFullRow);
+    EXPECT_EQ(ExtractSequence(iter->key()), 9u);
+    std::vector<ColumnValuePair> vals;
+    ASSERT_TRUE(codec_->Decode({3, 4}, iter->value(), &vals).ok());
+    EXPECT_EQ(vals[0].value, 333u);
+    EXPECT_EQ(vals[1].value, 40u);
+  }
+}
+
+TEST_F(CgCompactionTest, OutputRespectsTargetSstSize) {
+  options_.target_sst_size = 4096;  // tiny targets -> several output files
+  MemTable* mem = FillMemTable(2000, 1);
+  JobContext ctx = MakeContext();
+  std::shared_ptr<FileMetaData> file;
+  ASSERT_TRUE(RunFlush(ctx, *mem, &file).ok());
+  mem->Unref();
+
+  CompactionJob job;
+  job.level = 1;
+  job.group = 0;
+  job.parent_files = {file};
+  job.child_groups = {0, 1};
+  job.child_files = {{}, {}};
+  job.to_bottom_level = true;
+
+  CompactionResult result;
+  ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
+  EXPECT_GT(result.outputs[0].size(), 1u);
+  // Files within a run must be sorted and non-overlapping.
+  for (const auto& run : result.outputs) {
+    for (size_t i = 0; i + 1 < run.size(); ++i) {
+      EXPECT_LT(Slice(run[i]->largest).compare(Slice(run[i + 1]->smallest)), 0);
+    }
+  }
+  // Entries preserved.
+  uint64_t total = 0;
+  for (const auto& f : result.outputs[0]) total += f->props.num_entries;
+  EXPECT_EQ(total, 2000u);
+}
+
+TEST_F(CgCompactionTest, SnapshotPreservesOldVersionThroughCompaction) {
+  JobContext ctx = MakeContext();
+  ctx.snapshots = {5};  // a snapshot pins sequence 5
+  const ColumnSet all = options_.schema.AllColumns();
+
+  MemTable* mem = new MemTable();
+  mem->Ref();
+  mem->Add(3, kTypeFullRow, EncodeKey64(1),
+           codec_->Encode(all, {{1, 1}, {2, 1}, {3, 1}, {4, 1}}));
+  mem->Add(8, kTypeFullRow, EncodeKey64(1),
+           codec_->Encode(all, {{1, 2}, {2, 2}, {3, 2}, {4, 2}}));
+  std::shared_ptr<FileMetaData> file;
+  ASSERT_TRUE(RunFlush(ctx, *mem, &file).ok());
+  mem->Unref();
+
+  CompactionJob job;
+  job.level = 1;
+  job.group = 0;
+  job.parent_files = {file};
+  job.child_groups = {0, 1};
+  job.child_files = {{}, {}};
+  job.to_bottom_level = true;
+
+  CompactionResult result;
+  ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
+  // Both versions must survive in each child chain (seq 8 and seq 3).
+  for (int child = 0; child < 2; ++child) {
+    auto dump = DumpRun(result.outputs[child]);
+    ASSERT_EQ(dump.size(), 2u);
+  }
+}
+
+TEST_F(CgCompactionTest, IdentityCompactionKeepsRowFormat) {
+  // L0 -> L1 with identical (row) layouts exercises the identity projection.
+  MemTable* mem = FillMemTable(100, 1);
+  JobContext ctx = MakeContext();
+  std::shared_ptr<FileMetaData> file;
+  ASSERT_TRUE(RunFlush(ctx, *mem, &file).ok());
+  mem->Unref();
+
+  CompactionJob job;
+  job.level = 0;
+  job.group = 0;
+  job.parent_files = {file};
+  job.child_groups = {0};
+  job.child_files = {{}};
+  job.to_bottom_level = false;
+
+  CompactionResult result;
+  ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
+  ASSERT_EQ(result.outputs.size(), 1u);
+  uint64_t total = 0;
+  for (const auto& f : result.outputs[0]) total += f->props.num_entries;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST_F(CgCompactionTest, L0MultipleOverlappingRunsMergeNewestWins) {
+  JobContext ctx = MakeContext();
+  const ColumnSet all = options_.schema.AllColumns();
+
+  MemTable* old_mem = new MemTable();
+  old_mem->Ref();
+  old_mem->Add(1, kTypeFullRow, EncodeKey64(1),
+               codec_->Encode(all, {{1, 100}, {2, 100}, {3, 100}, {4, 100}}));
+  std::shared_ptr<FileMetaData> old_file;
+  ASSERT_TRUE(RunFlush(ctx, *old_mem, &old_file).ok());
+  old_mem->Unref();
+
+  MemTable* new_mem = new MemTable();
+  new_mem->Ref();
+  new_mem->Add(2, kTypeFullRow, EncodeKey64(1),
+               codec_->Encode(all, {{1, 200}, {2, 200}, {3, 200}, {4, 200}}));
+  std::shared_ptr<FileMetaData> new_file;
+  ASSERT_TRUE(RunFlush(ctx, *new_mem, &new_file).ok());
+  new_mem->Unref();
+
+  CompactionJob job;
+  job.level = 0;
+  job.group = 0;
+  job.parent_files = {old_file, new_file};
+  job.child_groups = {0};
+  job.child_files = {{}};
+  job.to_bottom_level = false;
+
+  CompactionResult result;
+  ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
+  auto iter = NewRunIterator(result.outputs[0]);
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractSequence(iter->key()), 2u);  // newest version won
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());  // old version dropped (no snapshots)
+}
+
+}  // namespace
+}  // namespace laser

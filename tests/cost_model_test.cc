@@ -1,0 +1,169 @@
+// Cost model tests (§5): Equation 1 level count, B_ji block capacity,
+// Table 2 closed forms for the row/column special cases, monotonicity
+// properties the figures rely on.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+
+namespace laser {
+namespace {
+
+TEST(CostModelTest, Equation1LevelCount) {
+  // N = B*pg*T^L*(T/(T-1)) entries need about L levels.
+  EXPECT_EQ(ComputeNumLevels(40 * 1000, 40, 1000, 2), 1);
+  const double n = 40 * 1000 * 16 * 2.0;  // T^4 * T/(T-1) with T=2
+  EXPECT_EQ(ComputeNumLevels(n, 40, 1000, 2), 4);
+  EXPECT_GT(ComputeNumLevels(4e8, 40, 16000, 2), 6);
+}
+
+class CostModelFixture : public ::testing::Test {
+ protected:
+  LsmShape Shape(int c = 30) {
+    LsmShape shape;
+    shape.num_levels = 8;
+    shape.size_ratio = 2;
+    shape.entries_per_block = 40;
+    shape.blocks_level0 = 1000;
+    shape.num_columns = c;
+    return shape;
+  }
+};
+
+TEST_F(CostModelFixture, EntriesPerBlockEquation3) {
+  CgConfig row = CgConfig::RowOnly(30, 8);
+  CostModel model(Shape(), &row);
+  // Row layout: B_ji = B*(1+c)/(1+c) = B.
+  EXPECT_DOUBLE_EQ(model.EntriesPerBlock(1, 0), 40.0);
+
+  CgConfig col = CgConfig::ColumnOnly(30, 8);
+  CostModel colmodel(Shape(), &col);
+  // Column layout: B_ji = B*(1+c)/2.
+  EXPECT_DOUBLE_EQ(colmodel.EntriesPerBlock(1, 0), 40.0 * 31 / 2);
+
+  // Paper's example: CG <A,B> of 4 columns holds B*5/3 entries.
+  CgConfig two = CgConfig::EquiWidth(4, 8, 2);
+  LsmShape shape4 = Shape(4);
+  CostModel two_model(shape4, &two);
+  EXPECT_DOUBLE_EQ(two_model.EntriesPerBlock(1, 0), 40.0 * 5 / 3);
+}
+
+TEST_F(CostModelFixture, PointReadCostRowVsColumn) {
+  CgConfig row = CgConfig::RowOnly(30, 8);
+  CgConfig col = CgConfig::ColumnOnly(30, 8);
+  CostModel rowm(Shape(), &row);
+  CostModel colm(Shape(), &col);
+
+  const ColumnSet one = {5};
+  const ColumnSet all = MakeColumnRange(1, 30);
+
+  // Row store: one group per level regardless of projection.
+  EXPECT_DOUBLE_EQ(rowm.PointReadCost(one), 8.0);
+  EXPECT_DOUBLE_EQ(rowm.PointReadCost(all), 8.0);
+
+  // Column store: |Π| groups per level below L0 (L0 is row format).
+  EXPECT_DOUBLE_EQ(colm.PointReadCost(one), 1.0 + 7.0);
+  EXPECT_DOUBLE_EQ(colm.PointReadCost(all), 1.0 + 7.0 * 30);
+}
+
+TEST_F(CostModelFixture, PointReadCostGrowsWithProjectionForSmallCgs) {
+  // Fig. 7(a): small CGs -> latency grows with projection size; large CGs ->
+  // flat.
+  CgConfig small = CgConfig::EquiWidth(30, 8, 1);
+  CgConfig large = CgConfig::RowOnly(30, 8);
+  CostModel sm(Shape(), &small);
+  CostModel lg(Shape(), &large);
+  double prev = 0;
+  for (int k = 1; k <= 30; k += 5) {
+    const double cost = sm.PointReadCost(MakeColumnRange(1, k));
+    EXPECT_GT(cost, prev);
+    prev = cost;
+    EXPECT_DOUBLE_EQ(lg.PointReadCost(MakeColumnRange(1, k)), 8.0);
+  }
+}
+
+TEST_F(CostModelFixture, EgAndEGMatchPaperExample) {
+  // §5: CGs <A,B>;<C,D> -> E^g = 2 for Π={A,C}, 1 for Π={A,B};
+  // E^G = 6 for Π={A,C}, 3 for Π={A,B}.
+  CgConfig config = CgConfig::EquiWidth(4, 2, 2);
+  LsmShape shape = Shape(4);
+  shape.num_levels = 2;
+  CostModel model(shape, &config);
+  EXPECT_DOUBLE_EQ(model.Eg(1, {1, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(model.Eg(1, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(model.EG(1, {1, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(model.EG(1, {1, 2}), 3.0);
+}
+
+TEST_F(CostModelFixture, InsertCostRowLowerThanColumn) {
+  // Table 2: column stores pay the key-replication overhead on writes.
+  CgConfig row = CgConfig::RowOnly(30, 8);
+  CgConfig col = CgConfig::ColumnOnly(30, 8);
+  CostModel rowm(Shape(), &row);
+  CostModel colm(Shape(), &col);
+  EXPECT_LT(rowm.InsertCost(), colm.InsertCost());
+
+  // W = T*L/B + T*sum(g_i)/(B*c); row: sum g_i = L.
+  const double expected_row = 2.0 * 8 / 40 + 2.0 * 8 / (40 * 30);
+  EXPECT_DOUBLE_EQ(rowm.InsertCost(), expected_row);
+}
+
+TEST_F(CostModelFixture, RangeScanNarrowProjectionFavorsColumns) {
+  CgConfig row = CgConfig::RowOnly(30, 8);
+  CgConfig col = CgConfig::ColumnOnly(30, 8);
+  CostModel rowm(Shape(), &row);
+  CostModel colm(Shape(), &col);
+  const ColumnSet narrow = {7};
+  const double s = 1e6;
+  EXPECT_LT(colm.RangeScanCost(s, narrow), rowm.RangeScanCost(s, narrow));
+  // Wide projections: row layout wins (no per-CG key overhead).
+  const ColumnSet wide = MakeColumnRange(1, 30);
+  EXPECT_GT(colm.RangeScanCost(s, wide), rowm.RangeScanCost(s, wide));
+}
+
+TEST_F(CostModelFixture, UpdateCostScalesWithTouchedGroups) {
+  CgConfig col = CgConfig::ColumnOnly(30, 8);
+  CostModel colm(Shape(), &col);
+  EXPECT_LT(colm.UpdateCost({3}), colm.UpdateCost({3, 9, 21}));
+
+  CgConfig row = CgConfig::RowOnly(30, 8);
+  CostModel rowm(Shape(), &row);
+  EXPECT_DOUBLE_EQ(rowm.UpdateCost({3}), rowm.UpdateCost(MakeColumnRange(1, 30)));
+}
+
+TEST_F(CostModelFixture, SelectivitySharesSumToOne) {
+  CgConfig row = CgConfig::RowOnly(30, 8);
+  CostModel model(Shape(), &row);
+  double total = 0;
+  for (int level = 0; level < 8; ++level) {
+    total += model.LevelSelectivityShare(level);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(model.LevelSelectivityShare(7), model.LevelSelectivityShare(0));
+}
+
+TEST_F(CostModelFixture, SpaceAmplification) {
+  CgConfig row = CgConfig::RowOnly(30, 8);
+  LsmShape shape = Shape();
+  shape.size_ratio = 4;
+  CostModel model(shape, &row);
+  EXPECT_DOUBLE_EQ(model.SpaceAmplification(), 0.25);
+}
+
+TEST_F(CostModelFixture, HybridBetweenExtremesForMixedOps) {
+  // A Real-Time LSM-Tree design sits between the extremes (Table 2 rows).
+  CgConfig row = CgConfig::RowOnly(30, 8);
+  CgConfig col = CgConfig::ColumnOnly(30, 8);
+  CgConfig mid = CgConfig::EquiWidth(30, 8, 6);
+  CostModel rowm(Shape(), &row);
+  CostModel colm(Shape(), &col);
+  CostModel midm(Shape(), &mid);
+  const ColumnSet narrow = {7, 8};
+  const double s = 1e6;
+  EXPECT_LT(midm.RangeScanCost(s, narrow), rowm.RangeScanCost(s, narrow));
+  EXPECT_GT(midm.RangeScanCost(s, narrow), colm.RangeScanCost(s, narrow));
+  EXPECT_LT(midm.PointReadCost(narrow), colm.PointReadCost(MakeColumnRange(1, 30)));
+}
+
+}  // namespace
+}  // namespace laser

@@ -1,0 +1,160 @@
+// Design advisor tests (§6): atom splitting, containment of the output,
+// cost-optimality on small instances, behaviour on the paper's HW workload.
+
+#include <gtest/gtest.h>
+
+#include "cost/design_advisor.h"
+#include "workload/htap_workload.h"
+
+namespace laser {
+namespace {
+
+LsmShape MakeShape(int columns, int levels) {
+  LsmShape shape;
+  shape.num_levels = levels;
+  shape.size_ratio = 2;
+  shape.entries_per_block = 40;
+  shape.blocks_level0 = 1000;
+  shape.num_columns = columns;
+  return shape;
+}
+
+TEST(DesignAdvisorTest, NoWorkloadYieldsRowFriendlyDesign) {
+  // With only inserts, Eq. 9 is minimized by one CG per level (the insert
+  // term w*T*g_i grows with group count).
+  Schema schema = Schema::UniformInt32(8);
+  DesignAdvisor advisor(&schema, MakeShape(8, 4));
+  WorkloadTrace trace(4);
+  trace.AddInsert(100000);
+  CgConfig config = advisor.SelectDesign(trace);
+  ASSERT_TRUE(config.Validate(8).ok());
+  for (int level = 0; level < 4; ++level) {
+    EXPECT_EQ(config.num_groups(level), 1) << "level " << level;
+  }
+}
+
+TEST(DesignAdvisorTest, ScanHeavyDeepLevelsSplit) {
+  // Heavy narrow scans should split off the scanned columns at the deep
+  // levels (where most scanned entries live).
+  Schema schema = Schema::UniformInt32(8);
+  DesignAdvisor advisor(&schema, MakeShape(8, 4));
+  WorkloadTrace trace(4);
+  trace.AddInsert(100);
+  trace.AddRangeScan({7, 8}, /*selected=*/1e7, /*count=*/500);
+  CgConfig config = advisor.SelectDesign(trace);
+  ASSERT_TRUE(config.Validate(8).ok());
+  // The last level must isolate {7,8} from the wide remainder.
+  bool found = false;
+  for (const ColumnSet& group : config.groups(3)) {
+    if (group == ColumnSet{7, 8}) found = true;
+  }
+  EXPECT_TRUE(found) << config.ToString();
+}
+
+TEST(DesignAdvisorTest, PointReadHeavyTopLevelsStayWide) {
+  // Wide point reads at the top levels keep those levels row-ish even when
+  // scans dominate the bottom.
+  Schema schema = Schema::UniformInt32(8);
+  DesignAdvisor advisor(&schema, MakeShape(8, 4));
+  WorkloadTrace trace(4);
+  trace.AddInsert(100);
+  trace.AddPointRead(MakeColumnRange(1, 8), /*level=*/1, /*count=*/1000000);
+  trace.AddRangeScan({7, 8}, 1e5, 500);
+  CgConfig config = advisor.SelectDesign(trace);
+  ASSERT_TRUE(config.Validate(8).ok());
+  EXPECT_EQ(config.num_groups(1), 1) << config.ToString();
+  EXPECT_GT(config.num_groups(3), 1) << config.ToString();
+}
+
+TEST(DesignAdvisorTest, OutputSatisfiesContainmentAlways) {
+  Schema schema = Schema::UniformInt32(12);
+  DesignAdvisor advisor(&schema, MakeShape(12, 6));
+  WorkloadTrace trace(6);
+  trace.AddInsert(1000);
+  trace.AddPointRead(MakeColumnRange(1, 12), 1, 500);
+  trace.AddPointRead(MakeColumnRange(5, 12), 2, 400);
+  trace.AddRangeScan(MakeColumnRange(9, 12), 5e5, 50);
+  trace.AddRangeScan({11, 12}, 5e6, 20);
+  trace.AddUpdate({3}, 100);
+  CgConfig config = advisor.SelectDesign(trace);
+  EXPECT_TRUE(config.Validate(12).ok()) << config.ToString();
+}
+
+TEST(DesignAdvisorTest, LevelCostMatchesManualComputation) {
+  Schema schema = Schema::UniformInt32(4);
+  LsmShape shape = MakeShape(4, 2);
+  DesignAdvisor advisor(&schema, shape);
+  WorkloadTrace trace(2);
+  trace.AddInsert(100);
+  trace.AddPointRead({1, 2}, 1, 10);
+
+  const std::vector<ColumnSet> groups = {{1, 2}, {3, 4}};
+  // insert: w*T*g/(B*c) = 100*2*2/(40*4) = 2.5; reads: 10 * E^g(1 group) = 10.
+  EXPECT_NEAR(advisor.LevelCost(1, groups, trace), 12.5, 1e-9);
+
+  const std::vector<ColumnSet> row = {{1, 2, 3, 4}};
+  // insert: 100*2*1/160 = 1.25; reads: 10.
+  EXPECT_NEAR(advisor.LevelCost(1, row, trace), 11.25, 1e-9);
+}
+
+TEST(DesignAdvisorTest, HwWorkloadProducesLifecycleAwareDesign) {
+  // The paper's HW trace: wide reads resolve high, narrower reads deeper,
+  // narrow scans everywhere. Expect progressively narrower CGs down the
+  // tree, as in Figure 9(b).
+  Schema schema = Schema::UniformInt32(30);
+  DesignAdvisor advisor(&schema, MakeShape(30, 8));
+  HtapWorkloadRunner runner(HtapWorkloadSpec::NarrowHW(1.0));
+  WorkloadTrace trace(8);
+  runner.FillTrace(&trace, 8, 2);
+
+  CgConfig config = advisor.SelectDesign(trace);
+  ASSERT_TRUE(config.Validate(30).ok());
+  // Monotone non-decreasing group counts down the tree.
+  for (int level = 2; level < 8; ++level) {
+    EXPECT_GE(config.num_groups(level), config.num_groups(level - 1))
+        << config.ToString();
+  }
+  // The deepest level separates the Q5 projection (28-30) from colder
+  // columns one way or another: group containing col 28 is narrow.
+  const int group_of_28 = config.GroupOf(7, 28);
+  ASSERT_GE(group_of_28, 0);
+  EXPECT_LE(config.groups(7)[group_of_28].size(), 10u) << config.ToString();
+}
+
+TEST(DesignAdvisorTest, GreedyFallbackHandlesManyAtoms) {
+  // 16 single-column scan projections -> 16 atoms > max_exact_atoms.
+  Schema schema = Schema::UniformInt32(16);
+  AdvisorOptions options;
+  options.max_exact_atoms = 6;
+  DesignAdvisor advisor(&schema, MakeShape(16, 3), options);
+  WorkloadTrace trace(3);
+  trace.AddInsert(10000);
+  for (int c = 1; c <= 16; ++c) {
+    trace.AddRangeScan({c}, 1e5, 5);
+  }
+  CgConfig config = advisor.SelectDesign(trace);
+  EXPECT_TRUE(config.Validate(16).ok()) << config.ToString();
+}
+
+TEST(DesignAdvisorTest, SelectionIsFastForWideSchema) {
+  // §6.3 reports 3 seconds for 100 columns and 8 levels; ours must be well
+  // under that.
+  Schema schema = Schema::UniformInt32(100);
+  DesignAdvisor advisor(&schema, MakeShape(100, 8));
+  WorkloadTrace trace(8);
+  trace.AddInsert(1000000);
+  trace.AddPointRead(MakeColumnRange(1, 100), 1, 1000);
+  trace.AddPointRead(MakeColumnRange(51, 100), 3, 1000);
+  trace.AddRangeScan(MakeColumnRange(71, 100), 1e7, 12);
+  trace.AddRangeScan(MakeColumnRange(91, 100), 5e7, 12);
+
+  Env* env = Env::Default();
+  const uint64_t start = env->NowMicros();
+  CgConfig config = advisor.SelectDesign(trace);
+  const double seconds = static_cast<double>(env->NowMicros() - start) / 1e6;
+  EXPECT_TRUE(config.Validate(100).ok());
+  EXPECT_LT(seconds, 3.0);
+}
+
+}  // namespace
+}  // namespace laser

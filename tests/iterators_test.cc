@@ -1,0 +1,366 @@
+// Iterator machinery tests: merging iterator, run iterator, projecting
+// iterator, VersionMerger semantics, contribution/column/level merging.
+
+#include <gtest/gtest.h>
+
+#include "laser/cg_compaction.h"
+#include "laser/column_merging_iterator.h"
+#include "laser/level_merging_iterator.h"
+#include "lsm/merging_iterator.h"
+#include "lsm/run_iterator.h"
+#include "memtable/memtable.h"
+#include "util/coding.h"
+
+namespace laser {
+namespace {
+
+/// Simple in-memory iterator over (internal_key, value) pairs for tests.
+class VectorIterator final : public Iterator {
+ public:
+  explicit VectorIterator(std::vector<std::pair<std::string, std::string>> data)
+      : data_(std::move(data)) {}
+
+  bool Valid() const override { return pos_ < data_.size(); }
+  void SeekToFirst() override { pos_ = 0; }
+  void Seek(const Slice& target) override {
+    InternalKeyComparator cmp;
+    pos_ = 0;
+    while (pos_ < data_.size() && cmp.Compare(Slice(data_[pos_].first), target) < 0) {
+      ++pos_;
+    }
+  }
+  void Next() override { ++pos_; }
+  Slice key() const override { return Slice(data_[pos_].first); }
+  Slice value() const override { return Slice(data_[pos_].second); }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> data_;
+  size_t pos_ = 0;
+};
+
+std::string IK(uint64_t key, SequenceNumber seq, ValueType type = kTypeFullRow) {
+  return MakeInternalKey(EncodeKey64(key), seq, type);
+}
+
+TEST(MergingIteratorTest, InterleavesSortedStreams) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{
+          {IK(1, 1), "a"}, {IK(5, 1), "b"}, {IK(9, 1), "c"}}));
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{
+          {IK(2, 1), "d"}, {IK(5, 2), "e"}, {IK(10, 1), "f"}}));
+  auto merged = NewMergingIterator(std::move(children));
+
+  std::vector<std::string> values;
+  for (merged->SeekToFirst(); merged->Valid(); merged->Next()) {
+    values.push_back(merged->value().ToString());
+  }
+  // Key 5: seq 2 sorts before seq 1.
+  EXPECT_EQ(values, (std::vector<std::string>{"a", "d", "e", "b", "c", "f"}));
+}
+
+TEST(MergingIteratorTest, SeekLandsOnLowerBound) {
+  std::vector<std::unique_ptr<Iterator>> children;
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{{IK(1, 1), "a"},
+                                                       {IK(9, 1), "c"}}));
+  children.push_back(std::make_unique<VectorIterator>(
+      std::vector<std::pair<std::string, std::string>>{{IK(4, 1), "b"}}));
+  auto merged = NewMergingIterator(std::move(children));
+  merged->Seek(IK(2, kMaxSequenceNumber));
+  ASSERT_TRUE(merged->Valid());
+  EXPECT_EQ(merged->value().ToString(), "b");
+}
+
+TEST(MergingIteratorTest, EmptyChildren) {
+  auto merged = NewMergingIterator({});
+  merged->SeekToFirst();
+  EXPECT_FALSE(merged->Valid());
+}
+
+// ---------------------------------------------------------- VersionMerger --
+
+class VersionMergerTest : public ::testing::Test {
+ protected:
+  VersionMergerTest() : schema_(Schema::UniformInt32(4)), codec_(&schema_) {}
+
+  MergedEntry Full(SequenceNumber seq, uint64_t base) {
+    std::vector<ColumnValuePair> vals;
+    for (int c = 1; c <= 4; ++c) vals.push_back({c, base + c});
+    return {kTypeFullRow, seq, codec_.Encode(cg_, vals)};
+  }
+  MergedEntry Partial(SequenceNumber seq, std::vector<ColumnValuePair> vals) {
+    return {kTypePartialRow, seq, codec_.Encode(cg_, vals)};
+  }
+  MergedEntry Tombstone(SequenceNumber seq) { return {kTypeDeletion, seq, ""}; }
+
+  Schema schema_;
+  RowCodec codec_;
+  ColumnSet cg_ = MakeColumnRange(1, 4);
+};
+
+TEST_F(VersionMergerTest, NewestFullAbsorbsOlder) {
+  VersionMerger merger(&codec_, cg_, {}, /*bottom_level=*/false);
+  auto out = merger.Merge({Full(10, 100), Full(5, 500), Partial(3, {{1, 1}})});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].sequence, 10u);
+  EXPECT_EQ(out[0].type, kTypeFullRow);
+}
+
+TEST_F(VersionMergerTest, PartialMergesIntoOlderFull) {
+  VersionMerger merger(&codec_, cg_, {}, false);
+  auto out = merger.Merge({Partial(10, {{2, 999}}), Full(5, 100)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, kTypeFullRow);
+  EXPECT_EQ(out[0].sequence, 10u);
+  std::vector<ColumnValuePair> vals;
+  ASSERT_TRUE(codec_.Decode(cg_, Slice(out[0].value), &vals).ok());
+  EXPECT_EQ(vals[1].value, 999u);   // updated
+  EXPECT_EQ(vals[0].value, 101u);   // from the full row
+}
+
+TEST_F(VersionMergerTest, PartialsMergeTogether) {
+  VersionMerger merger(&codec_, cg_, {}, false);
+  auto out = merger.Merge({Partial(10, {{2, 22}}), Partial(8, {{3, 33}})});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, kTypePartialRow);
+  std::vector<ColumnValuePair> vals;
+  ASSERT_TRUE(codec_.Decode(cg_, Slice(out[0].value), &vals).ok());
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_EQ(vals[0].value, 22u);
+  EXPECT_EQ(vals[1].value, 33u);
+}
+
+TEST_F(VersionMergerTest, TombstoneAbsorbsOlderAndSurvivesMidLevels) {
+  VersionMerger merger(&codec_, cg_, {}, false);
+  auto out = merger.Merge({Tombstone(10), Full(5, 100)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, kTypeDeletion);
+}
+
+TEST_F(VersionMergerTest, TombstoneDroppedAtBottom) {
+  VersionMerger merger(&codec_, cg_, {}, /*bottom_level=*/true);
+  auto out = merger.Merge({Tombstone(10), Full(5, 100)});
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(VersionMergerTest, PartialOverTombstoneKeepsBoth) {
+  VersionMerger merger(&codec_, cg_, {}, false);
+  auto out = merger.Merge({Partial(10, {{1, 1}}), Tombstone(5), Full(2, 100)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].type, kTypePartialRow);
+  EXPECT_EQ(out[1].type, kTypeDeletion);
+}
+
+TEST_F(VersionMergerTest, PartialOverTombstoneCollapsesAtBottom) {
+  VersionMerger merger(&codec_, cg_, {}, true);
+  auto out = merger.Merge({Partial(10, {{1, 1}}), Tombstone(5), Full(2, 100)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].type, kTypePartialRow);  // absent columns are null
+}
+
+TEST_F(VersionMergerTest, SnapshotBoundaryPreservesVersions) {
+  // Snapshot at seq 6 must keep the pre-snapshot version visible.
+  VersionMerger merger(&codec_, cg_, {6}, false);
+  auto out = merger.Merge({Full(10, 100), Full(5, 500)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].sequence, 10u);
+  EXPECT_EQ(out[1].sequence, 5u);
+}
+
+TEST_F(VersionMergerTest, SameStripeMergesDespiteSnapshotElsewhere) {
+  VersionMerger merger(&codec_, cg_, {100}, false);
+  auto out = merger.Merge({Full(10, 100), Full(5, 500)});
+  ASSERT_EQ(out.size(), 1u);  // both below the snapshot -> same stripe
+}
+
+// ----------------------------------------------------- ProjectingIterator --
+
+TEST(ProjectingIteratorTest, ReEncodesAndSkipsEmptyPartials) {
+  Schema schema = Schema::UniformInt32(4);
+  RowCodec codec(&schema);
+  const ColumnSet parent = MakeColumnRange(1, 4);
+  const ColumnSet child = {3, 4};
+
+  std::vector<std::pair<std::string, std::string>> data;
+  data.emplace_back(IK(1, 3),
+                    codec.Encode(parent, {{1, 11}, {2, 12}, {3, 13}, {4, 14}}));
+  data.emplace_back(IK(2, 2, kTypePartialRow), codec.Encode(parent, {{1, 7}}));
+  data.emplace_back(IK(3, 1, kTypeDeletion), "");
+
+  auto iter = NewProjectingIterator(std::make_unique<VectorIterator>(data),
+                                    &codec, parent, child);
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  {
+    // Full row restricted to <3,4>.
+    std::vector<ColumnValuePair> vals;
+    ASSERT_TRUE(codec.Decode(child, iter->value(), &vals).ok());
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_EQ(vals[0].value, 13u);
+    EXPECT_EQ(vals[1].value, 14u);
+  }
+  iter->Next();
+  // Key 2's partial had no child columns: skipped. Key 3's tombstone passes.
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractValueType(iter->key()), kTypeDeletion);
+  iter->Next();
+  EXPECT_FALSE(iter->Valid());
+}
+
+// ------------------------------------------- Contribution/Column/Level ----
+
+class StitchTest : public ::testing::Test {
+ protected:
+  StitchTest() : schema_(Schema::UniformInt32(4)), codec_(&schema_) {}
+
+  std::unique_ptr<ContributionIterator> MakeSource(
+      std::vector<std::pair<std::string, std::string>> data, ColumnSet source_cols,
+      ColumnSet projection, SequenceNumber snapshot = kMaxSequenceNumber) {
+    return std::make_unique<ContributionIterator>(
+        std::make_unique<VectorIterator>(std::move(data)), &codec_,
+        std::move(source_cols), std::move(projection), snapshot);
+  }
+
+  Schema schema_;
+  RowCodec codec_;
+};
+
+TEST_F(StitchTest, ContributionFoldsVersions) {
+  const ColumnSet all = MakeColumnRange(1, 4);
+  std::vector<std::pair<std::string, std::string>> data;
+  data.emplace_back(IK(1, 5, kTypePartialRow), codec_.Encode(all, {{2, 99}}));
+  data.emplace_back(IK(1, 3), codec_.Encode(all, {{1, 1}, {2, 2}, {3, 3}, {4, 4}}));
+  auto src = MakeSource(std::move(data), all, {1, 2});
+  src->SeekToFirst();
+  ASSERT_TRUE(src->Valid());
+  EXPECT_EQ(src->states()[0], ColumnState::kValue);
+  EXPECT_EQ(src->values()[0], 1u);
+  EXPECT_EQ(src->states()[1], ColumnState::kValue);
+  EXPECT_EQ(src->values()[1], 99u);  // newer partial wins
+}
+
+TEST_F(StitchTest, ContributionSkipsIrrelevantKeys) {
+  const ColumnSet all = MakeColumnRange(1, 4);
+  std::vector<std::pair<std::string, std::string>> data;
+  data.emplace_back(IK(1, 5, kTypePartialRow), codec_.Encode(all, {{4, 9}}));
+  data.emplace_back(IK(2, 3), codec_.Encode(all, {{1, 1}, {2, 2}, {3, 3}, {4, 4}}));
+  auto src = MakeSource(std::move(data), all, {1});
+  src->SeekToFirst();
+  ASSERT_TRUE(src->Valid());
+  EXPECT_EQ(DecodeKey64(src->user_key()), 2u);  // key 1 had nothing for col 1
+}
+
+TEST_F(StitchTest, ContributionRespectsSnapshot) {
+  const ColumnSet all = MakeColumnRange(1, 4);
+  std::vector<std::pair<std::string, std::string>> data;
+  data.emplace_back(IK(1, 9), codec_.Encode(all, {{1, 900}, {2, 2}, {3, 3}, {4, 4}}));
+  data.emplace_back(IK(1, 2), codec_.Encode(all, {{1, 200}, {2, 2}, {3, 3}, {4, 4}}));
+  auto src = MakeSource(std::move(data), all, {1}, /*snapshot=*/5);
+  src->SeekToFirst();
+  ASSERT_TRUE(src->Valid());
+  EXPECT_EQ(src->values()[0], 200u);
+}
+
+TEST_F(StitchTest, ColumnMergingStitchesDisjointGroups) {
+  const ColumnSet g1 = {1, 2};
+  const ColumnSet g2 = {3, 4};
+  const ColumnSet proj = {2, 3};
+
+  std::vector<std::pair<std::string, std::string>> d1;
+  d1.emplace_back(IK(1, 4), codec_.Encode(g1, {{1, 11}, {2, 12}}));
+  d1.emplace_back(IK(2, 4), codec_.Encode(g1, {{1, 21}, {2, 22}}));
+  std::vector<std::pair<std::string, std::string>> d2;
+  d2.emplace_back(IK(1, 4), codec_.Encode(g2, {{3, 13}, {4, 14}}));
+  d2.emplace_back(IK(3, 4), codec_.Encode(g2, {{3, 33}, {4, 34}}));
+
+  std::vector<std::unique_ptr<ContributionSource>> children;
+  children.push_back(MakeSource(std::move(d1), g1, proj));
+  children.push_back(MakeSource(std::move(d2), g2, proj));
+  ColumnMergingIterator merged(std::move(children), proj.size());
+
+  merged.SeekToFirst();
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(DecodeKey64(merged.user_key()), 1u);
+  EXPECT_EQ(merged.values()[0], 12u);  // col 2 from g1
+  EXPECT_EQ(merged.values()[1], 13u);  // col 3 from g2
+
+  merged.Next();
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(DecodeKey64(merged.user_key()), 2u);
+  EXPECT_EQ(merged.states()[1], ColumnState::kAbsent);  // no g2 entry for key 2
+
+  merged.Next();
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(DecodeKey64(merged.user_key()), 3u);
+  EXPECT_EQ(merged.states()[0], ColumnState::kAbsent);
+
+  merged.Next();
+  EXPECT_FALSE(merged.Valid());
+}
+
+TEST_F(StitchTest, LevelMergingNewestSourceWins) {
+  const ColumnSet all = MakeColumnRange(1, 4);
+  const ColumnSet proj = {1, 2};
+
+  // "Upper level": a partial update of column 1 at seq 9.
+  std::vector<std::pair<std::string, std::string>> upper;
+  upper.emplace_back(IK(1, 9, kTypePartialRow), codec_.Encode(all, {{1, 111}}));
+  // "Lower level": the original full row at seq 2.
+  std::vector<std::pair<std::string, std::string>> lower;
+  lower.emplace_back(IK(1, 2), codec_.Encode(all, {{1, 1}, {2, 2}, {3, 3}, {4, 4}}));
+
+  std::vector<std::unique_ptr<ContributionSource>> sources;
+  sources.push_back(MakeSource(std::move(upper), all, proj));
+  sources.push_back(MakeSource(std::move(lower), all, proj));
+  LevelMergingIterator merged(std::move(sources), proj.size());
+
+  merged.SeekToFirst();
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(*merged.row()[0], 111u);  // from the upper level
+  EXPECT_EQ(*merged.row()[1], 2u);    // stitched from the lower level
+  merged.Next();
+  EXPECT_FALSE(merged.Valid());
+}
+
+TEST_F(StitchTest, LevelMergingSkipsFullyDeletedRows) {
+  const ColumnSet all = MakeColumnRange(1, 4);
+  const ColumnSet proj = {1};
+
+  std::vector<std::pair<std::string, std::string>> upper;
+  upper.emplace_back(IK(1, 9, kTypeDeletion), "");
+  std::vector<std::pair<std::string, std::string>> lower;
+  lower.emplace_back(IK(1, 2), codec_.Encode(all, {{1, 1}, {2, 2}, {3, 3}, {4, 4}}));
+  lower.emplace_back(IK(2, 3), codec_.Encode(all, {{1, 5}, {2, 2}, {3, 3}, {4, 4}}));
+
+  std::vector<std::unique_ptr<ContributionSource>> sources;
+  sources.push_back(MakeSource(std::move(upper), all, proj));
+  sources.push_back(MakeSource(std::move(lower), all, proj));
+  LevelMergingIterator merged(std::move(sources), proj.size());
+
+  merged.SeekToFirst();
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(DecodeKey64(merged.user_key()), 2u);  // key 1 deleted
+  merged.Next();
+  EXPECT_FALSE(merged.Valid());
+}
+
+TEST_F(StitchTest, LevelMergingSeek) {
+  const ColumnSet all = MakeColumnRange(1, 4);
+  std::vector<std::pair<std::string, std::string>> data;
+  for (uint64_t k = 0; k < 10; ++k) {
+    data.emplace_back(IK(k, 1),
+                      codec_.Encode(all, {{1, k}, {2, 2}, {3, 3}, {4, 4}}));
+  }
+  std::vector<std::unique_ptr<ContributionSource>> sources;
+  sources.push_back(MakeSource(std::move(data), all, {1}));
+  LevelMergingIterator merged(std::move(sources), 1);
+  merged.Seek(EncodeKey64(7));
+  ASSERT_TRUE(merged.Valid());
+  EXPECT_EQ(DecodeKey64(merged.user_key()), 7u);
+}
+
+}  // namespace
+}  // namespace laser

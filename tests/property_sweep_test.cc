@@ -1,0 +1,264 @@
+// Property sweeps (TEST_P) across design × seed: randomized CRUD histories
+// with interleaved flushes, compactions and reopens must match an in-memory
+// reference model under every layout — the engine-level invariant that the
+// Real-Time LSM-Tree's layout changes are semantically invisible (§3.2).
+// Also: bloom false-positive-rate sweep and scan-order invariants.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "laser/laser_db.h"
+#include "sst/bloom.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace laser {
+namespace {
+
+struct SweepParam {
+  int design;  // 0 row, 1 column, 2 equi-3, 3 htap-simple
+  uint64_t seed;
+};
+
+std::string DesignName(int design) {
+  switch (design) {
+    case 0: return "Row";
+    case 1: return "Column";
+    case 2: return "Equi3";
+    default: return "HtapSimple";
+  }
+}
+
+class EngineModelSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static constexpr int kColumns = 5;
+  static constexpr int kLevels = 4;
+  static constexpr uint64_t kKeySpace = 250;
+
+  void SetUp() override {
+    env_ = NewMemEnv();
+    Reopen();
+  }
+
+  void Reopen() {
+    db_.reset();
+    LaserOptions options;
+    options.env = env_.get();
+    options.path = "/sweep";
+    options.schema = Schema::UniformInt32(kColumns);
+    options.num_levels = kLevels;
+    switch (GetParam().design) {
+      case 0:
+        options.cg_config = CgConfig::RowOnly(kColumns, kLevels);
+        break;
+      case 1:
+        options.cg_config = CgConfig::ColumnOnly(kColumns, kLevels);
+        break;
+      case 2:
+        options.cg_config = CgConfig::EquiWidth(kColumns, kLevels, 3);
+        break;
+      default:
+        options.cg_config = CgConfig::HtapSimple(kColumns, kLevels, 2);
+    }
+    options.write_buffer_size = 8 * 1024;
+    options.level0_bytes = 16 * 1024;
+    options.target_sst_size = 8 * 1024;
+    options.block_size = 512;
+    ASSERT_TRUE(LaserDB::Open(options, &db_).ok());
+  }
+
+  using ModelRow = std::vector<std::optional<ColumnValue>>;
+
+  bool ModelRowVisible(const ModelRow& row) {
+    for (const auto& v : row) {
+      if (v.has_value()) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<LaserDB> db_;
+};
+
+TEST_P(EngineModelSweep, RandomHistoryMatchesModel) {
+  Random rng(GetParam().seed * 7919 + 13);
+  std::map<uint64_t, ModelRow> model;
+
+  for (int op = 0; op < 4000; ++op) {
+    const uint64_t key = rng.Uniform(kKeySpace);
+    const int action = static_cast<int>(rng.Uniform(20));
+    if (action < 9) {
+      std::vector<ColumnValue> row(kColumns);
+      for (int c = 0; c < kColumns; ++c) row[c] = rng.Next() % 1000000;
+      ASSERT_TRUE(db_->Insert(key, row).ok());
+      ModelRow& m = model[key];
+      m.assign(kColumns, std::nullopt);
+      for (int c = 0; c < kColumns; ++c) m[c] = row[c];
+    } else if (action < 15) {
+      // 1-3 random distinct columns.
+      std::vector<ColumnValuePair> values;
+      for (int c = 1; c <= kColumns; ++c) {
+        if (rng.OneIn(3)) values.push_back({c, rng.Next() % 1000000});
+      }
+      if (values.empty()) values.push_back({1, rng.Next() % 1000000});
+      ASSERT_TRUE(db_->Update(key, values).ok());
+      auto it = model.find(key);
+      if (it == model.end()) {
+        it = model.emplace(key, ModelRow(kColumns, std::nullopt)).first;
+      }
+      for (const auto& [col, value] : values) it->second[col - 1] = value;
+    } else if (action < 17) {
+      ASSERT_TRUE(db_->Delete(key).ok());
+      model.erase(key);
+    } else if (action == 17 && op % 257 == 17) {
+      ASSERT_TRUE(db_->Flush().ok());
+    } else if (action == 18 && op % 509 == 18) {
+      ASSERT_TRUE(db_->CompactUntilStable().ok());
+    } else if (action == 19 && op % 1021 == 19) {
+      Reopen();  // crash-free restart mid-history
+    }
+    // Occasional point check keeps failures local to the breaking op.
+    if (op % 97 == 0) {
+      LaserDB::ReadResult result;
+      ASSERT_TRUE(db_->Read(key, {1, kColumns}, &result).ok());
+      const auto it = model.find(key);
+      const bool expected =
+          it != model.end() &&
+          (it->second[0].has_value() || it->second[kColumns - 1].has_value());
+      if (expected) {
+        ASSERT_TRUE(result.found) << "op " << op << " key " << key;
+        ASSERT_EQ(result.values[0], it->second[0]) << "op " << op;
+        ASSERT_EQ(result.values[1], it->second[kColumns - 1]) << "op " << op;
+      }
+    }
+  }
+
+  ASSERT_TRUE(db_->CompactUntilStable().ok());
+
+  // Full-projection verification of every key.
+  for (uint64_t key = 0; key < kKeySpace; ++key) {
+    LaserDB::ReadResult result;
+    ASSERT_TRUE(db_->Read(key, MakeColumnRange(1, kColumns), &result).ok());
+    const auto it = model.find(key);
+    const bool expect_found = it != model.end() && ModelRowVisible(it->second);
+    ASSERT_EQ(result.found, expect_found) << "key " << key;
+    if (expect_found) {
+      for (int c = 0; c < kColumns; ++c) {
+        ASSERT_EQ(result.values[c], it->second[c]) << "key " << key << " c" << c;
+      }
+    }
+  }
+
+  // Scan verification with a narrow projection.
+  auto scan = db_->NewScan(0, kKeySpace, {2, 4});
+  ASSERT_NE(scan, nullptr);
+  uint64_t last_key = 0;
+  bool first = true;
+  uint64_t emitted = 0;
+  for (; scan->Valid(); scan->Next()) {
+    if (!first) ASSERT_GT(scan->key(), last_key);  // strictly ascending
+    first = false;
+    last_key = scan->key();
+    const auto it = model.find(scan->key());
+    ASSERT_NE(it, model.end());
+    ASSERT_EQ(scan->values()[0], it->second[1]) << "key " << scan->key();
+    ASSERT_EQ(scan->values()[1], it->second[3]) << "key " << scan->key();
+    ++emitted;
+  }
+  ASSERT_TRUE(scan->status().ok());
+  // Every model row with a value in columns 2 or 4 must have been emitted.
+  uint64_t expected_emitted = 0;
+  for (const auto& [key, row] : model) {
+    if (row[1].has_value() || row[3].has_value()) ++expected_emitted;
+  }
+  EXPECT_EQ(emitted, expected_emitted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DesignsAndSeeds, EngineModelSweep,
+    ::testing::Values(SweepParam{0, 1}, SweepParam{0, 2}, SweepParam{1, 1},
+                      SweepParam{1, 2}, SweepParam{2, 1}, SweepParam{2, 2},
+                      SweepParam{2, 3}, SweepParam{3, 1}, SweepParam{3, 2}),
+    [](const auto& info) {
+      return DesignName(info.param.design) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------- bloom sweep --
+
+class BloomFprSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BloomFprSweep, FalsePositiveRateShrinksWithBits) {
+  const int bits = GetParam();
+  BloomFilterBuilder builder(bits);
+  for (uint64_t i = 0; i < 5000; ++i) builder.AddKey(EncodeKey64(i * 3));
+  const std::string data = builder.Finish();
+  BloomFilterReader reader((Slice(data)));
+
+  // No false negatives, ever.
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(reader.KeyMayMatch(EncodeKey64(i * 3)));
+  }
+  int fp = 0;
+  const int probes = 5000;
+  for (int i = 0; i < probes; ++i) {
+    if (reader.KeyMayMatch(EncodeKey64(1000000 + i))) ++fp;
+  }
+  const double fpr = static_cast<double>(fp) / probes;
+  // Loose theoretical envelope: (0.6185)^bits, doubled for slack.
+  const double bound = 2.0 * std::pow(0.6185, bits) + 0.005;
+  EXPECT_LT(fpr, bound) << "bits=" << bits << " fpr=" << fpr;
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerKey, BloomFprSweep,
+                         ::testing::Values(4, 6, 8, 10, 12, 16));
+
+// -------------------------------------------------- key-order invariants --
+
+class KeyOrderSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KeyOrderSweep, ScanOrderEqualsNumericOrderForRandomKeys) {
+  auto env = NewMemEnv();
+  LaserOptions options;
+  options.env = env.get();
+  options.path = "/order";
+  options.schema = Schema::UniformInt32(2);
+  options.num_levels = 3;
+  options.cg_config = CgConfig::ColumnOnly(2, 3);
+  options.write_buffer_size = 8 * 1024;
+  options.level0_bytes = 16 * 1024;
+  options.target_sst_size = 8 * 1024;
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+
+  Random rng(GetParam());
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 2000; ++i) {
+    // Adversarial key patterns: clustered lows, huge highs, bit patterns.
+    uint64_t key;
+    switch (rng.Uniform(4)) {
+      case 0: key = rng.Uniform(100); break;
+      case 1: key = (1ull << 32) + rng.Uniform(100); break;
+      case 2: key = rng.Next(); break;
+      default: key = ~rng.Uniform(1000); break;
+    }
+    keys.insert(key);
+    ASSERT_TRUE(db->Insert(key, {key & 0xffffffff, 1}).ok());
+  }
+  ASSERT_TRUE(db->CompactUntilStable().ok());
+
+  auto scan = db->NewScan(0, ~0ull, {1});
+  auto expected = keys.begin();
+  for (; scan->Valid(); scan->Next(), ++expected) {
+    ASSERT_NE(expected, keys.end());
+    EXPECT_EQ(scan->key(), *expected);
+  }
+  EXPECT_EQ(expected, keys.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyOrderSweep, ::testing::Range<uint64_t>(1, 6));
+
+}  // namespace
+}  // namespace laser

@@ -1,0 +1,235 @@
+// RowCodec tests: presence bitmaps, partial rows, merge semantics (§4.2),
+// projection for layout-changing compaction (§4.4), column-set helpers.
+
+#include <gtest/gtest.h>
+
+#include "laser/row_codec.h"
+#include "laser/schema.h"
+#include "util/random.h"
+
+namespace laser {
+namespace {
+
+class RowCodecTest : public ::testing::Test {
+ protected:
+  RowCodecTest() : schema_(Schema::UniformInt32(8)), codec_(&schema_) {}
+
+  Schema schema_;
+  RowCodec codec_;
+};
+
+TEST_F(RowCodecTest, FullRowRoundTrip) {
+  const ColumnSet cg = MakeColumnRange(1, 8);
+  std::vector<ColumnValuePair> values;
+  for (int c = 1; c <= 8; ++c) values.push_back({c, static_cast<uint64_t>(c * 11)});
+  const std::string encoded = codec_.Encode(cg, values);
+  EXPECT_TRUE(codec_.IsComplete(cg, Slice(encoded)));
+  EXPECT_EQ(codec_.PresentCount(cg, Slice(encoded)), 8);
+
+  std::vector<ColumnValuePair> decoded;
+  ASSERT_TRUE(codec_.Decode(cg, Slice(encoded), &decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST_F(RowCodecTest, PartialRowRoundTrip) {
+  const ColumnSet cg = MakeColumnRange(1, 8);
+  std::vector<ColumnValuePair> values = {{2, 22}, {5, 55}};
+  const std::string encoded = codec_.Encode(cg, values);
+  EXPECT_FALSE(codec_.IsComplete(cg, Slice(encoded)));
+  EXPECT_EQ(codec_.PresentCount(cg, Slice(encoded)), 2);
+
+  std::vector<ColumnValuePair> decoded;
+  ASSERT_TRUE(codec_.Decode(cg, Slice(encoded), &decoded).ok());
+  EXPECT_EQ(decoded, values);
+}
+
+TEST_F(RowCodecTest, NarrowCgEncoding) {
+  const ColumnSet cg = {3, 4, 7};
+  std::vector<ColumnValuePair> values = {{3, 1}, {7, 2}};
+  const std::string encoded = codec_.Encode(cg, values);
+  std::vector<ColumnValuePair> decoded;
+  ASSERT_TRUE(codec_.Decode(cg, Slice(encoded), &decoded).ok());
+  EXPECT_EQ(decoded, values);
+  // 1 bitmap byte + two 4-byte int32 values.
+  EXPECT_EQ(encoded.size(), 1u + 8u);
+}
+
+TEST_F(RowCodecTest, MergeNewerWins) {
+  const ColumnSet cg = MakeColumnRange(1, 8);
+  const std::string older =
+      codec_.Encode(cg, {{1, 10}, {2, 20}, {3, 30}});
+  const std::string newer = codec_.Encode(cg, {{2, 99}, {4, 44}});
+  const std::string merged = codec_.Merge(cg, Slice(newer), Slice(older));
+  std::vector<ColumnValuePair> decoded;
+  ASSERT_TRUE(codec_.Decode(cg, Slice(merged), &decoded).ok());
+  const std::vector<ColumnValuePair> expected = {
+      {1, 10}, {2, 99}, {3, 30}, {4, 44}};
+  EXPECT_EQ(decoded, expected);
+}
+
+TEST_F(RowCodecTest, MergePaperExample) {
+  // §4.2: key 100 update of B,C merged with full row <a,b,c,d>.
+  Schema schema = Schema::UniformInt32(4);
+  RowCodec codec(&schema);
+  const ColumnSet cg = MakeColumnRange(1, 4);
+  const std::string full = codec.Encode(cg, {{1, 'a'}, {2, 'b'}, {3, 'c'}, {4, 'd'}});
+  const std::string partial = codec.Encode(cg, {{2, 'B'}, {3, 'C'}});
+  const std::string merged = codec.Merge(cg, Slice(partial), Slice(full));
+  EXPECT_TRUE(codec.IsComplete(cg, Slice(merged)));
+  std::vector<ColumnValuePair> decoded;
+  ASSERT_TRUE(codec.Decode(cg, Slice(merged), &decoded).ok());
+  const std::vector<ColumnValuePair> expected = {
+      {1, 'a'}, {2, 'B'}, {3, 'C'}, {4, 'd'}};
+  EXPECT_EQ(decoded, expected);
+}
+
+TEST_F(RowCodecTest, ProjectSelectsChildColumns) {
+  const ColumnSet parent = MakeColumnRange(1, 8);
+  const ColumnSet child = {3, 4};
+  std::vector<ColumnValuePair> values;
+  for (int c = 1; c <= 8; ++c) values.push_back({c, static_cast<uint64_t>(c)});
+  const std::string encoded = codec_.Encode(parent, values);
+  const std::string projected = codec_.Project(parent, child, Slice(encoded));
+  std::vector<ColumnValuePair> decoded;
+  ASSERT_TRUE(codec_.Decode(child, Slice(projected), &decoded).ok());
+  const std::vector<ColumnValuePair> expected = {{3, 3}, {4, 4}};
+  EXPECT_EQ(decoded, expected);
+  EXPECT_TRUE(codec_.IsComplete(child, Slice(projected)));
+}
+
+TEST_F(RowCodecTest, ProjectPartialMayBeEmpty) {
+  const ColumnSet parent = MakeColumnRange(1, 8);
+  const ColumnSet child = {7, 8};
+  const std::string partial = codec_.Encode(parent, {{1, 1}, {2, 2}});
+  const std::string projected = codec_.Project(parent, child, Slice(partial));
+  EXPECT_EQ(codec_.PresentCount(child, Slice(projected)), 0);
+}
+
+TEST_F(RowCodecTest, FullRowSizeAccountsTypes) {
+  std::vector<ColumnSpec> specs = {{"a", ColumnType::kInt32},
+                                   {"b", ColumnType::kInt64},
+                                   {"c", ColumnType::kDouble}};
+  Schema schema(std::move(specs));
+  RowCodec codec(&schema);
+  // bitmap(1) + 4 + 8 + 8.
+  EXPECT_EQ(codec.FullRowSize(MakeColumnRange(1, 3)), 21u);
+}
+
+TEST_F(RowCodecTest, WideValuesSurviveRoundTrip) {
+  std::vector<ColumnSpec> specs = {{"a", ColumnType::kInt64},
+                                   {"b", ColumnType::kDouble}};
+  Schema schema(std::move(specs));
+  RowCodec codec(&schema);
+  const ColumnSet cg = {1, 2};
+  const uint64_t big = 0xfedcba9876543210ull;
+  const std::string encoded = codec.Encode(cg, {{1, big}, {2, big}});
+  std::vector<ColumnValuePair> decoded;
+  ASSERT_TRUE(codec.Decode(cg, Slice(encoded), &decoded).ok());
+  EXPECT_EQ(decoded[0].value, big);
+  EXPECT_EQ(decoded[1].value, big);
+}
+
+TEST_F(RowCodecTest, DecodeRejectsTruncatedData) {
+  const ColumnSet cg = MakeColumnRange(1, 8);
+  const std::string encoded = codec_.Encode(cg, {{1, 1}, {2, 2}});
+  std::vector<ColumnValuePair> decoded;
+  EXPECT_FALSE(
+      codec_.Decode(cg, Slice(encoded.data(), encoded.size() - 3), &decoded).ok());
+  EXPECT_FALSE(codec_.Decode(cg, Slice(""), &decoded).ok());
+}
+
+// Property test: merge is associative in effect — folding versions one at a
+// time equals applying newest-wins per column directly.
+class RowCodecMergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RowCodecMergeProperty, FoldMatchesDirectResolution) {
+  Random rng(GetParam());
+  Schema schema = Schema::UniformInt32(10);
+  RowCodec codec(&schema);
+  const ColumnSet cg = MakeColumnRange(1, 10);
+
+  // Generate versions oldest..newest with random column subsets.
+  std::vector<std::vector<ColumnValuePair>> versions;
+  for (int v = 0; v < 8; ++v) {
+    std::vector<ColumnValuePair> vals;
+    for (int c = 1; c <= 10; ++c) {
+      if (rng.OneIn(3)) {
+        vals.push_back({c, rng.Next() % 1000});
+      }
+    }
+    if (!vals.empty()) versions.push_back(std::move(vals));
+  }
+  if (versions.empty()) return;
+
+  // Expected: newest-wins per column.
+  std::map<int, uint64_t> expected;
+  for (const auto& vals : versions) {
+    for (const auto& [col, value] : vals) expected[col] = value;
+  }
+
+  // Fold encodings newest-first (as compaction does).
+  std::string acc = codec.Encode(cg, versions.back());
+  for (int v = static_cast<int>(versions.size()) - 2; v >= 0; --v) {
+    const std::string older = codec.Encode(cg, versions[v]);
+    acc = codec.Merge(cg, Slice(acc), Slice(older));
+  }
+
+  std::vector<ColumnValuePair> decoded;
+  ASSERT_TRUE(codec.Decode(cg, Slice(acc), &decoded).ok());
+  ASSERT_EQ(decoded.size(), expected.size());
+  for (const auto& [col, value] : decoded) {
+    EXPECT_EQ(value, expected[col]) << "column " << col;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RowCodecMergeProperty, ::testing::Range(0, 25));
+
+// ------------------------------------------------------ ColumnSet helpers --
+
+TEST(ColumnSetTest, ContainsAndIntersect) {
+  const ColumnSet a = {1, 3, 5};
+  const ColumnSet b = {2, 4, 5};
+  const ColumnSet c = {2, 4};
+  EXPECT_TRUE(ColumnSetContains(a, 3));
+  EXPECT_FALSE(ColumnSetContains(a, 2));
+  EXPECT_TRUE(ColumnSetsIntersect(a, b));
+  EXPECT_FALSE(ColumnSetsIntersect(a, c));
+}
+
+TEST(ColumnSetTest, Subset) {
+  EXPECT_TRUE(ColumnSetIsSubset({2, 4}, {1, 2, 3, 4}));
+  EXPECT_FALSE(ColumnSetIsSubset({2, 5}, {1, 2, 3, 4}));
+  EXPECT_TRUE(ColumnSetIsSubset({}, {1}));
+}
+
+TEST(ColumnSetTest, Intersection) {
+  const ColumnSet result = ColumnSetIntersection({1, 2, 3, 7}, {2, 3, 4, 7});
+  const ColumnSet expected = {2, 3, 7};
+  EXPECT_EQ(result, expected);
+}
+
+TEST(ColumnSetTest, ToStringCompactsRanges) {
+  EXPECT_EQ(ColumnSetToString({1, 2, 3, 4}), "1-4");
+  EXPECT_EQ(ColumnSetToString({1, 3, 5}), "1,3,5");
+  EXPECT_EQ(ColumnSetToString({1, 2, 3, 7, 9, 10}), "1-3,7,9-10");
+  EXPECT_EQ(ColumnSetToString({}), "");
+}
+
+TEST(ColumnSetTest, MakeColumnRange) {
+  EXPECT_EQ(MakeColumnRange(3, 5), (ColumnSet{3, 4, 5}));
+  EXPECT_EQ(MakeColumnRange(7, 7), (ColumnSet{7}));
+}
+
+TEST(SchemaTest, UniformInt32) {
+  Schema schema = Schema::UniformInt32(30);
+  EXPECT_EQ(schema.num_columns(), 30);
+  EXPECT_EQ(schema.column(1).name, "a1");
+  EXPECT_EQ(schema.column(30).name, "a30");
+  EXPECT_EQ(schema.value_size(15), 4u);
+  EXPECT_EQ(schema.AllColumns().size(), 30u);
+  // dt_size: (8 + 30*4)/31.
+  EXPECT_NEAR(schema.AverageDatatypeSize(), 128.0 / 31.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace laser

@@ -1,0 +1,360 @@
+// SST layer tests: block builder/reader delta encoding, bloom filters,
+// builder/reader round trips, compression, block cache, properties.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "lsm/dbformat.h"
+#include "sst/block.h"
+#include "sst/block_builder.h"
+#include "sst/block_cache.h"
+#include "sst/bloom.h"
+#include "sst/sst_builder.h"
+#include "sst/sst_reader.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace laser {
+namespace {
+
+std::string IKey(uint64_t user, SequenceNumber seq,
+                 ValueType type = kTypeFullRow) {
+  return MakeInternalKey(EncodeKey64(user), seq, type);
+}
+
+// ----------------------------------------------------------------- Block --
+
+TEST(BlockTest, BuildAndScan) {
+  BlockBuilder builder(4);
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (uint64_t i = 0; i < 100; ++i) {
+    entries.emplace_back(IKey(i * 3, 1), "value" + std::to_string(i));
+  }
+  for (const auto& [k, v] : entries) builder.Add(k, v);
+  Block block(builder.Finish().ToString());
+
+  auto iter = block.NewIterator();
+  iter->SeekToFirst();
+  for (const auto& [k, v] : entries) {
+    ASSERT_TRUE(iter->Valid());
+    EXPECT_EQ(iter->key().ToString(), k);
+    EXPECT_EQ(iter->value().ToString(), v);
+    iter->Next();
+  }
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(BlockTest, SeekFindsLowerBound) {
+  BlockBuilder builder(16);
+  for (uint64_t i = 10; i <= 100; i += 10) {
+    builder.Add(IKey(i, 5), std::to_string(i));
+  }
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator();
+
+  iter->Seek(IKey(35, kMaxSequenceNumber));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->value().ToString(), "40");
+
+  // Seek with a high sequence number lands on the entry itself.
+  iter->Seek(MakeLookupKey(EncodeKey64(40), kMaxSequenceNumber));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(iter->value().ToString(), "40");
+
+  // Seeking beyond the end invalidates.
+  iter->Seek(IKey(1000, kMaxSequenceNumber));
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(BlockTest, RestartIntervalOneDisablesSharing) {
+  // With interval 1 every key is stored in full; the block must still work.
+  BlockBuilder builder(1);
+  for (uint64_t i = 0; i < 50; ++i) builder.Add(IKey(i, 1), "v");
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator();
+  iter->Seek(IKey(25, kMaxSequenceNumber));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), EncodeKey64(25));
+}
+
+TEST(BlockTest, DeltaEncodingShrinksSharedPrefixKeys) {
+  // Sequential big-endian keys share long prefixes: delta encoding should
+  // clearly beat interval 1.
+  BlockBuilder delta(16);
+  BlockBuilder plain(1);
+  for (uint64_t i = 0; i < 500; ++i) {
+    delta.Add(IKey(1000000 + i, 1), "x");
+    plain.Add(IKey(1000000 + i, 1), "x");
+  }
+  EXPECT_LT(delta.Finish().size(), plain.Finish().size() * 8 / 10);
+}
+
+TEST(BlockTest, EmptyBlockYieldsInvalidIterator) {
+  BlockBuilder builder(16);
+  Block block(builder.Finish().ToString());
+  auto iter = block.NewIterator();
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+}
+
+TEST(BlockTest, MalformedBlockReportsCorruption) {
+  Block block(std::string("ab"));  // too short for restart trailer
+  auto iter = block.NewIterator();
+  iter->SeekToFirst();
+  EXPECT_FALSE(iter->Valid());
+  EXPECT_FALSE(iter->status().ok());
+}
+
+// ----------------------------------------------------------------- Bloom --
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  for (uint64_t i = 0; i < 2000; ++i) {
+    builder.AddKey(EncodeKey64(i * 7));
+  }
+  const std::string data = builder.Finish();
+  BloomFilterReader reader((Slice(data)));
+  for (uint64_t i = 0; i < 2000; ++i) {
+    EXPECT_TRUE(reader.KeyMayMatch(EncodeKey64(i * 7))) << i;
+  }
+}
+
+TEST(BloomTest, FalsePositiveRateNearOnePercent) {
+  BloomFilterBuilder builder(10);
+  for (uint64_t i = 0; i < 10000; ++i) builder.AddKey(EncodeKey64(i));
+  const std::string data = builder.Finish();
+  BloomFilterReader reader((Slice(data)));
+  int false_positives = 0;
+  const int probes = 10000;
+  for (int i = 0; i < probes; ++i) {
+    if (reader.KeyMayMatch(EncodeKey64(1000000 + i))) ++false_positives;
+  }
+  const double fpr = static_cast<double>(false_positives) / probes;
+  EXPECT_LT(fpr, 0.025) << "fpr=" << fpr;  // ~1% expected at 10 bits/key
+}
+
+TEST(BloomTest, EmptyFilterBehavesSafely) {
+  BloomFilterBuilder builder(10);
+  const std::string data = builder.Finish();
+  BloomFilterReader reader((Slice(data)));
+  EXPECT_FALSE(reader.KeyMayMatch(EncodeKey64(1)));
+}
+
+// ------------------------------------------------------------ SST files --
+
+class SstTest : public ::testing::TestWithParam<CompressionType> {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+
+  /// Builds an SST of `n` sequential keys; returns the reader.
+  std::unique_ptr<SstReader> BuildAndOpen(int n, BlockCache* cache = nullptr) {
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(env_->NewWritableFile("/test.sst", &file).ok());
+    SstBuildOptions options;
+    options.block_size = 512;  // force many blocks
+    options.compression = GetParam();
+    SstBuilder builder(options, std::move(file));
+    for (int i = 0; i < n; ++i) {
+      builder.Add(IKey(i * 2, i + 1), "value-" + std::to_string(i));
+    }
+    EXPECT_TRUE(builder.Finish().ok());
+    std::unique_ptr<SstReader> reader;
+    EXPECT_TRUE(
+        SstReader::Open(env_.get(), "/test.sst", 1, cache, &stats_, &reader).ok());
+    return reader;
+  }
+
+  std::unique_ptr<Env> env_;
+  Stats stats_;
+};
+
+TEST_P(SstTest, FullScanSeesEveryEntry) {
+  auto reader = BuildAndOpen(1000);
+  auto iter = reader->NewIterator();
+  int count = 0;
+  for (iter->SeekToFirst(); iter->Valid(); iter->Next()) {
+    EXPECT_EQ(ExtractUserKey(iter->key()).ToString(),
+              EncodeKey64(count * 2));
+    EXPECT_EQ(iter->value().ToString(), "value-" + std::to_string(count));
+    ++count;
+  }
+  EXPECT_TRUE(iter->status().ok());
+  EXPECT_EQ(count, 1000);
+}
+
+TEST_P(SstTest, PointGetFindsExistingKeys) {
+  auto reader = BuildAndOpen(1000);
+  for (int i : {0, 1, 499, 998, 999}) {
+    std::vector<KeyVersion> versions;
+    ASSERT_TRUE(
+        reader->Get(EncodeKey64(i * 2), kMaxSequenceNumber, &versions))
+        << i;
+    ASSERT_EQ(versions.size(), 1u);
+    EXPECT_EQ(versions[0].value, "value-" + std::to_string(i));
+    EXPECT_EQ(versions[0].sequence, static_cast<SequenceNumber>(i + 1));
+  }
+}
+
+TEST_P(SstTest, PointGetMissesAbsentKeys) {
+  auto reader = BuildAndOpen(1000);
+  for (int i : {1, 3, 777}) {  // odd keys were never inserted
+    std::vector<KeyVersion> versions;
+    EXPECT_FALSE(reader->Get(EncodeKey64(i), kMaxSequenceNumber, &versions));
+  }
+}
+
+TEST_P(SstTest, SeekPositionsAtLowerBound) {
+  auto reader = BuildAndOpen(100);
+  auto iter = reader->NewIterator();
+  iter->Seek(MakeLookupKey(EncodeKey64(51), kMaxSequenceNumber));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(ExtractUserKey(iter->key()).ToString(), EncodeKey64(52));
+}
+
+TEST_P(SstTest, PropertiesRecorded) {
+  auto reader = BuildAndOpen(500);
+  EXPECT_EQ(reader->properties().num_entries, 500u);
+  EXPECT_EQ(reader->properties().smallest_seq, 1u);
+  EXPECT_EQ(reader->properties().largest_seq, 500u);
+}
+
+TEST_P(SstTest, MultipleVersionsOfKeyReturnedNewestFirst) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("/test.sst", &file).ok());
+  SstBuilder builder(SstBuildOptions{.compression = GetParam()},
+                     std::move(file));
+  // Internal key order: same user key, descending seq.
+  builder.Add(IKey(5, 30, kTypePartialRow), "p30");
+  builder.Add(IKey(5, 20, kTypePartialRow), "p20");
+  builder.Add(IKey(5, 10, kTypeFullRow), "f10");
+  builder.Add(IKey(5, 5, kTypeFullRow), "f5");
+  ASSERT_TRUE(builder.Finish().ok());
+  std::unique_ptr<SstReader> reader;
+  ASSERT_TRUE(
+      SstReader::Open(env_.get(), "/test.sst", 1, nullptr, nullptr, &reader).ok());
+
+  std::vector<KeyVersion> versions;
+  ASSERT_TRUE(reader->Get(EncodeKey64(5), kMaxSequenceNumber, &versions));
+  ASSERT_EQ(versions.size(), 3u);  // stops at the first full row
+  EXPECT_EQ(versions[0].value, "p30");
+  EXPECT_EQ(versions[1].value, "p20");
+  EXPECT_EQ(versions[2].value, "f10");
+
+  // Snapshot at 15: the partials above are invisible.
+  versions.clear();
+  ASSERT_TRUE(reader->Get(EncodeKey64(5), 15, &versions));
+  ASSERT_EQ(versions.size(), 1u);
+  EXPECT_EQ(versions[0].value, "f10");
+}
+
+TEST_P(SstTest, BlockCacheServesRepeatReads) {
+  BlockCache cache(1 << 20);
+  auto reader = BuildAndOpen(1000, &cache);
+  std::vector<KeyVersion> versions;
+  reader->Get(EncodeKey64(500), kMaxSequenceNumber, &versions);
+  const uint64_t misses_before = stats_.block_cache_misses.load();
+  const uint64_t reads_before = stats_.data_block_reads.load();
+  versions.clear();
+  reader->Get(EncodeKey64(500), kMaxSequenceNumber, &versions);
+  EXPECT_EQ(stats_.block_cache_misses.load(), misses_before);
+  EXPECT_EQ(stats_.data_block_reads.load(), reads_before);  // served by cache
+  EXPECT_GT(stats_.block_cache_hits.load(), 0u);
+}
+
+TEST_P(SstTest, BloomSkipsAbsentKeyWithoutBlockRead) {
+  auto reader = BuildAndOpen(1000);
+  const uint64_t reads_before = stats_.data_block_reads.load();
+  std::vector<KeyVersion> versions;
+  // Probe many absent keys: nearly all should be bloom-rejected.
+  int block_reads = 0;
+  for (int i = 0; i < 200; ++i) {
+    reader->Get(EncodeKey64(10000000 + i), kMaxSequenceNumber, &versions);
+  }
+  block_reads = static_cast<int>(stats_.data_block_reads.load() - reads_before);
+  EXPECT_LT(block_reads, 20);  // ~1% fpr
+  EXPECT_GT(stats_.bloom_negatives.load(), 180u);
+}
+
+TEST_P(SstTest, CorruptedBlockDetected) {
+  BuildAndOpen(1000);
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString("/test.sst", &contents).ok());
+  contents[100] ^= 0xff;  // corrupt the first data block
+  ASSERT_TRUE(env_->WriteStringToFile(Slice(contents), "/test.sst").ok());
+  std::unique_ptr<SstReader> reader;
+  ASSERT_TRUE(
+      SstReader::Open(env_.get(), "/test.sst", 2, nullptr, nullptr, &reader).ok());
+  auto iter = reader->NewIterator();
+  iter->SeekToFirst();
+  // Either invalid immediately or an error status during the scan.
+  while (iter->Valid()) iter->Next();
+  EXPECT_FALSE(iter->status().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Compression, SstTest,
+                         ::testing::Values(CompressionType::kNone,
+                                           CompressionType::kLightLZ),
+                         [](const auto& info) {
+                           return info.param == CompressionType::kNone
+                                      ? "NoCompression"
+                                      : "LightLZ";
+                         });
+
+TEST(SstSizeTest, CompressionShrinksFile) {
+  auto env = NewMemEnv();
+  uint64_t sizes[2];
+  int idx = 0;
+  for (CompressionType type :
+       {CompressionType::kNone, CompressionType::kLightLZ}) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env->NewWritableFile("/z.sst", &file).ok());
+    SstBuildOptions options;
+    options.compression = type;
+    SstBuilder builder(options, std::move(file));
+    for (uint64_t i = 0; i < 5000; ++i) {
+      builder.Add(IKey(i, i + 1), std::string(40, static_cast<char>('a' + i % 3)));
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    sizes[idx++] = builder.FileSize();
+  }
+  EXPECT_LT(sizes[1], sizes[0] * 7 / 10);
+}
+
+// ----------------------------------------------------------- BlockCache --
+
+TEST(BlockCacheTest, InsertLookupErase) {
+  BlockCache cache(1 << 20);
+  auto block = std::make_shared<Block>(std::string(100, 'x'));
+  cache.Insert(1, 0, block);
+  EXPECT_EQ(cache.Lookup(1, 0), block);
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);
+  EXPECT_EQ(cache.Lookup(2, 0), nullptr);
+  cache.EraseFile(1);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  BlockCache cache(1000);
+  auto make_block = [] { return std::make_shared<Block>(std::string(300, 'x')); };
+  cache.Insert(1, 0, make_block());
+  cache.Insert(1, 1, make_block());
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);  // touch 0: now 1 is LRU
+  cache.Insert(1, 2, make_block());        // evicts 1
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 2), nullptr);
+}
+
+TEST(BlockCacheTest, ChargeTracksUsage) {
+  BlockCache cache(1 << 20);
+  EXPECT_EQ(cache.charge(), 0u);
+  cache.Insert(1, 0, std::make_shared<Block>(std::string(1000, 'x')));
+  EXPECT_GT(cache.charge(), 1000u);
+  cache.EraseFile(1);
+  EXPECT_EQ(cache.charge(), 0u);
+}
+
+}  // namespace
+}  // namespace laser

@@ -1,0 +1,272 @@
+// Version, manifest and compaction-picker tests.
+
+#include <gtest/gtest.h>
+
+#include "laser/options.h"
+#include "lsm/compaction_picker.h"
+#include "lsm/manifest.h"
+#include "lsm/version.h"
+#include "sst/sst_builder.h"
+#include "util/coding.h"
+
+namespace laser {
+namespace {
+
+std::shared_ptr<FileMetaData> FakeFile(uint64_t number, uint64_t lo, uint64_t hi,
+                                       uint64_t size, uint64_t smallest_seq = 1) {
+  auto meta = std::make_shared<FileMetaData>();
+  meta->file_number = number;
+  meta->file_size = size;
+  meta->smallest = MakeInternalKey(EncodeKey64(lo), smallest_seq + 10, kTypeFullRow);
+  meta->largest = MakeInternalKey(EncodeKey64(hi), smallest_seq, kTypeFullRow);
+  meta->props.num_entries = size / 100;
+  meta->props.smallest_seq = smallest_seq;
+  meta->props.largest_seq = smallest_seq + 10;
+  return meta;
+}
+
+TEST(VersionTest, EmptyShape) {
+  auto v = Version::Empty(4, {1, 2, 2, 4});
+  EXPECT_EQ(v->num_levels(), 4);
+  EXPECT_EQ(v->num_groups(0), 1);
+  EXPECT_EQ(v->num_groups(3), 4);
+  EXPECT_EQ(v->TotalBytes(), 0u);
+}
+
+TEST(VersionTest, CloneSharesFilesNotStructure) {
+  auto v = Version::Empty(2, {1, 1});
+  v->AddLevel0File(FakeFile(1, 0, 10, 1000));
+  auto clone = v->Clone();
+  clone->AddLevel0File(FakeFile(2, 11, 20, 1000));
+  EXPECT_EQ(v->files(0, 0).size(), 1u);
+  EXPECT_EQ(clone->files(0, 0).size(), 2u);
+  EXPECT_EQ(v->files(0, 0)[0], clone->files(0, 0)[0]);  // shared pointer
+}
+
+TEST(VersionTest, GroupAccounting) {
+  auto v = Version::Empty(2, {1, 1});
+  v->ReplaceFiles(1, 0, {}, {FakeFile(1, 0, 10, 500), FakeFile(2, 11, 20, 700)});
+  EXPECT_EQ(v->GroupBytes(1, 0), 1200u);
+  EXPECT_EQ(v->GroupEntries(1, 0), 12u);
+  EXPECT_EQ(v->TotalBytes(), 1200u);
+}
+
+TEST(VersionTest, OverlappingFiles) {
+  auto v = Version::Empty(2, {1, 1});
+  v->ReplaceFiles(1, 0, {},
+                  {FakeFile(1, 0, 10, 100), FakeFile(2, 20, 30, 100),
+                   FakeFile(3, 40, 50, 100)});
+  auto overlap = v->OverlappingFiles(1, 0, EncodeKey64(25), EncodeKey64(45));
+  ASSERT_EQ(overlap.size(), 2u);
+  EXPECT_EQ(overlap[0]->file_number, 2u);
+  EXPECT_EQ(overlap[1]->file_number, 3u);
+  EXPECT_TRUE(v->OverlappingFiles(1, 0, EncodeKey64(11), EncodeKey64(19)).empty());
+}
+
+TEST(VersionTest, FileContainingBinarySearch) {
+  auto v = Version::Empty(2, {1, 1});
+  v->ReplaceFiles(1, 0, {},
+                  {FakeFile(1, 0, 10, 100), FakeFile(2, 20, 30, 100),
+                   FakeFile(3, 40, 50, 100)});
+  ASSERT_NE(v->FileContaining(1, 0, EncodeKey64(25)), nullptr);
+  EXPECT_EQ(v->FileContaining(1, 0, EncodeKey64(25))->file_number, 2u);
+  EXPECT_EQ(v->FileContaining(1, 0, EncodeKey64(15)), nullptr);  // gap
+  EXPECT_EQ(v->FileContaining(1, 0, EncodeKey64(55)), nullptr);  // beyond
+  EXPECT_EQ(v->FileContaining(1, 0, EncodeKey64(0))->file_number, 1u);
+}
+
+TEST(VersionTest, ReplaceFilesKeepsRunSorted) {
+  auto v = Version::Empty(2, {1, 1});
+  auto f1 = FakeFile(1, 20, 30, 100);
+  v->ReplaceFiles(1, 0, {}, {f1});
+  v->ReplaceFiles(1, 0, {}, {FakeFile(2, 0, 10, 100)});
+  ASSERT_EQ(v->files(1, 0).size(), 2u);
+  EXPECT_EQ(v->files(1, 0)[0]->file_number, 2u);  // sorted by smallest key
+  v->ReplaceFiles(1, 0, {f1}, {});
+  ASSERT_EQ(v->files(1, 0).size(), 1u);
+  EXPECT_EQ(v->files(1, 0)[0]->file_number, 2u);
+}
+
+// -------------------------------------------------------------- Manifest --
+
+TEST(ManifestTest, SaveLoadRoundTrip) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->CreateDir("/db").ok());
+
+  // Build one real SST so the manifest loader can open it.
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewWritableFile("/db/" + SstFileName(7), &file).ok());
+  SstBuilder builder(SstBuildOptions(), std::move(file));
+  builder.Add(MakeInternalKey(EncodeKey64(1), 5, kTypeFullRow), "v1");
+  builder.Add(MakeInternalKey(EncodeKey64(2), 6, kTypeFullRow), "v2");
+  ASSERT_TRUE(builder.Finish().ok());
+
+  auto meta = std::make_shared<FileMetaData>();
+  meta->file_number = 7;
+  meta->file_size = builder.FileSize();
+  meta->smallest = builder.smallest_key();
+  meta->largest = builder.largest_key();
+  meta->props = builder.properties();
+
+  ManifestData data;
+  data.version = Version::Empty(3, {1, 2, 2});
+  data.version->mutable_files(1, 1).push_back(meta);
+  data.next_file_number = 8;
+  data.last_sequence = 6;
+  data.wal_number = 3;
+
+  Manifest manifest(env.get(), "/db");
+  EXPECT_FALSE(manifest.Exists());
+  ASSERT_TRUE(manifest.Save(data).ok());
+  EXPECT_TRUE(manifest.Exists());
+
+  ManifestData loaded;
+  ASSERT_TRUE(manifest.Load(nullptr, nullptr, &loaded).ok());
+  EXPECT_EQ(loaded.next_file_number, 8u);
+  EXPECT_EQ(loaded.last_sequence, 6u);
+  EXPECT_EQ(loaded.wal_number, 3u);
+  ASSERT_EQ(loaded.version->num_levels(), 3);
+  ASSERT_EQ(loaded.version->files(1, 1).size(), 1u);
+  const auto& f = loaded.version->files(1, 1)[0];
+  EXPECT_EQ(f->file_number, 7u);
+  EXPECT_EQ(f->props.num_entries, 2u);
+  ASSERT_NE(f->reader, nullptr);
+}
+
+TEST(ManifestTest, DetectsCorruption) {
+  auto env = NewMemEnv();
+  ASSERT_TRUE(env->CreateDir("/db").ok());
+  ManifestData data;
+  data.version = Version::Empty(2, {1, 1});
+  Manifest manifest(env.get(), "/db");
+  ASSERT_TRUE(manifest.Save(data).ok());
+
+  std::string contents;
+  ASSERT_TRUE(env->ReadFileToString("/db/MANIFEST", &contents).ok());
+  contents[contents.size() / 2] ^= 0x1;
+  ASSERT_TRUE(env->WriteStringToFile(Slice(contents), "/db/MANIFEST").ok());
+
+  ManifestData loaded;
+  EXPECT_TRUE(manifest.Load(nullptr, nullptr, &loaded).IsCorruption());
+}
+
+// ------------------------------------------------------ CompactionPicker --
+
+class PickerTest : public ::testing::Test {
+ protected:
+  PickerTest() {
+    options_.env = nullptr;
+    options_.path = "/x";
+    options_.schema = Schema::UniformInt32(4);
+    options_.num_levels = 3;
+    options_.size_ratio = 2;
+    options_.level0_bytes = 1000;
+    options_.level0_file_compaction_trigger = 4;
+    options_.cg_config = CgConfig::EquiWidth(4, 3, 2);  // L1/L2: <1,2><3,4>
+    EXPECT_TRUE(options_.Finalize().ok());
+    picker_ = std::make_unique<CompactionPicker>(&options_);
+  }
+
+  LaserOptions options_;
+  std::unique_ptr<CompactionPicker> picker_;
+};
+
+TEST_F(PickerTest, CapacityApportionedByWidth) {
+  // Level 1 capacity = 2000 bytes; groups <1,2> and <3,4> have equal widths
+  // (8-byte key + 2 * 4-byte columns each).
+  EXPECT_EQ(picker_->GroupCapacityBytes(1, 0), picker_->GroupCapacityBytes(1, 1));
+  EXPECT_EQ(picker_->GroupCapacityBytes(1, 0) + picker_->GroupCapacityBytes(1, 1),
+            2000u);
+  // Level 2 is T times bigger.
+  EXPECT_EQ(picker_->GroupCapacityBytes(2, 0), 2 * picker_->GroupCapacityBytes(1, 0));
+}
+
+TEST_F(PickerTest, L0ScoreByFileCount) {
+  auto v = Version::Empty(3, {1, 2, 2});
+  for (int i = 0; i < 4; ++i) {
+    v->AddLevel0File(FakeFile(i + 1, i * 10, i * 10 + 5, 500));
+  }
+  EXPECT_GE(picker_->Score(*v, 0, 0), 1.0);
+  EXPECT_TRUE(picker_->NeedsCompaction(*v));
+
+  auto job = picker_->Pick(*v, {});
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->level, 0);
+  EXPECT_EQ(job->parent_files.size(), 4u);          // all L0 runs
+  EXPECT_EQ(job->child_groups.size(), 2u);          // both L1 groups
+}
+
+TEST_F(PickerTest, PicksMostOverflowingGroup) {
+  auto v = Version::Empty(3, {1, 2, 2});
+  // Group (1,1) overflows its 1000-byte capacity; (1,0) does not.
+  v->ReplaceFiles(1, 0, {}, {FakeFile(1, 0, 10, 800)});
+  v->ReplaceFiles(1, 1, {}, {FakeFile(2, 0, 10, 3000)});
+  auto job = picker_->Pick(*v, {});
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->level, 1);
+  EXPECT_EQ(job->group, 1);
+  EXPECT_TRUE(job->to_bottom_level);
+  // Child of <3,4> at level 2 is group 1 only.
+  EXPECT_EQ(job->child_groups, (std::vector<int>{1}));
+}
+
+TEST_F(PickerTest, BusyClaimsBlockJob) {
+  auto v = Version::Empty(3, {1, 2, 2});
+  v->ReplaceFiles(1, 1, {}, {FakeFile(2, 0, 10, 3000)});
+  std::set<std::pair<int, int>> busy = {{2, 1}};  // child claimed
+  EXPECT_FALSE(picker_->Pick(*v, busy).has_value());
+  busy = {{1, 1}};  // parent claimed
+  EXPECT_FALSE(picker_->Pick(*v, busy).has_value());
+  EXPECT_TRUE(picker_->Pick(*v, {}).has_value());
+}
+
+TEST_F(PickerTest, PriorityOldestSmallestSeqFirst) {
+  options_.compaction_priority = CompactionPriority::kOldestSmallestSeqFirst;
+  CompactionPicker picker(&options_);
+  auto v = Version::Empty(3, {1, 2, 2});
+  v->ReplaceFiles(1, 0, {},
+                  {FakeFile(1, 0, 10, 2000, /*smallest_seq=*/50),
+                   FakeFile(2, 20, 30, 3000, /*smallest_seq=*/10)});
+  auto job = picker.Pick(*v, {});
+  ASSERT_TRUE(job.has_value());
+  ASSERT_EQ(job->parent_files.size(), 1u);
+  EXPECT_EQ(job->parent_files[0]->file_number, 2u);  // oldest seq
+}
+
+TEST_F(PickerTest, PriorityByCompensatedSize) {
+  options_.compaction_priority = CompactionPriority::kByCompensatedSize;
+  CompactionPicker picker(&options_);
+  auto v = Version::Empty(3, {1, 2, 2});
+  v->ReplaceFiles(1, 0, {},
+                  {FakeFile(1, 0, 10, 2000, 50), FakeFile(2, 20, 30, 3000, 10)});
+  // Same data, size priority picks file 2 (larger); here both priorities
+  // agree, so distinguish with reversed sizes.
+  auto v2 = Version::Empty(3, {1, 2, 2});
+  v2->ReplaceFiles(1, 0, {},
+                   {FakeFile(1, 0, 10, 3000, 50), FakeFile(2, 20, 30, 2000, 10)});
+  auto job = picker.Pick(*v2, {});
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->parent_files[0]->file_number, 1u);  // largest file
+}
+
+TEST_F(PickerTest, NothingToDoOnEmptyTree) {
+  auto v = Version::Empty(3, {1, 2, 2});
+  EXPECT_FALSE(picker_->NeedsCompaction(*v));
+  EXPECT_FALSE(picker_->Pick(*v, {}).has_value());
+}
+
+TEST_F(PickerTest, ChildFilesLimitedToOverlap) {
+  auto v = Version::Empty(3, {1, 2, 2});
+  v->ReplaceFiles(1, 1, {}, {FakeFile(2, 20, 30, 3000)});
+  v->ReplaceFiles(2, 1, {},
+                  {FakeFile(3, 0, 10, 100), FakeFile(4, 25, 28, 100),
+                   FakeFile(5, 50, 60, 100)});
+  auto job = picker_->Pick(*v, {});
+  ASSERT_TRUE(job.has_value());
+  ASSERT_EQ(job->child_files.size(), 1u);
+  ASSERT_EQ(job->child_files[0].size(), 1u);
+  EXPECT_EQ(job->child_files[0][0]->file_number, 4u);
+}
+
+}  // namespace
+}  // namespace laser

@@ -1,0 +1,194 @@
+// WAL tests: record round-trips, block-spanning fragmentation, torn tails,
+// CRC detection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/env.h"
+#include "util/random.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+
+namespace laser {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    fname_ = "/wal_test_log";
+  }
+
+  std::unique_ptr<wal::LogWriter> NewWriter() {
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(env_->NewWritableFile(fname_, &file).ok());
+    return std::make_unique<wal::LogWriter>(std::move(file));
+  }
+
+  std::unique_ptr<wal::LogReader> NewReader() {
+    std::unique_ptr<SequentialFile> file;
+    EXPECT_TRUE(env_->NewSequentialFile(fname_, &file).ok());
+    return std::make_unique<wal::LogReader>(std::move(file));
+  }
+
+  std::string ReadFile() {
+    std::string data;
+    EXPECT_TRUE(env_->ReadFileToString(fname_, &data).ok());
+    return data;
+  }
+
+  void WriteFile(const std::string& data) {
+    EXPECT_TRUE(env_->WriteStringToFile(Slice(data), fname_).ok());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::string fname_;
+};
+
+TEST_F(WalTest, EmptyLog) {
+  NewWriter()->Close();
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  EXPECT_FALSE(reader->ReadRecord(&record, &scratch));
+  EXPECT_FALSE(reader->corruption_detected());
+}
+
+TEST_F(WalTest, SmallRecordsRoundTrip) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord(Slice("one")).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice("two")).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice("")).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice("four")).ok());
+  writer->Close();
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "one");
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "two");
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "");
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "four");
+  EXPECT_FALSE(reader->ReadRecord(&record, &scratch));
+}
+
+TEST_F(WalTest, LargeRecordSpansBlocks) {
+  Random rng(9);
+  std::string big(3 * wal::kBlockSize + 517, '\0');
+  for (char& c : big) c = static_cast<char>(rng.Uniform(256));
+
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord(Slice("before")).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice(big)).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice("after")).ok());
+  writer->Close();
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "before");
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), big);
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "after");
+}
+
+TEST_F(WalTest, ManyRecordsAcrossBlockBoundaries) {
+  auto writer = NewWriter();
+  std::vector<std::string> records;
+  Random rng(4242);
+  for (int i = 0; i < 500; ++i) {
+    records.push_back(std::string(rng.Uniform(300), static_cast<char>('a' + i % 26)));
+    ASSERT_TRUE(writer->AddRecord(Slice(records.back())).ok());
+  }
+  writer->Close();
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  for (const std::string& expected : records) {
+    ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+    EXPECT_EQ(record.ToString(), expected);
+  }
+  EXPECT_FALSE(reader->ReadRecord(&record, &scratch));
+}
+
+TEST_F(WalTest, TornTailStopsCleanly) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord(Slice("complete")).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice(std::string(200, 'x'))).ok());
+  writer->Close();
+
+  // Chop off the middle of the second record (simulating a crash).
+  std::string data = ReadFile();
+  WriteFile(data.substr(0, data.size() - 150));
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "complete");
+  EXPECT_FALSE(reader->ReadRecord(&record, &scratch));  // tail lost, no crash
+}
+
+TEST_F(WalTest, CorruptedRecordDetected) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord(Slice("first")).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice("second")).ok());
+  writer->Close();
+
+  std::string data = ReadFile();
+  data[wal::kHeaderSize + 2] ^= 0x01;  // flip a payload bit of record 1
+  WriteFile(data);
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  EXPECT_FALSE(reader->ReadRecord(&record, &scratch));
+  EXPECT_TRUE(reader->corruption_detected());
+}
+
+TEST_F(WalTest, RecordExactlyFillingBlock) {
+  // Payload sized so header+payload == kBlockSize exactly.
+  const std::string payload(wal::kBlockSize - wal::kHeaderSize, 'q');
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord(Slice(payload)).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice("next")).ok());
+  writer->Close();
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.size(), payload.size());
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "next");
+}
+
+TEST_F(WalTest, TrailerSmallerThanHeaderIsSkipped) {
+  // Leave exactly 3 bytes at the end of a block: the writer zero-fills.
+  const std::string first(wal::kBlockSize - wal::kHeaderSize - wal::kHeaderSize - 3,
+                          'a');
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord(Slice(first)).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice("")).ok());  // fills up to 3 spare bytes
+  ASSERT_TRUE(writer->AddRecord(Slice("tail")).ok());
+  writer->Close();
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "tail");
+}
+
+}  // namespace
+}  // namespace laser

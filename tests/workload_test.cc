@@ -1,0 +1,133 @@
+// Workload generator tests: spec construction, determinism, trace filling,
+// age->level mapping, end-to-end run against a small LASER instance.
+
+#include <gtest/gtest.h>
+
+#include "workload/htap_workload.h"
+
+namespace laser {
+namespace {
+
+TEST(HtapSpecTest, NarrowHwMatchesTable3) {
+  HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(1.0);
+  EXPECT_EQ(spec.num_columns, 30);
+  ASSERT_EQ(spec.point_reads.size(), 2u);
+  EXPECT_EQ(spec.point_reads[0].projection, MakeColumnRange(1, 30));   // Q2a
+  EXPECT_DOUBLE_EQ(spec.point_reads[0].recency_mean, 0.98);
+  EXPECT_EQ(spec.point_reads[1].projection, MakeColumnRange(16, 30));  // Q2b
+  EXPECT_DOUBLE_EQ(spec.point_reads[1].recency_mean, 0.85);
+  ASSERT_EQ(spec.scans.size(), 2u);
+  EXPECT_EQ(spec.scans[0].projection, MakeColumnRange(21, 30));  // Q4
+  EXPECT_DOUBLE_EQ(spec.scans[0].selectivity, 0.05);
+  EXPECT_EQ(spec.scans[1].projection, MakeColumnRange(28, 30));  // Q5
+  EXPECT_DOUBLE_EQ(spec.scans[1].selectivity, 0.50);
+  EXPECT_TRUE(spec.scans[1].aggregate_max);
+}
+
+TEST(HtapSpecTest, ScaleShrinksCounts) {
+  HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(0.1);
+  EXPECT_EQ(spec.load_rows, 40000u);
+  EXPECT_EQ(spec.steady_inserts, 2000u);
+}
+
+TEST(LevelOfAgeTest, NewestOnTopOldestAtBottom) {
+  EXPECT_EQ(HtapWorkloadRunner::LevelOfAgeFraction(1.0, 8, 2), 0);
+  EXPECT_EQ(HtapWorkloadRunner::LevelOfAgeFraction(0.0, 8, 2), 7);
+  // Deepest level holds ~half the data.
+  EXPECT_EQ(HtapWorkloadRunner::LevelOfAgeFraction(0.3, 8, 2), 7);
+  // Monotone: older fraction -> deeper (or equal) level.
+  int prev = 0;
+  for (double f = 1.0; f >= 0.0; f -= 0.01) {
+    const int level = HtapWorkloadRunner::LevelOfAgeFraction(f, 8, 2);
+    EXPECT_GE(level, prev);
+    prev = level;
+  }
+}
+
+TEST(FillTraceTest, DistributesReadsByRecency) {
+  HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(1.0);
+  HtapWorkloadRunner runner(spec);
+  WorkloadTrace trace(8);
+  runner.FillTrace(&trace, 8, 2);
+
+  EXPECT_EQ(trace.inserts(), spec.load_rows + spec.steady_inserts);
+  const auto reads = trace.point_reads();
+  ASSERT_TRUE(reads.count(MakeColumnRange(1, 30)));
+  ASSERT_TRUE(reads.count(MakeColumnRange(16, 30)));
+
+  // Q2a (mean .98) resolves higher in the tree than Q2b (mean .85).
+  auto mean_level = [](const std::vector<uint64_t>& hist) {
+    double weighted = 0;
+    double total = 0;
+    for (size_t i = 0; i < hist.size(); ++i) {
+      weighted += static_cast<double>(i) * hist[i];
+      total += hist[i];
+    }
+    return total > 0 ? weighted / total : 0.0;
+  };
+  EXPECT_LT(mean_level(reads.at(MakeColumnRange(1, 30))),
+            mean_level(reads.at(MakeColumnRange(16, 30))));
+
+  const auto scans = trace.range_scans();
+  ASSERT_TRUE(scans.count(MakeColumnRange(21, 30)));
+  ASSERT_TRUE(scans.count(MakeColumnRange(28, 30)));
+  EXPECT_EQ(scans.at(MakeColumnRange(28, 30)).count, 12u);
+
+  EXPECT_FALSE(trace.updates().empty());
+  EXPECT_FALSE(trace.ToString().empty());
+}
+
+TEST(HtapRunnerTest, EndToEndAgainstLaser) {
+  auto env = NewMemEnv();
+  LaserOptions options;
+  options.env = env.get();
+  options.path = "/db";
+  options.schema = Schema::UniformInt32(30);
+  options.num_levels = 4;
+  options.cg_config = CgConfig::EquiWidth(30, 4, 15);
+  options.write_buffer_size = 64 * 1024;
+  options.level0_bytes = 128 * 1024;
+  options.target_sst_size = 64 * 1024;
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+
+  HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(0.01);  // 4000 rows
+  spec.seed = 7;
+  HtapWorkloadRunner runner(spec);
+  LaserTableEngine engine(db.get(), "laser-test");
+  HtapWorkloadResult result;
+  WorkloadTrace trace(4);
+  ASSERT_TRUE(runner.Run(&engine, &result, &trace, 4, 2).ok());
+
+  EXPECT_EQ(result.insert_micros.count(), spec.steady_inserts);
+  ASSERT_EQ(result.read_micros.size(), 2u);
+  EXPECT_EQ(result.read_micros[0].count(), spec.point_reads[0].count);
+  EXPECT_EQ(result.read_micros[1].count(), spec.point_reads[1].count);
+  ASSERT_EQ(result.scan_micros.size(), 2u);
+  EXPECT_EQ(result.scan_micros[0].count(), 12u);
+  EXPECT_GT(result.update_micros.count(), 0u);
+  EXPECT_GT(trace.inserts(), 0u);
+  EXPECT_FALSE(result.ToString().empty());
+
+  // Scans actually selected roughly the intended fraction of rows.
+  const auto scans = trace.range_scans();
+  const auto& q5 = scans.at(MakeColumnRange(28, 30));
+  const double avg_selected = q5.total_selected / q5.count;
+  const double total_rows =
+      static_cast<double>(spec.load_rows + spec.steady_inserts);
+  EXPECT_GT(avg_selected, total_rows * 0.35);
+  EXPECT_LT(avg_selected, total_rows * 0.65);
+}
+
+TEST(HtapRunnerTest, DeterministicForFixedSeed) {
+  HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(0.005);
+  spec.seed = 99;
+  WorkloadTrace t1(8);
+  WorkloadTrace t2(8);
+  HtapWorkloadRunner(spec).FillTrace(&t1, 8, 2);
+  HtapWorkloadRunner(spec).FillTrace(&t2, 8, 2);
+  EXPECT_EQ(t1.ToString(), t2.ToString());
+}
+
+}  // namespace
+}  // namespace laser
