@@ -22,7 +22,7 @@ struct Variant {
   size_t cache_bytes;
 };
 
-void RunVariant(const Variant& variant, uint64_t rows) {
+void RunVariant(const Variant& variant, uint64_t rows, BenchJson* json) {
   auto env = NewMemEnv();
   LaserOptions options = NarrowTableOptions(
       env.get(), "/ablate", CgConfig::EquiWidth(30, 8, 6), 8, 2);
@@ -63,6 +63,14 @@ void RunVariant(const Variant& variant, uint64_t rows) {
          variant.name.c_str(), hit.avg_micros, hit.blocks_per_op,
          miss_latency.Average(), miss_blocks, scan.avg_micros,
          db->current_version()->TotalBytes());
+  json->Record("ablation", variant.name,
+               {{"hit_avg_us", hit.avg_micros},
+                {"hit_blocks_per_op", hit.blocks_per_op},
+                {"miss_avg_us", miss_latency.Average()},
+                {"miss_blocks_per_op", miss_blocks},
+                {"scan_avg_us", scan.avg_micros},
+                {"total_bytes",
+                 static_cast<double>(db->current_version()->TotalBytes())}});
 }
 
 }  // namespace
@@ -77,15 +85,18 @@ int main() {
   printf("%-26s %9s %8s %9s %8s %10s %12s\n", "variant", "hit us", "blk/hit",
          "miss us", "blk/miss", "scan us", "bytes");
 
+  BenchJson json("ablation_tuning");
   RunVariant({"baseline (all on)", 10, CompressionType::kLightLZ, 16,
-              32 << 20}, rows);
+              32 << 20}, rows, &json);
   RunVariant({"- bloom filters", 0, CompressionType::kLightLZ, 16, 32 << 20},
-             rows);
-  RunVariant({"- compression", 10, CompressionType::kNone, 16, 32 << 20}, rows);
+             rows, &json);
+  RunVariant({"- compression", 10, CompressionType::kNone, 16, 32 << 20}, rows,
+             &json);
   RunVariant({"- key delta-encoding", 10, CompressionType::kLightLZ, 1,
-              32 << 20}, rows);
-  RunVariant({"- block cache", 10, CompressionType::kLightLZ, 16, 0}, rows);
-  RunVariant({"bare (all off)", 0, CompressionType::kNone, 1, 0}, rows);
+              32 << 20}, rows, &json);
+  RunVariant({"- block cache", 10, CompressionType::kLightLZ, 16, 0}, rows,
+             &json);
+  RunVariant({"bare (all off)", 0, CompressionType::kNone, 1, 0}, rows, &json);
 
   printf(
       "\nExpected: dropping bloom filters multiplies blk/miss (every level\n"

@@ -3,15 +3,19 @@
 // machine; shapes, not absolute numbers, are the target), design builders,
 // loaders, and table printing.
 //
-// Scale: set LASER_BENCH_SCALE=full for a ~10x larger run.
+// Scale: set LASER_BENCH_SCALE=full for a ~10x larger run, or
+// LASER_BENCH_SCALE=smoke for a tiny CI sanity run.
 
 #ifndef LASER_BENCH_BENCH_COMMON_H_
 #define LASER_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "laser/laser_db.h"
@@ -25,8 +29,109 @@ namespace laser::bench {
 inline double ScaleFactor() {
   const char* scale = getenv("LASER_BENCH_SCALE");
   if (scale != nullptr && std::string(scale) == "full") return 10.0;
+  if (scale != nullptr && std::string(scale) == "smoke") return 0.05;
   return 1.0;
 }
+
+/// Accumulates metric rows and writes them as machine-readable JSON to
+/// BENCH_<name>.json (in $LASER_BENCH_JSON_DIR or the working directory) so
+/// the perf trajectory can be diffed across commits. One Record() call per
+/// measured configuration; the file is written on destruction.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  ~BenchJson() { Write(); }
+
+  /// `series` names the experiment (e.g. "point_read"); `label` is an
+  /// optional free-form qualifier (e.g. a design name); `fields` are the
+  /// numeric parameters and measurements of one row.
+  void Record(const std::string& series, const std::string& label,
+              std::initializer_list<std::pair<const char*, double>> fields) {
+    Row row;
+    row.series = series;
+    row.label = label;
+    for (const auto& field : fields) row.fields.emplace_back(field.first, field.second);
+    rows_.push_back(std::move(row));
+  }
+
+  void Record(const std::string& series,
+              std::initializer_list<std::pair<const char*, double>> fields) {
+    Record(series, "", fields);
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    std::string label;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out.append(buf);
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  static void AppendNumber(std::string* out, double v) {
+    if (!std::isfinite(v)) {
+      out->append("null");
+      return;
+    }
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.17g", v);
+    out->append(buf);
+  }
+
+  void Write() const {
+    const char* dir = getenv("LASER_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr ? std::string(dir) + "/" : std::string()) +
+                             "BENCH_" + name_ + ".json";
+    std::string out = "{\n  \"bench\": \"" + Escape(name_) + "\",\n  \"scale\": ";
+    AppendNumber(&out, ScaleFactor());
+    out.append(",\n  \"rows\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      out.append(i == 0 ? "\n" : ",\n");
+      out.append("    {\"series\": \"" + Escape(row.series) + "\"");
+      if (!row.label.empty()) {
+        out.append(", \"label\": \"" + Escape(row.label) + "\"");
+      }
+      for (const auto& [key, value] : row.fields) {
+        out.append(", \"" + Escape(key) + "\": ");
+        AppendNumber(&out, value);
+      }
+      out.append("}");
+    }
+    out.append("\n  ]\n}\n");
+    FILE* f = fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    fwrite(out.data(), 1, out.size(), f);
+    fclose(f);
+    printf("[bench] wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 /// Engine options for the narrow-table experiments (30 columns, T=2,
 /// 8 levels — §7.1's narrow configuration, scaled down).

@@ -43,6 +43,7 @@ int main() {
   const double scale = ScaleFactor();
   const uint64_t rows = static_cast<uint64_t>(100000 * scale);
   const uint64_t key_stride = 7919;
+  BenchJson json("fig10_robustness");
 
   auto env = NewMemEnv();
   CgConfig dopt = DOptForHw();
@@ -83,10 +84,16 @@ int main() {
         ++count;
       }
     }
+    const double blocks_per_read =
+        static_cast<double>(db->stats().data_block_reads.load() -
+                            blocks_before) /
+        count;
     printf("%-8.1f %12.1f %12.1f %14.2f\n", offset, q2a.Average(), q2b.Average(),
-           static_cast<double>(db->stats().data_block_reads.load() -
-                               blocks_before) /
-               count);
+           blocks_per_read);
+    json.Record("vertical_shift", {{"offset", offset},
+                                   {"q2a_avg_us", q2a.Average()},
+                                   {"q2b_avg_us", q2b.Average()},
+                                   {"blocks_per_read", blocks_per_read}});
   }
   printf("Expected shape: latency rises with the offset, then flattens once\n"
          "the shifted pattern lands in the big bottom levels (whose CG\n"
@@ -104,6 +111,10 @@ int main() {
                                  /*seed=*/offset);
     printf("%-8d <%-10s> %12.0f %14.0f\n", offset,
            ColumnSetToString(proj).c_str(), m.avg_micros, m.blocks_per_op);
+    json.Record("horizontal_shift", ColumnSetToString(proj),
+                {{"offset", static_cast<double>(offset)},
+                 {"scan_avg_us", m.avg_micros},
+                 {"blocks_per_scan", m.blocks_per_op}});
   }
   printf("Expected shape: latency worsens (up to ~2x) when the projection\n"
          "straddles wide CGs of the fixed design, and is lowest when it\n"

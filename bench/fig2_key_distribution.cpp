@@ -17,7 +17,8 @@ namespace {
 
 constexpr int kAgeBuckets = 10;
 
-void RunOnePriority(CompactionPriority priority, const char* label) {
+void RunOnePriority(CompactionPriority priority, const char* label,
+                    BenchJson* json) {
   auto env = NewMemEnv();
   LaserOptions options =
       NarrowTableOptions(env.get(), "/fig2", CgConfig::RowOnly(30, 6), 6);
@@ -70,6 +71,14 @@ void RunOnePriority(CompactionPriority priority, const char* label) {
                             static_cast<double>(total));
     }
     printf("\n");
+    for (int b = 0; b < kAgeBuckets; ++b) {
+      json->Record("age_histogram", label,
+                   {{"level", static_cast<double>(level)},
+                    {"bucket", static_cast<double>(b)},
+                    {"entries", static_cast<double>(total)},
+                    {"percent", 100.0 * static_cast<double>(buckets[b]) /
+                                    static_cast<double>(total)}});
+    }
   }
 }
 
@@ -81,11 +90,12 @@ int main() {
       "Figure 2: key age distribution per level by compaction priority");
   printf("(each level row: %% of its entries per age decile; a clean\n"
          " diagonal = keys distributed by time since insertion)\n");
-  laser::bench::RunOnePriority(
-      laser::CompactionPriority::kByCompensatedSize, "kByCompensatedSize (size)");
+  laser::bench::BenchJson json("fig2_key_distribution");
+  laser::bench::RunOnePriority(laser::CompactionPriority::kByCompensatedSize,
+                               "kByCompensatedSize (size)", &json);
   laser::bench::RunOnePriority(
       laser::CompactionPriority::kOldestSmallestSeqFirst,
-      "kOldestSmallestSeqFirst (time)");
+      "kOldestSmallestSeqFirst (time)", &json);
   printf("\nExpected shape (paper Fig. 2): with the time-based priority each\n"
          "level concentrates on a contiguous age band; with the size-based\n"
          "priority ages smear across levels.\n");

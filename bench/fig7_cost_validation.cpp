@@ -58,7 +58,7 @@ struct CellData {
   double model_scan = 0;
 };
 
-void RunTable(const TableConfig& tc) {
+void RunTable(const TableConfig& tc, BenchJson* json, const std::string& table) {
   const double scan_selectivity = 0.10;
   const uint64_t key_stride = 7919;
   std::map<int, std::map<int, CellData>> cells;  // cg_size -> proj -> data
@@ -123,7 +123,25 @@ void RunTable(const TableConfig& tc) {
       cell.model_scan = model.RangeScanCost(
           scan_selectivity * static_cast<double>(tc.rows), projection);
       cells[cg_size][k] = cell;
+      json->Record("cell", table,
+                   {{"cg_size", static_cast<double>(cg_size)},
+                    {"proj", static_cast<double>(k)},
+                    {"read_avg_us", cell.read.avg_micros},
+                    {"read_p95_us", cell.read.p95_micros},
+                    {"read_blocks_per_op", cell.read.blocks_per_op},
+                    {"model_read_blocks", cell.model_read},
+                    {"scan_avg_us", cell.scan.avg_micros},
+                    {"scan_blocks_per_op", cell.scan.blocks_per_op},
+                    {"model_scan_blocks", cell.model_scan}});
     }
+  }
+  // Iterate the measured map, not tc.cg_sizes: a cg whose load failed has
+  // no entry and must not emit a fabricated zero-cost row.
+  for (const auto& [cg, seconds] : compaction_seconds) {
+    json->Record("compaction", table,
+                 {{"cg_size", static_cast<double>(cg)},
+                  {"seconds", seconds},
+                  {"bytes", static_cast<double>(compaction_bytes[cg])}});
   }
 
   const std::vector<int> pivot_projections = {1, tc.columns / 3,
@@ -215,12 +233,13 @@ void RunTable(const TableConfig& tc) {
 int main() {
   using laser::bench::PrintHeader;
   const double scale = laser::bench::ScaleFactor();
+  laser::bench::BenchJson json("fig7_cost_validation");
 
   PrintHeader("Figure 7 — narrow table (30 columns, T=2, 8 levels)");
-  laser::bench::RunTable(laser::bench::NarrowConfig(scale));
+  laser::bench::RunTable(laser::bench::NarrowConfig(scale), &json, "narrow");
   if (getenv("LASER_BENCH_WIDE") != nullptr) {
     PrintHeader("Figure 7 — wide table (100 columns, T=10, 5 levels)");
-    laser::bench::RunTable(laser::bench::WideConfig(scale));
+    laser::bench::RunTable(laser::bench::WideConfig(scale), &json, "wide");
   }
   return 0;
 }

@@ -59,7 +59,7 @@ CgConfig SelectDOpt(const HtapWorkloadSpec& spec) {
   return advisor.SelectDesign(trace);
 }
 
-void PrintResult(const HtapWorkloadResult& r) {
+void PrintResult(const HtapWorkloadResult& r, BenchJson* json) {
   printf("%-16s %9.2f %12.0f %9.2f | %8.1f %9.1f %9.1f %8.1f | %9.0f %9.0f\n",
          r.engine.c_str(), r.load_seconds, r.load_inserts_per_sec,
          r.workload_seconds, r.insert_micros.Average(),
@@ -68,6 +68,20 @@ void PrintResult(const HtapWorkloadResult& r) {
          r.update_micros.Average(),
          r.scan_micros.size() > 0 ? r.scan_micros[0].Average() : 0.0,
          r.scan_micros.size() > 1 ? r.scan_micros[1].Average() : 0.0);
+  json->Record("hw", r.engine,
+               {{"load_seconds", r.load_seconds},
+                {"load_inserts_per_sec", r.load_inserts_per_sec},
+                {"workload_seconds", r.workload_seconds},
+                {"q1_insert_us", r.insert_micros.Average()},
+                {"q2a_read_us",
+                 r.read_micros.size() > 0 ? r.read_micros[0].Average() : 0.0},
+                {"q2b_read_us",
+                 r.read_micros.size() > 1 ? r.read_micros[1].Average() : 0.0},
+                {"q3_update_us", r.update_micros.Average()},
+                {"q4_scan_us",
+                 r.scan_micros.size() > 0 ? r.scan_micros[0].Average() : 0.0},
+                {"q5_scan_us",
+                 r.scan_micros.size() > 1 ? r.scan_micros[1].Average() : 0.0}});
 }
 
 }  // namespace
@@ -77,6 +91,7 @@ int main() {
   using namespace laser;
   using namespace laser::bench;
   const double scale = ScaleFactor();
+  BenchJson json("fig8_htap_workload");
 
   HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(0.25 * scale);
   PrintHeader("Table 3: the HTAP workload HW");
@@ -113,7 +128,7 @@ int main() {
     HtapWorkloadRunner runner(spec);
     HtapWorkloadResult result;
     if (!runner.Run(&engine, &result).ok()) continue;
-    PrintResult(result);
+    PrintResult(result, &json);
     results.push_back(result);
   }
 
@@ -129,7 +144,7 @@ int main() {
       HtapWorkloadRunner runner(spec);
       HtapWorkloadResult result;
       if (runner.Run(&engine, &result).ok()) {
-        PrintResult(result);
+        PrintResult(result, &json);
         results.push_back(result);
       }
     }
@@ -147,7 +162,7 @@ int main() {
       HtapWorkloadRunner runner(spec);
       HtapWorkloadResult result;
       if (runner.Run(store.get(), &result).ok()) {
-        PrintResult(result);
+        PrintResult(result, &json);
         results.push_back(result);
       }
     }
@@ -163,7 +178,7 @@ int main() {
       HtapWorkloadRunner runner(spec);
       HtapWorkloadResult result;
       if (runner.Run(store.get(), &result).ok()) {
-        PrintResult(result);
+        PrintResult(result, &json);
         results.push_back(result);
       }
     }

@@ -16,6 +16,7 @@ int main() {
 
   constexpr int kLevels = 8;
   constexpr int kSizeRatio = 2;
+  BenchJson json("fig9_design_selection");
 
   PrintHeader("Figure 9(a): read recency distributions per level");
   HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(1.0);
@@ -34,6 +35,14 @@ int main() {
       printf("  %6.1f%%", total ? 100.0 * static_cast<double>(n) / total : 0.0);
     }
     printf("\n");
+    for (size_t level = 0; level < by_level.size(); ++level) {
+      json.Record("read_recency", is_q2a ? "Q2a" : "Q2b",
+                  {{"level", static_cast<double>(level)},
+                   {"percent", total ? 100.0 * static_cast<double>(
+                                                   by_level[level]) /
+                                           static_cast<double>(total)
+                                     : 0.0}});
+    }
   }
   printf("Expected shape: Q2a concentrates near the top levels, Q2b a few\n"
          "levels deeper (paper: skiplists/L0/L1 vs L2/L3).\n");
@@ -73,5 +82,6 @@ int main() {
   const double seconds = static_cast<double>(env->NowMicros() - t0) / 1e6;
   printf("selection took %.3f s (paper reports ~3 s)\n", seconds);
   printf("%s\n", wide_design.ToString().c_str());
+  json.Record("selection_time", "wide 100x8", {{"seconds", seconds}});
   return 0;
 }

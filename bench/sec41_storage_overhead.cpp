@@ -80,6 +80,20 @@ int main() {
          delta, static_cast<double>(delta) / naive);
   printf("%-48s %12" PRIu64 " %8.2f\n", "D. pure column store (contiguous)",
          pure_column, static_cast<double>(pure_column) / naive);
+
+  BenchJson json("sec41_storage_overhead");
+  const std::pair<const char*, uint64_t> variants[] = {
+      {"A. simulated CGs, no compression, no delta", naive},
+      {"B. simulated CGs + LightLZ", compressed},
+      {"C. simulated CGs + LightLZ + delta keys", delta},
+      {"D. pure column store (contiguous)", pure_column}};
+  for (const auto& [name, bytes] : variants) {
+    json.Record("storage", name,
+                {{"bytes", static_cast<double>(bytes)},
+                 {"ratio_vs_naive", naive ? static_cast<double>(bytes) /
+                                                static_cast<double>(naive)
+                                          : 0.0}});
+  }
   printf("\nExpected shape: A > B > C > D, with C within ~15%% of D\n"
          "(paper: 86 > 51 > 48 > 43).\n");
   return 0;

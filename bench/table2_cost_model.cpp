@@ -44,6 +44,7 @@ int main() {
   const ColumnSet narrow = MakeColumnRange(28, 30);   // |Π| = 3
   const ColumnSet wide = MakeColumnRange(1, kColumns);
   const double selectivity = 1e5;
+  BenchJson json("table2_cost_model");
 
   PrintHeader("Table 2: analytic costs (block I/Os; Eq. 4-7)");
   printf("%-24s %12s %12s %12s %12s %12s\n", "design", "insert W",
@@ -54,6 +55,12 @@ int main() {
            model.InsertCost(), model.PointReadCost(narrow),
            model.PointReadCost(wide), model.RangeScanCost(selectivity, narrow),
            model.UpdateCost(narrow));
+    json.Record("analytic", family.name,
+                {{"insert_w", model.InsertCost()},
+                 {"read_narrow", model.PointReadCost(narrow)},
+                 {"read_wide", model.PointReadCost(wide)},
+                 {"scan_narrow", model.RangeScanCost(selectivity, narrow)},
+                 {"update_narrow", model.UpdateCost(narrow)}});
   }
   printf("Expected shape (Table 2): row has the cheapest inserts and O(1)\n"
          "reads regardless of projection; column pays |Pi| reads but the\n"
@@ -83,6 +90,13 @@ int main() {
     printf("%-24s %14.2f %14.1f %14.2f %14.1f\n", family.name.c_str(),
            nar.blocks_per_op, model.PointReadCost(narrow), wid.blocks_per_op,
            model.PointReadCost(wide));
+    json.Record("measured_vs_model", family.name,
+                {{"measured_narrow_blocks", nar.blocks_per_op},
+                 {"model_narrow_blocks", model.PointReadCost(narrow)},
+                 {"measured_wide_blocks", wid.blocks_per_op},
+                 {"model_wide_blocks", model.PointReadCost(wide)},
+                 {"read_narrow_avg_us", nar.avg_micros},
+                 {"read_wide_avg_us", wid.avg_micros}});
   }
   printf("\nNote: the model's P sums E^g over every level (worst case); the\n"
          "measured engine stops at the resolving level and bloom filters\n"

@@ -412,6 +412,7 @@ void LaserDB::BackgroundCompact(CompactionJob job) {
 
   {
     std::unique_lock<std::mutex> lock(mu_);
+    bool installed = false;
     if (s.ok()) {
       auto next = version_->Clone();
       next->ReplaceFiles(job.level, job.group, job.parent_files, {});
@@ -420,6 +421,7 @@ void LaserDB::BackgroundCompact(CompactionJob job) {
                            job.child_files[ci], result.outputs[ci]);
       }
       version_ = std::move(next);
+      installed = true;
       s = SaveManifest();
     }
     if (s.ok()) {
@@ -428,16 +430,26 @@ void LaserDB::BackgroundCompact(CompactionJob job) {
         for (const auto& f : child_run) obsolete_.push_back(f);
       }
       // Release this job's references before sweeping, so the obsolete list
-      // holds the last reference and the files can be unlinked now.
+      // holds the last reference and the files can be unlinked now. This
+      // must include result.outputs: the new version owns those files, and
+      // if this thread is preempted after dropping the mutex a later job can
+      // obsolete them while this frame still pins them, leaving undeletable
+      // orphans on disk.
       job.parent_files.clear();
       job.child_files.clear();
+      result.outputs.clear();
       CollectObsoleteFiles();
     } else {
       bg_error_ = s;
-      // The output files are orphans; remove what we can.
-      for (const auto& run : result.outputs) {
-        for (const auto& f : run) {
-          env_->RemoveFile(db_path_ + "/" + SstFileName(f->file_number));
+      // Only unlink the outputs if the new version was never installed:
+      // after installation the live version references them (even when
+      // SaveManifest failed), and the parents must also stay on disk so a
+      // reopen from the stale manifest can still find its files.
+      if (!installed) {
+        for (const auto& run : result.outputs) {
+          for (const auto& f : run) {
+            env_->RemoveFile(db_path_ + "/" + SstFileName(f->file_number));
+          }
         }
       }
     }

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "laser/laser_db.h"
+#include "tests/test_util.h"
 #include "util/random.h"
 
 namespace laser {
@@ -25,16 +26,9 @@ class LaserDbAdvancedTest : public ::testing::Test {
   }
 
   LaserOptions MakeOptions() {
-    LaserOptions options;
-    options.env = env_.get();
-    options.path = "/adv";
-    options.schema = Schema::UniformInt32(kColumns);
-    options.num_levels = kLevels;
+    LaserOptions options = test::TinyTreeOptions(env_.get(), "/adv", kColumns,
+                                                 kLevels);
     options.cg_config = CgConfig::EquiWidth(kColumns, kLevels, 3);
-    options.write_buffer_size = 16 * 1024;
-    options.level0_bytes = 32 * 1024;
-    options.target_sst_size = 16 * 1024;
-    options.block_size = 1024;
     return options;
   }
 
@@ -45,9 +39,7 @@ class LaserDbAdvancedTest : public ::testing::Test {
   }
 
   std::vector<ColumnValue> Row(uint64_t key) {
-    std::vector<ColumnValue> row(kColumns);
-    for (int c = 0; c < kColumns; ++c) row[c] = key * 100 + c + 1;
-    return row;
+    return test::TestRow(key, kColumns);
   }
 
   std::unique_ptr<Env> env_;

@@ -10,15 +10,13 @@
 #include <string>
 
 #include "laser/laser_db.h"
+#include "tests/test_util.h"
 #include "util/random.h"
 
 namespace laser {
 namespace {
 
-struct DesignParam {
-  std::string name;
-  int cg_size;  // 0 = row-only, 1 = columnar, k = equi-width k, -1 = HTAP-simple
-};
+using test::DesignParam;
 
 class LaserDbTest : public ::testing::TestWithParam<DesignParam> {
  protected:
@@ -37,34 +35,15 @@ class LaserDbTest : public ::testing::TestWithParam<DesignParam> {
   }
 
   LaserOptions MakeOptions() {
-    LaserOptions options;
-    options.env = env_.get();
-    options.path = "/db";
-    options.schema = Schema::UniformInt32(kColumns);
-    options.num_levels = kLevels;
-    options.size_ratio = 2;
-    options.write_buffer_size = 16 * 1024;  // tiny: force flushes
-    options.level0_bytes = 32 * 1024;
-    options.target_sst_size = 16 * 1024;
-    options.block_size = 1024;
+    LaserOptions options = test::TinyTreeOptions(env_.get(), "/db", kColumns,
+                                                 kLevels);
     options.background_threads = 2;
-    const DesignParam& param = GetParam();
-    if (param.cg_size == 0) {
-      options.cg_config = CgConfig::RowOnly(kColumns, kLevels);
-    } else if (param.cg_size == -1) {
-      options.cg_config = CgConfig::HtapSimple(kColumns, kLevels, 3);
-    } else {
-      options.cg_config = CgConfig::EquiWidth(kColumns, kLevels, param.cg_size);
-    }
+    options.cg_config = test::DesignConfig(GetParam(), kColumns, kLevels);
     return options;
   }
 
   std::vector<ColumnValue> Row(uint64_t key) {
-    std::vector<ColumnValue> row(kColumns);
-    for (int c = 0; c < kColumns; ++c) {
-      row[c] = key * 100 + static_cast<uint64_t>(c + 1);
-    }
-    return row;
+    return test::TestRow(key, kColumns);
   }
 
   std::unique_ptr<Env> env_;

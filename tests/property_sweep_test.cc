@@ -158,7 +158,9 @@ TEST_P(EngineModelSweep, RandomHistoryMatchesModel) {
   bool first = true;
   uint64_t emitted = 0;
   for (; scan->Valid(); scan->Next()) {
-    if (!first) ASSERT_GT(scan->key(), last_key);  // strictly ascending
+    if (!first) {
+      ASSERT_GT(scan->key(), last_key);  // strictly ascending
+    }
     first = false;
     last_key = scan->key();
     const auto it = model.find(scan->key());

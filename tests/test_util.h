@@ -1,0 +1,60 @@
+// Shared test scaffolding: the tiny-tree engine options every end-to-end
+// suite uses (small buffers so a few thousand rows exercise flush and every
+// compaction level), the §7.2 design-matrix parameterization, and the
+// deterministic row builder the reference-model checks assume.
+
+#ifndef LASER_TESTS_TEST_UTIL_H_
+#define LASER_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "laser/laser_db.h"
+
+namespace laser::test {
+
+/// A design-matrix point: cg_size 0 = row-only, 1 = columnar, k = equi-width
+/// k, -1 = HTAP-simple (used with testing::TestWithParam for §7.2 sweeps).
+struct DesignParam {
+  std::string name;
+  int cg_size;
+};
+
+inline CgConfig DesignConfig(const DesignParam& param, int columns,
+                             int levels) {
+  if (param.cg_size == 0) return CgConfig::RowOnly(columns, levels);
+  if (param.cg_size == -1) return CgConfig::HtapSimple(columns, levels, 3);
+  return CgConfig::EquiWidth(columns, levels, param.cg_size);
+}
+
+/// Engine options for a tiny LSM-tree backed by `env` at `path`: 16KB write
+/// buffer / 1KB blocks so flushes and multi-level compactions happen within
+/// a few thousand inserts.
+inline LaserOptions TinyTreeOptions(Env* env, const std::string& path,
+                                    int columns, int levels) {
+  LaserOptions options;
+  options.env = env;
+  options.path = path;
+  options.schema = Schema::UniformInt32(columns);
+  options.num_levels = levels;
+  options.size_ratio = 2;
+  options.write_buffer_size = 16 * 1024;  // tiny: force flushes
+  options.level0_bytes = 32 * 1024;
+  options.target_sst_size = 16 * 1024;
+  options.block_size = 1024;
+  return options;
+}
+
+/// Deterministic full row for `key`: column c (1-based) holds key*100 + c,
+/// so any cell can be recomputed from (key, column) when verifying reads.
+inline std::vector<ColumnValue> TestRow(uint64_t key, int columns) {
+  std::vector<ColumnValue> row(columns);
+  for (int c = 0; c < columns; ++c) {
+    row[c] = key * 100 + static_cast<uint64_t>(c + 1);
+  }
+  return row;
+}
+
+}  // namespace laser::test
+
+#endif  // LASER_TESTS_TEST_UTIL_H_

@@ -351,7 +351,9 @@ TEST(CodecTest, RejectsCorruptInput) {
   // Either an error or a wrong-length result; never a crash. Flipping a bit
   // may keep the stream well-formed, so only check for no false "identical".
   Status s = LightLZDecompress(Slice(corrupted), &output);
-  if (s.ok()) EXPECT_NE(output, input);
+  if (s.ok()) {
+    EXPECT_NE(output, input);
+  }
 }
 
 // Property sweep: random binary data of many sizes round-trips.

@@ -171,6 +171,105 @@ TEST_F(WalTest, RecordExactlyFillingBlock) {
   EXPECT_EQ(record.ToString(), "next");
 }
 
+TEST_F(WalTest, TruncatedHeaderAtTailStopsCleanly) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord(Slice("durable")).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice("casualty")).ok());
+  writer->Close();
+
+  // Crash mid-write of the second record's header: fewer than kHeaderSize
+  // bytes of it survive.
+  std::string data = ReadFile();
+  WriteFile(data.substr(0, wal::kHeaderSize + 7 + 3));  // "durable" + 3 bytes
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "durable");
+  EXPECT_FALSE(reader->ReadRecord(&record, &scratch));
+}
+
+TEST_F(WalTest, TornTailMidSpanningRecord) {
+  // A record spanning three blocks, torn inside its middle fragment: the
+  // earlier complete record replays; the partial one is dropped without a
+  // crash.
+  std::string big(2 * wal::kBlockSize + 100, 'z');
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord(Slice("intact")).ok());
+  ASSERT_TRUE(writer->AddRecord(Slice(big)).ok());
+  writer->Close();
+
+  std::string data = ReadFile();
+  WriteFile(data.substr(0, wal::kBlockSize + wal::kBlockSize / 2));
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "intact");
+  EXPECT_FALSE(reader->ReadRecord(&record, &scratch));
+}
+
+TEST_F(WalTest, ReopenAfterReopen) {
+  // Two crash/recovery cycles, the way the engine reopens: replay the old
+  // log, rewrite the survivors into a fresh log, append the new generation.
+  auto replay = [&] {
+    std::vector<std::string> records;
+    auto reader = NewReader();
+    Slice record;
+    std::string scratch;
+    while (reader->ReadRecord(&record, &scratch)) {
+      records.push_back(record.ToString());
+    }
+    EXPECT_FALSE(reader->corruption_detected());
+    return records;
+  };
+
+  {
+    auto writer = NewWriter();
+    ASSERT_TRUE(writer->AddRecord(Slice("gen1-a")).ok());
+    ASSERT_TRUE(writer->AddRecord(Slice("gen1-b")).ok());
+    writer->Close();
+  }
+
+  // First reopen: recover gen1, write a fresh log with survivors + gen2,
+  // then tear off the tail of the last record (crash during gen2).
+  {
+    std::vector<std::string> recovered = replay();
+    ASSERT_EQ(recovered.size(), 2u);
+    auto writer = NewWriter();  // truncates: positioned at file start
+    for (const std::string& r : recovered) {
+      ASSERT_TRUE(writer->AddRecord(Slice(r)).ok());
+    }
+    ASSERT_TRUE(writer->AddRecord(Slice("gen2-a")).ok());
+    ASSERT_TRUE(writer->AddRecord(Slice(std::string(300, 'w'))).ok());
+    writer->Close();
+    std::string data = ReadFile();
+    WriteFile(data.substr(0, data.size() - 200));
+  }
+
+  // Second reopen: the torn record is gone, everything durable survives.
+  {
+    std::vector<std::string> recovered = replay();
+    ASSERT_EQ(recovered.size(), 3u);
+    EXPECT_EQ(recovered[0], "gen1-a");
+    EXPECT_EQ(recovered[1], "gen1-b");
+    EXPECT_EQ(recovered[2], "gen2-a");
+    auto writer = NewWriter();
+    for (const std::string& r : recovered) {
+      ASSERT_TRUE(writer->AddRecord(Slice(r)).ok());
+    }
+    ASSERT_TRUE(writer->AddRecord(Slice("gen3-a")).ok());
+    writer->Close();
+  }
+
+  // Third open reads all three generations in order.
+  std::vector<std::string> final_records = replay();
+  ASSERT_EQ(final_records.size(), 4u);
+  EXPECT_EQ(final_records[3], "gen3-a");
+}
+
 TEST_F(WalTest, TrailerSmallerThanHeaderIsSkipped) {
   // Leave exactly 3 bytes at the end of a block: the writer zero-fills.
   const std::string first(wal::kBlockSize - wal::kHeaderSize - wal::kHeaderSize - 3,
