@@ -278,8 +278,15 @@ Status LaserDB::WriteInternal(ValueType type, uint64_t key,
   if (wal_ != nullptr) {
     const std::string record =
         EncodeWalRecord(seq, type, Slice(user_key), encoded_value);
-    LASER_RETURN_IF_ERROR(wal_->AddRecord(Slice(record)));
-    if (options_.sync_wal) LASER_RETURN_IF_ERROR(wal_->Sync());
+    Status s = wal_->AddRecord(Slice(record));
+    if (s.ok() && options_.sync_wal) s = wal_->Sync();
+    if (!s.ok()) {
+      // The log tail now holds an unacknowledged (possibly partial) record.
+      // A later write's successful sync would make it durable and resurrect
+      // it on replay, so the engine must stop accepting writes.
+      bg_error_ = s;
+      return s;
+    }
     stats_.bytes_written_wal.fetch_add(record.size(), std::memory_order_relaxed);
   }
 
@@ -312,7 +319,14 @@ Status LaserDB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
     mem_->Ref();
     if (wal_ != nullptr) {
       wal_->Close();
-      LASER_RETURN_IF_ERROR(NewWal());
+      Status s = NewWal();
+      if (!s.ok()) {
+        // Without a fresh log, writes would keep appending to the closed
+        // one, which the pending flush is about to delete — acknowledged
+        // writes would vanish. Poison the engine instead.
+        bg_error_ = s;
+        return s;
+      }
     }
     MaybeScheduleBackgroundWork();
   }
@@ -425,14 +439,18 @@ void LaserDB::BackgroundCompact(CompactionJob job) {
       s = SaveManifest();
     }
     if (s.ok()) {
-      for (const auto& f : job.parent_files) obsolete_.push_back(f);
-      for (const auto& child_run : job.child_files) {
-        for (const auto& f : child_run) obsolete_.push_back(f);
+      for (const auto& f : job.parent_files) {
+        obsolete_.emplace_back(f, f->file_number);
       }
-      // Release this job's references before sweeping, so the obsolete list
-      // holds the last reference and the files can be unlinked now. This
-      // must include result.outputs: the new version owns those files, and
-      // if this thread is preempted after dropping the mutex a later job can
+      for (const auto& child_run : job.child_files) {
+        for (const auto& f : child_run) {
+          obsolete_.emplace_back(f, f->file_number);
+        }
+      }
+      // Release this job's references before sweeping, so the metadata can
+      // expire and the files can be unlinked now. This must include
+      // result.outputs: the new version owns those files, and if this
+      // thread is preempted after dropping the mutex a later job can
       // obsolete them while this frame still pins them, leaving undeletable
       // orphans on disk.
       job.parent_files.clear();
@@ -462,9 +480,11 @@ void LaserDB::BackgroundCompact(CompactionJob job) {
 
 void LaserDB::CollectObsoleteFiles() {
   for (auto it = obsolete_.begin(); it != obsolete_.end();) {
-    if (it->use_count() == 1) {
-      const uint64_t number = (*it)->file_number;
-      (*it)->reader.reset();  // close before unlink (portability)
+    if (it->first.expired()) {
+      // Every reference is gone; the last holder is destroying (or has
+      // destroyed) the reader, so only the on-disk file is left to reclaim.
+      // Unlinking a possibly still-open file is fine on POSIX and MemEnv.
+      const uint64_t number = it->second;
       env_->RemoveFile(db_path_ + "/" + SstFileName(number));
       if (cache_ != nullptr) cache_->EraseFile(number);
       it = obsolete_.erase(it);
@@ -497,7 +517,11 @@ Status LaserDB::Flush() {
       mem_->Ref();
       if (wal_ != nullptr) {
         wal_->Close();
-        LASER_RETURN_IF_ERROR(NewWal());
+        Status s = NewWal();
+        if (!s.ok()) {
+          bg_error_ = s;  // same rationale as in MakeRoomForWrite
+          return s;
+        }
       }
     }
     MaybeScheduleBackgroundWork();

@@ -145,7 +145,7 @@ class LaserDB {
 
   JobContext MakeJobContext();
 
-  /// Deletes obsolete files whose last reference is the obsolete list.
+  /// Unlinks obsolete files whose metadata has been released everywhere.
   /// REQUIRES: mu_ held.
   void CollectObsoleteFiles();
 
@@ -182,7 +182,13 @@ class LaserDB {
   bool shutting_down_ = false;
   Status bg_error_;
 
-  std::vector<std::shared_ptr<FileMetaData>> obsolete_;
+  /// Files unlinked from the tree but possibly still pinned by readers.
+  /// Only a weak reference is kept: polling use_count() and deleting the
+  /// reader in place would race with a reader thread's release (use_count
+  /// is a relaxed load with no happens-before edge to that thread's reads).
+  /// Destruction is left to the shared_ptr machinery; the sweeper merely
+  /// unlinks the on-disk file once the metadata has expired.
+  std::vector<std::pair<std::weak_ptr<FileMetaData>, uint64_t>> obsolete_;
   std::multiset<SequenceNumber> snapshots_;
   std::atomic<WorkloadTrace*> trace_{nullptr};
 };

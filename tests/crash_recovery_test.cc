@@ -1,0 +1,368 @@
+// LaserDB-level crash-recovery tests: a deterministic scripted workload is
+// killed at every mutating filesystem operation (WAL appends/syncs, SST
+// flush writes, MANIFEST tmp-write + rename installs, compaction outputs and
+// obsolete-file deletes), the durable image is restored, and the reopened
+// database must hold exactly the acknowledged writes — nothing lost, nothing
+// resurrected. Also covers crash-during-recovery and transient I/O errors.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "laser/laser_db.h"
+#include "tests/recovery_harness.h"
+#include "util/env_fault.h"
+
+namespace laser {
+namespace {
+
+using test::Model;
+using test::PhaseSpan;
+using test::RecoveryHarness;
+using test::ScriptOutcome;
+using OpKind = FaultInjectionEnv::OpKind;
+using OpRecord = FaultInjectionEnv::OpRecord;
+
+bool HasSuffix(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+size_t CountOps(const std::vector<OpRecord>& history, const PhaseSpan& span,
+                OpKind kind, const std::string& suffix) {
+  size_t count = 0;
+  for (uint64_t i = span.begin; i < span.end && i < history.size(); ++i) {
+    if (history[i].kind == kind && HasSuffix(history[i].fname, suffix)) ++count;
+  }
+  return count;
+}
+
+const PhaseSpan& FindPhase(const ScriptOutcome& outcome, const std::string& name) {
+  for (const PhaseSpan& span : outcome.phases) {
+    if (span.name == name) return span;
+  }
+  ADD_FAILURE() << "phase " << name << " missing";
+  static PhaseSpan empty;
+  return empty;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv semantics (pinned so the harness's assumptions hold).
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectionEnvTest, UnsyncedDataDropsSyncedDataSurvives) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append(Slice("durable")).ok());
+  ASSERT_TRUE(file->Sync().ok());
+  ASSERT_TRUE(file->Append(Slice("+volatile")).ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  env.DropUnsyncedData();
+  std::string data;
+  ASSERT_TRUE(env.ReadFileToString("/f", &data).ok());
+  EXPECT_EQ(data, "durable");
+}
+
+TEST(FaultInjectionEnvTest, NeverSyncedFileVanishesOnCrash) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append(Slice("lost")).ok());
+  ASSERT_TRUE(file->Close().ok());  // close without sync is not durable
+
+  env.DropUnsyncedData();
+  EXPECT_FALSE(env.FileExists("/f"));
+}
+
+TEST(FaultInjectionEnvTest, RecreationWithoutSyncRevertsToOldContent) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+
+  ASSERT_TRUE(env.WriteStringToFile(Slice("v1"), "/f", /*sync=*/true).ok());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());  // truncates, unsynced
+  ASSERT_TRUE(file->Append(Slice("v2")).ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  env.DropUnsyncedData();
+  std::string data;
+  ASSERT_TRUE(env.ReadFileToString("/f", &data).ok());
+  EXPECT_EQ(data, "v1");
+}
+
+TEST(FaultInjectionEnvTest, RenameCarriesDurableContent) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+
+  ASSERT_TRUE(env.WriteStringToFile(Slice("old"), "/target", /*sync=*/true).ok());
+  ASSERT_TRUE(env.WriteStringToFile(Slice("new"), "/tmp", /*sync=*/true).ok());
+  ASSERT_TRUE(env.RenameFile("/tmp", "/target").ok());
+
+  env.DropUnsyncedData();
+  std::string data;
+  ASSERT_TRUE(env.ReadFileToString("/target", &data).ok());
+  EXPECT_EQ(data, "new");
+  EXPECT_FALSE(env.FileExists("/tmp"));
+}
+
+TEST(FaultInjectionEnvTest, CrashAfterOpsKillsEverythingBeyondThreshold) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+
+  env.CrashAfterOps(2);  // create + append succeed, sync dies
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  ASSERT_TRUE(file->Append(Slice("x")).ok());
+  EXPECT_FALSE(file->Sync().ok());
+  EXPECT_TRUE(env.killed());
+  EXPECT_FALSE(file->Append(Slice("y")).ok());
+  std::unique_ptr<WritableFile> other;
+  EXPECT_FALSE(env.NewWritableFile("/g", &other).ok());
+  EXPECT_EQ(env.mutating_ops(), 2u);  // the killed ops were never admitted
+
+  env.ClearFaults();
+  EXPECT_TRUE(env.NewWritableFile("/g", &other).ok());
+}
+
+TEST(FaultInjectionEnvTest, FailOperationIsOneShot) {
+  auto base = NewMemEnv();
+  FaultInjectionEnv env(base.get());
+
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env.NewWritableFile("/f", &file).ok());
+  env.FailOperation(0);
+  EXPECT_FALSE(file->Append(Slice("rejected")).ok());
+  EXPECT_FALSE(env.killed());
+  ASSERT_TRUE(file->Append(Slice("accepted")).ok());
+  ASSERT_TRUE(file->Sync().ok());
+
+  env.DropUnsyncedData();
+  std::string data;
+  ASSERT_TRUE(env.ReadFileToString("/f", &data).ok());
+  EXPECT_EQ(data, "accepted");  // the rejected append never hit the file
+}
+
+// ---------------------------------------------------------------------------
+// The crash matrix.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryTest, CrashAtEveryFilesystemOperation) {
+  // Profiling run: no faults, script must complete; record the op stream.
+  uint64_t total_ops = 0;
+  std::vector<OpRecord> history;
+  ScriptOutcome baseline;
+  {
+    RecoveryHarness harness;
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    baseline = harness.RunScript(db.get());
+    ASSERT_TRUE(baseline.completed);
+    test::RecoveryHarness::VerifyMatchesModel(db.get(), baseline.model);
+    // Capture the op count before the destructor's own close/cleanup ops:
+    // the matrix below asserts every enumerated index crashes the *script*.
+    total_ops = harness.fault_env()->mutating_ops();
+    history = harness.fault_env()->history();
+  }
+  ASSERT_GT(total_ops, 100u);
+
+  // The matrix must cover all four crash sites: WAL appends, memtable
+  // flushes, manifest installs (the only renames), and CG compactions.
+  const PhaseSpan& wal1 = FindPhase(baseline, "wal-append-1");
+  EXPECT_GT(CountOps(history, wal1, OpKind::kAppend, ".wal"), 0u);
+  EXPECT_GT(CountOps(history, wal1, OpKind::kSync, ".wal"), 0u);
+  for (const char* phase : {"flush-1", "flush-2", "compaction"}) {
+    const PhaseSpan& span = FindPhase(baseline, phase);
+    EXPECT_GT(CountOps(history, span, OpKind::kSync, ".sst"), 0u) << phase;
+    EXPECT_GT(CountOps(history, span, OpKind::kRename, "MANIFEST.tmp"), 0u)
+        << phase << " saw no manifest install";
+  }
+  const PhaseSpan& compaction = FindPhase(baseline, "compaction");
+  EXPECT_GT(CountOps(history, compaction, OpKind::kRemove, ".sst"), 0u)
+      << "compaction deleted no obsolete files";
+
+  // Crash at every op index (0 = the very first CreateDir of Open). Each
+  // iteration replays the same deterministic prefix, dies, reboots, and the
+  // reopened DB must hold exactly the acknowledged state.
+  for (uint64_t k = 0; k < total_ops; ++k) {
+    SCOPED_TRACE("crash after op " + std::to_string(k));
+    RecoveryHarness harness;
+    harness.fault_env()->CrashAfterOps(k);
+
+    ScriptOutcome outcome;
+    {
+      std::unique_ptr<LaserDB> db;
+      if (harness.Open(&db).ok()) {
+        outcome = harness.RunScript(db.get());
+      }
+    }
+    EXPECT_FALSE(outcome.completed);  // every k < total_ops crashes somewhere
+
+    harness.fault_env()->DropUnsyncedData();
+    harness.fault_env()->ClearFaults();
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    test::RecoveryHarness::VerifyMatchesModel(db.get(), outcome.model);
+  }
+}
+
+// Crash once mid-compaction (at the manifest install), then crash again at
+// every operation of the *recovery* itself, and require the third, clean
+// recovery to still land on the acknowledged state: recovery must be
+// idempotent.
+TEST(CrashRecoveryTest, CrashDuringRecoveryAfterCrash) {
+  // Locate the compaction phase's first manifest install in a profiling run.
+  uint64_t first_crash = 0;
+  {
+    RecoveryHarness harness;
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    ScriptOutcome baseline = harness.RunScript(db.get());
+    ASSERT_TRUE(baseline.completed);
+    db.reset();
+    const PhaseSpan& span = FindPhase(baseline, "compaction");
+    const auto history = harness.fault_env()->history();
+    for (uint64_t i = span.begin; i < span.end; ++i) {
+      if (history[i].kind == OpKind::kRename) {
+        first_crash = i;
+        break;
+      }
+    }
+    ASSERT_GT(first_crash, 0u);
+  }
+
+  // First crash; keep the durable image and the acknowledged model.
+  RecoveryHarness harness;
+  harness.fault_env()->CrashAfterOps(first_crash);
+  ScriptOutcome outcome;
+  {
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    outcome = harness.RunScript(db.get());
+    EXPECT_FALSE(outcome.completed);
+  }
+  harness.fault_env()->DropUnsyncedData();
+  const FaultInjectionEnv::DurableState image =
+      harness.fault_env()->SnapshotDurableState();
+
+  // Profile how many ops one clean recovery performs from this image.
+  harness.fault_env()->ClearFaults();
+  const uint64_t before = harness.fault_env()->mutating_ops();
+  {
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    test::RecoveryHarness::VerifyMatchesModel(db.get(), outcome.model);
+  }
+  const uint64_t recovery_ops = harness.fault_env()->mutating_ops() - before;
+  ASSERT_GT(recovery_ops, 0u);
+
+  // Second crash at every recovery op, then a clean third recovery.
+  for (uint64_t j = 0; j < recovery_ops; ++j) {
+    SCOPED_TRACE("second crash after recovery op " + std::to_string(j));
+    harness.fault_env()->RestoreDurableState(image);
+    harness.fault_env()->ClearFaults();
+    harness.fault_env()->CrashAfterOps(j);
+    {
+      std::unique_ptr<LaserDB> db;
+      harness.Open(&db);  // usually fails mid-recovery; either way we crash
+    }
+    harness.fault_env()->DropUnsyncedData();
+    harness.fault_env()->ClearFaults();
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    test::RecoveryHarness::VerifyMatchesModel(db.get(), outcome.model);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transient I/O errors (no crash): the engine must fail safe.
+// ---------------------------------------------------------------------------
+
+// A failed WAL sync leaves an unacknowledged record in the log tail. If the
+// engine kept writing, the next successful sync would make that record
+// durable and it would resurrect on replay — so the engine must go read-only.
+TEST(CrashRecoveryTest, WalSyncFailurePoisonsWrites) {
+  RecoveryHarness harness;
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(harness.Open(&db).ok());
+
+  ASSERT_TRUE(db->Insert(1, test::TestRow(1, RecoveryHarness::kColumns)).ok());
+
+  // Each write is append (op +0) then sync (op +1): fail the next sync.
+  harness.fault_env()->FailOperation(1);
+  EXPECT_FALSE(db->Insert(2, test::TestRow(2, RecoveryHarness::kColumns)).ok());
+  // Poisoned: later writes must not be accepted (their sync would have made
+  // the failed record durable).
+  EXPECT_FALSE(db->Insert(3, test::TestRow(3, RecoveryHarness::kColumns)).ok());
+  // Reads still work.
+  LaserDB::ReadResult result;
+  const ColumnSet all = MakeColumnRange(1, RecoveryHarness::kColumns);
+  ASSERT_TRUE(db->Read(1, all, &result).ok());
+  EXPECT_TRUE(result.found);
+
+  db.reset();
+  harness.fault_env()->DropUnsyncedData();
+  harness.fault_env()->ClearFaults();
+  ASSERT_TRUE(harness.Open(&db).ok());
+
+  Model model;
+  test::RowState row(RecoveryHarness::kColumns);
+  for (int c = 1; c <= RecoveryHarness::kColumns; ++c) row[c - 1] = 100 + c;
+  model[1] = row;
+  test::RecoveryHarness::VerifyMatchesModel(db.get(), model);
+}
+
+// A flush whose SST sync fails must not delete the WAL; a reopen recovers
+// every acknowledged write from it.
+TEST(CrashRecoveryTest, FlushSyncFailureKeepsWalForRecovery) {
+  // Profile the op offset of the flush's first SST sync.
+  uint64_t sst_sync_offset = 0;
+  {
+    RecoveryHarness harness;
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    for (uint64_t key = 1; key <= 10; ++key) {
+      ASSERT_TRUE(db->Insert(key, test::TestRow(key, RecoveryHarness::kColumns)).ok());
+    }
+    const uint64_t before = harness.fault_env()->mutating_ops();
+    ASSERT_TRUE(db->Flush().ok());
+    const auto history = harness.fault_env()->history();
+    for (uint64_t i = before; i < history.size(); ++i) {
+      if (history[i].kind == OpKind::kSync && HasSuffix(history[i].fname, ".sst")) {
+        sst_sync_offset = i - before;
+        break;
+      }
+    }
+    ASSERT_GT(sst_sync_offset, 0u);
+  }
+
+  RecoveryHarness harness;
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(harness.Open(&db).ok());
+  Model model;
+  for (uint64_t key = 1; key <= 10; ++key) {
+    ASSERT_TRUE(db->Insert(key, test::TestRow(key, RecoveryHarness::kColumns)).ok());
+    test::RowState row(RecoveryHarness::kColumns);
+    for (int c = 1; c <= RecoveryHarness::kColumns; ++c) row[c - 1] = key * 100 + c;
+    model[key] = row;
+  }
+  harness.fault_env()->FailOperation(sst_sync_offset);
+  EXPECT_FALSE(db->Flush().ok());
+  // The background error poisons writes.
+  EXPECT_FALSE(db->Insert(11, test::TestRow(11, RecoveryHarness::kColumns)).ok());
+
+  db.reset();
+  harness.fault_env()->DropUnsyncedData();
+  harness.fault_env()->ClearFaults();
+  ASSERT_TRUE(harness.Open(&db).ok());
+  test::RecoveryHarness::VerifyMatchesModel(db.get(), model);
+}
+
+}  // namespace
+}  // namespace laser

@@ -1,0 +1,202 @@
+// Crash-recovery harness: a scripted LaserDB workload on a FaultInjectionEnv
+// with a fully deterministic filesystem-operation stream, so tests can kill
+// the "process" at every single operation, reopen, and check that exactly the
+// acknowledged state survives.
+//
+// Determinism: one background thread, auto compactions off (the script
+// flushes and compacts explicitly), a write buffer large enough that the
+// memtable never rotates on its own, and sync_wal so acknowledged == synced.
+// With that, the op stream is identical run to run, and "crash after op k"
+// replays the same prefix every time.
+
+#ifndef LASER_TESTS_RECOVERY_HARNESS_H_
+#define LASER_TESTS_RECOVERY_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "laser/laser_db.h"
+#include "tests/test_util.h"
+#include "util/env_fault.h"
+
+namespace laser::test {
+
+/// Expected row state, parallel to columns 1..kColumns.
+using RowState = std::vector<std::optional<ColumnValue>>;
+/// Reference model of the acknowledged database state.
+using Model = std::map<uint64_t, RowState>;
+
+/// One script phase mapped onto the mutating-op index range it produced.
+struct PhaseSpan {
+  std::string name;
+  uint64_t begin = 0;  // first op index of the phase
+  uint64_t end = 0;    // one past the last
+};
+
+struct ScriptOutcome {
+  Model model;                    // state after acknowledged ops only
+  std::vector<PhaseSpan> phases;  // complete only when the script completed
+  bool completed = false;         // no op failed before the end
+};
+
+class RecoveryHarness {
+ public:
+  static constexpr int kColumns = 4;
+  static constexpr int kLevels = 4;
+  static constexpr uint64_t kMaxKey = 64;  // verification scans [1, kMaxKey]
+
+  RecoveryHarness() : base_(NewMemEnv()), fault_(base_.get()) {}
+
+  FaultInjectionEnv* fault_env() { return &fault_; }
+
+  LaserOptions MakeOptions() const {
+    LaserOptions options;
+    options.env = const_cast<FaultInjectionEnv*>(&fault_);
+    options.path = "/db";
+    options.schema = Schema::UniformInt32(kColumns);
+    options.num_levels = kLevels;
+    options.size_ratio = 2;
+    options.cg_config = CgConfig::EquiWidth(kColumns, kLevels, 2);
+    options.write_buffer_size = 1 << 20;  // never rotates on its own
+    options.level0_bytes = 2 * 1024;      // two tiny flushes trigger L0->L1
+    options.level0_file_compaction_trigger = 2;
+    options.target_sst_size = 2 * 1024;
+    options.block_size = 1024;
+    options.background_threads = 1;
+    options.disable_auto_compactions = true;
+    options.sync_wal = true;  // acknowledged == synced
+    return options;
+  }
+
+  Status Open(std::unique_ptr<LaserDB>* db) const {
+    return LaserDB::Open(MakeOptions(), db);
+  }
+
+  /// Runs the scripted workload, applying each op to the model only when the
+  /// engine acknowledged it. Stops at the first failed op (the crash).
+  ScriptOutcome RunScript(LaserDB* db) const {
+    ScriptOutcome out;
+    uint64_t phase_begin = fault_.mutating_ops();
+
+    auto end_phase = [&](const std::string& name) {
+      const uint64_t now = fault_.mutating_ops();
+      out.phases.push_back(PhaseSpan{name, phase_begin, now});
+      phase_begin = now;
+    };
+    auto insert = [&](uint64_t key) {
+      if (!db->Insert(key, TestRow(key, kColumns)).ok()) return false;
+      RowState row(kColumns);
+      for (int c = 1; c <= kColumns; ++c) row[c - 1] = key * 100 + c;
+      out.model[key] = std::move(row);
+      return true;
+    };
+    auto update = [&](uint64_t key, const std::vector<ColumnValuePair>& values) {
+      if (!db->Update(key, values).ok()) return false;
+      RowState& row = out.model[key];
+      row.resize(kColumns);
+      for (const auto& pair : values) row[pair.column - 1] = pair.value;
+      return true;
+    };
+    auto remove = [&](uint64_t key) {
+      if (!db->Delete(key).ok()) return false;
+      out.model.erase(key);
+      return true;
+    };
+
+    // Phase 1: pure WAL appends.
+    for (uint64_t key = 1; key <= 24; ++key) {
+      if (!insert(key)) return out;
+    }
+    end_phase("wal-append-1");
+
+    // Phase 2: memtable flush + manifest install + old-WAL delete.
+    if (!db->Flush().ok()) return out;
+    end_phase("flush-1");
+
+    // Phase 3: overwrites, partial updates, tombstones, fresh inserts.
+    for (uint64_t key = 1; key <= 8; ++key) {
+      if (!update(key, {{2, key * 1000 + 2}})) return out;
+    }
+    for (uint64_t key = 9; key <= 12; ++key) {
+      if (!update(key, {{1, key * 1000 + 1}, {4, key * 1000 + 4}})) return out;
+    }
+    for (uint64_t key = 21; key <= 24; ++key) {
+      if (!remove(key)) return out;
+    }
+    for (uint64_t key = 25; key <= 40; ++key) {
+      if (!insert(key)) return out;
+    }
+    end_phase("wal-append-2");
+
+    // Phase 4: second flush — L0 now exceeds its compaction trigger.
+    if (!db->Flush().ok()) return out;
+    end_phase("flush-2");
+
+    // Phase 5: column-group compactions (L0 -> CG levels) + manifest
+    // installs + obsolete-file deletes.
+    if (!db->CompactUntilStable().ok()) return out;
+    end_phase("compaction");
+
+    // Phase 6: writes on top of the compacted tree.
+    for (uint64_t key = 41; key <= 48; ++key) {
+      if (!insert(key)) return out;
+    }
+    if (!update(3, {{3, 3303}})) return out;
+    if (!remove(40)) return out;
+    end_phase("wal-append-3");
+
+    out.completed = true;
+    return out;
+  }
+
+  /// Asserts the reopened database matches `model` exactly over the key
+  /// universe: every acknowledged write survived, nothing unacknowledged
+  /// resurrected.
+  static void VerifyMatchesModel(LaserDB* db, const Model& model) {
+    const ColumnSet all = MakeColumnRange(1, kColumns);
+
+    // Point reads over the whole key universe (including never-written and
+    // deleted keys).
+    for (uint64_t key = 1; key <= kMaxKey; ++key) {
+      LaserDB::ReadResult result;
+      ASSERT_TRUE(db->Read(key, all, &result).ok()) << "key " << key;
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_FALSE(result.found) << "unacked key " << key << " resurrected";
+        continue;
+      }
+      ASSERT_TRUE(result.found) << "acked key " << key << " lost";
+      for (int c = 0; c < kColumns; ++c) {
+        ASSERT_EQ(result.values[c], it->second[c])
+            << "key " << key << " column " << (c + 1);
+      }
+    }
+
+    // One full scan: key sequence must match the model exactly.
+    auto scan = db->NewScan(1, kMaxKey, all);
+    ASSERT_NE(scan, nullptr);
+    auto it = model.begin();
+    for (; scan->Valid(); scan->Next(), ++it) {
+      ASSERT_NE(it, model.end()) << "scan emitted extra key " << scan->key();
+      EXPECT_EQ(scan->key(), it->first);
+      for (int c = 0; c < kColumns; ++c) {
+        ASSERT_EQ(scan->values()[c], it->second[c])
+            << "scan key " << it->first << " column " << (c + 1);
+      }
+    }
+    ASSERT_TRUE(scan->status().ok());
+    EXPECT_EQ(it, model.end()) << "scan lost keys from " << it->first;
+  }
+
+ private:
+  std::unique_ptr<Env> base_;
+  FaultInjectionEnv fault_;
+};
+
+}  // namespace laser::test
+
+#endif  // LASER_TESTS_RECOVERY_HARNESS_H_

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "util/env.h"
+#include "util/env_fault.h"
 #include "util/random.h"
 #include "wal/log_reader.h"
 #include "wal/log_writer.h"
@@ -268,6 +269,37 @@ TEST_F(WalTest, ReopenAfterReopen) {
   std::vector<std::string> final_records = replay();
   ASSERT_EQ(final_records.size(), 4u);
   EXPECT_EQ(final_records[3], "gen3-a");
+}
+
+TEST_F(WalTest, FaultInjectedSyncFailureRecoversPrefix) {
+  // An fsync that fails must surface as a Status, and after the simulated
+  // power loss only the prefix synced before the failure may replay.
+  FaultInjectionEnv fault(env_.get());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(fault.NewWritableFile(fname_, &file).ok());
+  wal::LogWriter writer(std::move(file));
+
+  ASSERT_TRUE(writer.AddRecord(Slice("acked-1")).ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(writer.AddRecord(Slice("acked-2")).ok());
+  ASSERT_TRUE(writer.Sync().ok());
+
+  ASSERT_TRUE(writer.AddRecord(Slice("casualty")).ok());
+  fault.FailOperation(0);  // the next mutating op is this record's fsync
+  EXPECT_FALSE(writer.Sync().ok());
+  writer.Close();
+
+  fault.DropUnsyncedData();
+
+  auto reader = NewReader();
+  Slice record;
+  std::string scratch;
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "acked-1");
+  ASSERT_TRUE(reader->ReadRecord(&record, &scratch));
+  EXPECT_EQ(record.ToString(), "acked-2");
+  EXPECT_FALSE(reader->ReadRecord(&record, &scratch));
+  EXPECT_FALSE(reader->corruption_detected());
 }
 
 TEST_F(WalTest, TrailerSmallerThanHeaderIsSkipped) {
