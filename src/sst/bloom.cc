@@ -7,7 +7,9 @@
 namespace laser {
 
 namespace {
-uint32_t BloomHash(const Slice& key) { return Hash32(key.data(), key.size(), 0xbc9f1d34); }
+uint32_t BloomHash(const Slice& key) {
+  return Hash32(key.data(), key.size(), 0xbc9f1d34);
+}
 }  // namespace
 
 BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
