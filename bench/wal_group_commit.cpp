@@ -1,0 +1,152 @@
+// Group-commit WAL microbench: threads × sync policy → ingest throughput and
+// tail latency, on the real filesystem so fsync costs are real. This is the
+// experiment behind the ROADMAP item "a group-commit / sync-every-N-ms WAL
+// mode would make the durable window bounded": kSyncEveryWrite pays one
+// fsync per write, kSyncEveryGroup amortizes one fsync across every writer
+// queued behind the leader, kSyncIntervalMs decouples acks from fsync
+// entirely, kNoSync is the paper's (durability-free) baseline.
+//
+// Emits BENCH_wal_group_commit.json. The acceptance bar for the group-commit
+// PR: at 8 writer threads, kSyncEveryGroup >= 5x kSyncEveryWrite throughput.
+
+#include <cinttypes>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace laser::bench {
+namespace {
+
+constexpr int kColumns = 8;
+
+struct PolicySpec {
+  const char* name;
+  WalSyncPolicy policy;
+};
+
+constexpr PolicySpec kPolicies[] = {
+    {"sync_every_write", WalSyncPolicy::kSyncEveryWrite},
+    {"sync_every_group", WalSyncPolicy::kSyncEveryGroup},
+    {"sync_interval_ms", WalSyncPolicy::kSyncIntervalMs},
+    {"no_sync", WalSyncPolicy::kNoSync},
+};
+
+struct RunResult {
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  uint64_t wal_syncs = 0;
+  uint64_t groups = 0;
+};
+
+LaserOptions BenchOptions(const std::string& path, WalSyncPolicy policy) {
+  LaserOptions options;
+  options.env = Env::Default();
+  options.path = path;
+  options.schema = Schema::UniformInt32(kColumns);
+  options.num_levels = 4;
+  options.cg_config = CgConfig::RowOnly(kColumns, 4);
+  options.write_buffer_size = 256 * 1024 * 1024;  // isolate the WAL path
+  options.disable_auto_compactions = true;
+  options.background_threads = 1;
+  options.block_cache_bytes = 0;
+  options.use_wal = true;
+  options.wal_sync_policy = policy;
+  options.wal_sync_interval_ms = 5;
+  return options;
+}
+
+bool RunConfig(const std::string& path, WalSyncPolicy policy, int threads,
+               uint64_t total_ops, RunResult* out) {
+  Env* env = Env::Default();
+  env->RemoveDir(path);
+  std::unique_ptr<LaserDB> db;
+  if (!LaserDB::Open(BenchOptions(path, policy), &db).ok()) return false;
+
+  const uint64_t per_thread = total_ops / threads;
+  std::vector<Histogram> latencies(threads);
+  std::vector<std::thread> workers;
+  const uint64_t t0 = env->NowMicros();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t) * per_thread + i;
+        const uint64_t op_start = env->NowMicros();
+        if (!db->Insert(key, BenchRow(key, kColumns)).ok()) return;
+        latencies[t].Add(static_cast<double>(env->NowMicros() - op_start));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double seconds = static_cast<double>(env->NowMicros() - t0) / 1e6;
+
+  Histogram merged;
+  for (const Histogram& h : latencies) merged.Merge(h);
+  if (merged.count() != per_thread * threads) return false;  // a write failed
+
+  out->ops_per_sec = static_cast<double>(merged.count()) / seconds;
+  out->p50_us = merged.Percentile(50);
+  out->p99_us = merged.Percentile(99);
+  out->wal_syncs = db->stats().wal_syncs.load();
+  out->groups = db->stats().wal_group_commits.load();
+  db.reset();
+  env->RemoveDir(path);
+  return true;
+}
+
+}  // namespace
+}  // namespace laser::bench
+
+int main() {
+  using namespace laser;
+  using namespace laser::bench;
+  const double scale = ScaleFactor();
+  BenchJson json("wal_group_commit");
+
+  const uint64_t total_ops = static_cast<uint64_t>(3000 * scale);
+  const std::string path = "wal_group_commit_bench.tmp";
+
+  PrintHeader("Group-commit WAL: threads x sync policy (real fsyncs)");
+  printf("%-18s %8s %12s %10s %10s %10s %10s\n", "policy", "threads", "ops/sec",
+         "p50 us", "p99 us", "fsyncs", "groups");
+
+  double every_write_8t = 0, every_group_8t = 0;
+  int max_threads = 0;
+  for (const auto& spec : kPolicies) {
+    for (int threads : {1, 2, 4, 8}) {
+      RunResult r;
+      if (!RunConfig(path, spec.policy, threads, total_ops, &r)) {
+        fprintf(stderr, "config %s x%d failed\n", spec.name, threads);
+        continue;
+      }
+      printf("%-18s %8d %12.0f %10.1f %10.1f %10" PRIu64 " %10" PRIu64 "\n",
+             spec.name, threads, r.ops_per_sec, r.p50_us, r.p99_us, r.wal_syncs,
+             r.groups);
+      json.Record("throughput", spec.name,
+                  {{"threads", static_cast<double>(threads)},
+                   {"ops", static_cast<double>(total_ops)},
+                   {"ops_per_sec", r.ops_per_sec},
+                   {"p50_us", r.p50_us},
+                   {"p99_us", r.p99_us},
+                   {"wal_syncs", static_cast<double>(r.wal_syncs)},
+                   {"groups", static_cast<double>(r.groups)}});
+      if (threads >= max_threads) {
+        max_threads = threads;
+        if (spec.policy == WalSyncPolicy::kSyncEveryWrite) every_write_8t = r.ops_per_sec;
+        if (spec.policy == WalSyncPolicy::kSyncEveryGroup) every_group_8t = r.ops_per_sec;
+      }
+    }
+  }
+
+  if (every_write_8t > 0) {
+    const double speedup = every_group_8t / every_write_8t;
+    printf(
+        "\nkSyncEveryGroup vs kSyncEveryWrite at %d threads: %.1fx "
+        "(acceptance bar: >= 5x)\n",
+        max_threads, speedup);
+    json.Record("speedup", "group_vs_write",
+                {{"threads", static_cast<double>(max_threads)}, {"speedup", speedup}});
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdlib>
 
 #include "laser/column_merging_iterator.h"
@@ -15,37 +16,10 @@ namespace {
 
 constexpr size_t kMaxImmutableMemtables = 2;
 
-// WAL record: varint64 seq | 1-byte type | 8-byte user key | varint32 len |
-// value bytes.
-std::string EncodeWalRecord(SequenceNumber seq, ValueType type,
-                            const Slice& user_key, const Slice& value) {
-  std::string record;
-  record.reserve(10 + 1 + user_key.size() + 5 + value.size());
-  PutVarint64(&record, seq);
-  record.push_back(static_cast<char>(type));
-  record.append(user_key.data(), user_key.size());
-  PutVarint32(&record, static_cast<uint32_t>(value.size()));
-  record.append(value.data(), value.size());
-  return record;
-}
-
-bool DecodeWalRecord(Slice record, SequenceNumber* seq, ValueType* type,
-                     Slice* user_key, Slice* value) {
-  uint64_t s;
-  if (!GetVarint64(&record, &s)) return false;
-  if (record.size() < 1 + 8) return false;
-  const uint8_t t = static_cast<uint8_t>(record[0]);
-  if (t > kTypePartialRow) return false;
-  record.remove_prefix(1);
-  *user_key = Slice(record.data(), 8);
-  record.remove_prefix(8);
-  uint32_t len;
-  if (!GetVarint32(&record, &len) || record.size() < len) return false;
-  *value = Slice(record.data(), len);
-  *seq = s;
-  *type = static_cast<ValueType>(t);
-  return true;
-}
+/// Cap on one coalesced group record. Only followers are bounded by it: the
+/// leader's own batch always commits, however large, so an oversized batch
+/// can never wedge the queue.
+constexpr size_t kMaxGroupBytes = 1 << 20;
 
 bool HasSuffix(const std::string& name, const std::string& suffix) {
   return name.size() >= suffix.size() &&
@@ -78,6 +52,11 @@ Status LaserDB::Open(const LaserOptions& options, std::unique_ptr<LaserDB>* db) 
   LASER_RETURN_IF_ERROR(instance->Recover());
   instance->pool_ =
       std::make_unique<ThreadPool>(instance->options_.background_threads);
+  if (instance->options_.use_wal &&
+      instance->options_.wal_sync_policy == WalSyncPolicy::kSyncIntervalMs) {
+    instance->wal_sync_thread_ =
+        std::thread([db_raw = instance.get()] { db_raw->WalSyncLoop(); });
+  }
   {
     std::unique_lock<std::mutex> lock(instance->mu_);
     instance->MaybeScheduleBackgroundWork();
@@ -178,14 +157,29 @@ Status LaserDB::ReplayWal(const std::string& fname) {
   Slice record;
   std::string scratch;
   while (reader.ReadRecord(&record, &scratch)) {
-    SequenceNumber seq;
-    ValueType type;
-    Slice user_key, value;
-    if (!DecodeWalRecord(record, &seq, &type, &user_key, &value)) {
-      return Status::Corruption("bad WAL record in " + fname);
+    // Each record is one commit group; a torn record was dropped whole by
+    // the reader, so groups replay all-or-nothing.
+    Slice payload = record;
+    uint64_t first_seq;
+    uint32_t count;
+    if (!wal::DecodeGroupHeader(&payload, &first_seq, &count)) {
+      return Status::Corruption("bad WAL group header in " + fname);
     }
-    mem_->Add(seq, type, user_key, value);
-    if (seq > last_sequence_.load()) last_sequence_.store(seq);
+    for (uint32_t i = 0; i < count; ++i) {
+      ValueType type;
+      Slice user_key, value;
+      if (!DecodeWalEntry(&payload, &type, &user_key, &value)) {
+        return Status::Corruption("bad WAL entry in " + fname);
+      }
+      mem_->Add(first_seq + i, type, user_key, value);
+    }
+    if (!payload.empty()) {
+      return Status::Corruption("trailing bytes in WAL group in " + fname);
+    }
+    if (count > 0) {
+      const SequenceNumber last = first_seq + count - 1;
+      if (last > last_sequence_.load()) last_sequence_.store(last);
+    }
   }
   // A torn tail is expected after a crash; anything before it was replayed.
   return Status::OK();
@@ -207,6 +201,8 @@ LaserDB::~LaserDB() {
     shutting_down_ = true;
     cv_.wait(lock, [this] { return running_jobs_ == 0; });
   }
+  wal_sync_cv_.notify_all();
+  if (wal_sync_thread_.joinable()) wal_sync_thread_.join();
   pool_.reset();  // joins workers
   if (wal_ != nullptr) wal_->Close();
   {
@@ -226,12 +222,9 @@ void LaserDB::SetTraceCollector(WorkloadTrace* trace) {
 }
 
 Status LaserDB::Insert(uint64_t key, const std::vector<ColumnValue>& row) {
-  if (static_cast<int>(row.size()) != options_.schema.num_columns()) {
-    return Status::InvalidArgument("row arity != schema");
-  }
-  const std::string value =
-      codec_.Encode(options_.schema.AllColumns(), MakeFullRow(row));
-  Status s = WriteInternal(kTypeFullRow, key, Slice(value));
+  WriteRequest req;
+  LASER_RETURN_IF_ERROR(EncodeOp(kTypeFullRow, key, &row, nullptr, &req));
+  Status s = SubmitWrite(&req);
   if (s.ok()) {
     if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
       trace->AddInsert();
@@ -241,18 +234,9 @@ Status LaserDB::Insert(uint64_t key, const std::vector<ColumnValue>& row) {
 }
 
 Status LaserDB::Update(uint64_t key, const std::vector<ColumnValuePair>& values) {
-  if (values.empty()) return Status::InvalidArgument("empty update");
-  for (size_t i = 0; i < values.size(); ++i) {
-    if (values[i].column < 1 ||
-        values[i].column > options_.schema.num_columns()) {
-      return Status::InvalidArgument("update column out of range");
-    }
-    if (i > 0 && values[i].column <= values[i - 1].column) {
-      return Status::InvalidArgument("update columns must be sorted and unique");
-    }
-  }
-  const std::string value = codec_.Encode(options_.schema.AllColumns(), values);
-  Status s = WriteInternal(kTypePartialRow, key, Slice(value));
+  WriteRequest req;
+  LASER_RETURN_IF_ERROR(EncodeOp(kTypePartialRow, key, nullptr, &values, &req));
+  Status s = SubmitWrite(&req);
   if (s.ok()) {
     if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
       ColumnSet columns;
@@ -265,33 +249,267 @@ Status LaserDB::Update(uint64_t key, const std::vector<ColumnValuePair>& values)
 }
 
 Status LaserDB::Delete(uint64_t key) {
-  return WriteInternal(kTypeDeletion, key, Slice());
+  WriteRequest req;
+  LASER_RETURN_IF_ERROR(EncodeOp(kTypeDeletion, key, nullptr, nullptr, &req));
+  return SubmitWrite(&req);
 }
 
-Status LaserDB::WriteInternal(ValueType type, uint64_t key,
-                              const Slice& encoded_value) {
-  const std::string user_key = EncodeKey64(key);
-  std::unique_lock<std::mutex> lock(mu_);
-  LASER_RETURN_IF_ERROR(MakeRoomForWrite(&lock));
-  const SequenceNumber seq = last_sequence_.load(std::memory_order_relaxed) + 1;
+Status LaserDB::Write(const WriteBatch& batch) {
+  if (batch.empty()) return Status::OK();
+  WriteRequest req;
+  for (const WriteBatch::Op& op : batch.ops()) {
+    LASER_RETURN_IF_ERROR(EncodeOp(op.type, op.key, &op.row, &op.values, &req));
+  }
+  Status s = SubmitWrite(&req);
+  if (s.ok()) {
+    if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
+      for (const WriteBatch::Op& op : batch.ops()) {
+        if (op.type == kTypeFullRow) {
+          trace->AddInsert();
+        } else if (op.type == kTypePartialRow) {
+          ColumnSet columns;
+          columns.reserve(op.values.size());
+          for (const auto& pair : op.values) columns.push_back(pair.column);
+          trace->AddUpdate(columns);
+        }
+      }
+    }
+  }
+  return s;
+}
 
-  if (wal_ != nullptr) {
-    const std::string record =
-        EncodeWalRecord(seq, type, Slice(user_key), encoded_value);
-    Status s = wal_->AddRecord(Slice(record));
-    if (s.ok() && options_.sync_wal) s = wal_->Sync();
+Status LaserDB::EncodeOp(ValueType type, uint64_t key,
+                         const std::vector<ColumnValue>* row,
+                         const std::vector<ColumnValuePair>* values,
+                         WriteRequest* req) const {
+  std::string value;
+  switch (type) {
+    case kTypeFullRow:
+      if (static_cast<int>(row->size()) != options_.schema.num_columns()) {
+        return Status::InvalidArgument("row arity != schema");
+      }
+      value = codec_.Encode(options_.schema.AllColumns(), MakeFullRow(*row));
+      break;
+    case kTypePartialRow: {
+      if (values->empty()) return Status::InvalidArgument("empty update");
+      for (size_t i = 0; i < values->size(); ++i) {
+        if ((*values)[i].column < 1 ||
+            (*values)[i].column > options_.schema.num_columns()) {
+          return Status::InvalidArgument("update column out of range");
+        }
+        if (i > 0 && (*values)[i].column <= (*values)[i - 1].column) {
+          return Status::InvalidArgument("update columns must be sorted and unique");
+        }
+      }
+      value = codec_.Encode(options_.schema.AllColumns(), *values);
+      break;
+    }
+    case kTypeDeletion:
+      break;
+  }
+  AppendWalEntry(&req->entries, type, Slice(EncodeKey64(key)), Slice(value));
+  ++req->count;
+  return Status::OK();
+}
+
+Status LaserDB::SubmitWrite(WriteRequest* req) {
+  std::unique_lock<std::mutex> lock(mu_);
+  write_queue_.push_back(req);
+  while (!req->done && req != write_queue_.front()) {
+    req->cv.wait(lock);
+  }
+  if (!req->done) CommitWriteGroup(req, &lock);
+  return req->status;
+}
+
+void LaserDB::CommitWriteGroup(WriteRequest* req, std::unique_lock<std::mutex>* lock) {
+  // This thread is the leader: req is the queue front, and nothing else may
+  // touch wal_ or mem_ until the group is acked and leadership handed over.
+  auto finish_leader_only = [&](const Status& s) {
+    write_queue_.pop_front();
+    req->status = s;
+    req->done = true;
+    if (!write_queue_.empty()) write_queue_.front()->cv.notify_one();
+  };
+
+  if (req->rotate) {
+    Status s = bg_error_;
+    if (s.ok() && mem_->num_entries() > 0) s = RotateMemtableLocked();
+    MaybeScheduleBackgroundWork();
+    finish_leader_only(s);
+    return;
+  }
+
+  if (req->count > 0) {
+    // Sync-only requests skip the room check: they add nothing to the
+    // memtable, and stalling them behind backpressure would leave the
+    // durable window unbounded exactly when writes pile up.
+    Status s = MakeRoomForWrite(lock);
     if (!s.ok()) {
-      // The log tail now holds an unacknowledged (possibly partial) record.
-      // A later write's successful sync would make it durable and resurrect
-      // it on replay, so the engine must stop accepting writes.
+      finish_leader_only(s);
+      return;
+    }
+  } else if (!bg_error_.ok()) {
+    finish_leader_only(bg_error_);
+    return;
+  }
+
+  // Commit window: when this group is about to pay an fsync (~100us on a
+  // commodity SSD), give concurrent writers a few scheduling slices (~1us
+  // each) to enqueue and join it. Without this, writers acked by the
+  // previous group rarely re-enqueue before the next leader builds its
+  // group, and group sizes stall far below the writer count. The leader
+  // stays at the front of the queue throughout, so dropping the lock here
+  // is safe — nobody else can touch wal_ or mem_.
+  if (options_.wal_sync_policy == WalSyncPolicy::kSyncEveryGroup &&
+      wal_ != nullptr && req->count > 0) {
+    size_t seen = write_queue_.size();
+    for (int window = 0; window < 8; ++window) {
+      lock->unlock();
+      std::this_thread::yield();
+      lock->lock();
+      const size_t now = write_queue_.size();
+      if (now == seen) break;  // nobody else is arriving; stop waiting
+      seen = now;
+    }
+  }
+
+  // Build the commit group: consecutive queued batches are coalesced into
+  // one WAL record. kSyncEveryWrite forbids coalescing so every batch pays
+  // its own fsync; a sync-only leader stays solo so it can never smuggle
+  // batches past MakeRoomForWrite. Rotations never join. Member pointers
+  // are snapshotted here, under the lock: the IO phase below must not touch
+  // write_queue_ itself while followers keep enqueueing.
+  std::vector<WriteRequest*> members{req};
+  size_t batch_members = req->count > 0 ? 1 : 0;
+  size_t group_bytes = req->entries.size();
+  uint32_t count = req->count;
+  bool sync = req->sync;
+  if (options_.wal_sync_policy != WalSyncPolicy::kSyncEveryWrite && req->count > 0) {
+    while (members.size() < write_queue_.size()) {
+      WriteRequest* next = write_queue_[members.size()];
+      if (next->rotate) break;
+      if (group_bytes + next->entries.size() > kMaxGroupBytes) break;
+      group_bytes += next->entries.size();
+      count += next->count;
+      if (next->count > 0) ++batch_members;
+      sync |= next->sync;
+      members.push_back(next);
+    }
+  }
+  if (options_.wal_sync_policy == WalSyncPolicy::kSyncEveryWrite ||
+      options_.wal_sync_policy == WalSyncPolicy::kSyncEveryGroup) {
+    sync |= count > 0;
+  }
+
+  const SequenceNumber first_seq = last_sequence_.load(std::memory_order_relaxed) + 1;
+  wal::LogWriter* wal = wal_.get();
+  MemTable* mem = mem_;
+
+  std::string record;
+  if (wal != nullptr && count > 0) {
+    record.reserve(15 + group_bytes);
+    wal::AppendGroupHeader(&record, first_seq, count);
+    for (const WriteRequest* member : members) {
+      record.append(member->entries);
+    }
+  }
+
+  // The IO phase runs without the mutex: reads can pin their view and
+  // background jobs can install results while the leader appends and syncs.
+  // Leader exclusivity keeps wal_/mem_ single-writer.
+  lock->unlock();
+  Status s;
+  bool synced = false;
+  if (wal != nullptr) {
+    if (!record.empty()) s = wal->AddRecord(Slice(record));
+    if (s.ok() && sync && wal->unsynced_bytes() > 0) {
+      s = wal->Sync();
+      synced = s.ok();
+    }
+  }
+  if (s.ok() && count > 0) {
+    SequenceNumber seq = first_seq;
+    for (const WriteRequest* member : members) {
+      Slice entries(member->entries);
+      ValueType type;
+      Slice user_key, value;
+      while (DecodeWalEntry(&entries, &type, &user_key, &value)) {
+        mem->Add(seq++, type, user_key, value);
+      }
+    }
+    assert(seq == first_seq + count);
+  }
+  lock->lock();
+
+  if (s.ok()) {
+    if (count > 0) {
+      last_sequence_.store(first_seq + count - 1, std::memory_order_release);
+    }
+    if (!record.empty()) {
+      stats_.bytes_written_wal.fetch_add(record.size(), std::memory_order_relaxed);
+    }
+    if (count > 0) {
+      // Sync-only requests (the interval thread's) are not writes, whether
+      // they led an empty group or rode along with this one; counting them
+      // would dilute the writes-per-group metric.
+      stats_.wal_group_commits.fetch_add(1, std::memory_order_relaxed);
+      stats_.wal_group_writes.fetch_add(batch_members, std::memory_order_relaxed);
+    }
+    if (synced) stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // The log tail now holds an unacknowledged (possibly partial) group. A
+    // later successful sync would make it durable and resurrect it on
+    // replay, so poison the engine before any member is acknowledged.
+    bg_error_ = s;
+  }
+
+  for (WriteRequest* member : members) {
+    assert(member == write_queue_.front());
+    write_queue_.pop_front();
+    member->status = s;
+    member->done = true;
+    if (member != req) member->cv.notify_one();
+  }
+  if (!write_queue_.empty()) write_queue_.front()->cv.notify_one();
+}
+
+Status LaserDB::SyncWalForIntervalLocked() {
+  if (wal_ == nullptr ||
+      options_.wal_sync_policy != WalSyncPolicy::kSyncIntervalMs ||
+      wal_->unsynced_bytes() == 0) {
+    return Status::OK();
+  }
+  Status s = wal_->Sync();
+  if (!s.ok()) {
+    bg_error_ = s;
+    return s;
+  }
+  stats_.wal_syncs.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status LaserDB::RotateMemtableLocked() {
+  // Acknowledged-but-unsynced bytes in the outgoing log would stay volatile
+  // until its flush lands; sync now so the durable window stays bounded by
+  // the interval.
+  LASER_RETURN_IF_ERROR(SyncWalForIntervalLocked());
+  imm_.push_back(mem_);
+  imm_wal_numbers_.push_back(wal_number_);
+  mem_ = new MemTable();
+  mem_->Ref();
+  if (wal_ != nullptr) {
+    wal_->Close();
+    Status s = NewWal();
+    if (!s.ok()) {
+      // Without a fresh log, writes would keep appending to the closed one,
+      // which the pending flush is about to delete — acknowledged writes
+      // would vanish. Poison the engine instead.
       bg_error_ = s;
       return s;
     }
-    stats_.bytes_written_wal.fetch_add(record.size(), std::memory_order_relaxed);
   }
-
-  mem_->Add(seq, type, Slice(user_key), encoded_value);
-  last_sequence_.store(seq, std::memory_order_release);
+  MaybeScheduleBackgroundWork();
   return Status::OK();
 }
 
@@ -305,6 +523,14 @@ Status LaserDB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
     if (imm_.size() >= kMaxImmutableMemtables ||
         l0_files >= static_cast<size_t>(options_.level0_stop_writes_trigger)) {
       // Backpressure: compaction/flush must catch up (§7.2's write stalls).
+      // The leader keeps its queue seat while waiting; followers pile up
+      // behind it and commit as one group once room opens.
+      //
+      // Under kSyncIntervalMs the interval thread's sync-only request would
+      // queue behind this stalled leader, so sync here before parking: no
+      // further writes are acked during the stall, which keeps the durable
+      // window bounded by the interval no matter how long the stall lasts.
+      LASER_RETURN_IF_ERROR(SyncWalForIntervalLocked());
       const uint64_t start = env_->NowMicros();
       MaybeScheduleBackgroundWork();
       cv_.wait(*lock);
@@ -312,23 +538,27 @@ Status LaserDB::MakeRoomForWrite(std::unique_lock<std::mutex>* lock) {
                                           std::memory_order_relaxed);
       continue;
     }
-    // Rotate the memtable.
-    imm_.push_back(mem_);
-    imm_wal_numbers_.push_back(wal_number_);
-    mem_ = new MemTable();
-    mem_->Ref();
-    if (wal_ != nullptr) {
-      wal_->Close();
-      Status s = NewWal();
-      if (!s.ok()) {
-        // Without a fresh log, writes would keep appending to the closed
-        // one, which the pending flush is about to delete — acknowledged
-        // writes would vanish. Poison the engine instead.
-        bg_error_ = s;
-        return s;
-      }
-    }
-    MaybeScheduleBackgroundWork();
+    LASER_RETURN_IF_ERROR(RotateMemtableLocked());
+  }
+}
+
+void LaserDB::WalSyncLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!shutting_down_) {
+    // Predicate form so a shutdown notified before this thread first parks
+    // is never lost (the destructor may run within one interval of Open).
+    wal_sync_cv_.wait_for(lock,
+                          std::chrono::milliseconds(options_.wal_sync_interval_ms),
+                          [this] { return shutting_down_; });
+    if (shutting_down_) return;
+    if (!bg_error_.ok() || wal_ == nullptr) continue;
+    lock.unlock();
+    // The leader path skips the fsync when the log is already clean, so an
+    // idle database costs one queue round-trip per interval, not an fsync.
+    WriteRequest req;
+    req.sync = true;
+    SubmitWrite(&req);
+    lock.lock();
   }
 }
 
@@ -508,26 +738,14 @@ Status LaserDB::SaveManifest() {
 // ---------------------------------------------------------------------------
 
 Status LaserDB::Flush() {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    if (mem_->num_entries() > 0) {
-      imm_.push_back(mem_);
-      imm_wal_numbers_.push_back(wal_number_);
-      mem_ = new MemTable();
-      mem_->Ref();
-      if (wal_ != nullptr) {
-        wal_->Close();
-        Status s = NewWal();
-        if (!s.ok()) {
-          bg_error_ = s;  // same rationale as in MakeRoomForWrite
-          return s;
-        }
-      }
-    }
-    MaybeScheduleBackgroundWork();
-    cv_.wait(lock, [this] { return imm_.empty() || !bg_error_.ok(); });
-    return bg_error_;
-  }
+  // Rotation must not race a leader's outside-the-lock commit, so it rides
+  // the writer queue like any other mutation.
+  WriteRequest req;
+  req.rotate = true;
+  LASER_RETURN_IF_ERROR(SubmitWrite(&req));
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return imm_.empty() || !bg_error_.ok(); });
+  return bg_error_;
 }
 
 Status LaserDB::CompactUntilStable() {

@@ -17,10 +17,12 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "cost/trace.h"
@@ -28,6 +30,7 @@
 #include "laser/level_merging_iterator.h"
 #include "laser/options.h"
 #include "laser/row_codec.h"
+#include "laser/write_batch.h"
 #include "lsm/compaction_picker.h"
 #include "lsm/manifest.h"
 #include "lsm/version.h"
@@ -51,6 +54,13 @@ class LaserDB {
   LaserDB& operator=(const LaserDB&) = delete;
 
   // -- writes (§3.1 / §4.2) --
+  //
+  // All mutations funnel through leader/follower group commit: concurrent
+  // writers enqueue, the front writer becomes leader, coalesces the queue
+  // into one WAL record, syncs per options.wal_sync_policy, applies the
+  // group to the memtable, and acks every member. Any failed WAL append,
+  // sync, or rotation poisons the engine (read-only) before any member of
+  // the group is acknowledged.
 
   /// Inserts a full row; `row[i]` is the value of column i+1. Re-inserting a
   /// key overwrites the whole row.
@@ -62,6 +72,11 @@ class LaserDB {
 
   /// Deletes the row (tombstone).
   Status Delete(uint64_t key);
+
+  /// Commits every op in `batch` atomically: the batch shares one coalesced
+  /// WAL record, so after a crash either all of it replays or none of it.
+  /// An empty batch is a no-op.
+  Status Write(const WriteBatch& batch);
 
   // -- reads (§3.1 / §4.3) --
 
@@ -119,6 +134,18 @@ class LaserDB {
   friend class ScanIterator;
   friend class LaserSnapshot;
 
+  /// One writer's seat in the group-commit queue. The front request is the
+  /// leader; followers block on `cv` until the leader sets `done`.
+  struct WriteRequest {
+    std::string entries;  ///< WAL-entry-encoded ops (see write_batch.h)
+    uint32_t count = 0;   ///< entries in `entries`
+    bool sync = false;    ///< force a WAL fsync with this group
+    bool rotate = false;  ///< rotate the memtable instead of writing
+    bool done = false;
+    Status status;
+    std::condition_variable cv;
+  };
+
   explicit LaserDB(const LaserOptions& options);
 
   Status Recover();
@@ -128,12 +155,38 @@ class LaserDB {
   /// Validates a projection (sorted, in range, non-empty).
   Status CheckProjection(const ColumnSet& projection) const;
 
-  /// Common write path.
-  Status WriteInternal(ValueType type, uint64_t key, const Slice& encoded_value);
+  /// Validates and WAL-entry-encodes one op into `req`.
+  Status EncodeOp(ValueType type, uint64_t key, const std::vector<ColumnValue>* row,
+                  const std::vector<ColumnValuePair>* values, WriteRequest* req) const;
+
+  /// Enqueues `req` and blocks until a leader (possibly this thread) commits
+  /// it. Returns req->status.
+  Status SubmitWrite(WriteRequest* req);
+
+  /// Leader path: coalesces the queue front into one group, appends one WAL
+  /// record, syncs per policy, applies to the memtable, acks the group, and
+  /// hands leadership to the next queued writer. REQUIRES: mu_ held via
+  /// `lock`; req is the queue front.
+  void CommitWriteGroup(WriteRequest* req, std::unique_lock<std::mutex>* lock);
+
+  /// Under kSyncIntervalMs: fsyncs the WAL if it has unsynced bytes, so the
+  /// durable window stays bounded when acks run ahead of the sync thread.
+  /// Poisons the engine on failure. No-op under other policies. REQUIRES:
+  /// mu_ held and the caller is the current leader.
+  Status SyncWalForIntervalLocked();
+
+  /// Swaps the full memtable for a fresh one and rotates the WAL. Poisons
+  /// the engine if the new WAL cannot be created. REQUIRES: mu_ held and the
+  /// caller is the current leader (or Open, before concurrency starts).
+  Status RotateMemtableLocked();
 
   /// Blocks while the memtable is full and background work is behind.
-  /// REQUIRES: mu_ held (via lock).
+  /// REQUIRES: mu_ held (via lock); caller is the current leader.
   Status MakeRoomForWrite(std::unique_lock<std::mutex>* lock);
+
+  /// Body of the kSyncIntervalMs background thread: periodically submits a
+  /// sync-only request so the durable window stays bounded.
+  void WalSyncLoop();
 
   /// Schedules flushes/compactions as needed. REQUIRES: mu_ held.
   void MaybeScheduleBackgroundWork();
@@ -173,8 +226,17 @@ class LaserDB {
   std::atomic<uint64_t> next_file_number_{1};
   std::atomic<SequenceNumber> last_sequence_{0};
 
+  /// Group-commit state. The queue is guarded by mu_; wal_ and mem_ are
+  /// written only by the current leader (front of the queue) or by Recover()
+  /// before concurrency starts, which is what makes the leader's
+  /// outside-the-lock WAL append + memtable apply safe.
+  std::deque<WriteRequest*> write_queue_;
   std::unique_ptr<wal::LogWriter> wal_;
   uint64_t wal_number_ = 0;
+
+  /// kSyncIntervalMs background sync thread (unused for other policies).
+  std::thread wal_sync_thread_;
+  std::condition_variable wal_sync_cv_;
 
   bool flush_scheduled_ = false;
   std::set<std::pair<int, int>> busy_;

@@ -30,6 +30,9 @@ Status LaserOptions::Finalize() {
   if (background_threads < 1) {
     return Status::InvalidArgument("background_threads must be >= 1");
   }
+  if (wal_sync_policy == WalSyncPolicy::kSyncIntervalMs && wal_sync_interval_ms < 1) {
+    return Status::InvalidArgument("wal_sync_interval_ms must be >= 1");
+  }
   return Status::OK();
 }
 

@@ -16,6 +16,24 @@
 
 namespace laser {
 
+/// When the group-commit leader fsyncs the WAL relative to acknowledging
+/// writes. Ordered from strongest durability to fastest ingest.
+enum class WalSyncPolicy {
+  /// One fsync per WriteBatch, before its ack. Sync cost is never amortized
+  /// across writers (the commit group is the single batch), so acknowledged
+  /// always means durable — the slowest, strongest mode.
+  kSyncEveryWrite,
+  /// One fsync per commit group, before any member is acked. Concurrent
+  /// writers' batches share the fsync; acknowledged still means durable.
+  kSyncEveryGroup,
+  /// A background thread fsyncs every wal_sync_interval_ms; acks do not wait.
+  /// A crash loses at most the last interval of acknowledged writes.
+  kSyncIntervalMs,
+  /// Never fsync the WAL. A crash may lose everything since the last
+  /// memtable flush. The default, matching the paper's benchmarks.
+  kNoSync,
+};
+
 /// Which SST of an overflowing sorted run is compacted first (§2.1, Fig. 2).
 enum class CompactionPriority {
   /// Largest SST first (RocksDB kByCompensatedSize).
@@ -80,9 +98,15 @@ struct LaserOptions {
   /// Shared uncompressed-block cache; 0 disables.
   size_t block_cache_bytes = 32 * 1024 * 1024;
 
-  /// Write-ahead logging (durability) and whether to fsync each write batch.
+  /// Write-ahead logging (durability).
   bool use_wal = true;
-  bool sync_wal = false;
+
+  /// When acknowledged writes become durable (see WalSyncPolicy).
+  WalSyncPolicy wal_sync_policy = WalSyncPolicy::kNoSync;
+
+  /// Sync cadence for WalSyncPolicy::kSyncIntervalMs; bounds the durable
+  /// window of acknowledged writes.
+  int wal_sync_interval_ms = 10;
 
   bool create_if_missing = true;
 

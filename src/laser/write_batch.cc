@@ -1,0 +1,53 @@
+#include "laser/write_batch.h"
+
+#include "util/coding.h"
+
+namespace laser {
+
+void WriteBatch::Insert(uint64_t key, std::vector<ColumnValue> row) {
+  Op op;
+  op.type = kTypeFullRow;
+  op.key = key;
+  op.row = std::move(row);
+  ops_.push_back(std::move(op));
+}
+
+void WriteBatch::Update(uint64_t key, std::vector<ColumnValuePair> values) {
+  Op op;
+  op.type = kTypePartialRow;
+  op.key = key;
+  op.values = std::move(values);
+  ops_.push_back(std::move(op));
+}
+
+void WriteBatch::Delete(uint64_t key) {
+  Op op;
+  op.type = kTypeDeletion;
+  op.key = key;
+  ops_.push_back(std::move(op));
+}
+
+void AppendWalEntry(std::string* dst, ValueType type, const Slice& user_key,
+                    const Slice& value) {
+  dst->push_back(static_cast<char>(type));
+  dst->append(user_key.data(), user_key.size());
+  PutVarint32(dst, static_cast<uint32_t>(value.size()));
+  dst->append(value.data(), value.size());
+}
+
+bool DecodeWalEntry(Slice* input, ValueType* type, Slice* user_key, Slice* value) {
+  if (input->size() < 1 + 8) return false;
+  const uint8_t t = static_cast<uint8_t>((*input)[0]);
+  if (t > kTypePartialRow) return false;
+  input->remove_prefix(1);
+  *user_key = Slice(input->data(), 8);
+  input->remove_prefix(8);
+  uint32_t len;
+  if (!GetVarint32(input, &len) || input->size() < len) return false;
+  *value = Slice(input->data(), len);
+  input->remove_prefix(len);
+  *type = static_cast<ValueType>(t);
+  return true;
+}
+
+}  // namespace laser

@@ -1,0 +1,72 @@
+// WriteBatch: an ordered group of mutations committed atomically through
+// LaserDB::Write(). Concurrent writers hand batches to the engine's
+// leader/follower group commit: the leader coalesces queued batches into one
+// WAL record, syncs once per group (policy-dependent), applies everything to
+// the memtable, and acks every member. A batch is all-or-nothing on replay:
+// its entries share one coalesced WAL record, so a crash either persists the
+// whole batch or none of it.
+
+#ifndef LASER_LASER_WRITE_BATCH_H_
+#define LASER_LASER_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "laser/schema.h"
+#include "lsm/dbformat.h"
+#include "util/slice.h"
+
+namespace laser {
+
+class WriteBatch {
+ public:
+  WriteBatch() = default;
+
+  /// Full-row insert; `row[i]` is the value of column i+1. Arity is checked
+  /// against the schema when the batch is committed.
+  void Insert(uint64_t key, std::vector<ColumnValue> row);
+
+  /// Partial-row update of a column subset (sorted by column id).
+  void Update(uint64_t key, std::vector<ColumnValuePair> values);
+
+  /// Tombstone.
+  void Delete(uint64_t key);
+
+  void Clear() { ops_.clear(); }
+  size_t count() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  struct Op {
+    ValueType type;
+    uint64_t key;
+    std::vector<ColumnValue> row;         // kTypeFullRow
+    std::vector<ColumnValuePair> values;  // kTypePartialRow
+  };
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+// -- WAL entry codec (shared by the commit path, replay, and tests) --
+//
+// A coalesced group record is wal::{first_seq, count} header (see
+// wal/log_format.h) followed by `count` entries, each:
+//   type     1 byte   ValueType
+//   user_key 8 bytes  big-endian-encoded primary key
+//   len      varint32 encoded-row length
+//   value    len bytes
+// Entry i carries sequence number first_seq + i.
+
+/// Appends one entry to `dst`. `user_key` must be the 8-byte encoded key.
+void AppendWalEntry(std::string* dst, ValueType type, const Slice& user_key,
+                    const Slice& value);
+
+/// Decodes the entry at the front of `input`, advancing it. Returns false on
+/// malformed input (corruption — the enclosing record's CRC already passed).
+bool DecodeWalEntry(Slice* input, ValueType* type, Slice* user_key, Slice* value);
+
+}  // namespace laser
+
+#endif  // LASER_LASER_WRITE_BATCH_H_

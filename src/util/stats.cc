@@ -9,7 +9,7 @@ std::string Stats::ToString() const {
   snprintf(buf, sizeof(buf),
            "data_blocks=%llu index_blocks=%llu cache_hit=%llu cache_miss=%llu "
            "bloom_neg=%llu/%llu flushed=%lluB compacted=%lluB "
-           "compactions=%llu stalls=%lluus",
+           "compactions=%llu stalls=%lluus wal_groups=%llu/%llu wal_syncs=%llu",
            static_cast<unsigned long long>(data_block_reads.load()),
            static_cast<unsigned long long>(index_block_reads.load()),
            static_cast<unsigned long long>(block_cache_hits.load()),
@@ -19,7 +19,10 @@ std::string Stats::ToString() const {
            static_cast<unsigned long long>(bytes_flushed.load()),
            static_cast<unsigned long long>(bytes_compacted.load()),
            static_cast<unsigned long long>(compaction_jobs.load()),
-           static_cast<unsigned long long>(write_stall_micros.load()));
+           static_cast<unsigned long long>(write_stall_micros.load()),
+           static_cast<unsigned long long>(wal_group_commits.load()),
+           static_cast<unsigned long long>(wal_group_writes.load()),
+           static_cast<unsigned long long>(wal_syncs.load()));
   return buf;
 }
 

@@ -27,6 +27,9 @@ class Stats {
 
   // -- write path --
   std::atomic<uint64_t> bytes_written_wal{0};
+  std::atomic<uint64_t> wal_syncs{0};          ///< fsyncs issued on the WAL
+  std::atomic<uint64_t> wal_group_commits{0};  ///< commit groups the leader ran
+  std::atomic<uint64_t> wal_group_writes{0};   ///< WriteBatches across all groups
   std::atomic<uint64_t> bytes_flushed{0};       ///< memtable -> L0 bytes
   std::atomic<uint64_t> bytes_compacted{0};     ///< compaction output bytes
   std::atomic<uint64_t> compaction_jobs{0};
@@ -43,6 +46,9 @@ class Stats {
     point_reads = 0;
     range_scans = 0;
     bytes_written_wal = 0;
+    wal_syncs = 0;
+    wal_group_commits = 0;
+    wal_group_writes = 0;
     bytes_flushed = 0;
     bytes_compacted = 0;
     compaction_jobs = 0;

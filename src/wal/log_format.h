@@ -6,11 +6,24 @@
 //   type      uint8   {full, first, middle, last}
 //   payload
 // Records never span a block trailer of < 7 bytes (zero-filled instead).
+//
+// Batch framing: one logical record holds one *commit group* — the batches
+// of every writer the group-commit leader coalesced. Its payload is
+//   first_seq  varint64  sequence number of the group's first entry
+//   count      varint32  number of entries (entry i has seq first_seq + i)
+//   entries    count entries (see laser/write_batch.h for the entry codec)
+// Group atomicity on replay falls out of record framing: a torn record fails
+// its length/CRC checks and is dropped whole, so the log replays as a clean
+// prefix of commit groups — a group is never half-applied.
 
 #ifndef LASER_WAL_LOG_FORMAT_H_
 #define LASER_WAL_LOG_FORMAT_H_
 
 #include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
 
 namespace laser::wal {
 
@@ -27,6 +40,18 @@ constexpr int kBlockSize = 32768;
 
 /// Header: checksum (4) + length (2) + type (1).
 constexpr int kHeaderSize = 4 + 2 + 1;
+
+/// Appends the group-record header to `dst`.
+inline void AppendGroupHeader(std::string* dst, uint64_t first_seq, uint32_t count) {
+  PutVarint64(dst, first_seq);
+  PutVarint32(dst, count);
+}
+
+/// Decodes the group-record header from the front of `input`, advancing it.
+/// Returns false on corruption.
+inline bool DecodeGroupHeader(Slice* input, uint64_t* first_seq, uint32_t* count) {
+  return GetVarint64(input, first_seq) && GetVarint32(input, count);
+}
 
 }  // namespace laser::wal
 

@@ -70,6 +70,7 @@ Status LogWriter::EmitPhysicalRecord(RecordType t, const char* ptr, size_t lengt
     if (s.ok()) s = dest_->Flush();
   }
   block_offset_ += kHeaderSize + static_cast<int>(length);
+  unsynced_bytes_ += kHeaderSize + length;
   return s;
 }
 

@@ -11,8 +11,8 @@
 
 namespace laser::wal {
 
-/// Not thread-safe; callers serialize writes (the engine holds its write
-/// mutex across AddRecord).
+/// Not thread-safe; callers serialize all calls (the engine funnels them
+/// through its group-commit leader, which is exclusive by construction).
 class LogWriter {
  public:
   /// Takes ownership of `dest`, which must be positioned at the file start.
@@ -25,14 +25,23 @@ class LogWriter {
   Status AddRecord(const Slice& record);
 
   /// Durability barrier.
-  Status Sync() { return dest_->Sync(); }
+  Status Sync() {
+    Status s = dest_->Sync();
+    if (s.ok()) unsynced_bytes_ = 0;
+    return s;
+  }
   Status Close() { return dest_->Close(); }
+
+  /// Bytes appended since the last successful Sync(). Lets the interval-sync
+  /// thread (and tests) skip fsyncs when the log is already clean.
+  uint64_t unsynced_bytes() const { return unsynced_bytes_; }
 
  private:
   Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
 
   std::unique_ptr<WritableFile> dest_;
   int block_offset_ = 0;  // current offset within the block
+  uint64_t unsynced_bytes_ = 0;
 };
 
 }  // namespace laser::wal

@@ -292,17 +292,21 @@ TEST_F(LaserDbAdvancedTest, WalDisabledStillWorksUntilClose) {
 }
 
 TEST_F(LaserDbAdvancedTest, SyncWalSurvivesReopen) {
-  LaserOptions options = MakeOptions();
-  options.sync_wal = true;
-  options.path = "/adv_sync";
-  std::unique_ptr<LaserDB> db;
-  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
-  ASSERT_TRUE(db->Insert(1, Row(1)).ok());
-  db.reset();
-  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
-  LaserDB::ReadResult result;
-  ASSERT_TRUE(db->Read(1, {1}, &result).ok());
-  EXPECT_TRUE(result.found);
+  int variant = 0;
+  for (WalSyncPolicy policy :
+       {WalSyncPolicy::kSyncEveryWrite, WalSyncPolicy::kSyncEveryGroup}) {
+    LaserOptions options = MakeOptions();
+    options.wal_sync_policy = policy;
+    options.path = "/adv_sync" + std::to_string(variant++);
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+    ASSERT_TRUE(db->Insert(1, Row(1)).ok());
+    db.reset();
+    ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+    LaserDB::ReadResult result;
+    ASSERT_TRUE(db->Read(1, {1}, &result).ok());
+    EXPECT_TRUE(result.found);
+  }
 }
 
 TEST_F(LaserDbAdvancedTest, PosixEnvEndToEnd) {

@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "laser/options.h"
 #include "util/env.h"
 #include "util/env_fault.h"
 #include "util/random.h"
@@ -271,22 +272,41 @@ TEST_F(WalTest, ReopenAfterReopen) {
   EXPECT_EQ(final_records[3], "gen3-a");
 }
 
-TEST_F(WalTest, FaultInjectedSyncFailureRecoversPrefix) {
+// The fsync-failure / poisoning contract, under both acked==durable sync
+// cadences. kSyncEveryWrite fsyncs after every record; kSyncEveryGroup
+// appends a whole commit group's records and fsyncs once — the engine acks
+// either all of a group or none of it, so on failure the entire unsynced
+// group must vanish while every previously synced group replays.
+class WalSyncFailureTest : public WalTest,
+                           public ::testing::WithParamInterface<WalSyncPolicy> {};
+
+TEST_P(WalSyncFailureTest, FaultInjectedSyncFailureRecoversPrefix) {
   // An fsync that fails must surface as a Status, and after the simulated
   // power loss only the prefix synced before the failure may replay.
+  const bool per_write = GetParam() == WalSyncPolicy::kSyncEveryWrite;
   FaultInjectionEnv fault(env_.get());
   std::unique_ptr<WritableFile> file;
   ASSERT_TRUE(fault.NewWritableFile(fname_, &file).ok());
   wal::LogWriter writer(std::move(file));
 
-  ASSERT_TRUE(writer.AddRecord(Slice("acked-1")).ok());
-  ASSERT_TRUE(writer.Sync().ok());
-  ASSERT_TRUE(writer.AddRecord(Slice("acked-2")).ok());
-  ASSERT_TRUE(writer.Sync().ok());
-
-  ASSERT_TRUE(writer.AddRecord(Slice("casualty")).ok());
-  fault.FailOperation(0);  // the next mutating op is this record's fsync
+  if (per_write) {
+    ASSERT_TRUE(writer.AddRecord(Slice("acked-1")).ok());
+    ASSERT_TRUE(writer.Sync().ok());
+    ASSERT_TRUE(writer.AddRecord(Slice("acked-2")).ok());
+    ASSERT_TRUE(writer.Sync().ok());
+    ASSERT_TRUE(writer.AddRecord(Slice("casualty")).ok());
+  } else {
+    // One sync covers the two-record group, as the group-commit leader does.
+    ASSERT_TRUE(writer.AddRecord(Slice("acked-1")).ok());
+    ASSERT_TRUE(writer.AddRecord(Slice("acked-2")).ok());
+    ASSERT_TRUE(writer.Sync().ok());
+    ASSERT_TRUE(writer.AddRecord(Slice("casualty-1")).ok());
+    ASSERT_TRUE(writer.AddRecord(Slice("casualty-2")).ok());
+  }
+  EXPECT_GT(writer.unsynced_bytes(), 0u);
+  fault.FailOperation(0);  // the next mutating op is the pending fsync
   EXPECT_FALSE(writer.Sync().ok());
+  EXPECT_GT(writer.unsynced_bytes(), 0u);  // a failed sync is not a barrier
   writer.Close();
 
   fault.DropUnsyncedData();
@@ -301,6 +321,15 @@ TEST_F(WalTest, FaultInjectedSyncFailureRecoversPrefix) {
   EXPECT_FALSE(reader->ReadRecord(&record, &scratch));
   EXPECT_FALSE(reader->corruption_detected());
 }
+
+INSTANTIATE_TEST_SUITE_P(SyncCadences, WalSyncFailureTest,
+                         ::testing::Values(WalSyncPolicy::kSyncEveryWrite,
+                                           WalSyncPolicy::kSyncEveryGroup),
+                         [](const ::testing::TestParamInfo<WalSyncPolicy>& info) {
+                           return info.param == WalSyncPolicy::kSyncEveryWrite
+                                      ? "SyncEveryWrite"
+                                      : "SyncEveryGroup";
+                         });
 
 TEST_F(WalTest, TrailerSmallerThanHeaderIsSkipped) {
   // Leave exactly 3 bytes at the end of a block: the writer zero-fills.

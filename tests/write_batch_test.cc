@@ -1,0 +1,175 @@
+// WriteBatch semantics: atomic multi-op commits through the group-commit
+// write path, validation, WAL persistence of coalesced records, and
+// all-or-nothing replay of a torn batch record.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "laser/laser_db.h"
+#include "laser/write_batch.h"
+#include "tests/test_util.h"
+#include "util/env.h"
+
+namespace laser {
+namespace {
+
+constexpr int kColumns = 4;
+
+class WriteBatchTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+
+  LaserOptions MakeOptions(const std::string& path) const {
+    LaserOptions options;
+    options.env = env_.get();
+    options.path = path;
+    options.schema = Schema::UniformInt32(kColumns);
+    options.num_levels = 4;
+    options.cg_config = CgConfig::EquiWidth(kColumns, 4, 2);
+    options.write_buffer_size = 1 << 20;
+    options.background_threads = 1;
+    return options;
+  }
+
+  static std::vector<ColumnValue> Row(uint64_t key) {
+    return test::TestRow(key, kColumns);
+  }
+
+  static void ExpectRow(LaserDB* db, uint64_t key) {
+    LaserDB::ReadResult result;
+    ASSERT_TRUE(db->Read(key, MakeColumnRange(1, kColumns), &result).ok());
+    ASSERT_TRUE(result.found) << "key " << key;
+    for (int c = 1; c <= kColumns; ++c) {
+      EXPECT_EQ(result.values[c - 1], key * 100 + c) << "key " << key;
+    }
+  }
+
+  static void ExpectAbsent(LaserDB* db, uint64_t key) {
+    LaserDB::ReadResult result;
+    ASSERT_TRUE(db->Read(key, MakeColumnRange(1, kColumns), &result).ok());
+    EXPECT_FALSE(result.found) << "key " << key;
+  }
+
+  std::unique_ptr<Env> env_;
+};
+
+TEST_F(WriteBatchTest, MultiOpBatchAppliesAtomicallyInOrder) {
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(MakeOptions("/wb"), &db).ok());
+
+  WriteBatch batch;
+  batch.Insert(1, Row(1));
+  batch.Insert(2, Row(2));
+  batch.Update(1, {{2, 9002}});
+  batch.Delete(2);
+  batch.Insert(3, Row(3));
+  ASSERT_EQ(batch.count(), 5u);
+  ASSERT_TRUE(db->Write(batch).ok());
+
+  // Ops within a batch apply in order: the update lands on top of insert 1,
+  // the delete kills insert 2.
+  LaserDB::ReadResult result;
+  ASSERT_TRUE(db->Read(1, MakeColumnRange(1, kColumns), &result).ok());
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.values[0], 101);
+  EXPECT_EQ(result.values[1], 9002);
+  ExpectAbsent(db.get(), 2);
+  ExpectRow(db.get(), 3);
+
+  // One batch = one sequence number per op.
+  EXPECT_EQ(db->LastSequence(), 5u);
+}
+
+TEST_F(WriteBatchTest, EmptyBatchIsNoOp) {
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(MakeOptions("/wb_empty"), &db).ok());
+  WriteBatch batch;
+  ASSERT_TRUE(db->Write(batch).ok());
+  EXPECT_EQ(db->LastSequence(), 0u);
+}
+
+TEST_F(WriteBatchTest, ValidationRejectsWholeBatch) {
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(MakeOptions("/wb_invalid"), &db).ok());
+
+  // A bad op anywhere rejects the batch before anything is enqueued.
+  WriteBatch bad_arity;
+  bad_arity.Insert(1, Row(1));
+  bad_arity.Insert(2, {1, 2});  // wrong arity
+  EXPECT_FALSE(db->Write(bad_arity).ok());
+  ExpectAbsent(db.get(), 1);
+
+  WriteBatch bad_update;
+  bad_update.Insert(3, Row(3));
+  bad_update.Update(3, {{2, 1}, {2, 2}});  // duplicate column
+  EXPECT_FALSE(db->Write(bad_update).ok());
+  ExpectAbsent(db.get(), 3);
+
+  WriteBatch bad_range;
+  bad_range.Update(4, {{kColumns + 1, 1}});  // column out of range
+  EXPECT_FALSE(db->Write(bad_range).ok());
+
+  EXPECT_EQ(db->LastSequence(), 0u);
+  // The engine is not poisoned by rejected batches.
+  ASSERT_TRUE(db->Insert(5, Row(5)).ok());
+  ExpectRow(db.get(), 5);
+}
+
+TEST_F(WriteBatchTest, BatchSurvivesReopenViaWalReplay) {
+  const LaserOptions options = MakeOptions("/wb_reopen");
+  {
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+    WriteBatch batch;
+    for (uint64_t key = 1; key <= 8; ++key) batch.Insert(key, Row(key));
+    batch.Delete(8);
+    ASSERT_TRUE(db->Write(batch).ok());
+  }
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+  for (uint64_t key = 1; key <= 7; ++key) ExpectRow(db.get(), key);
+  ExpectAbsent(db.get(), 8);
+  EXPECT_EQ(db->LastSequence(), 9u);
+}
+
+TEST_F(WriteBatchTest, TornCoalescedRecordDropsTheWholeGroup) {
+  const LaserOptions options = MakeOptions("/wb_torn");
+  {
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+    WriteBatch first;
+    for (uint64_t key = 1; key <= 3; ++key) first.Insert(key, Row(key));
+    ASSERT_TRUE(db->Write(first).ok());
+    WriteBatch second;
+    for (uint64_t key = 4; key <= 6; ++key) second.Insert(key, Row(key));
+    ASSERT_TRUE(db->Write(second).ok());
+  }
+
+  // Tear the tail of the second batch's record (a crash mid-append). The
+  // whole group must drop on replay — no partial batch may surface.
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren("/wb_torn", &children).ok());
+  std::string wal_name;
+  for (const std::string& name : children) {
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".wal") {
+      wal_name = "/wb_torn/" + name;
+    }
+  }
+  ASSERT_FALSE(wal_name.empty());
+  std::string data;
+  ASSERT_TRUE(env_->ReadFileToString(wal_name, &data).ok());
+  ASSERT_GT(data.size(), 10u);
+  ASSERT_TRUE(
+      env_->WriteStringToFile(Slice(data.data(), data.size() - 10), wal_name).ok());
+
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+  for (uint64_t key = 1; key <= 3; ++key) ExpectRow(db.get(), key);
+  for (uint64_t key = 4; key <= 6; ++key) ExpectAbsent(db.get(), key);
+}
+
+}  // namespace
+}  // namespace laser
