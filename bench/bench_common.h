@@ -63,6 +63,17 @@ class BenchJson {
     Record(series, "", fields);
   }
 
+  /// Vector form for rows whose fields are assembled programmatically (e.g.
+  /// base measurements plus the engine-stats tail from EngineStatsFields).
+  void Record(const std::string& series, const std::string& label,
+              std::vector<std::pair<std::string, double>> fields) {
+    Row row;
+    row.series = series;
+    row.label = label;
+    row.fields = std::move(fields);
+    rows_.push_back(std::move(row));
+  }
+
  private:
   struct Row {
     std::string series;
@@ -132,6 +143,62 @@ class BenchJson {
   std::string name_;
   std::vector<Row> rows_;
 };
+
+/// Point-in-time copy of the scan-path and cache counters, so benches can
+/// attribute counter deltas to one measured cell instead of emitting
+/// run-cumulative values.
+struct EngineStatsSnapshot {
+  uint64_t scan_rows_merged = 0;
+  uint64_t scan_batches_emitted = 0;
+  uint64_t scan_source_advances = 0;
+  uint64_t scan_heap_resifts = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t block_cache_misses = 0;
+  uint64_t data_block_reads = 0;
+
+  static EngineStatsSnapshot Capture(const Stats& stats) {
+    EngineStatsSnapshot snap;
+    snap.scan_rows_merged = stats.scan_rows_merged.load();
+    snap.scan_batches_emitted = stats.scan_batches_emitted.load();
+    snap.scan_source_advances = stats.scan_source_advances.load();
+    snap.scan_heap_resifts = stats.scan_heap_resifts.load();
+    snap.block_cache_hits = stats.block_cache_hits.load();
+    snap.block_cache_misses = stats.block_cache_misses.load();
+    snap.data_block_reads = stats.data_block_reads.load();
+    return snap;
+  }
+};
+
+/// Scan-path and cache counters appended to bench JSON rows so nightly
+/// artifacts expose merge work and cache behavior, not just latency: a perf
+/// regression shows up as a counter shift even when wall-clock is noisy.
+/// Values are deltas since `since` — pass a default-constructed snapshot
+/// for whole-run totals (e.g. one DB per measured row).
+inline void AppendEngineStatsFields(
+    const Stats& stats, std::vector<std::pair<std::string, double>>* fields,
+    const EngineStatsSnapshot& since = EngineStatsSnapshot()) {
+  const EngineStatsSnapshot now = EngineStatsSnapshot::Capture(stats);
+  const double hits = static_cast<double>(now.block_cache_hits - since.block_cache_hits);
+  const double misses =
+      static_cast<double>(now.block_cache_misses - since.block_cache_misses);
+  const double lookups = hits + misses;
+  fields->emplace_back(
+      "scan_rows_merged",
+      static_cast<double>(now.scan_rows_merged - since.scan_rows_merged));
+  fields->emplace_back("scan_batches_emitted",
+                       static_cast<double>(now.scan_batches_emitted -
+                                           since.scan_batches_emitted));
+  fields->emplace_back("scan_source_advances",
+                       static_cast<double>(now.scan_source_advances -
+                                           since.scan_source_advances));
+  fields->emplace_back(
+      "scan_heap_resifts",
+      static_cast<double>(now.scan_heap_resifts - since.scan_heap_resifts));
+  fields->emplace_back("block_cache_hit_rate", lookups > 0 ? hits / lookups : 0.0);
+  fields->emplace_back(
+      "data_block_reads",
+      static_cast<double>(now.data_block_reads - since.data_block_reads));
+}
 
 /// Engine options for the narrow-table experiments (30 columns, T=2,
 /// 8 levels — §7.1's narrow configuration, scaled down).
@@ -219,7 +286,8 @@ inline Measurement MeasureReads(LaserDB* db, uint64_t key_space,
   return m;
 }
 
-/// Runs `count` scans of `selectivity` of the key domain with `projection`.
+/// Runs `count` scans of `selectivity` of the key domain with `projection`,
+/// consuming each scan batch-at-a-time (the engine's fast path).
 inline Measurement MeasureScans(LaserDB* db, uint64_t key_domain,
                                 const ColumnSet& projection, double selectivity,
                                 int count, uint64_t seed) {
@@ -228,12 +296,13 @@ inline Measurement MeasureScans(LaserDB* db, uint64_t key_domain,
   Env* env = Env::Default();
   const uint64_t blocks_before = db->stats().data_block_reads.load();
   const uint64_t span = static_cast<uint64_t>(selectivity * key_domain);
+  ScanBatch batch;
   for (int i = 0; i < count; ++i) {
     const uint64_t lo = span >= key_domain ? 0 : rng.Uniform(key_domain - span);
     const uint64_t t0 = env->NowMicros();
     auto scan = db->NewScan(lo, lo + span, projection);
     uint64_t rows = 0;
-    for (; scan->Valid(); scan->Next()) ++rows;
+    while (size_t n = scan->NextBatch(&batch)) rows += n;
     latency.Add(static_cast<double>(env->NowMicros() - t0));
   }
   Measurement m;

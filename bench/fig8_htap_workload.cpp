@@ -62,7 +62,8 @@ CgConfig SelectDOpt(const HtapWorkloadSpec& spec) {
   return advisor.SelectDesign(trace);
 }
 
-void PrintResult(const HtapWorkloadResult& r, BenchJson* json) {
+void PrintResult(const HtapWorkloadResult& r, BenchJson* json,
+                 const Stats* stats = nullptr) {
   printf("%-16s %9.2f %12.0f %9.2f | %8.1f %9.1f %9.1f %8.1f | %9.0f %9.0f\n",
          r.engine.c_str(), r.load_seconds, r.load_inserts_per_sec,
          r.workload_seconds, r.insert_micros.Average(),
@@ -71,20 +72,18 @@ void PrintResult(const HtapWorkloadResult& r, BenchJson* json) {
          r.update_micros.Average(),
          r.scan_micros.size() > 0 ? r.scan_micros[0].Average() : 0.0,
          r.scan_micros.size() > 1 ? r.scan_micros[1].Average() : 0.0);
-  json->Record("hw", r.engine,
-               {{"load_seconds", r.load_seconds},
-                {"load_inserts_per_sec", r.load_inserts_per_sec},
-                {"workload_seconds", r.workload_seconds},
-                {"q1_insert_us", r.insert_micros.Average()},
-                {"q2a_read_us",
-                 r.read_micros.size() > 0 ? r.read_micros[0].Average() : 0.0},
-                {"q2b_read_us",
-                 r.read_micros.size() > 1 ? r.read_micros[1].Average() : 0.0},
-                {"q3_update_us", r.update_micros.Average()},
-                {"q4_scan_us",
-                 r.scan_micros.size() > 0 ? r.scan_micros[0].Average() : 0.0},
-                {"q5_scan_us",
-                 r.scan_micros.size() > 1 ? r.scan_micros[1].Average() : 0.0}});
+  std::vector<std::pair<std::string, double>> fields = {
+      {"load_seconds", r.load_seconds},
+      {"load_inserts_per_sec", r.load_inserts_per_sec},
+      {"workload_seconds", r.workload_seconds},
+      {"q1_insert_us", r.insert_micros.Average()},
+      {"q2a_read_us", r.read_micros.size() > 0 ? r.read_micros[0].Average() : 0.0},
+      {"q2b_read_us", r.read_micros.size() > 1 ? r.read_micros[1].Average() : 0.0},
+      {"q3_update_us", r.update_micros.Average()},
+      {"q4_scan_us", r.scan_micros.size() > 0 ? r.scan_micros[0].Average() : 0.0},
+      {"q5_scan_us", r.scan_micros.size() > 1 ? r.scan_micros[1].Average() : 0.0}};
+  if (stats != nullptr) AppendEngineStatsFields(*stats, &fields);
+  json->Record("hw", r.engine, std::move(fields));
 }
 
 // Multi-threaded writer mode: W writer threads push inserts through the
@@ -122,15 +121,19 @@ bool RunMultiWriterMode(double scale, BenchJson* json) {
     std::atomic<uint64_t> scans{0};
     std::atomic<uint64_t> scan_rows{0};
 
-    // The OLAP side: 5%-selectivity scans of one column, back to back.
+    // The OLAP side: 5%-selectivity scans of one column, back to back,
+    // consumed batch-at-a-time.
     std::thread scanner([&] {
       Random rng(7);
       const uint64_t span = total_rows / 20 + 1;
+      ScanBatch batch;
       while (!writers_done.load(std::memory_order_acquire)) {
         const uint64_t lo = rng.Uniform(total_rows);
         auto scan = db->NewScan(lo, lo + span, {1});
         uint64_t rows = 0;
-        for (; scan != nullptr && scan->Valid(); scan->Next()) ++rows;
+        if (scan != nullptr) {
+          while (size_t n = scan->NextBatch(&batch)) rows += n;
+        }
         scans.fetch_add(1, std::memory_order_relaxed);
         scan_rows.fetch_add(rows, std::memory_order_relaxed);
       }
@@ -165,9 +168,9 @@ bool RunMultiWriterMode(double scale, BenchJson* json) {
     // Sanity: every acked insert must be readable afterwards (keys are
     // disjoint, so the counts must match exactly).
     uint64_t final_rows = 0;
-    for (auto check = db->NewScan(0, total_rows, {1});
-         check != nullptr && check->Valid(); check->Next()) {
-      ++final_rows;
+    if (auto check = db->NewScan(0, total_rows, {1}); check != nullptr) {
+      ScanBatch batch;
+      while (size_t n = check->NextBatch(&batch)) final_rows += n;
     }
     if (final_rows != acked) {
       fprintf(stderr, "FAIL: %d writers acked %" PRIu64 " inserts but %" PRIu64
@@ -179,13 +182,14 @@ bool RunMultiWriterMode(double scale, BenchJson* json) {
            "\n",
            writers, inserts_per_sec, db->stats().wal_group_commits.load(),
            scans.load(), scan_rows_per_sec, final_rows, failed_inserts.load());
-    json->Record("multi_writer_ingest", "HTAP-simple",
-                 {{"writers", static_cast<double>(writers)},
-                  {"inserts_per_sec", inserts_per_sec},
-                  {"wal_groups",
-                   static_cast<double>(db->stats().wal_group_commits.load())},
-                  {"scans", static_cast<double>(scans.load())},
-                  {"scan_rows_per_sec", scan_rows_per_sec}});
+    std::vector<std::pair<std::string, double>> fields = {
+        {"writers", static_cast<double>(writers)},
+        {"inserts_per_sec", inserts_per_sec},
+        {"wal_groups", static_cast<double>(db->stats().wal_group_commits.load())},
+        {"scans", static_cast<double>(scans.load())},
+        {"scan_rows_per_sec", scan_rows_per_sec}};
+    AppendEngineStatsFields(db->stats(), &fields);
+    json->Record("multi_writer_ingest", "HTAP-simple", std::move(fields));
   }
   return ok;
 }
@@ -234,7 +238,7 @@ int main() {
     HtapWorkloadRunner runner(spec);
     HtapWorkloadResult result;
     if (!runner.Run(&engine, &result).ok()) continue;
-    PrintResult(result, &json);
+    PrintResult(result, &json, &db->stats());
     results.push_back(result);
   }
 
@@ -250,7 +254,7 @@ int main() {
       HtapWorkloadRunner runner(spec);
       HtapWorkloadResult result;
       if (runner.Run(&engine, &result).ok()) {
-        PrintResult(result, &json);
+        PrintResult(result, &json, &db->stats());
         results.push_back(result);
       }
     }

@@ -1,0 +1,232 @@
+// Scan throughput: the headline number for the batched columnar read path.
+//
+// Sweeps threads × projection width × CG design, and for every cell runs the
+// same scans in two modes against the same tree:
+//   row   — the classic per-row cursor (Valid/Next/values), one merge-layer
+//           round trip and one optional-vector materialization per row;
+//   batch — NextBatch(): columnar ScanBatch fills straight out of the
+//           heap-based k-way merge.
+// Both modes aggregate every projected value (sum), so the comparison is
+// API shape, not work skipped. rows/s per cell lands in
+// BENCH_scan_throughput.json; the wide-projection batch/row ratio is the
+// regression-gated headline (target: >= 2x at default scale).
+//
+// Threads > 1 run the same scan mix concurrently over one shared DB with the
+// block cache on — the sharded-cache contention case from fig8's concurrent
+// OLAP threads.
+
+#include <cinttypes>
+
+#include <atomic>
+#include <thread>
+
+#include "bench/bench_common.h"
+
+namespace laser::bench {
+namespace {
+
+constexpr int kColumns = 30;
+constexpr int kLevels = 8;
+constexpr int kSizeRatio = 2;
+
+struct DesignSpec {
+  std::string name;
+  CgConfig config;
+};
+
+struct ModeResult {
+  double seconds = 0;
+  uint64_t rows = 0;
+  uint64_t checksum = 0;  // sum of all aggregated values: modes must agree
+};
+
+/// One thread's scan loop. Each thread owns a deterministic range sequence;
+/// `batched` selects the consumption mode.
+ModeResult RunScans(LaserDB* db, uint64_t key_domain, const ColumnSet& projection,
+                    double selectivity, int scans, uint64_t seed, bool batched) {
+  Random rng(seed);
+  const uint64_t span = static_cast<uint64_t>(selectivity * key_domain);
+  Env* env = Env::Default();
+  ModeResult result;
+  ScanBatch batch;
+  const uint64_t t0 = env->NowMicros();
+  for (int i = 0; i < scans; ++i) {
+    const uint64_t lo = span >= key_domain ? 0 : rng.Uniform(key_domain - span);
+    auto scan = db->NewScan(lo, lo + span, projection);
+    if (scan == nullptr) continue;
+    if (batched) {
+      while (size_t n = scan->NextBatch(&batch)) {
+        for (size_t c = 0; c < batch.columns.size(); ++c) {
+          const ScanBatch::Column& column = batch.columns[c];
+          uint64_t sum = 0;
+          for (size_t r = 0; r < n; ++r) {
+            if (column.present[r]) sum += column.values[r];
+          }
+          result.checksum += sum;
+        }
+        result.rows += n;
+      }
+    } else {
+      for (; scan->Valid(); scan->Next()) {
+        const auto& row = scan->values();
+        for (const auto& value : row) {
+          if (value.has_value()) result.checksum += *value;
+        }
+        ++result.rows;
+      }
+    }
+  }
+  result.seconds = static_cast<double>(env->NowMicros() - t0) / 1e6;
+  return result;
+}
+
+}  // namespace
+}  // namespace laser::bench
+
+int main() {
+  using namespace laser;
+  using namespace laser::bench;
+  const double scale = ScaleFactor();
+  BenchJson json("scan_throughput");
+
+  const uint64_t rows = static_cast<uint64_t>(60000 * scale);
+  const double selectivity = 0.2;
+  const int scans_per_thread = scale < 0.5 ? 2 : 8;
+
+  std::vector<DesignSpec> designs;
+  designs.push_back({"row-only", CgConfig::RowOnly(kColumns, kLevels)});
+  designs.push_back({"cg-size-6", CgConfig::EquiWidth(kColumns, kLevels, 6)});
+  designs.push_back({"HTAP-simple", CgConfig::HtapSimple(kColumns, kLevels, 6)});
+
+  struct Projection {
+    const char* name;
+    ColumnSet columns;
+  };
+  const std::vector<Projection> projections = {
+      {"narrow-1", {1}},
+      {"mid-10", MakeColumnRange(1, 10)},
+      {"wide-30", MakeColumnRange(1, kColumns)}};
+
+  double wide_row_rps_1t = 0;    // 1-thread wide-projection baselines for the
+  double wide_batch_rps_1t = 0;  // headline ratio (HTAP-simple design)
+  bool checksums_ok = true;
+
+  for (const DesignSpec& design : designs) {
+    auto env = NewMemEnv();
+    LaserOptions options = NarrowTableOptions(env.get(), "/scan_tp",
+                                              design.config, kLevels, kSizeRatio);
+    options.block_cache_bytes = 8 * 1024 * 1024;  // exercise the sharded cache
+    std::unique_ptr<LaserDB> db;
+    if (!LaserDB::Open(options, &db).ok()) {
+      fprintf(stderr, "FAIL: cannot open design %s\n", design.name.c_str());
+      return 1;
+    }
+    // Contiguous keys plus a sprinkle of partial updates and deletes, so the
+    // merge sees ties, partial rows, and tombstones — then settle the tree.
+    for (uint64_t k = 0; k < rows; ++k) {
+      if (!db->Insert(k, BenchRow(k, kColumns)).ok()) return 1;
+    }
+    Random mutate(11);
+    for (uint64_t i = 0; i < rows / 20; ++i) {
+      const uint64_t k = mutate.Uniform(rows);
+      db->Update(k, {{3, i}, {17, i + 1}});
+    }
+    for (uint64_t i = 0; i < rows / 50; ++i) {
+      db->Delete(mutate.Uniform(rows));
+    }
+    if (!db->CompactUntilStable().ok()) return 1;
+
+    PrintHeader("scan throughput: " + design.name);
+    printf("%-10s %8s %8s %14s %14s %8s\n", "proj", "threads", "mode",
+           "rows/sec", "us/scan", "rows");
+
+    for (const Projection& projection : projections) {
+      for (const int threads : {1, 2, 4}) {
+        double mode_rps[2] = {0, 0};
+        uint64_t mode_checksum[2] = {0, 0};
+        for (const bool batched : {false, true}) {
+          // Counter deltas are attributed to this cell only.
+          const EngineStatsSnapshot cell_start =
+              EngineStatsSnapshot::Capture(db->stats());
+          // Best of kRepeats: the CI/dev VMs are small and shared, so a
+          // single timing carries scheduler noise; the fastest repeat is the
+          // least-perturbed measurement of the same deterministic work.
+          constexpr int kRepeats = 3;
+          double rows_per_sec = 0;
+          double us_per_scan = 0;
+          uint64_t total_rows = 0;
+          uint64_t checksum = 0;
+          for (int repeat = 0; repeat < kRepeats; ++repeat) {
+            std::vector<ModeResult> results(threads);
+            std::vector<std::thread> workers;
+            for (int t = 0; t < threads; ++t) {
+              workers.emplace_back([&, t] {
+                results[t] = RunScans(db.get(), rows, projection.columns,
+                                      selectivity, scans_per_thread,
+                                      /*seed=*/1000 + t, batched);
+              });
+            }
+            for (auto& worker : workers) worker.join();
+
+            double max_seconds = 0;
+            total_rows = 0;
+            checksum = 0;
+            for (const ModeResult& r : results) {
+              max_seconds = std::max(max_seconds, r.seconds);
+              total_rows += r.rows;
+              checksum ^= r.checksum;  // xor: thread order must not matter
+            }
+            const double repeat_rps =
+                max_seconds > 0 ? static_cast<double>(total_rows) / max_seconds
+                                : 0;
+            if (repeat_rps > rows_per_sec) {
+              rows_per_sec = repeat_rps;
+              us_per_scan = max_seconds * 1e6 / (threads * scans_per_thread);
+            }
+          }
+          mode_rps[batched ? 1 : 0] = rows_per_sec;
+          mode_checksum[batched ? 1 : 0] = checksum;
+
+          printf("%-10s %8d %8s %14.0f %14.0f %8" PRIu64 "\n", projection.name,
+                 threads, batched ? "batch" : "row", rows_per_sec, us_per_scan,
+                 total_rows);
+          std::vector<std::pair<std::string, double>> fields = {
+              {"threads", static_cast<double>(threads)},
+              {"proj_width", static_cast<double>(projection.columns.size())},
+              {"batch_mode", batched ? 1.0 : 0.0},
+              {"rows_per_sec", rows_per_sec},
+              {"us_per_scan", us_per_scan},
+              {"rows", static_cast<double>(total_rows)},
+              {"checksum", static_cast<double>(checksum % (1u << 30))}};
+          AppendEngineStatsFields(db->stats(), &fields, cell_start);
+          json.Record(std::string("scan/") + projection.name, design.name,
+                      std::move(fields));
+        }
+        // Both modes scanned identical ranges of a settled tree: their
+        // aggregates must agree exactly or one path is wrong.
+        if (mode_checksum[0] != mode_checksum[1]) {
+          fprintf(stderr,
+                  "FAIL: row/batch checksum mismatch (%s, %s, %d threads): "
+                  "%" PRIu64 " vs %" PRIu64 "\n",
+                  design.name.c_str(), projection.name, threads,
+                  mode_checksum[0], mode_checksum[1]);
+          checksums_ok = false;
+        }
+        if (design.name == "HTAP-simple" &&
+            std::string(projection.name) == "wide-30" && threads == 1) {
+          wide_row_rps_1t = mode_rps[0];
+          wide_batch_rps_1t = mode_rps[1];
+        }
+      }
+    }
+  }
+
+  if (wide_row_rps_1t > 0) {
+    const double ratio = wide_batch_rps_1t / wide_row_rps_1t;
+    printf("\nheadline: wide-30 batch/row ratio (HTAP-simple, 1 thread) = %.2fx"
+           " (target >= 2x at default scale)\n",
+           ratio);
+    json.Record("headline", "wide30_batch_vs_row", {{"ratio", ratio}});
+  }
+  return checksums_ok ? 0 : 1;
+}

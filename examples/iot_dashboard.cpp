@@ -86,9 +86,12 @@ RunResult RunWith(const CgConfig& config, const char* label, uint64_t rows) {
       auto scan = db->NewScan(0, rows * 8, {5});
       uint64_t sum = 0;
       uint64_t n = 0;
-      for (; scan->Valid(); scan->Next()) {
-        sum += scan->values()[0].value_or(0);
-        ++n;
+      ScanBatch batch;
+      while (size_t got = scan->NextBatch(&batch)) {
+        for (size_t r = 0; r < got; ++r) {
+          if (batch.columns[0].present[r]) sum += batch.columns[0].values[r];
+        }
+        n += got;
       }
       report_latency.Add(static_cast<double>(env->NowMicros() - t0));
       (void)sum;

@@ -52,12 +52,17 @@ int main(int argc, char** argv) {
   printf("key 42 after update -> a7=%" PRIu64 "\n", result.values[0].value_or(0));
 
   // 5. Range scan with a projection (Q4/Q5-style): sum a3 over [100, 199].
+  //    NextBatch() returns columnar batches — keys plus one value/presence
+  //    array per projected column — so the aggregate is a flat array fold.
   uint64_t sum = 0;
   uint64_t rows = 0;
   auto scan = db->NewScan(100, 199, {3});
-  for (; scan->Valid(); scan->Next()) {
-    sum += scan->values()[0].value_or(0);
-    ++rows;
+  ScanBatch batch;
+  while (size_t n = scan->NextBatch(&batch)) {
+    for (size_t i = 0; i < n; ++i) {
+      if (batch.columns[0].present[i]) sum += batch.columns[0].values[i];
+    }
+    rows += n;
   }
   printf("scan [100,199]: %" PRIu64 " rows, sum(a3)=%" PRIu64 "\n", rows, sum);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/coding.h"
+
 namespace laser {
 
 ContributionIterator::ContributionIterator(std::unique_ptr<Iterator> iter,
@@ -19,23 +21,40 @@ ContributionIterator::ContributionIterator(std::unique_ptr<Iterator> iter,
   for (int col : source_columns_) {
     auto it = std::lower_bound(projection_.begin(), projection_.end(), col);
     if (it != projection_.end() && *it == col) {
-      proj_position_of_source_column_.push_back(
-          static_cast<int>(it - projection_.begin()));
+      const int pos = static_cast<int>(it - projection_.begin());
+      proj_position_of_source_column_.push_back(pos);
+      covered_positions_.push_back(pos);
     } else {
       proj_position_of_source_column_.push_back(-1);
     }
   }
+  for (size_t pos = 0, next_covered = 0; pos < projection_.size(); ++pos) {
+    if (next_covered < covered_positions_.size() &&
+        covered_positions_[next_covered] == static_cast<int>(pos)) {
+      ++next_covered;
+    } else {
+      uncovered_positions_.push_back(static_cast<int>(pos));
+    }
+  }
+  column_widths_.reserve(source_columns_.size());
+  for (int col : source_columns_) column_widths_.push_back(codec_->ValueWidth(col));
+  full_row_size_ = codec_->FullRowSize(source_columns_);
+  bitmap_bytes_ = (source_columns_.size() + 7) / 8;
+  // Uncovered positions stay kAbsent forever: BuildNext only resets and
+  // writes covered ones.
   states_.resize(projection_.size());
   values_.resize(projection_.size());
 }
 
 void ContributionIterator::SeekToFirst() {
   iter_->SeekToFirst();
+  ResetRun();
   BuildNext();
 }
 
 void ContributionIterator::Seek(const Slice& target_user_key) {
   iter_->Seek(MakeLookupKey(target_user_key, kMaxSequenceNumber));
+  ResetRun();
   BuildNext();
 }
 
@@ -45,61 +64,179 @@ void ContributionIterator::Next() {
   BuildNext();
 }
 
-void ContributionIterator::BuildNext() {
-  valid_ = false;
-  while (iter_->Valid()) {
-    // Start of a candidate user key.
+size_t ContributionIterator::FastEmitStretch(ScanBatch* batch,
+                                             const Slice& limit_exclusive,
+                                             const Slice& hi_inclusive,
+                                             size_t max_rows) {
+  // Pass 1 — keys: walk the run buffer collecting entries that are
+  // provably single-version full rows at or below the snapshot and within
+  // bounds. An entry is eligible only when its successor is also in the
+  // buffer (so single-version needs no refill) and its encoding has the
+  // expected full size (every column present, nothing truncated). Full rows
+  // always carry values for the overlapping columns, so every collected row
+  // is emitted.
+  const size_t row0 = batch->keys.size();
+  value_ptrs_.clear();
+  while (value_ptrs_.size() < max_rows && run_pos_ + 1 < run_.size()) {
     ParsedInternalKey parsed;
-    if (!ParseInternalKey(iter_->key(), &parsed)) {
-      iter_->Next();
+    if (!ParseInternalKey(run_.keys[run_pos_], &parsed)) break;
+    if (parsed.type != kTypeFullRow || parsed.sequence > snapshot_) break;
+    if (!limit_exclusive.empty() &&
+        parsed.user_key.compare(limit_exclusive) >= 0) {
+      break;
+    }
+    if (!hi_inclusive.empty() && parsed.user_key.compare(hi_inclusive) > 0) break;
+    const Slice next_key = run_.keys[run_pos_ + 1];
+    if (next_key.size() >= 8 && ExtractUserKey(next_key) == parsed.user_key) {
+      break;  // another version of this key follows
+    }
+    const Slice value = run_.values[run_pos_];
+    if (value.size() != full_row_size_) break;
+    batch->keys.push_back(DecodeKey64(parsed.user_key));
+    value_ptrs_.push_back(value.data() + bitmap_bytes_);
+    ++run_pos_;
+  }
+  const size_t n = value_ptrs_.size();
+  if (n == 0) return 0;
+
+  // Pass 2 — values, column-major: each projected column's output vector is
+  // written sequentially (presence is one memset per column), the shape a
+  // vectorizer and the cache both like.
+  size_t offset = 0;
+  for (size_t i = 0; i < source_columns_.size(); ++i) {
+    const size_t width = column_widths_[i];
+    const int pos = proj_position_of_source_column_[i];
+    if (pos >= 0) {
+      ScanBatch::Column& column = batch->columns[pos];
+      memset(column.present.data() + row0, 1, n);
+      ColumnValue* out = column.values.data() + row0;
+      if (width == 4) {
+        for (size_t r = 0; r < n; ++r) {
+          uint32_t v;
+          memcpy(&v, value_ptrs_[r] + offset, sizeof(v));  // LE hosts only
+          out[r] = v;
+        }
+      } else {
+        for (size_t r = 0; r < n; ++r) {
+          uint64_t v;
+          memcpy(&v, value_ptrs_[r] + offset, sizeof(v));
+          out[r] = v;
+        }
+      }
+    }
+    offset += width;
+  }
+  for (const int pos : uncovered_positions_) {
+    ScanBatch::Column& column = batch->columns[pos];
+    memset(column.present.data() + row0, 0, n);
+    memset(column.values.data() + row0, 0, n * sizeof(ColumnValue));
+  }
+  return n;
+}
+
+size_t ContributionIterator::AppendRunTo(ScanBatch* batch,
+                                         const Slice& limit_exclusive,
+                                         const Slice& hi_inclusive,
+                                         size_t max_rows,
+                                         ScanPathCounters* counters) {
+  // The batched fold: the k-way merge proved this source is the sole
+  // contributor up to `limit_exclusive`, so whole runs of keys stream from
+  // the underlying block cursor into the columnar batch in one loop —
+  // nothing re-enters the merge layers' virtual dispatch per row, and
+  // tombstone-only keys are dropped here (no older source can resurrect
+  // them). Single-version full rows (the steady state after compaction)
+  // take TryFastEmit: block bytes decode straight into the batch columns.
+  size_t appended = 0;
+  while (appended < max_rows && valid_) {
+    const Slice key(current_key_);
+    if (!limit_exclusive.empty() && key.compare(limit_exclusive) >= 0) break;
+    if (!hi_inclusive.empty() && key.compare(hi_inclusive) > 0) break;
+    if (any_value_) {
+      AppendContributionRow(batch, DecodeKey64(key), states_, values_);
+      ++appended;
+    }
+    ++counters->source_advances;
+
+    // Stream eligible stretches directly from the run buffer; the first
+    // non-eligible key is left for the generic fold below, which restores
+    // the per-row invariants.
+    while (appended < max_rows) {
+      const size_t n = FastEmitStretch(batch, limit_exclusive, hi_inclusive,
+                                       max_rows - appended);
+      if (n == 0) break;
+      appended += n;
+      counters->source_advances += n;
+    }
+
+    BuildNext();
+  }
+  return appended;
+}
+
+void ContributionIterator::BuildNext() {
+  // Entries stream out of a prefetched IteratorRun (one virtual NextRun per
+  // ~block instead of Valid/key/value/Next per version); current_key_ and
+  // the decoded values are owned copies, so a refill mid-fold is safe. The
+  // loop parses each entry exactly once: `parsed` always describes the
+  // not-yet-consumed entry at the cursor.
+  valid_ = false;
+  any_value_ = false;
+  ParsedInternalKey parsed;
+  while (true) {
+    if (!EntryValid()) return;
+    if (!ParseInternalKey(EntryKey(), &parsed)) {
+      EntryNext();  // corrupt entry: skip it
       continue;
     }
+    // Start of a candidate user key.
     current_key_.assign(parsed.user_key.data(), parsed.user_key.size());
-    std::fill(states_.begin(), states_.end(), ColumnState::kAbsent);
+    for (const int pos : covered_positions_) states_[pos] = ColumnState::kAbsent;
     bool touched = false;
     bool terminated = false;
 
     // Fold all versions of this user key, newest first.
-    while (iter_->Valid()) {
-      if (!ParseInternalKey(iter_->key(), &parsed)) break;
-      if (parsed.user_key != Slice(current_key_)) break;
-      if (terminated || parsed.sequence > snapshot_) {
-        iter_->Next();
-        continue;
-      }
-      switch (parsed.type) {
-        case kTypeDeletion:
-          for (size_t i = 0; i < source_columns_.size(); ++i) {
-            const int pos = proj_position_of_source_column_[i];
-            if (pos >= 0 && states_[pos] == ColumnState::kAbsent) {
-              states_[pos] = ColumnState::kTombstone;
-              touched = true;
-            }
-          }
-          terminated = true;
-          break;
-        case kTypeFullRow:
-        case kTypePartialRow: {
-          decode_scratch_.clear();
-          if (codec_->Decode(source_columns_, iter_->value(), &decode_scratch_)
-                  .ok()) {
-            for (const auto& pair : decode_scratch_) {
-              const auto it = std::lower_bound(source_columns_.begin(),
-                                               source_columns_.end(), pair.column);
-              const size_t src_idx = it - source_columns_.begin();
-              const int pos = proj_position_of_source_column_[src_idx];
+    while (true) {
+      if (!terminated && parsed.sequence <= snapshot_) {
+        switch (parsed.type) {
+          case kTypeDeletion:
+            for (size_t i = 0; i < source_columns_.size(); ++i) {
+              const int pos = proj_position_of_source_column_[i];
               if (pos >= 0 && states_[pos] == ColumnState::kAbsent) {
-                states_[pos] = ColumnState::kValue;
-                values_[pos] = pair.value;
+                states_[pos] = ColumnState::kTombstone;
                 touched = true;
               }
             }
+            terminated = true;
+            break;
+          case kTypeFullRow:
+          case kTypePartialRow: {
+            // Positional decode: the bitmap index IS the source-column
+            // index, so each present value lands in its projection slot
+            // directly — no intermediate pair vector, no per-value binary
+            // search. A corrupt row is skipped whole (DecodeForEach is
+            // all-or-nothing), so older intact versions still win.
+            const Status decoded = codec_->DecodeForEach(
+                source_columns_, EntryValue(),
+                [&](size_t src_idx, ColumnValue value) {
+                  const int pos = proj_position_of_source_column_[src_idx];
+                  if (pos >= 0 && states_[pos] == ColumnState::kAbsent) {
+                    states_[pos] = ColumnState::kValue;
+                    values_[pos] = value;
+                    touched = true;
+                    any_value_ = true;
+                  }
+                });
+            (void)decoded;
+            if (parsed.type == kTypeFullRow) terminated = true;
+            break;
           }
-          if (parsed.type == kTypeFullRow) terminated = true;
-          break;
         }
       }
-      iter_->Next();
+      EntryNext();
+      if (!EntryValid() || !ParseInternalKey(EntryKey(), &parsed)) break;
+      // A parse failure leaves the corrupt entry unconsumed; the outer loop
+      // skips it next.
+      if (parsed.user_key != Slice(current_key_)) break;
     }
 
     if (touched) {
@@ -118,55 +255,220 @@ ColumnMergingIterator::ColumnMergingIterator(
     : children_(std::move(children)) {
   states_.resize(projection_size);
   values_.resize(projection_size);
+  // Union of the children's covered positions; exact only when every child
+  // reports one.
+  std::vector<bool> seen(projection_size, false);
+  covered_exact_ = true;
+  for (const auto& child : children_) {
+    const std::vector<int>* covered = child->covered_positions();
+    if (covered == nullptr) {
+      covered_exact_ = false;
+      break;
+    }
+    for (const int pos : *covered) seen[static_cast<size_t>(pos)] = true;
+  }
+  if (covered_exact_) {
+    for (size_t pos = 0; pos < seen.size(); ++pos) {
+      if (seen[pos]) {
+        covered_union_.push_back(static_cast<int>(pos));
+      } else {
+        uncovered_union_.push_back(static_cast<int>(pos));
+      }
+    }
+  }
+}
+
+const std::vector<int>* ColumnMergingIterator::covered_positions() const {
+  return covered_exact_ ? &covered_union_ : nullptr;
+}
+
+const std::vector<ColumnState>& ColumnMergingIterator::states() const {
+  if (!row_materialized_) {
+    const_cast<ColumnMergingIterator*>(this)->CombineTied();
+    row_materialized_ = true;
+  }
+  return states_;
+}
+
+const std::vector<ColumnValue>& ColumnMergingIterator::values() const {
+  if (!row_materialized_) {
+    const_cast<ColumnMergingIterator*>(this)->CombineTied();
+    row_materialized_ = true;
+  }
+  return values_;
 }
 
 void ColumnMergingIterator::SeekToFirst() {
   for (auto& child : children_) child->SeekToFirst();
-  Combine();
+  heap_.Assign(children_);
+  BuildCurrent();
 }
 
 void ColumnMergingIterator::Seek(const Slice& target_user_key) {
   for (auto& child : children_) child->Seek(target_user_key);
-  Combine();
+  heap_.Assign(children_);
+  BuildCurrent();
 }
 
 void ColumnMergingIterator::Next() {
   assert(valid_);
-  for (auto& child : children_) {
-    if (child->Valid() && child->user_key() == Slice(current_key_)) {
-      child->Next();
-    }
-  }
-  Combine();
+  AdvanceTied(&counters_, /*materialize=*/true);
 }
 
-void ColumnMergingIterator::Combine() {
-  valid_ = false;
-  const ContributionSource* smallest = nullptr;
-  for (const auto& child : children_) {
-    if (!child->Valid()) continue;
-    if (smallest == nullptr ||
-        child->user_key().compare(smallest->user_key()) < 0) {
-      smallest = child.get();
+size_t ColumnMergingIterator::AppendRunTo(ScanBatch* batch,
+                                          const Slice& limit_exclusive,
+                                          const Slice& hi_inclusive,
+                                          size_t max_rows,
+                                          ScanPathCounters* counters) {
+  size_t appended = 0;
+  while (appended < max_rows && valid_) {
+    const Slice key(current_key_);
+    if (!limit_exclusive.empty() && key.compare(limit_exclusive) >= 0) break;
+    if (!hi_inclusive.empty() && key.compare(hi_inclusive) > 0) break;
+    if (any_value_) {
+      if (row_materialized_) {
+        AppendContributionRow(batch, DecodeKey64(key), states_, values_);
+      } else {
+        // Lockstep row still sitting in the children: stream it straight
+        // into the batch without materializing the positional fold.
+        EmitTiedRow(batch);
+      }
+      ++appended;
+    }
+    AdvanceTied(counters, /*materialize=*/false);
+  }
+  return appended;
+}
+
+void ColumnMergingIterator::AdvanceTied(ScanPathCounters* counters,
+                                        bool materialize) {
+  // The children holding the current key sit in tied_ (outside the heap).
+  const bool all_tied = tied_.size() == children_.size();
+  for (const int index : tied_) {
+    children_[index]->Next();
+    ++counters->source_advances;
+  }
+  if (all_tied) {
+    // Lockstep fast path: full rows land in every group of a level, so the
+    // children usually move in unison — when they still agree on the next
+    // key the heap (currently empty) can stay out of the way entirely.
+    bool lockstep = true;
+    Slice key;
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (!children_[i]->Valid()) {
+        lockstep = false;
+        break;
+      }
+      const Slice child_key = children_[i]->user_key();
+      if (i == 0) {
+        key = child_key;
+      } else if (child_key != key) {
+        lockstep = false;
+        break;
+      }
+    }
+    if (lockstep) {
+      current_key_.assign(key.data(), key.size());
+      if (materialize || !covered_exact_) {
+        CombineTied();
+        row_materialized_ = true;
+      } else {
+        any_value_ = AnyTiedValue();
+        row_materialized_ = false;
+      }
+      valid_ = true;
+      return;
     }
   }
-  if (smallest == nullptr) return;
+  for (const int index : tied_) {
+    if (children_[index]->Valid()) heap_.Push(index, counters);
+  }
+  BuildCurrent();
+}
 
-  current_key_ = smallest->user_key().ToString();
-  std::fill(states_.begin(), states_.end(), ColumnState::kAbsent);
-  for (const auto& child : children_) {
-    if (!child->Valid() || child->user_key() != Slice(current_key_)) continue;
-    const auto& child_states = child->states();
-    const auto& child_values = child->values();
-    for (size_t pos = 0; pos < child_states.size(); ++pos) {
-      if (child_states[pos] != ColumnState::kAbsent) {
-        // Groups within a level are disjoint: no position is written twice.
-        states_[pos] = child_states[pos];
-        values_[pos] = child_values[pos];
+void ColumnMergingIterator::BuildCurrent() {
+  valid_ = false;
+  tied_.clear();
+  if (heap_.empty()) return;
+
+  const Slice key = heap_.top_key();
+  current_key_.assign(key.data(), key.size());
+  heap_.PopTies(&tied_, &counters_);
+  CombineTied();
+  row_materialized_ = true;
+  valid_ = true;
+}
+
+bool ColumnMergingIterator::AnyTiedValue() const {
+  for (const int index : tied_) {
+    const auto& child_states = children_[index]->states();
+    const std::vector<int>* covered = children_[index]->covered_positions();
+    if (covered != nullptr) {
+      for (const int pos : *covered) {
+        if (child_states[pos] == ColumnState::kValue) return true;
+      }
+    } else {
+      for (const ColumnState state : child_states) {
+        if (state == ColumnState::kValue) return true;
       }
     }
   }
-  valid_ = true;
+  return false;
+}
+
+void ColumnMergingIterator::EmitTiedRow(ScanBatch* batch) const {
+  // REQUIRES: every child tied (lockstep) and covered_exact_, so the
+  // children's covered lists partition covered_union_ and each batch column
+  // is written exactly once.
+  const size_t row = batch->keys.size();
+  batch->keys.push_back(DecodeKey64(Slice(current_key_)));
+  for (const int index : tied_) {
+    const auto& child_states = children_[index]->states();
+    const auto& child_values = children_[index]->values();
+    for (const int pos : *children_[index]->covered_positions()) {
+      ScanBatch::Column& column = batch->columns[pos];
+      const bool present = child_states[pos] == ColumnState::kValue;
+      column.present[row] = present ? 1 : 0;
+      column.values[row] = present ? child_values[pos] : 0;
+    }
+  }
+  for (const int pos : uncovered_union_) {
+    ScanBatch::Column& column = batch->columns[pos];
+    column.present[row] = 0;
+    column.values[row] = 0;
+  }
+}
+
+void ColumnMergingIterator::CombineTied() {
+  if (covered_exact_) {
+    for (const int pos : covered_union_) states_[pos] = ColumnState::kAbsent;
+  } else {
+    std::fill(states_.begin(), states_.end(), ColumnState::kAbsent);
+  }
+  any_value_ = false;
+  for (const int index : tied_) {
+    const auto& child_states = children_[index]->states();
+    const auto& child_values = children_[index]->values();
+    const std::vector<int>* covered = children_[index]->covered_positions();
+    if (covered != nullptr) {
+      for (const int pos : *covered) {
+        if (child_states[pos] != ColumnState::kAbsent) {
+          // Groups within a level are disjoint: no position is written twice.
+          states_[pos] = child_states[pos];
+          values_[pos] = child_values[pos];
+          if (child_states[pos] == ColumnState::kValue) any_value_ = true;
+        }
+      }
+    } else {
+      for (size_t pos = 0; pos < child_states.size(); ++pos) {
+        if (child_states[pos] != ColumnState::kAbsent) {
+          states_[pos] = child_states[pos];
+          values_[pos] = child_values[pos];
+          if (child_states[pos] == ColumnState::kValue) any_value_ = true;
+        }
+      }
+    }
+  }
 }
 
 Status ColumnMergingIterator::status() const {

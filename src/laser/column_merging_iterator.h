@@ -13,6 +13,7 @@
 
 #include "laser/contribution.h"
 #include "laser/row_codec.h"
+#include "laser/source_heap.h"
 #include "lsm/dbformat.h"
 #include "util/iterator.h"
 
@@ -39,13 +40,52 @@ class ContributionIterator final : public ContributionSource {
   Slice user_key() const override { return Slice(current_key_); }
   const std::vector<ColumnState>& states() const override { return states_; }
   const std::vector<ColumnValue>& values() const override { return values_; }
+
+  /// Batched fold: streams consecutive keys from the underlying iterator
+  /// straight into the columnar batch — one tight loop per run instead of
+  /// one merge-layer round trip per row.
+  size_t AppendRunTo(ScanBatch* batch, const Slice& limit_exclusive,
+                     const Slice& hi_inclusive, size_t max_rows,
+                     ScanPathCounters* counters) override;
+
+  const std::vector<int>* covered_positions() const override {
+    return &covered_positions_;
+  }
+
   Status status() const override { return iter_->status(); }
 
  private:
+  /// Number of entries pulled per Iterator::NextRun refill (≈ one 4KB block
+  /// of 140-byte rows).
+  static constexpr size_t kRunEntries = 32;
+
   /// Advances over the underlying iterator to build the next contribution
   /// that touches the projection. Folding starts at the iterator's current
   /// position.
   void BuildNext();
+
+  // -- run cursor over iter_: one virtual NextRun per kRunEntries entries --
+  bool EntryValid() {
+    if (run_pos_ < run_.size()) return true;
+    run_.clear();
+    run_pos_ = 0;
+    return iter_->NextRun(&run_, kRunEntries) > 0;
+  }
+  Slice EntryKey() const { return run_.keys[run_pos_]; }
+  Slice EntryValue() const { return run_.values[run_pos_]; }
+  void EntryNext() { ++run_pos_; }
+  void ResetRun() {
+    run_.clear();
+    run_pos_ = 0;
+  }
+
+  /// Vectorized fast path: gathers the longest stretch of single-version
+  /// full rows at or below the snapshot (the steady state after compaction)
+  /// from the run buffer — key pass first, then a column-major decode that
+  /// writes each batch column sequentially with memset presence. Returns
+  /// rows emitted; 0 means the entry at the cursor needs the generic fold.
+  size_t FastEmitStretch(ScanBatch* batch, const Slice& limit_exclusive,
+                         const Slice& hi_inclusive, size_t max_rows);
 
   std::unique_ptr<Iterator> iter_;
   const RowCodec* codec_;
@@ -53,17 +93,33 @@ class ContributionIterator final : public ContributionSource {
   const ColumnSet projection_;
   // position of each source column in the projection, or -1.
   std::vector<int> proj_position_of_source_column_;
+  // the projection positions this source covers (the non-negative entries
+  // above); all other positions of states_ stay kAbsent forever.
+  std::vector<int> covered_positions_;
+  // projection positions this source does NOT cover (batch rows emitted by
+  // this source alone carry null there).
+  std::vector<int> uncovered_positions_;
+  // on-disk width of each source column, and the full-row encoding size
+  // (bitmap + every value) used to validate the fast path.
+  std::vector<size_t> column_widths_;
+  size_t full_row_size_ = 0;
+  size_t bitmap_bytes_ = 0;
+  std::vector<const char*> value_ptrs_;  // FastEmitStretch scratch
   const SequenceNumber snapshot_;
 
   bool valid_ = false;
+  bool any_value_ = false;  ///< some position of states_ is kValue
   std::string current_key_;
   std::vector<ColumnState> states_;
   std::vector<ColumnValue> values_;
-  std::vector<ColumnValuePair> decode_scratch_;
+  IteratorRun run_;
+  size_t run_pos_ = 0;
 };
 
 /// Merges the ContributionSources of one level (disjoint column groups) by
 /// user key; each column position is filled by the unique group covering it.
+/// Children are kept in a SourceMinHeap, so finding the next key costs
+/// O(log k) instead of a linear sweep over the groups.
 class ColumnMergingIterator final : public ContributionSource {
  public:
   /// `projection_size` is |Π| (all children use the same positional layout).
@@ -76,19 +132,61 @@ class ColumnMergingIterator final : public ContributionSource {
   void Next() override;
 
   Slice user_key() const override { return Slice(current_key_); }
-  const std::vector<ColumnState>& states() const override { return states_; }
-  const std::vector<ColumnValue>& values() const override { return values_; }
+  const std::vector<ColumnState>& states() const override;
+  const std::vector<ColumnValue>& values() const override;
+  const std::vector<int>* covered_positions() const override;
+
+  /// Fused batch fold over the level's groups, with a lockstep fast path:
+  /// full rows land in every group of the level, so after the first key the
+  /// children usually advance in unison — the combine then bypasses the heap
+  /// entirely, rows stream from the children straight into the batch, and
+  /// the states_/values_ fold is materialized lazily only if a caller asks.
+  size_t AppendRunTo(ScanBatch* batch, const Slice& limit_exclusive,
+                     const Slice& hi_inclusive, size_t max_rows,
+                     ScanPathCounters* counters) override;
+
   Status status() const override;
 
  private:
-  /// Recomputes the current smallest key and combines matching children.
-  void Combine();
+  /// Pops the children tied at the smallest key and combines their disjoint
+  /// column states into the current row.
+  void BuildCurrent();
+
+  /// Combines the children in tied_ (all positioned at the same key) into
+  /// states_/values_/any_value_. REQUIRES: tied_ non-empty.
+  void CombineTied();
+
+  /// True iff any tied child resolves some position to a value (early-exit
+  /// scan; no writes).
+  bool AnyTiedValue() const;
+
+  /// Appends the current (lockstep, unmaterialized) row straight from the
+  /// children into `batch`. REQUIRES: every child tied and covered_exact_.
+  void EmitTiedRow(ScanBatch* batch) const;
+
+  /// Advances the tied children and rebuilds the current row. In the
+  /// lockstep case (every child tied and still agreeing on the next key)
+  /// the heap stays untouched; `materialize` false defers the combine.
+  void AdvanceTied(ScanPathCounters* counters, bool materialize);
 
   std::vector<std::unique_ptr<ContributionSource>> children_;
+  SourceMinHeap heap_;
+  ScanPathCounters counters_;  // local: the level merge above tracks its own
+  std::vector<int> tied_;      // children contributing the current key
   bool valid_ = false;
+  bool any_value_ = false;
+  // False while the current lockstep row exists only in the children;
+  // states()/values() combine it on demand.
+  mutable bool row_materialized_ = true;
   std::string current_key_;
-  std::vector<ColumnState> states_;
-  std::vector<ColumnValue> values_;
+  mutable std::vector<ColumnState> states_;
+  mutable std::vector<ColumnValue> values_;
+  // Union of the children's covered positions and its complement within Π
+  // (nullptr semantics bubble up: if any child covers "any", covered_exact_
+  // is false, we report null, and the lazy/direct paths stay off).
+  std::vector<int> covered_union_;
+  std::vector<int> uncovered_union_;
+  bool covered_exact_ = false;
 };
 
 }  // namespace laser

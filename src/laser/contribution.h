@@ -10,6 +10,11 @@
 // Column states use fixed positions in Π, so merging across sources is a
 // positional first-non-absent-wins fold, which is exactly the newest-wins
 // semantics of §4.2/§4.3.
+//
+// Sources also support batch-at-a-time draining (AppendRunTo): when the
+// k-way merge proves a source is the sole contributor for a key range, the
+// source emits that whole run straight into a columnar ScanBatch without
+// re-entering the merge layer's virtual dispatch per row.
 
 #ifndef LASER_LASER_CONTRIBUTION_H_
 #define LASER_LASER_CONTRIBUTION_H_
@@ -17,7 +22,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "laser/scan_batch.h"
 #include "laser/schema.h"
+#include "util/coding.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -28,6 +35,29 @@ enum class ColumnState : uint8_t {
   kValue = 1,
   kTombstone = 2,
 };
+
+/// Per-scan instrumentation accumulated without atomics on the hot path;
+/// flushed into the engine-wide Stats when the scan ends.
+struct ScanPathCounters {
+  uint64_t rows_merged = 0;       ///< rows emitted by the merge layer
+  uint64_t source_advances = 0;   ///< contribution-source Next()/run steps
+  uint64_t heap_resifts = 0;      ///< k-way-merge heap repair operations
+};
+
+/// Appends one resolved row to `batch`: positions in the kValue state carry
+/// their value, everything else becomes null. REQUIRES: the caller ensured
+/// column capacity for this row (ScanBatch::EnsureColumnCapacity).
+inline void AppendContributionRow(ScanBatch* batch, uint64_t key,
+                                  const std::vector<ColumnState>& states,
+                                  const std::vector<ColumnValue>& values) {
+  const size_t row = batch->keys.size();
+  batch->keys.push_back(key);
+  for (size_t pos = 0; pos < states.size(); ++pos) {
+    const bool present = states[pos] == ColumnState::kValue;
+    batch->columns[pos].present[row] = present ? 1 : 0;
+    batch->columns[pos].values[row] = present ? values[pos] : 0;
+  }
+}
 
 /// Cursor yielding one combined contribution per user key, ordered by user
 /// key ascending. States/values are parallel to the scan's projection Π.
@@ -47,6 +77,47 @@ class ContributionSource {
   virtual const std::vector<ColumnState>& states() const = 0;
   /// Values for positions whose state is kValue. REQUIRES: Valid().
   virtual const std::vector<ColumnValue>& values() const = 0;
+
+  /// The projection positions this source can ever set (every other position
+  /// of states() is permanently kAbsent), or nullptr meaning "any". Lets
+  /// merge layers fold a narrow column group in O(|group|) instead of
+  /// scanning all of Π — the difference between O(k·|Π|) and O(|Π|) per row
+  /// when a level is split into many small groups.
+  virtual const std::vector<int>* covered_positions() const { return nullptr; }
+
+  /// Drains this source into `batch`, appending up to `max_rows` resolved
+  /// rows while the user key stays strictly below `limit_exclusive` (empty =
+  /// unbounded) and at most `hi_inclusive` (empty = unbounded). Rows that
+  /// resolve to no value (tombstone-only) are consumed but not emitted —
+  /// callers must only delegate a run when this source is the sole
+  /// contributor for it, so nothing older can resurrect those keys. Returns
+  /// the number of rows appended; the source always advances past every key
+  /// it consumed.
+  virtual size_t AppendRunTo(ScanBatch* batch, const Slice& limit_exclusive,
+                             const Slice& hi_inclusive, size_t max_rows,
+                             ScanPathCounters* counters) {
+    size_t appended = 0;
+    while (appended < max_rows && Valid()) {
+      const Slice key = user_key();
+      if (!limit_exclusive.empty() && key.compare(limit_exclusive) >= 0) break;
+      if (!hi_inclusive.empty() && key.compare(hi_inclusive) > 0) break;
+      const std::vector<ColumnState>& row_states = states();
+      bool any_value = false;
+      for (const ColumnState state : row_states) {
+        if (state == ColumnState::kValue) {
+          any_value = true;
+          break;
+        }
+      }
+      if (any_value) {
+        AppendContributionRow(batch, DecodeKey64(key), row_states, values());
+        ++appended;
+      }
+      Next();
+      ++counters->source_advances;
+    }
+    return appended;
+  }
 
   virtual Status status() const = 0;
 };

@@ -40,7 +40,8 @@ LaserDB::LaserDB(const LaserOptions& options)
       picker_(&options_),
       manifest_(options_.env, options_.path) {
   if (options_.block_cache_bytes > 0) {
-    cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes);
+    cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes,
+                                          options_.block_cache_shards);
   }
 }
 
@@ -835,15 +836,15 @@ class PointResolver {
 
   bool done() const { return unresolved_ == 0; }
 
-  /// Projected columns not yet resolved that the given source covers.
-  ColumnSet UnresolvedIn(const ColumnSet& source_columns) const {
-    ColumnSet result;
+  /// Projected columns not yet resolved that the given source covers,
+  /// written into caller-owned scratch (no per-probe allocation).
+  void UnresolvedIn(const ColumnSet& source_columns, ColumnSet* result) const {
+    result->clear();
     for (size_t i = 0; i < projection_.size(); ++i) {
       if (!resolved_[i] && ColumnSetContains(source_columns, projection_[i])) {
-        result.push_back(projection_[i]);
+        result->push_back(projection_[i]);
       }
     }
-    return result;
   }
 
   /// Applies the versions (newest first) of one source covering
@@ -937,19 +938,26 @@ Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
     snapshot = last_sequence_.load();
   }
 
+  // Per-call scratch: the key is encoded into a stack buffer and the probe
+  // vectors are sized once, so the top-down walk below allocates nothing per
+  // memtable/file/CG probed.
   const ColumnSet all_columns = options_.schema.AllColumns();
-  const std::string user_key = EncodeKey64(key);
+  char key_buf[8];
+  EncodeBigEndian64(key_buf, key);
+  const Slice user_key(key_buf, sizeof(key_buf));
   PointResolver resolver(projection, &codec_);
   std::vector<KeyVersion> versions;
+  versions.reserve(4);
+  ColumnSet needed;
+  needed.reserve(projection.size());
 
   // 1. Memtables, newest first.
-  versions.clear();
-  if (mem->GetVersions(Slice(user_key), snapshot, &versions)) {
+  if (mem->GetVersions(user_key, snapshot, &versions)) {
     resolver.Apply(all_columns, versions);
   }
   for (auto it = imms.rbegin(); it != imms.rend() && !resolver.done(); ++it) {
     versions.clear();
-    if ((*it)->GetVersions(Slice(user_key), snapshot, &versions)) {
+    if ((*it)->GetVersions(user_key, snapshot, &versions)) {
       resolver.Apply(all_columns, versions);
     }
   }
@@ -958,9 +966,9 @@ Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
   if (!resolver.done()) {
     const auto& l0 = version->files(0, 0);
     for (auto it = l0.rbegin(); it != l0.rend() && !resolver.done(); ++it) {
-      if (!(*it)->OverlapsUserRange(Slice(user_key), Slice(user_key))) continue;
+      if (!(*it)->OverlapsUserRange(user_key, user_key)) continue;
       versions.clear();
-      if ((*it)->reader->Get(Slice(user_key), snapshot, &versions)) {
+      if ((*it)->reader->Get(user_key, snapshot, &versions)) {
         resolver.Apply(all_columns, versions);
       }
     }
@@ -971,13 +979,12 @@ Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
     resolver.set_current_level(level);
     const auto& groups = options_.cg_config.groups(level);
     for (size_t g = 0; g < groups.size() && !resolver.done(); ++g) {
-      const ColumnSet needed = resolver.UnresolvedIn(groups[g]);
+      resolver.UnresolvedIn(groups[g], &needed);
       if (needed.empty()) continue;
-      auto file = version->FileContaining(level, static_cast<int>(g),
-                                          Slice(user_key));
+      auto file = version->FileContaining(level, static_cast<int>(g), user_key);
       if (file == nullptr) continue;
       versions.clear();
-      if (file->reader->Get(Slice(user_key), snapshot, &versions)) {
+      if (file->reader->Get(user_key, snapshot, &versions)) {
         resolver.Apply(groups[g], versions);
       }
     }
@@ -1017,6 +1024,8 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
   }
 
   const ColumnSet all_columns = options_.schema.AllColumns();
+  const std::string lo_encoded = EncodeKey64(lo_key);
+  const std::string hi_encoded = EncodeKey64(hi_key);
   std::vector<std::unique_ptr<ContributionSource>> sources;
 
   // Memtables: newest first.
@@ -1027,9 +1036,12 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
         (*it)->NewIterator(), &codec_, all_columns, projection, snapshot));
   }
 
-  // Level-0 files: newest first, each its own source (they overlap).
+  // Level-0 files: newest first, each its own source (they overlap each
+  // other) — but a file whose key range is disjoint from [lo, hi] cannot
+  // contribute and is not opened at all.
   const auto& l0 = version->files(0, 0);
   for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
+    if (!(*it)->OverlapsUserRange(Slice(lo_encoded), Slice(hi_encoded))) continue;
     sources.push_back(std::make_unique<ContributionIterator>(
         (*it)->reader->NewIterator(), &codec_, all_columns, projection, snapshot));
   }
@@ -1057,35 +1069,52 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
 
   auto impl = std::make_unique<LevelMergingIterator>(std::move(sources),
                                                      projection.size());
-  impl->Seek(EncodeKey64(lo_key));
+  impl->Seek(Slice(lo_encoded));
 
   std::vector<MemTable*> pinned;
   pinned.push_back(mem);
   pinned.insert(pinned.end(), imms.begin(), imms.end());
   return std::make_unique<ScanIterator>(
       hi_key, std::move(projection), std::move(pinned), std::move(version),
-      std::move(impl), trace_.load(std::memory_order_acquire));
+      std::move(impl), &stats_, trace_.load(std::memory_order_acquire));
 }
 
 ScanIterator::ScanIterator(uint64_t hi_key, ColumnSet projection,
                            std::vector<MemTable*> pinned_memtables,
                            std::shared_ptr<const Version> pinned_version,
                            std::unique_ptr<LevelMergingIterator> impl,
-                           WorkloadTrace* trace)
+                           Stats* stats, WorkloadTrace* trace)
     : projection_(std::move(projection)),
       hi_key_encoded_(EncodeKey64(hi_key)),
       pinned_memtables_(std::move(pinned_memtables)),
       pinned_version_(std::move(pinned_version)),
       impl_(std::move(impl)),
-      trace_(trace) {
-  if (Valid()) rows_emitted_ = 1;
-}
+      stats_(stats),
+      trace_(trace) {}
 
 ScanIterator::~ScanIterator() {
+  if (stats_ != nullptr) {
+    const ScanPathCounters& c = impl_->counters();
+    stats_->scan_rows_merged.fetch_add(c.rows_merged, std::memory_order_relaxed);
+    stats_->scan_source_advances.fetch_add(c.source_advances,
+                                           std::memory_order_relaxed);
+    stats_->scan_heap_resifts.fetch_add(c.heap_resifts,
+                                        std::memory_order_relaxed);
+    stats_->scan_batches_emitted.fetch_add(batches_emitted_,
+                                           std::memory_order_relaxed);
+  }
   if (trace_ != nullptr) {
     trace_->AddRangeScan(projection_, static_cast<double>(rows_emitted_));
   }
   for (MemTable* m : pinned_memtables_) m->Unref();
+}
+
+size_t ScanIterator::NextBatch(ScanBatch* batch, size_t max_rows) {
+  batch->Reset(projection_.size());
+  const size_t n = impl_->AppendRows(batch, Slice(hi_key_encoded_), max_rows);
+  rows_emitted_ += n;
+  if (n > 0) ++batches_emitted_;
+  return n;
 }
 
 bool ScanIterator::Valid() const {
@@ -1095,8 +1124,8 @@ bool ScanIterator::Valid() const {
 
 void ScanIterator::Next() {
   assert(Valid());
+  ++rows_emitted_;
   impl_->Next();
-  if (Valid()) ++rows_emitted_;
 }
 
 uint64_t ScanIterator::key() const { return DecodeKey64(impl_->user_key()); }

@@ -269,19 +269,37 @@ class LaserSnapshot {
 
 /// Cursor over the rows of a range scan (§4.3), in key order, with old
 /// versions discarded and columns stitched across levels and CGs.
+///
+/// Two consumption styles:
+///   - NextBatch(): the fast path. Pulls whole columnar batches (ScanBatch)
+///     out of the heap-based k-way merge; consumers aggregate over flat
+///     per-column arrays.
+///   - Valid()/Next()/values(): the classic per-row cursor, kept as a thin
+///     adapter that prefetches one row at a time from the same merge core.
+/// Use one style per iterator: after the first NextBatch call the per-row
+/// accessors refer to an exhausted cursor.
 class ScanIterator {
  public:
   ScanIterator(uint64_t hi_key, ColumnSet projection,
                std::vector<MemTable*> pinned_memtables,
                std::shared_ptr<const Version> pinned_version,
-               std::unique_ptr<LevelMergingIterator> impl,
+               std::unique_ptr<LevelMergingIterator> impl, Stats* stats = nullptr,
                WorkloadTrace* trace = nullptr);
-  /// Reports the scan to the trace collector (if any) with the number of
-  /// rows actually emitted as its selectivity.
+  /// Flushes scan-path counters into the engine stats and reports the scan
+  /// to the trace collector (if any) with the number of rows actually
+  /// emitted as its selectivity.
   ~ScanIterator();
 
   ScanIterator(const ScanIterator&) = delete;
   ScanIterator& operator=(const ScanIterator&) = delete;
+
+  /// Default fill size for NextBatch.
+  static constexpr size_t kDefaultBatchRows = 1024;
+
+  /// Clears `batch` and fills it with up to `max_rows` rows in key order,
+  /// stopping at the scan's upper bound. Returns the rows appended; 0 means
+  /// the scan is exhausted.
+  size_t NextBatch(ScanBatch* batch, size_t max_rows = kDefaultBatchRows);
 
   bool Valid() const;
   void Next();
@@ -301,8 +319,10 @@ class ScanIterator {
   std::vector<MemTable*> pinned_memtables_;
   std::shared_ptr<const Version> pinned_version_;
   std::unique_ptr<LevelMergingIterator> impl_;
+  Stats* stats_;
   WorkloadTrace* trace_;
-  mutable uint64_t rows_emitted_ = 0;
+  uint64_t rows_emitted_ = 0;
+  uint64_t batches_emitted_ = 0;
 };
 
 }  // namespace laser

@@ -1,82 +1,151 @@
 #include "laser/level_merging_iterator.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "util/coding.h"
 
 namespace laser {
 
 LevelMergingIterator::LevelMergingIterator(
     std::vector<std::unique_ptr<ContributionSource>> sources,
     size_t projection_size)
-    : sources_(std::move(sources)) {
-  row_.resize(projection_size);
+    : sources_(std::move(sources)), projection_size_(projection_size) {
+  states_.resize(projection_size_);
+  values_.resize(projection_size_);
+  row_.resize(projection_size_);
 }
 
 void LevelMergingIterator::SeekToFirst() {
   for (auto& source : sources_) source->SeekToFirst();
-  CombineSkippingDeleted();
+  heap_.Assign(sources_);
+  PrefetchRow();
 }
 
 void LevelMergingIterator::Seek(const Slice& target_user_key) {
   for (auto& source : sources_) source->Seek(target_user_key);
-  CombineSkippingDeleted();
+  heap_.Assign(sources_);
+  PrefetchRow();
 }
 
 void LevelMergingIterator::Next() {
-  assert(valid_);
-  for (auto& source : sources_) {
-    if (source->Valid() && source->user_key() == Slice(current_key_)) {
-      source->Next();
-    }
-  }
-  CombineSkippingDeleted();
+  assert(row_valid_);
+  PrefetchRow();
 }
 
-void LevelMergingIterator::CombineSkippingDeleted() {
-  while (true) {
-    valid_ = false;
-    const ContributionSource* smallest = nullptr;
-    for (const auto& source : sources_) {
-      if (!source->Valid()) continue;
-      if (smallest == nullptr ||
-          source->user_key().compare(smallest->user_key()) < 0) {
-        smallest = source.get();
-      }
+void LevelMergingIterator::PrefetchRow() {
+  row_batch_.Reset(projection_size_);
+  row_batch_.EnsureColumnCapacity(1);
+  row_valid_ = FillRows(&row_batch_, Slice(), 1) > 0;
+  if (!row_valid_) return;
+  row_key_encoded_ = EncodeKey64(row_batch_.keys[0]);
+  for (size_t pos = 0; pos < projection_size_; ++pos) {
+    if (row_batch_.columns[pos].present[0] != 0) {
+      row_[pos] = row_batch_.columns[pos].values[0];
+    } else {
+      row_[pos] = std::nullopt;
     }
-    if (smallest == nullptr) return;  // exhausted
+  }
+}
 
-    current_key_ = smallest->user_key().ToString();
-    std::fill(row_.begin(), row_.end(), std::nullopt);
-    std::vector<bool> resolved(row_.size(), false);
-    bool any_value = false;
+size_t LevelMergingIterator::AppendRows(ScanBatch* batch,
+                                        const Slice& hi_inclusive,
+                                        size_t max_rows) {
+  batch->EnsureColumnCapacity(batch->keys.size() + max_rows);
+  size_t appended = 0;
+  if (row_valid_ && max_rows > 0) {
+    // Drain the row the per-row adapter prefetched (NewScan's initial Seek
+    // positions the merge, which materializes one row ahead).
+    row_valid_ = false;
+    if (!hi_inclusive.empty() &&
+        Slice(row_key_encoded_).compare(hi_inclusive) > 0) {
+      return 0;  // the prefetched row already lies beyond the scan range
+    }
+    const size_t row = batch->keys.size();
+    batch->keys.push_back(row_batch_.keys[0]);
+    for (size_t pos = 0; pos < projection_size_; ++pos) {
+      batch->columns[pos].present[row] = row_batch_.columns[pos].present[0];
+      batch->columns[pos].values[row] = row_batch_.columns[pos].values[0];
+    }
+    ++appended;
+  }
+  appended += FillRows(batch, hi_inclusive, max_rows - appended);
+  return appended;
+}
 
-    // Sources are in newest-to-oldest order; the first non-absent state per
-    // column wins (per-column chains preserve sequence order across levels).
-    for (const auto& source : sources_) {
-      if (!source->Valid() || source->user_key() != Slice(current_key_)) continue;
-      const auto& states = source->states();
-      const auto& values = source->values();
-      for (size_t pos = 0; pos < states.size(); ++pos) {
-        if (resolved[pos] || states[pos] == ColumnState::kAbsent) continue;
-        resolved[pos] = true;
-        if (states[pos] == ColumnState::kValue) {
-          row_[pos] = values[pos];
-          any_value = true;
+size_t LevelMergingIterator::FillRows(ScanBatch* batch, const Slice& hi_inclusive,
+                                      size_t max_rows) {
+  size_t appended = 0;
+  while (appended < max_rows && !heap_.empty()) {
+    const Slice top_key = heap_.top_key();
+    if (!hi_inclusive.empty() && top_key.compare(hi_inclusive) > 0) break;
+    const Slice second = heap_.second_key();
+    if (second.empty() || top_key != second) {
+      // The top source is the sole contributor until `second`: let it emit
+      // the whole run batch-at-a-time, then repair the heap once.
+      const size_t n = heap_.top_source()->AppendRunTo(
+          batch, second, hi_inclusive, max_rows - appended, &counters_);
+      appended += n;
+      counters_.rows_merged += n;
+      heap_.ReheapTop(&counters_);
+    } else {
+      appended += CombineTiedRow(batch);
+    }
+  }
+  return appended;
+}
+
+size_t LevelMergingIterator::CombineTiedRow(ScanBatch* batch) {
+  heap_.PopTies(&tied_, &counters_);
+  assert(tied_.size() >= 2);
+
+  // Sources pop in ascending priority order (newest first); the first
+  // non-absent state per column wins (per-column chains preserve sequence
+  // order across levels). A source advertising covered positions is folded
+  // over just those.
+  std::fill(states_.begin(), states_.end(), ColumnState::kAbsent);
+  bool any_value = false;
+  for (const int index : tied_) {
+    const auto& states = sources_[index]->states();
+    const auto& values = sources_[index]->values();
+    const std::vector<int>* covered = sources_[index]->covered_positions();
+    if (covered != nullptr) {
+      for (const int pos : *covered) {
+        if (states_[pos] == ColumnState::kAbsent &&
+            states[pos] != ColumnState::kAbsent) {
+          states_[pos] = states[pos];
+          values_[pos] = values[pos];
+          if (states[pos] == ColumnState::kValue) any_value = true;
         }
-        // kTombstone -> stays nullopt.
       }
-    }
-
-    if (any_value) {
-      valid_ = true;
-      return;
-    }
-    // Fully deleted key: advance every source past it and retry.
-    for (auto& source : sources_) {
-      if (source->Valid() && source->user_key() == Slice(current_key_)) {
-        source->Next();
+    } else {
+      for (size_t pos = 0; pos < states.size(); ++pos) {
+        if (states_[pos] == ColumnState::kAbsent &&
+            states[pos] != ColumnState::kAbsent) {
+          states_[pos] = states[pos];
+          values_[pos] = values[pos];
+          if (states[pos] == ColumnState::kValue) any_value = true;
+        }
       }
     }
   }
+
+  // Decode before advancing: the key slice points into source storage.
+  const uint64_t key = DecodeKey64(sources_[tied_[0]]->user_key());
+
+  size_t appended = 0;
+  if (any_value) {
+    AppendContributionRow(batch, key, states_, values_);
+    appended = 1;
+    ++counters_.rows_merged;
+  }
+  // Fully deleted keys emit nothing; the sources still advance past them.
+  for (const int index : tied_) {
+    sources_[index]->Next();
+    ++counters_.source_advances;
+    if (sources_[index]->Valid()) heap_.Push(index, &counters_);
+  }
+  return appended;
 }
 
 Status LevelMergingIterator::status() const {

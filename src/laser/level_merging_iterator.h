@@ -3,15 +3,25 @@
 // levels 1..L-1 — resolving each projected column with the newest
 // contribution and discarding old versions, and emitting fully stitched rows
 // in user-key order.
+//
+// The engine is batch-at-a-time: a min-heap (SourceMinHeap) orders sources
+// by key, and whenever the top source is the sole contributor for a key
+// range it drains that whole run straight into a columnar ScanBatch
+// (AppendRunTo), so merge cost is O(log k) per source advance instead of a
+// linear O(k) sweep per row. The per-row API survives as a thin adapter that
+// prefetches one row at a time from the batched core.
 
 #ifndef LASER_LASER_LEVEL_MERGING_ITERATOR_H_
 #define LASER_LASER_LEVEL_MERGING_ITERATOR_H_
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "laser/contribution.h"
+#include "laser/scan_batch.h"
+#include "laser/source_heap.h"
 
 namespace laser {
 
@@ -22,13 +32,24 @@ class LevelMergingIterator {
   LevelMergingIterator(std::vector<std::unique_ptr<ContributionSource>> sources,
                        size_t projection_size);
 
-  bool Valid() const { return valid_; }
+  // -- batched core --
+
+  /// Appends up to `max_rows` resolved rows with user key <= `hi_inclusive`
+  /// (empty = unbounded) to `batch` and returns the number appended; 0 means
+  /// no further rows exist within the bound. Any row prefetched by the
+  /// per-row adapter is drained first; after the first AppendRows call the
+  /// per-row accessors below refer to an exhausted cursor.
+  size_t AppendRows(ScanBatch* batch, const Slice& hi_inclusive, size_t max_rows);
+
+  // -- per-row adapter --
+
+  bool Valid() const { return row_valid_; }
   void SeekToFirst();
   void Seek(const Slice& target_user_key);
   void Next();
 
   /// Current user key. REQUIRES: Valid().
-  Slice user_key() const { return Slice(current_key_); }
+  Slice user_key() const { return Slice(row_key_encoded_); }
 
   /// Resolved values, parallel to Π; nullopt = deleted or never written.
   /// REQUIRES: Valid().
@@ -36,14 +57,37 @@ class LevelMergingIterator {
 
   Status status() const;
 
+  /// Scan-path instrumentation accumulated by this merge (no atomics);
+  /// flushed to engine Stats by the owning ScanIterator.
+  const ScanPathCounters& counters() const { return counters_; }
+
  private:
-  /// Combines sources at the smallest current key; skips keys that resolve
-  /// to nothing (fully deleted rows).
-  void CombineSkippingDeleted();
+  /// The heap-driven merge loop; ignores the per-row prefetch state.
+  size_t FillRows(ScanBatch* batch, const Slice& hi_inclusive, size_t max_rows);
+
+  /// Combines the ≥2 sources tied at the smallest key into one row
+  /// (first-non-absent-wins in priority order), advances them all, and
+  /// appends the row unless it resolved to nothing. Returns rows appended
+  /// (0 or 1). REQUIRES: !heap_.empty() and a genuine key tie at the top.
+  size_t CombineTiedRow(ScanBatch* batch);
+
+  /// Pulls the next row into the per-row adapter state.
+  void PrefetchRow();
 
   std::vector<std::unique_ptr<ContributionSource>> sources_;
-  bool valid_ = false;
-  std::string current_key_;
+  const size_t projection_size_;
+  SourceMinHeap heap_;
+  ScanPathCounters counters_;
+
+  // Tie-combining scratch (reused across rows; no per-row allocation).
+  std::vector<int> tied_;
+  std::vector<ColumnState> states_;
+  std::vector<ColumnValue> values_;
+
+  // Per-row adapter state.
+  bool row_valid_ = false;
+  ScanBatch row_batch_;
+  std::string row_key_encoded_;
   std::vector<std::optional<ColumnValue>> row_;
 };
 

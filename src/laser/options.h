@@ -98,6 +98,10 @@ struct LaserOptions {
   /// Shared uncompressed-block cache; 0 disables.
   size_t block_cache_bytes = 32 * 1024 * 1024;
 
+  /// Lock shards of the block cache (rounded up to a power of two; clamped
+  /// down so every shard holds a useful working set). 0 = default (16).
+  int block_cache_shards = 0;
+
   /// Write-ahead logging (durability).
   bool use_wal = true;
 

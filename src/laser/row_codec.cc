@@ -15,15 +15,6 @@ void RowCodec::EncodeValue(int column, ColumnValue value, std::string* dst) cons
   dst->append(buf, width);
 }
 
-ColumnValue RowCodec::DecodeValue(int column, const char* src) const {
-  const size_t width = schema_->value_size(column);
-  ColumnValue value = 0;
-  for (size_t i = 0; i < width; ++i) {
-    value |= static_cast<ColumnValue>(static_cast<unsigned char>(src[i])) << (8 * i);
-  }
-  return value;
-}
-
 std::string RowCodec::Encode(const ColumnSet& cg,
                              const std::vector<ColumnValuePair>& values) const {
   std::string out(BitmapBytes(cg), '\0');

@@ -9,6 +9,7 @@
 #ifndef LASER_LASER_ROW_CODEC_H_
 #define LASER_LASER_ROW_CODEC_H_
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,30 @@ class RowCodec {
   /// Decodes an encoded row, appending present (column, value) pairs.
   Status Decode(const ColumnSet& cg, const Slice& data,
                 std::vector<ColumnValuePair>* values) const;
+
+  /// Zero-materialization decode for the scan hot path: calls
+  /// `fn(index_in_cg, value)` for every present column, in CG order, without
+  /// building a pair vector. A malformed row returns non-OK with fn never
+  /// called (all-or-nothing, like Decode): the bitmap is sized against the
+  /// payload before any value is emitted.
+  template <typename Fn>
+  Status DecodeForEach(const ColumnSet& cg, const Slice& data, Fn&& fn) const {
+    const size_t bitmap_bytes = BitmapBytes(cg);
+    if (data.size() < bitmap_bytes) return Status::Corruption("row too short");
+    const char* bitmap = data.data();
+    size_t needed = bitmap_bytes;
+    for (size_t i = 0; i < cg.size(); ++i) {
+      if (BitmapTest(bitmap, i)) needed += schema_->value_size(cg[i]);
+    }
+    if (data.size() < needed) return Status::Corruption("row value overrun");
+    const char* p = data.data() + bitmap_bytes;
+    for (size_t i = 0; i < cg.size(); ++i) {
+      if (!BitmapTest(bitmap, i)) continue;
+      fn(i, DecodeValue(cg[i], p));
+      p += schema_->value_size(cg[i]);
+    }
+    return Status::OK();
+  }
 
   /// True iff every column of `cg` is present in `data`.
   bool IsComplete(const ColumnSet& cg, const Slice& data) const;
@@ -51,6 +76,25 @@ class RowCodec {
   /// Byte size of a full row for this CG (bitmap + all values).
   size_t FullRowSize(const ColumnSet& cg) const;
 
+  /// On-disk width of one column's value.
+  size_t ValueWidth(int column) const { return schema_->value_size(column); }
+
+  /// Inline with fixed-width fast paths: runs once per value in scan decode.
+  ColumnValue DecodeValue(int column, const char* src) const {
+    switch (schema_->value_size(column)) {
+      case 4: {
+        uint32_t v;
+        memcpy(&v, src, sizeof(v));  // little-endian hosts only (see coding.h)
+        return v;
+      }
+      default: {
+        uint64_t v;
+        memcpy(&v, src, sizeof(v));
+        return v;
+      }
+    }
+  }
+
  private:
   static size_t BitmapBytes(const ColumnSet& cg) { return (cg.size() + 7) / 8; }
   static bool BitmapTest(const char* bitmap, size_t i) {
@@ -60,7 +104,6 @@ class RowCodec {
 
   /// Writes a value at `dst` using the column's width.
   void EncodeValue(int column, ColumnValue value, std::string* dst) const;
-  ColumnValue DecodeValue(int column, const char* src) const;
 
   const Schema* schema_;
 };

@@ -1,0 +1,59 @@
+// ScanBatch: the columnar output unit of the batched scan path (§4.3 read
+// path, rebuilt batch-at-a-time). A scan produces runs of rows at once —
+// keys plus one value/presence vector per projected column — so consumers
+// aggregate over flat arrays instead of crossing the iterator virtual-call
+// stack once per row.
+
+#ifndef LASER_LASER_SCAN_BATCH_H_
+#define LASER_LASER_SCAN_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "laser/schema.h"
+
+namespace laser {
+
+/// Columnar batch of scan results. Row i has primary key `keys[i]`; for
+/// projection position j, `columns[j].present[i]` says whether the row has a
+/// value there (0 = null: deleted or never written) and `columns[j].values[i]`
+/// holds it (unspecified when absent).
+///
+/// The row count is size() == keys.size(). The per-column vectors are kept
+/// at batch capacity (>= size()) so the fill loops write them by index with
+/// no per-element growth bookkeeping; entries at positions >= size() are
+/// stale scratch — always bound reads by size().
+struct ScanBatch {
+  struct Column {
+    std::vector<ColumnValue> values;
+    std::vector<uint8_t> present;
+  };
+
+  std::vector<uint64_t> keys;
+  std::vector<Column> columns;
+
+  size_t size() const { return keys.size(); }
+  bool empty() const { return keys.empty(); }
+
+  /// Clears all rows and (re)shapes the batch to `projection_width` columns.
+  /// Column storage is retained, so a reused batch only allocates on growth.
+  void Reset(size_t projection_width) {
+    keys.clear();
+    columns.resize(projection_width);
+  }
+
+  /// Guarantees every column vector can be written by index for rows
+  /// [0, rows). Called by the merge layer before a fill.
+  void EnsureColumnCapacity(size_t rows) {
+    for (Column& column : columns) {
+      if (column.values.size() < rows) {
+        column.values.resize(rows);
+        column.present.resize(rows);
+      }
+    }
+  }
+};
+
+}  // namespace laser
+
+#endif  // LASER_LASER_SCAN_BATCH_H_

@@ -5,18 +5,6 @@
 
 namespace laser {
 
-size_t ColumnTypeSize(ColumnType type) {
-  switch (type) {
-    case ColumnType::kInt32:
-    case ColumnType::kFloat:
-      return 4;
-    case ColumnType::kInt64:
-    case ColumnType::kDouble:
-      return 8;
-  }
-  return 8;
-}
-
 bool ColumnSetContains(const ColumnSet& set, int column) {
   return std::binary_search(set.begin(), set.end(), column);
 }

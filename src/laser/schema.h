@@ -24,8 +24,19 @@ enum class ColumnType : uint8_t {
   kDouble = 3,
 };
 
-/// Width in bytes of a column value on disk.
-size_t ColumnTypeSize(ColumnType type);
+/// Width in bytes of a column value on disk. Inline/constexpr: the scan
+/// decode loop consults it once per value.
+constexpr size_t ColumnTypeSize(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+    case ColumnType::kFloat:
+      return 4;
+    case ColumnType::kInt64:
+    case ColumnType::kDouble:
+      return 8;
+  }
+  return 8;
+}
 
 struct ColumnSpec {
   std::string name;

@@ -45,6 +45,26 @@ class RunIterator final : public Iterator {
     SkipEmptyFilesForward();
   }
 
+  size_t NextRun(IteratorRun* run, size_t max_entries) override {
+    // Advancing to the next file destroys the previous file's iterator (and
+    // with it the block the previous run's slices referenced), so the file
+    // hop only happens at the top of the following call — by then the
+    // caller has consumed the old run.
+    while (iter_ != nullptr) {
+      const size_t n = iter_->NextRun(run, max_entries);
+      if (n > 0) return n;
+      if (!iter_->status().ok()) {
+        status_ = iter_->status();
+        iter_.reset();
+        return 0;
+      }
+      ++index_;
+      InitIterator();
+      if (iter_ != nullptr) iter_->SeekToFirst();
+    }
+    return 0;
+  }
+
   Slice key() const override { return iter_->key(); }
   Slice value() const override { return iter_->value(); }
 

@@ -132,6 +132,20 @@ class MemTableIterator final : public Iterator {
 
   void Next() override { iter_.Next(); }
 
+  size_t NextRun(IteratorRun* run, size_t max_entries) override {
+    // Skiplist entries live in the memtable arena, which outlives every
+    // iterator: the run aliases them directly, no copies at all.
+    size_t n = 0;
+    while (n < max_entries && iter_.Valid()) {
+      const Slice k = GetLengthPrefixed(iter_.key());
+      run->keys.push_back(k);
+      run->values.push_back(GetLengthPrefixed(k.data() + k.size()));
+      ++n;
+      iter_.Next();
+    }
+    return n;
+  }
+
   Slice key() const override { return GetLengthPrefixed(iter_.key()); }
 
   Slice value() const override {

@@ -101,6 +101,29 @@ class Block::Iter final : public Iterator {
     assert(Valid());
     return value_;
   }
+
+  size_t NextRun(IteratorRun* run, size_t max_entries) override {
+    // The batched decode loop: entries stream out of the block with zero
+    // virtual dispatch per entry. Values alias the block's own storage;
+    // keys are materialized into the run arena (key_ is reused by the
+    // delta-decoder), which is grown only between runs so earlier slices
+    // never dangle.
+    size_t n = 0;
+    while (n < max_entries && Valid()) {
+      const size_t offset = run->arena.size();
+      if (offset + key_.size() > run->arena.capacity()) {
+        if (n > 0) break;
+        run->arena.reserve(offset + key_.size() + 4096);
+      }
+      run->arena.append(key_);
+      run->keys.emplace_back(run->arena.data() + offset, key_.size());
+      run->values.push_back(value_);
+      ++n;
+      ParseNextKey();
+    }
+    return n;
+  }
+
   Status status() const override { return status_; }
 
  private:

@@ -2,58 +2,97 @@
 
 namespace laser {
 
-BlockCache::BlockCache(size_t capacity_bytes) : capacity_(capacity_bytes) {}
+namespace {
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// A shard smaller than a few blocks would thrash: halve the shard count
+/// until every shard can hold a useful working set (or one shard remains).
+size_t PickShardCount(size_t capacity_bytes, int requested) {
+  constexpr size_t kMinShardBytes = 64 * 1024;
+  size_t shards = RoundUpToPowerOfTwo(
+      requested > 0 ? static_cast<size_t>(requested) : BlockCache::kDefaultShards);
+  while (shards > 1 && capacity_bytes / shards < kMinShardBytes) shards >>= 1;
+  return shards;
+}
+
+}  // namespace
+
+BlockCache::BlockCache(size_t capacity_bytes, int num_shards)
+    : capacity_(capacity_bytes),
+      shard_mask_(PickShardCount(capacity_bytes, num_shards) - 1),
+      shards_(shard_mask_ + 1) {
+  // Even split; the remainder (< num_shards bytes) is deliberately dropped
+  // rather than making one shard different from the rest.
+  const size_t per_shard = capacity_ / shards_.size();
+  for (Shard& shard : shards_) shard.capacity = per_shard;
+}
 
 std::shared_ptr<Block> BlockCache::Lookup(uint64_t file_number, uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(CacheKey{file_number, offset});
-  if (it == index_.end()) return nullptr;
+  const CacheKey key{file_number, offset};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
   // Move to front.
-  lru_.splice(lru_.begin(), lru_, it->second);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->block;
 }
 
 void BlockCache::Insert(uint64_t file_number, uint64_t offset,
                         std::shared_ptr<Block> block) {
-  std::lock_guard<std::mutex> lock(mu_);
   const CacheKey key{file_number, offset};
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    charge_ -= it->second->charge;
-    lru_.erase(it->second);
-    index_.erase(it);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.charge -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
   }
   const size_t charge = block->size() + sizeof(Entry);
-  lru_.push_front(Entry{key, std::move(block), charge});
-  index_[key] = lru_.begin();
-  charge_ += charge;
-  EvictIfNeeded();
+  shard.lru.push_front(Entry{key, std::move(block), charge});
+  shard.index[key] = shard.lru.begin();
+  shard.charge += charge;
+  shard.EvictIfNeeded();
 }
 
 void BlockCache::EraseFile(uint64_t file_number) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->key.file_number == file_number) {
-      charge_ -= it->charge;
-      index_.erase(it->key);
-      it = lru_.erase(it);
-    } else {
-      ++it;
+  // A file's blocks hash to arbitrary shards; sweep them all. Each shard is
+  // locked independently, so in-flight lookups on other shards proceed.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.file_number == file_number) {
+        shard.charge -= it->charge;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
 size_t BlockCache::charge() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return charge_;
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.charge;
+  }
+  return total;
 }
 
-void BlockCache::EvictIfNeeded() {
-  while (charge_ > capacity_ && !lru_.empty()) {
-    const Entry& victim = lru_.back();
-    charge_ -= victim.charge;
-    index_.erase(victim.key);
-    lru_.pop_back();
+void BlockCache::Shard::EvictIfNeeded() {
+  while (charge > capacity && !lru.empty()) {
+    const Entry& victim = lru.back();
+    charge -= victim.charge;
+    index.erase(victim.key);
+    lru.pop_back();
   }
 }
 

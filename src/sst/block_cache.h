@@ -1,6 +1,9 @@
 // Sharded LRU cache of uncompressed blocks, keyed by (file_number, offset).
 // §2.1 assumes index blocks and bloom filters are cached in memory; the
-// block cache extends that to hot data blocks, as RocksDB does.
+// block cache extends that to hot data blocks, as RocksDB does. The cache is
+// split into N power-of-two shards selected by key hash — each shard owns
+// its own mutex, LRU list, index, and charge accounting — so concurrent
+// scan threads touching different blocks never serialize on one lock.
 
 #ifndef LASER_SST_BLOCK_CACHE_H_
 #define LASER_SST_BLOCK_CACHE_H_
@@ -10,15 +13,18 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "sst/block.h"
 
 namespace laser {
 
-/// Thread-safe LRU cache with a byte-size capacity.
+/// Thread-safe sharded LRU cache with a byte-size capacity.
 class BlockCache {
  public:
-  explicit BlockCache(size_t capacity_bytes);
+  /// `num_shards` is rounded up to a power of two; 0 picks the default
+  /// (kDefaultShards). Capacity is divided evenly across shards.
+  explicit BlockCache(size_t capacity_bytes, int num_shards = 0);
 
   BlockCache(const BlockCache&) = delete;
   BlockCache& operator=(const BlockCache&) = delete;
@@ -29,11 +35,15 @@ class BlockCache {
   /// Inserts a block (replacing any previous entry for the key).
   void Insert(uint64_t file_number, uint64_t offset, std::shared_ptr<Block> block);
 
-  /// Drops all blocks belonging to a deleted file.
+  /// Drops all blocks belonging to a deleted file (visits every shard).
   void EraseFile(uint64_t file_number);
 
+  /// Total bytes charged across all shards.
   size_t charge() const;
   size_t capacity() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  static constexpr int kDefaultShards = 16;
 
  private:
   struct CacheKey {
@@ -54,13 +64,26 @@ class BlockCache {
     size_t charge;
   };
 
-  void EvictIfNeeded();  // REQUIRES: mu_ held
+  /// One independently locked slice of the cache.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index;
+    size_t charge = 0;
+    size_t capacity = 0;
+
+    void EvictIfNeeded();  // REQUIRES: mu held
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return shards_[CacheKeyHash()(key) & shard_mask_];
+  }
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> index_;
-  size_t charge_ = 0;
+  size_t shard_mask_;
+  // Constructed once at the final size; Shard is neither movable nor
+  // copyable (it owns a mutex), which vector(count) does not require.
+  std::vector<Shard> shards_;
 };
 
 }  // namespace laser

@@ -169,6 +169,16 @@ class SstReader::TwoLevelIterator final : public Iterator {
     SkipEmptyDataBlocksForward();
   }
 
+  size_t NextRun(IteratorRun* run, size_t max_entries) override {
+    // The block hop is deferred to the NEXT call: hopping right after the
+    // fill would release the block the returned value slices point into.
+    if (data_iter_ == nullptr || !data_iter_->Valid()) {
+      SkipEmptyDataBlocksForward();
+      if (data_iter_ == nullptr) return 0;
+    }
+    return data_iter_->NextRun(run, max_entries);
+  }
+
   Slice key() const override { return data_iter_->key(); }
   Slice value() const override { return data_iter_->value(); }
 

@@ -5,10 +5,31 @@
 #ifndef LASER_UTIL_ITERATOR_H_
 #define LASER_UTIL_ITERATOR_H_
 
+#include <string>
+#include <vector>
+
 #include "util/slice.h"
 #include "util/status.h"
 
 namespace laser {
+
+/// A run of consecutive (key, value) entries pulled out of an iterator in
+/// one virtual call (Iterator::NextRun). Slices reference iterator-owned
+/// storage or this run's `arena`; they are invalidated by the next
+/// NextRun/Seek on the iterator. `arena` is reserved before appending and
+/// never reallocated mid-run, so earlier slices stay valid while filling.
+struct IteratorRun {
+  std::vector<Slice> keys;
+  std::vector<Slice> values;
+  std::string arena;  ///< backing store for entries the source must copy
+
+  size_t size() const { return keys.size(); }
+  void clear() {
+    keys.clear();
+    values.clear();
+    arena.clear();
+  }
+};
 
 /// Forward/seekable cursor over an ordered (key, value) sequence. Keys are
 /// internal keys unless documented otherwise. Not thread-safe.
@@ -37,6 +58,39 @@ class Iterator {
 
   /// Current value. Valid until the next mutation of the iterator.
   virtual Slice value() const = 0;
+
+  /// Bulk pull for the batched scan path: appends up to `max_entries`
+  /// consecutive entries to `run` (which the caller cleared) and consumes
+  /// them, collapsing the per-entry virtual dispatch to one call per run.
+  /// Returns the number appended; 0 means the stream is exhausted (or
+  /// errored — check status()). Overrides may stop early at internal
+  /// boundaries (block/file edges); only a 0 return means the end.
+  ///
+  /// After a NextRun call the per-row accessors (Valid/key/value/Next) are
+  /// unspecified until the next Seek/SeekToFirst: sources that read ahead
+  /// defer their internal block/file hops to the next NextRun call. Consume
+  /// a stream with either NextRun or the per-row API, not both.
+  virtual size_t NextRun(IteratorRun* run, size_t max_entries) {
+    // Generic fallback: copy keys and values into the run arena (advancing
+    // an arbitrary iterator may invalidate its previous entry's slices).
+    size_t n = 0;
+    while (n < max_entries && Valid()) {
+      const Slice k = key();
+      const Slice v = value();
+      const size_t offset = run->arena.size();
+      if (offset + k.size() + v.size() > run->arena.capacity()) {
+        if (n > 0) break;  // a reallocation would dangle the earlier slices
+        run->arena.reserve(offset + k.size() + v.size() + 4096);
+      }
+      run->arena.append(k.data(), k.size());
+      run->arena.append(v.data(), v.size());
+      run->keys.emplace_back(run->arena.data() + offset, k.size());
+      run->values.emplace_back(run->arena.data() + offset + k.size(), v.size());
+      ++n;
+      Next();
+    }
+    return n;
+  }
 
   /// Non-OK if an error was encountered (e.g. block corruption).
   virtual Status status() const = 0;

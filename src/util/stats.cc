@@ -5,11 +5,12 @@
 namespace laser {
 
 std::string Stats::ToString() const {
-  char buf[512];
+  char buf[768];
   snprintf(buf, sizeof(buf),
            "data_blocks=%llu index_blocks=%llu cache_hit=%llu cache_miss=%llu "
            "bloom_neg=%llu/%llu flushed=%lluB compacted=%lluB "
-           "compactions=%llu stalls=%lluus wal_groups=%llu/%llu wal_syncs=%llu",
+           "compactions=%llu stalls=%lluus wal_groups=%llu/%llu wal_syncs=%llu "
+           "scan_rows=%llu scan_batches=%llu scan_advances=%llu scan_resifts=%llu",
            static_cast<unsigned long long>(data_block_reads.load()),
            static_cast<unsigned long long>(index_block_reads.load()),
            static_cast<unsigned long long>(block_cache_hits.load()),
@@ -22,7 +23,11 @@ std::string Stats::ToString() const {
            static_cast<unsigned long long>(write_stall_micros.load()),
            static_cast<unsigned long long>(wal_group_commits.load()),
            static_cast<unsigned long long>(wal_group_writes.load()),
-           static_cast<unsigned long long>(wal_syncs.load()));
+           static_cast<unsigned long long>(wal_syncs.load()),
+           static_cast<unsigned long long>(scan_rows_merged.load()),
+           static_cast<unsigned long long>(scan_batches_emitted.load()),
+           static_cast<unsigned long long>(scan_source_advances.load()),
+           static_cast<unsigned long long>(scan_heap_resifts.load()));
   return buf;
 }
 

@@ -25,6 +25,12 @@ class Stats {
   std::atomic<uint64_t> point_reads{0};
   std::atomic<uint64_t> range_scans{0};
 
+  // -- scan path (batched merge; flushed per scan, not per row) --
+  std::atomic<uint64_t> scan_rows_merged{0};      ///< rows emitted by merges
+  std::atomic<uint64_t> scan_batches_emitted{0};  ///< non-empty NextBatch fills
+  std::atomic<uint64_t> scan_source_advances{0};  ///< contribution-source steps
+  std::atomic<uint64_t> scan_heap_resifts{0};     ///< k-way-merge heap repairs
+
   // -- write path --
   std::atomic<uint64_t> bytes_written_wal{0};
   std::atomic<uint64_t> wal_syncs{0};          ///< fsyncs issued on the WAL
@@ -45,6 +51,10 @@ class Stats {
     bloom_negatives = 0;
     point_reads = 0;
     range_scans = 0;
+    scan_rows_merged = 0;
+    scan_batches_emitted = 0;
+    scan_source_advances = 0;
+    scan_heap_resifts = 0;
     bytes_written_wal = 0;
     wal_syncs = 0;
     wal_group_commits = 0;

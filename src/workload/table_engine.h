@@ -91,15 +91,24 @@ class LaserTableEngine final : public TableEngine {
     result->rows = 0;
     auto scan = db_->NewScan(lo, hi, projection);
     if (scan == nullptr) return Status::InvalidArgument("bad projection");
-    for (; scan->Valid(); scan->Next()) {
-      const auto& row = scan->values();
-      for (size_t i = 0; i < row.size(); ++i) {
-        if (row[i].has_value()) {
-          result->sums[i] += *row[i];
-          result->maxima[i] = std::max(result->maxima[i], *row[i]);
+    // Batch-at-a-time: the aggregate folds flat per-column arrays instead of
+    // crossing the iterator stack once per row.
+    ScanBatch batch;
+    while (size_t n = scan->NextBatch(&batch)) {
+      for (size_t i = 0; i < projection.size(); ++i) {
+        const ScanBatch::Column& column = batch.columns[i];
+        uint64_t sum = result->sums[i];
+        uint64_t maximum = result->maxima[i];
+        for (size_t r = 0; r < n; ++r) {
+          if (column.present[r]) {
+            sum += column.values[r];
+            maximum = std::max(maximum, column.values[r]);
+          }
         }
+        result->sums[i] = sum;
+        result->maxima[i] = maximum;
       }
-      ++result->rows;
+      result->rows += n;
     }
     return scan->status();
   }

@@ -1,0 +1,301 @@
+// Randomized differential test of the batched scan path: NextBatch (at many
+// batch sizes, including sizes that straddle key runs) must agree exactly
+// with the per-row cursor AND with a naive in-memory model, across random
+// workloads of inserts / partial updates / deletes, flush/compaction cuts,
+// several CG designs, and snapshot isolation (a scan opened before later
+// writes must not see them).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "laser/laser_db.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace laser {
+namespace {
+
+constexpr int kColumns = 10;
+constexpr int kLevels = 5;
+constexpr uint64_t kKeySpace = 700;
+
+// column id -> value; a key absent from the model is deleted/never written.
+using ModelRow = std::map<int, uint64_t>;
+using Model = std::map<uint64_t, ModelRow>;
+
+struct ResultRow {
+  uint64_t key = 0;
+  std::vector<std::optional<ColumnValue>> values;
+
+  bool operator==(const ResultRow&) const = default;
+};
+
+std::string Describe(const std::vector<ResultRow>& rows, size_t limit = 5) {
+  std::ostringstream out;
+  out << rows.size() << " rows:";
+  for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+    out << " " << rows[i].key << "(";
+    for (const auto& v : rows[i].values) {
+      if (v.has_value()) {
+        out << *v << ",";
+      } else {
+        out << "null,";
+      }
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+/// What the engine must return for [lo, hi] with `projection`: rows in key
+/// order where at least one projected column has a value; other projected
+/// columns are null.
+std::vector<ResultRow> ModelScan(const Model& model, uint64_t lo, uint64_t hi,
+                                 const ColumnSet& projection) {
+  std::vector<ResultRow> out;
+  for (auto it = model.lower_bound(lo); it != model.end() && it->first <= hi;
+       ++it) {
+    ResultRow row;
+    row.key = it->first;
+    bool any = false;
+    for (const int column : projection) {
+      auto v = it->second.find(column);
+      if (v != it->second.end()) {
+        row.values.emplace_back(v->second);
+        any = true;
+      } else {
+        row.values.emplace_back(std::nullopt);
+      }
+    }
+    if (any) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<ResultRow> RowApiScan(LaserDB* db, uint64_t lo, uint64_t hi,
+                                  const ColumnSet& projection) {
+  std::vector<ResultRow> out;
+  auto scan = db->NewScan(lo, hi, projection);
+  EXPECT_NE(scan, nullptr);
+  for (; scan->Valid(); scan->Next()) {
+    out.push_back(ResultRow{scan->key(), scan->values()});
+  }
+  EXPECT_TRUE(scan->status().ok());
+  return out;
+}
+
+std::vector<ResultRow> BatchApiScan(LaserDB* db, uint64_t lo, uint64_t hi,
+                                    const ColumnSet& projection,
+                                    size_t batch_rows) {
+  std::vector<ResultRow> out;
+  auto scan = db->NewScan(lo, hi, projection);
+  EXPECT_NE(scan, nullptr);
+  ScanBatch batch;
+  while (size_t n = scan->NextBatch(&batch, batch_rows)) {
+    EXPECT_LE(n, batch_rows);
+    EXPECT_EQ(batch.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ResultRow row;
+      row.key = batch.keys[i];
+      for (size_t c = 0; c < projection.size(); ++c) {
+        if (batch.columns[c].present[i]) {
+          row.values.emplace_back(batch.columns[c].values[i]);
+        } else {
+          row.values.emplace_back(std::nullopt);
+        }
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  EXPECT_TRUE(scan->status().ok());
+  return out;
+}
+
+class ScanBatchDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanBatchDifferentialTest, BatchMatchesRowMatchesModel) {
+  const int seed = GetParam();
+  Random rng(0x5ca4ba7c + static_cast<uint64_t>(seed) * 7919);
+
+  // Rotate the design with the seed so row-only, equi-width, and the
+  // hybrid/simulated-columnar layouts all get differential coverage.
+  const std::vector<test::DesignParam> designs = {
+      {"row", 0}, {"cg3", 3}, {"htap", -1}, {"col", 1}};
+  const test::DesignParam& design = designs[seed % designs.size()];
+
+  auto env = NewMemEnv();
+  LaserOptions options = test::TinyTreeOptions(env.get(), "/db", kColumns,
+                                               kLevels);
+  options.cg_config = test::DesignConfig(design, kColumns, kLevels);
+  options.background_threads = 2;
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+
+  Model model;
+  const int ops = 1600;
+  for (int op = 0; op < ops; ++op) {
+    const uint64_t key = rng.Uniform(kKeySpace);
+    const uint32_t kind = rng.Uniform(10);
+    if (kind < 6) {
+      std::vector<ColumnValue> row(kColumns);
+      for (int c = 0; c < kColumns; ++c) row[c] = rng.Uniform(1u << 30);
+      ASSERT_TRUE(db->Insert(key, row).ok());
+      ModelRow& mrow = model[key];
+      mrow.clear();
+      for (int c = 0; c < kColumns; ++c) mrow[c + 1] = row[c];
+    } else if (kind < 8) {
+      // Partial update of a random sorted column subset (also resurrects
+      // columns of deleted keys, like the engine's merge semantics).
+      std::vector<ColumnValuePair> values;
+      for (int c = 1; c <= kColumns; ++c) {
+        if (rng.Uniform(4) == 0) {
+          values.push_back({c, rng.Uniform(1u << 30)});
+        }
+      }
+      if (values.empty()) values.push_back({1, rng.Uniform(1u << 30)});
+      ASSERT_TRUE(db->Update(key, values).ok());
+      ModelRow& mrow = model[key];
+      for (const auto& pair : values) mrow[pair.column] = pair.value;
+    } else if (kind < 9) {
+      ASSERT_TRUE(db->Delete(key).ok());
+      model.erase(key);
+    } else if (rng.Uniform(4) == 0) {
+      ASSERT_TRUE(db->Flush().ok());
+    }
+    // Differential checks both mid-stream (memtable + L0 heavy) and after
+    // full compaction (deep CG runs, the fast-path steady state).
+    const bool mid_check = op == ops / 2;
+    const bool final_check = op == ops - 1;
+    if (!mid_check && !final_check) continue;
+    if (final_check) {
+      ASSERT_TRUE(db->CompactUntilStable().ok());
+    }
+
+    for (int check = 0; check < 8; ++check) {
+      const uint64_t lo = rng.Uniform(kKeySpace);
+      const uint64_t hi = lo + 1 + rng.Uniform(kKeySpace / 2);
+      ColumnSet projection;
+      switch (rng.Uniform(3)) {
+        case 0:
+          projection = {static_cast<int>(rng.Uniform(kColumns)) + 1};
+          break;
+        case 1:
+          projection = MakeColumnRange(1, kColumns);
+          break;
+        default: {
+          for (int c = 1; c <= kColumns; ++c) {
+            if (rng.Uniform(2) == 0) projection.push_back(c);
+          }
+          if (projection.empty()) projection = {kColumns};
+          break;
+        }
+      }
+      const auto expected = ModelScan(model, lo, hi, projection);
+      const auto via_rows = RowApiScan(db.get(), lo, hi, projection);
+      ASSERT_EQ(via_rows, expected)
+          << "row API mismatch seed=" << seed << " design=" << design.name
+          << " [" << lo << "," << hi << "] got " << Describe(via_rows)
+          << " want " << Describe(expected);
+      // Batch sizes chosen to straddle run and batch boundaries: 1 (pure
+      // row-at-a-time through the batch engine), tiny primes, and larger
+      // than most ranges.
+      for (const size_t batch_rows : {size_t{1}, size_t{3}, size_t{7},
+                                      size_t{64}, size_t{1024}}) {
+        const auto via_batch =
+            BatchApiScan(db.get(), lo, hi, projection, batch_rows);
+        ASSERT_EQ(via_batch, expected)
+            << "batch API mismatch seed=" << seed << " design=" << design.name
+            << " batch_rows=" << batch_rows << " [" << lo << "," << hi
+            << "] got " << Describe(via_batch) << " want "
+            << Describe(expected);
+      }
+    }
+  }
+
+  // Snapshot cut: a scan pins its read point at NewScan time; writes applied
+  // afterwards must stay invisible to both consumption styles.
+  const Model frozen = model;
+  auto pinned_rows = db->NewScan(0, kKeySpace, MakeColumnRange(1, kColumns));
+  auto pinned_batch = db->NewScan(0, kKeySpace, MakeColumnRange(1, kColumns));
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t key = rng.Uniform(kKeySpace);
+    if (rng.Uniform(3) == 0) {
+      ASSERT_TRUE(db->Delete(key).ok());
+    } else {
+      std::vector<ColumnValue> row(kColumns, rng.Uniform(1u << 30));
+      ASSERT_TRUE(db->Insert(key, row).ok());
+    }
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  const auto expected = ModelScan(frozen, 0, kKeySpace,
+                                  MakeColumnRange(1, kColumns));
+  std::vector<ResultRow> via_rows;
+  for (; pinned_rows->Valid(); pinned_rows->Next()) {
+    via_rows.push_back(ResultRow{pinned_rows->key(), pinned_rows->values()});
+  }
+  ASSERT_EQ(via_rows, expected) << "snapshot cut leaked into the row cursor";
+
+  std::vector<ResultRow> via_batch;
+  ScanBatch batch;
+  while (size_t n = pinned_batch->NextBatch(&batch, 13)) {
+    for (size_t i = 0; i < n; ++i) {
+      ResultRow row;
+      row.key = batch.keys[i];
+      for (size_t c = 0; c < batch.columns.size(); ++c) {
+        if (batch.columns[c].present[i]) {
+          row.values.emplace_back(batch.columns[c].values[i]);
+        } else {
+          row.values.emplace_back(std::nullopt);
+        }
+      }
+      via_batch.push_back(std::move(row));
+    }
+  }
+  ASSERT_EQ(via_batch, expected) << "snapshot cut leaked into NextBatch";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanBatchDifferentialTest,
+                         ::testing::Range(0, 12));
+
+// A scan opened on an empty range (or empty database) terminates cleanly in
+// both styles.
+TEST(ScanBatchTest, EmptyRangeAndEmptyDb) {
+  auto env = NewMemEnv();
+  LaserOptions options = test::TinyTreeOptions(env.get(), "/db", 4, 3);
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+
+  auto scan = db->NewScan(10, 20, {1, 2});
+  ASSERT_NE(scan, nullptr);
+  EXPECT_FALSE(scan->Valid());
+  ScanBatch batch;
+  EXPECT_EQ(db->NewScan(10, 20, {1})->NextBatch(&batch), 0u);
+
+  ASSERT_TRUE(db->Insert(5, {1, 2, 3, 4}).ok());
+  ASSERT_TRUE(db->Insert(30, {5, 6, 7, 8}).ok());
+  EXPECT_EQ(db->NewScan(10, 20, {1})->NextBatch(&batch), 0u);
+  EXPECT_EQ(db->NewScan(0, 100, {1})->NextBatch(&batch), 2u);
+}
+
+// NextBatch with max_rows == 0 is a harmless no-op that loses nothing.
+TEST(ScanBatchTest, ZeroMaxRows) {
+  auto env = NewMemEnv();
+  LaserOptions options = test::TinyTreeOptions(env.get(), "/db", 4, 3);
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+  for (uint64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(db->Insert(k, test::TestRow(k, 4)).ok());
+  }
+  auto scan = db->NewScan(0, 9, {1});
+  ScanBatch batch;
+  EXPECT_EQ(scan->NextBatch(&batch, 0), 0u);
+  EXPECT_EQ(scan->NextBatch(&batch, 100), 10u);
+}
+
+}  // namespace
+}  // namespace laser

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files produced by bench_common.h's BenchJson.
+
+Rows are matched by (series, label, match-field values); every shared numeric
+field is reported as old -> new with a % delta. With --threshold-pct the exit
+code turns 1 when any watched field regresses by more than the threshold —
+wire it between a baseline artifact and a fresh run to gate perf in CI.
+
+Field direction: throughput-like fields (containing "per_sec", "rate",
+"ratio", "rows_per") regress when they DROP; everything else (latencies,
+counters, seconds, us, bytes) regresses when it RISES. Use --watch to limit
+the gate to specific fields (default: every shared numeric field).
+
+Examples:
+  tools/bench_diff.py old/BENCH_scan_throughput.json BENCH_scan_throughput.json
+  tools/bench_diff.py old.json new.json --threshold-pct 10 --watch rows_per_sec
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+# Dying quietly on a closed pipe (| head) beats a traceback.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+META_FIELDS = {"series", "label"}
+# Parameter-like fields that identify a row rather than measure it.
+DEFAULT_MATCH_FIELDS = [
+    "threads",
+    "writers",
+    "proj_width",
+    "batch_mode",
+    "columns",
+    "levels",
+    "selectivity",
+]
+HIGHER_IS_BETTER_HINTS = ("per_sec", "rate", "ratio", "rows_per", "speedup")
+
+
+def load_rows(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("bench", "?"), doc.get("scale"), doc.get("rows", [])
+
+
+def row_key(row, match_fields):
+    key = [row.get("series", ""), row.get("label", "")]
+    for field in match_fields:
+        if field in row:
+            key.append((field, str(row[field])))
+    return tuple(key)
+
+
+def higher_is_better(field):
+    return any(hint in field for hint in HIGHER_IS_BETTER_HINTS)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=None,
+        help="exit 1 if any watched field regresses by more than this percent",
+    )
+    parser.add_argument(
+        "--watch",
+        action="append",
+        default=None,
+        help="field name to gate on (repeatable; default: all shared fields)",
+    )
+    parser.add_argument(
+        "--match",
+        action="append",
+        default=None,
+        help="extra field treated as a row identifier rather than a metric",
+    )
+    args = parser.parse_args()
+
+    old_bench, old_scale, old_rows = load_rows(args.old)
+    new_bench, new_scale, new_rows = load_rows(args.new)
+    if old_bench != new_bench:
+        print(f"warning: comparing different benches: {old_bench} vs {new_bench}")
+    if old_scale != new_scale:
+        print(f"warning: different scales: {old_scale} vs {new_scale}; "
+              "deltas are not meaningful across scales")
+
+    match_fields = DEFAULT_MATCH_FIELDS + (args.match or [])
+    old_index = {}
+    for row in old_rows:
+        old_index.setdefault(row_key(row, match_fields), row)
+
+    regressions = []
+    unmatched = 0
+    for row in new_rows:
+        key = row_key(row, match_fields)
+        base = old_index.get(key)
+        ident = " ".join(k if isinstance(k, str) else f"{k[0]}={k[1]}"
+                         for k in key if k)
+        if base is None:
+            unmatched += 1
+            print(f"[new-only] {ident}")
+            continue
+        printed_header = False
+        for field, new_value in row.items():
+            if field in META_FIELDS or field in match_fields:
+                continue
+            old_value = base.get(field)
+            if not isinstance(new_value, (int, float)) or not isinstance(
+                old_value, (int, float)
+            ):
+                continue
+            if old_value == 0:
+                pct = float("inf") if new_value != 0 else 0.0
+            else:
+                pct = 100.0 * (new_value - old_value) / abs(old_value)
+            direction_up = higher_is_better(field)
+            regressed_pct = -pct if direction_up else pct
+            watched = args.watch is None or field in args.watch
+            flag = ""
+            if (
+                args.threshold_pct is not None
+                and watched
+                and regressed_pct > args.threshold_pct
+            ):
+                regressions.append((ident, field, old_value, new_value, pct))
+                flag = "  <-- REGRESSION"
+            if not printed_header:
+                print(ident)
+                printed_header = True
+            arrow = "+" if pct >= 0 else ""
+            print(f"  {field:28s} {old_value:>14.6g} -> {new_value:>14.6g}"
+                  f"  ({arrow}{pct:.1f}%){flag}")
+
+    if unmatched:
+        print(f"\n{unmatched} new row(s) had no baseline match")
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} field(s) regressed beyond "
+              f"{args.threshold_pct}%:")
+        for ident, field, old_value, new_value, pct in regressions:
+            print(f"  {ident}: {field} {old_value:g} -> {new_value:g} ({pct:+.1f}%)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
