@@ -152,6 +152,8 @@ struct EngineStatsSnapshot {
   uint64_t scan_batches_emitted = 0;
   uint64_t scan_source_advances = 0;
   uint64_t scan_heap_resifts = 0;
+  uint64_t scan_zip_rows = 0;
+  uint64_t scan_zip_splices = 0;
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
   uint64_t data_block_reads = 0;
@@ -162,6 +164,8 @@ struct EngineStatsSnapshot {
     snap.scan_batches_emitted = stats.scan_batches_emitted.load();
     snap.scan_source_advances = stats.scan_source_advances.load();
     snap.scan_heap_resifts = stats.scan_heap_resifts.load();
+    snap.scan_zip_rows = stats.scan_zip_rows.load();
+    snap.scan_zip_splices = stats.scan_zip_splices.load();
     snap.block_cache_hits = stats.block_cache_hits.load();
     snap.block_cache_misses = stats.block_cache_misses.load();
     snap.data_block_reads = stats.data_block_reads.load();
@@ -194,10 +198,21 @@ inline void AppendEngineStatsFields(
   fields->emplace_back(
       "scan_heap_resifts",
       static_cast<double>(now.scan_heap_resifts - since.scan_heap_resifts));
+  fields->emplace_back(
+      "scan_zip_rows",
+      static_cast<double>(now.scan_zip_rows - since.scan_zip_rows));
+  fields->emplace_back(
+      "scan_zip_splices",
+      static_cast<double>(now.scan_zip_splices - since.scan_zip_splices));
   fields->emplace_back("block_cache_hit_rate", lookups > 0 ? hits / lookups : 0.0);
   fields->emplace_back(
       "data_block_reads",
       static_cast<double>(now.data_block_reads - since.data_block_reads));
+  // Configuration gauge, not a delta: the block cache's effective (possibly
+  // clamped) shard count.
+  fields->emplace_back(
+      "block_cache_shards",
+      static_cast<double>(stats.block_cache_effective_shards.load()));
 }
 
 /// Engine options for the narrow-table experiments (30 columns, T=2,

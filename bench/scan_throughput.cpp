@@ -95,6 +95,11 @@ int main() {
 
   std::vector<DesignSpec> designs;
   designs.push_back({"row-only", CgConfig::RowOnly(kColumns, kLevels)});
+  // cg-size-2/3: the paper's OLAP-leaning lower-level granularity and the
+  // worst k-way stitch case — 15 (resp. 10) CG cursors per level advance in
+  // lockstep on wide scans, the shape the zip splice path exists for.
+  designs.push_back({"cg-size-2", CgConfig::EquiWidth(kColumns, kLevels, 2)});
+  designs.push_back({"cg-size-3", CgConfig::EquiWidth(kColumns, kLevels, 3)});
   designs.push_back({"cg-size-6", CgConfig::EquiWidth(kColumns, kLevels, 6)});
   designs.push_back({"HTAP-simple", CgConfig::HtapSimple(kColumns, kLevels, 6)});
 

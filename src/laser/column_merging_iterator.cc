@@ -7,6 +7,27 @@
 
 namespace laser {
 
+namespace {
+
+/// Trims a sorted decoded-key prefix to the scan bounds: keys[0..n) stays
+/// strictly below `limit_exclusive` and at most `hi_inclusive` (empty =
+/// unbounded). Shared by the zip-splice exposure and the pending-drain paths
+/// so their bounds semantics cannot drift apart.
+size_t TrimToBounds(const uint64_t* keys, size_t n, const Slice& limit_exclusive,
+                    const Slice& hi_inclusive) {
+  if (!hi_inclusive.empty()) {
+    const uint64_t hi = DecodeKey64(hi_inclusive);
+    n = static_cast<size_t>(std::upper_bound(keys, keys + n, hi) - keys);
+  }
+  if (!limit_exclusive.empty()) {
+    const uint64_t limit = DecodeKey64(limit_exclusive);
+    n = static_cast<size_t>(std::lower_bound(keys, keys + n, limit) - keys);
+  }
+  return n;
+}
+
+}  // namespace
+
 ContributionIterator::ContributionIterator(std::unique_ptr<Iterator> iter,
                                            const RowCodec* codec,
                                            ColumnSet source_columns,
@@ -44,6 +65,7 @@ ContributionIterator::ContributionIterator(std::unique_ptr<Iterator> iter,
   // writes covered ones.
   states_.resize(projection_.size());
   values_.resize(projection_.size());
+  zip_cols_.resize(covered_positions_.size());
 }
 
 void ContributionIterator::SeekToFirst() {
@@ -64,35 +86,166 @@ void ContributionIterator::Next() {
   BuildNext();
 }
 
+void ContributionIterator::TopUpZipScratch(const Slice& hi_inclusive) {
+  // Moves zip-eligible entries out of the run buffer into the decoded
+  // scratch, refilling the buffer as it drains — so one scratch fill spans
+  // block and run boundaries. An entry is eligible when it is a full row at
+  // or below the snapshot with the expected encoding size AND it is the
+  // newest visible version of its key: a committed full row terminates the
+  // fold, so any older versions of the same key contribute nothing and are
+  // skipped here (the resolved guard carries that skip across refills and
+  // into the per-row paths if the fill stops mid-shadow). The first entry
+  // needing the generic fold ends the fill.
+  const bool has_hi = !hi_inclusive.empty();
+  const uint64_t hi = has_hi ? DecodeKey64(hi_inclusive) : 0;
+  while (zip_keys_.size() - zip_pos_ < kZipScratchRows) {
+    if (run_pos_ >= run_.size()) {
+      run_.clear();
+      run_pos_ = 0;
+      if (iter_->NextRun(&run_, kRunEntries) == 0) return;  // source drained
+    }
+    if (!run_.keys_decoded) return;  // odd keys: leave them to the fold
+    const uint64_t user_key = run_.user_keys[run_pos_];
+    if (resolved_guard_active_ && user_key == resolved_guard_key_) {
+      ++run_pos_;  // shadowed older version of an already-resolved key
+      continue;
+    }
+    const uint64_t tag = run_.tags[run_pos_];
+    if (static_cast<ValueType>(tag & 0xff) != kTypeFullRow ||
+        (tag >> 8) > snapshot_) {
+      return;
+    }
+    const Slice value = run_.values[run_pos_];
+    if (value.size() != full_row_size_) return;
+    if (has_hi && user_key > hi) return;  // never pull blocks past the scan
+
+    zip_keys_.push_back(user_key);
+    const char* base = value.data() + bitmap_bytes_;
+    size_t offset = 0;
+    size_t ci = 0;
+    for (size_t i = 0; i < source_columns_.size(); ++i) {
+      const size_t width = column_widths_[i];
+      if (proj_position_of_source_column_[i] >= 0) {
+        if (width == 4) {
+          uint32_t v;
+          memcpy(&v, base + offset, sizeof(v));  // LE hosts only
+          zip_cols_[ci].push_back(v);
+        } else {
+          uint64_t v;
+          memcpy(&v, base + offset, sizeof(v));
+          zip_cols_[ci].push_back(v);
+        }
+        ++ci;
+      }
+      offset += width;
+    }
+    resolved_guard_key_ = user_key;
+    resolved_guard_active_ = true;
+    ++run_pos_;
+  }
+}
+
+size_t ContributionIterator::AppendColumnRunTo(ColumnRunView* view,
+                                               const Slice& limit_exclusive,
+                                               const Slice& hi_inclusive,
+                                               size_t max_rows) {
+  size_t pending = zip_keys_.size() - zip_pos_;
+  if (pending < max_rows && pending < kZipScratchRows) {
+    if (zip_pos_ > 0) {
+      // Compact the consumed prefix (usually the whole vector) so the
+      // scratch stays bounded.
+      zip_keys_.erase(zip_keys_.begin(),
+                      zip_keys_.begin() + static_cast<ptrdiff_t>(zip_pos_));
+      for (auto& col : zip_cols_) {
+        col.erase(col.begin(), col.begin() + static_cast<ptrdiff_t>(zip_pos_));
+      }
+      zip_pos_ = 0;
+    }
+    TopUpZipScratch(hi_inclusive);
+    pending = zip_keys_.size();
+  }
+
+  // Expose only the prefix inside the caller's bounds; surplus rows stay
+  // decoded for later rounds (a tighter limit now must not leak rows the
+  // level merge still has to combine with other sources).
+  const uint64_t* keys = zip_keys_.data() + zip_pos_;
+  const size_t n = TrimToBounds(keys, std::min(pending, max_rows),
+                                limit_exclusive, hi_inclusive);
+  view->keys = keys;
+  view->rows = n;
+  view->cols.resize(zip_cols_.size());
+  for (size_t ci = 0; ci < zip_cols_.size(); ++ci) {
+    view->cols[ci] = zip_cols_[ci].data() + zip_pos_;
+  }
+  return n;
+}
+
+void ContributionIterator::ConsumeColumnRun(size_t rows) {
+  zip_pos_ += rows;
+  assert(zip_pos_ <= zip_keys_.size());
+}
+
+size_t ContributionIterator::EmitZipPending(ScanBatch* batch,
+                                            const Slice& limit_exclusive,
+                                            const Slice& hi_inclusive,
+                                            size_t max_rows) {
+  size_t n = zip_keys_.size() - zip_pos_;
+  if (n == 0) return 0;
+  const uint64_t* keys = zip_keys_.data() + zip_pos_;
+  n = TrimToBounds(keys, std::min(n, max_rows), limit_exclusive, hi_inclusive);
+  if (n == 0) return 0;
+  const size_t row0 = batch->size();
+  batch->AppendDecodedKeys(keys, n);
+  for (size_t ci = 0; ci < zip_cols_.size(); ++ci) {
+    batch->SpliceColumnRun(static_cast<size_t>(covered_positions_[ci]), row0,
+                           zip_cols_[ci].data() + zip_pos_, n);
+  }
+  for (const int pos : uncovered_positions_) {
+    batch->NullColumnRun(static_cast<size_t>(pos), row0, n);
+  }
+  zip_pos_ += n;
+  return n;
+}
+
 size_t ContributionIterator::FastEmitStretch(ScanBatch* batch,
                                              const Slice& limit_exclusive,
                                              const Slice& hi_inclusive,
                                              size_t max_rows) {
   // Pass 1 — keys: walk the run buffer collecting entries that are
   // provably single-version full rows at or below the snapshot and within
-  // bounds. An entry is eligible only when its successor is also in the
+  // bounds, straight off the run's decoded key columns (no per-entry
+  // re-parse). An entry is eligible only when its successor is also in the
   // buffer (so single-version needs no refill) and its encoding has the
   // expected full size (every column present, nothing truncated). Full rows
   // always carry values for the overlapping columns, so every collected row
-  // is emitted.
+  // is emitted. Entries shadowed by an already-resolved full row (the zip
+  // path's guard) are consumed without emitting.
+  if (!run_.keys_decoded) return 0;  // odd keys: the generic fold handles them
+  const bool has_limit = !limit_exclusive.empty();
+  const uint64_t limit = has_limit ? DecodeKey64(limit_exclusive) : 0;
+  const bool has_hi = !hi_inclusive.empty();
+  const uint64_t hi = has_hi ? DecodeKey64(hi_inclusive) : 0;
   const size_t row0 = batch->keys.size();
   value_ptrs_.clear();
   while (value_ptrs_.size() < max_rows && run_pos_ + 1 < run_.size()) {
-    ParsedInternalKey parsed;
-    if (!ParseInternalKey(run_.keys[run_pos_], &parsed)) break;
-    if (parsed.type != kTypeFullRow || parsed.sequence > snapshot_) break;
-    if (!limit_exclusive.empty() &&
-        parsed.user_key.compare(limit_exclusive) >= 0) {
+    const uint64_t user_key = run_.user_keys[run_pos_];
+    if (resolved_guard_active_ && user_key == resolved_guard_key_) {
+      ++run_pos_;
+      continue;
+    }
+    const uint64_t tag = run_.tags[run_pos_];
+    if (static_cast<ValueType>(tag & 0xff) != kTypeFullRow ||
+        (tag >> 8) > snapshot_) {
       break;
     }
-    if (!hi_inclusive.empty() && parsed.user_key.compare(hi_inclusive) > 0) break;
-    const Slice next_key = run_.keys[run_pos_ + 1];
-    if (next_key.size() >= 8 && ExtractUserKey(next_key) == parsed.user_key) {
+    if (has_limit && user_key >= limit) break;
+    if (has_hi && user_key > hi) break;
+    if (run_.user_keys[run_pos_ + 1] == user_key) {
       break;  // another version of this key follows
     }
     const Slice value = run_.values[run_pos_];
     if (value.size() != full_row_size_) break;
-    batch->keys.push_back(DecodeKey64(parsed.user_key));
+    batch->keys.push_back(user_key);
     value_ptrs_.push_back(value.data() + bitmap_bytes_);
     ++run_pos_;
   }
@@ -157,12 +310,18 @@ size_t ContributionIterator::AppendRunTo(ScanBatch* batch,
     }
     ++counters->source_advances;
 
-    // Stream eligible stretches directly from the run buffer; the first
-    // non-eligible key is left for the generic fold below, which restores
-    // the per-row invariants.
+    // Stream eligible stretches into the batch: rows a zip round left
+    // decoded in the scratch drain first (they precede the run buffer), then
+    // stretches directly from the run buffer. The first non-eligible key is
+    // left for the generic fold below, which restores the per-row
+    // invariants.
     while (appended < max_rows) {
-      const size_t n = FastEmitStretch(batch, limit_exclusive, hi_inclusive,
-                                       max_rows - appended);
+      size_t n = EmitZipPending(batch, limit_exclusive, hi_inclusive,
+                                max_rows - appended);
+      if (n == 0) {
+        n = FastEmitStretch(batch, limit_exclusive, hi_inclusive,
+                            max_rows - appended);
+      }
       if (n == 0) break;
       appended += n;
       counters->source_advances += n;
@@ -181,11 +340,77 @@ void ContributionIterator::BuildNext() {
   // not-yet-consumed entry at the cursor.
   valid_ = false;
   any_value_ = false;
+  // Rows a zip round decoded but did not splice come first: they sit ahead
+  // of the run cursor and are already fully resolved (single-version full
+  // rows — every covered position has a value).
+  if (zip_pos_ < zip_keys_.size()) {
+    current_key_ = EncodeKey64(zip_keys_[zip_pos_]);
+    for (size_t ci = 0; ci < covered_positions_.size(); ++ci) {
+      const int pos = covered_positions_[ci];
+      states_[pos] = ColumnState::kValue;
+      values_[pos] = zip_cols_[ci][zip_pos_];
+    }
+    ++zip_pos_;
+    any_value_ = true;
+    valid_ = true;
+    return;
+  }
+  // Decoded fast path: the post-compaction steady state — a single-version
+  // full row at or below the snapshot — resolves off the run's decoded key
+  // columns without ParseInternalKey or the bitmap fold. The successor must
+  // be in the buffer to prove single-version; the run-boundary entry (and
+  // every irregular shape) takes the generic fold below.
+  while (run_.keys_decoded && run_pos_ + 1 < run_.size()) {
+    const uint64_t user_key = run_.user_keys[run_pos_];
+    if (resolved_guard_active_ && user_key == resolved_guard_key_) {
+      ++run_pos_;  // shadowed version of an already-resolved key
+      continue;
+    }
+    const uint64_t tag = run_.tags[run_pos_];
+    const Slice value = run_.values[run_pos_];
+    if (static_cast<ValueType>(tag & 0xff) != kTypeFullRow ||
+        (tag >> 8) > snapshot_ || run_.user_keys[run_pos_ + 1] == user_key ||
+        value.size() != full_row_size_) {
+      break;
+    }
+    current_key_ = EncodeKey64(user_key);
+    const char* base = value.data() + bitmap_bytes_;
+    size_t offset = 0;
+    for (size_t i = 0; i < source_columns_.size(); ++i) {
+      const size_t width = column_widths_[i];
+      const int pos = proj_position_of_source_column_[i];
+      if (pos >= 0) {
+        if (width == 4) {
+          uint32_t v;
+          memcpy(&v, base + offset, sizeof(v));  // LE hosts only
+          values_[pos] = v;
+        } else {
+          uint64_t v;
+          memcpy(&v, base + offset, sizeof(v));
+          values_[pos] = v;
+        }
+        states_[pos] = ColumnState::kValue;
+      }
+      offset += width;
+    }
+    ++run_pos_;
+    any_value_ = true;
+    valid_ = true;
+    return;
+  }
   ParsedInternalKey parsed;
   while (true) {
     if (!EntryValid()) return;
     if (!ParseInternalKey(EntryKey(), &parsed)) {
       EntryNext();  // corrupt entry: skip it
+      continue;
+    }
+    if (resolved_guard_active_ && parsed.user_key.size() == 8 &&
+        DecodeKey64(parsed.user_key) == resolved_guard_key_) {
+      // Version shadowed by an already-resolved full row (a zip commit, or a
+      // fold whose version chain a corrupt entry interrupted): consuming it
+      // without re-folding is what keeps the key from being emitted twice.
+      EntryNext();
       continue;
     }
     // Start of a candidate user key.
@@ -237,6 +462,17 @@ void ContributionIterator::BuildNext() {
       // A parse failure leaves the corrupt entry unconsumed; the outer loop
       // skips it next.
       if (parsed.user_key != Slice(current_key_)) break;
+    }
+
+    // This key is resolved. The guard makes any versions of it still ahead
+    // of the cursor (possible when a corrupt entry interrupted the chain)
+    // skippable instead of re-foldable — re-folding would contribute the
+    // key a second time.
+    if (current_key_.size() == 8) {
+      resolved_guard_key_ = DecodeKey64(Slice(current_key_));
+      resolved_guard_active_ = true;
+    } else {
+      resolved_guard_active_ = false;
     }
 
     if (touched) {
@@ -335,9 +571,76 @@ size_t ColumnMergingIterator::AppendRunTo(ScanBatch* batch,
       }
       ++appended;
     }
+    // Zip: in the lockstep steady state the children's next rows are whole
+    // column runs that agree on keys — splice them run-at-a-time instead of
+    // folding row-at-a-time, chaining rounds (each bounded by the scratch
+    // size) until a child diverges or the bounds cut in. The per-row advance
+    // below then lands every child on the first row the zip could not prove.
+    if (covered_exact_ && tied_.size() == children_.size()) {
+      while (appended < max_rows) {
+        const size_t n = ZipSplice(batch, limit_exclusive, hi_inclusive,
+                                   max_rows - appended, counters);
+        if (n == 0) break;
+        appended += n;
+      }
+    }
     AdvanceTied(counters, /*materialize=*/false);
   }
   return appended;
+}
+
+size_t ColumnMergingIterator::ZipSplice(ScanBatch* batch,
+                                        const Slice& limit_exclusive,
+                                        const Slice& hi_inclusive,
+                                        size_t max_rows,
+                                        ScanPathCounters* counters) {
+  // Every child prepares (or re-exposes) its decoded column run; the splice
+  // length starts as the shortest run and shrinks to the longest common-key
+  // prefix. A child that cannot prove even one row vetoes the round — the
+  // caller's per-row fold resolves the conflicting key and zip is retried
+  // after it.
+  zip_views_.resize(children_.size());
+  size_t cap = max_rows;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    const size_t n = children_[i]->AppendColumnRunTo(
+        &zip_views_[i], limit_exclusive, hi_inclusive, cap);
+    if (n == 0) return 0;
+    cap = std::min(cap, n);
+  }
+
+  // The vectorized key agreement: one memcmp over each child's key vector
+  // against child 0's; only on mismatch is the divergence point located.
+  size_t rows = cap;
+  const uint64_t* keys0 = zip_views_[0].keys;
+  for (size_t i = 1; i < children_.size() && rows > 0; ++i) {
+    const uint64_t* keys = zip_views_[i].keys;
+    if (memcmp(keys0, keys, rows * sizeof(uint64_t)) == 0) continue;
+    size_t j = 0;
+    while (j < rows && keys0[j] == keys[j]) ++j;
+    rows = j;
+  }
+  if (rows == 0) return 0;
+
+  // Splice: keys once, then each child's covered columns column-major (the
+  // children's covered lists partition covered_union_, so each batch column
+  // is written exactly once), then the uncovered remainder nulled.
+  const size_t row0 = batch->size();
+  batch->AppendDecodedKeys(keys0, rows);
+  for (size_t i = 0; i < children_.size(); ++i) {
+    const std::vector<int>& covered = *children_[i]->covered_positions();
+    for (size_t ci = 0; ci < covered.size(); ++ci) {
+      batch->SpliceColumnRun(static_cast<size_t>(covered[ci]), row0,
+                             zip_views_[i].cols[ci], rows);
+    }
+    children_[i]->ConsumeColumnRun(rows);
+  }
+  for (const int pos : uncovered_union_) {
+    batch->NullColumnRun(static_cast<size_t>(pos), row0, rows);
+  }
+  counters->zip_rows += rows;
+  ++counters->zip_splices;
+  counters->source_advances += rows * children_.size();
+  return rows;
 }
 
 void ColumnMergingIterator::AdvanceTied(ScanPathCounters* counters,

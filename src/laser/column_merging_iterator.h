@@ -48,6 +48,16 @@ class ContributionIterator final : public ContributionSource {
                      const Slice& hi_inclusive, size_t max_rows,
                      ScanPathCounters* counters) override;
 
+  /// Zip support: decodes provably single-version full rows following the
+  /// current row into per-child scratch (keys + column-major values for the
+  /// covered positions) and exposes them through `view`. The scratch
+  /// persists across calls — rows the merger does not consume are re-exposed
+  /// without re-decoding — and spans NextRun refills, so splice lengths are
+  /// not capped by the 32-entry run buffer.
+  size_t AppendColumnRunTo(ColumnRunView* view, const Slice& limit_exclusive,
+                           const Slice& hi_inclusive, size_t max_rows) override;
+  void ConsumeColumnRun(size_t rows) override;
+
   const std::vector<int>* covered_positions() const override {
     return &covered_positions_;
   }
@@ -58,6 +68,10 @@ class ContributionIterator final : public ContributionSource {
   /// Number of entries pulled per Iterator::NextRun refill (≈ one 4KB block
   /// of 140-byte rows).
   static constexpr size_t kRunEntries = 32;
+
+  /// Cap on the decoded zip scratch (rows). One zip round can splice up to
+  /// this many rows, so it spans several run-buffer refills.
+  static constexpr size_t kZipScratchRows = 256;
 
   /// Advances over the underlying iterator to build the next contribution
   /// that touches the projection. Folding starts at the iterator's current
@@ -77,7 +91,22 @@ class ContributionIterator final : public ContributionSource {
   void ResetRun() {
     run_.clear();
     run_pos_ = 0;
+    zip_keys_.clear();
+    for (auto& col : zip_cols_) col.clear();
+    zip_pos_ = 0;
+    resolved_guard_active_ = false;
   }
+
+  /// Tops up the zip scratch: moves consecutive zip-eligible entries out of
+  /// the run buffer (refilling it as needed) into decoded per-column
+  /// vectors, and skips the already-resolved older versions a committed full
+  /// row shadows. Stops at the first entry that needs the generic fold.
+  void TopUpZipScratch(const Slice& hi_inclusive);
+
+  /// Drains pending zip-scratch rows straight into `batch` (bounds- and
+  /// max_rows-trimmed). Returns rows emitted.
+  size_t EmitZipPending(ScanBatch* batch, const Slice& limit_exclusive,
+                        const Slice& hi_inclusive, size_t max_rows);
 
   /// Vectorized fast path: gathers the longest stretch of single-version
   /// full rows at or below the snapshot (the steady state after compaction)
@@ -114,6 +143,18 @@ class ContributionIterator final : public ContributionSource {
   std::vector<ColumnValue> values_;
   IteratorRun run_;
   size_t run_pos_ = 0;
+
+  // -- zip scratch: decoded single-version full rows awaiting splice/drain --
+  // zip_keys_[zip_pos_..] are the unconsumed rows; zip_cols_ is parallel to
+  // covered_positions(). When the last committed row's older versions are
+  // still ahead of the run cursor (a full row shadows them), the resolved
+  // guard remembers its key so every consumer path skips — never re-emits —
+  // them.
+  std::vector<uint64_t> zip_keys_;
+  std::vector<std::vector<ColumnValue>> zip_cols_;
+  size_t zip_pos_ = 0;
+  uint64_t resolved_guard_key_ = 0;
+  bool resolved_guard_active_ = false;
 };
 
 /// Merges the ContributionSources of one level (disjoint column groups) by
@@ -136,11 +177,16 @@ class ColumnMergingIterator final : public ContributionSource {
   const std::vector<ColumnValue>& values() const override;
   const std::vector<int>* covered_positions() const override;
 
-  /// Fused batch fold over the level's groups, with a lockstep fast path:
-  /// full rows land in every group of the level, so after the first key the
-  /// children usually advance in unison — the combine then bypasses the heap
-  /// entirely, rows stream from the children straight into the batch, and
-  /// the states_/values_ fold is materialized lazily only if a caller asks.
+  /// Fused batch fold over the level's groups, with two fast paths layered
+  /// on the heap merge:
+  ///   - lockstep: while the CG cursors agree on keys the heap stays out of
+  ///     the way and rows stream from the children straight into the batch;
+  ///   - zip: in lockstep steady state each child decodes its whole column
+  ///     *run* into per-child scratch (AppendColumnRunTo) and the runs are
+  ///     spliced column-major into the batch after one memcmp-style pass
+  ///     over the k key vectors — instead of k per-row key parses — falling
+  ///     back to the per-row fold at the first divergence (version
+  ///     conflicts, partial rows, tombstones).
   size_t AppendRunTo(ScanBatch* batch, const Slice& limit_exclusive,
                      const Slice& hi_inclusive, size_t max_rows,
                      ScanPathCounters* counters) override;
@@ -148,6 +194,16 @@ class ColumnMergingIterator final : public ContributionSource {
   Status status() const override;
 
  private:
+  /// One zip round: asks every child for its prepared column run, finds the
+  /// longest common-key prefix across the k runs (vectorized equality over
+  /// the decoded key vectors), splices it into `batch`, and consumes it from
+  /// every child. Returns rows spliced; 0 means some child could not zip or
+  /// the runs diverge at their first key. REQUIRES: every child tied
+  /// (lockstep) and covered_exact_.
+  size_t ZipSplice(ScanBatch* batch, const Slice& limit_exclusive,
+                   const Slice& hi_inclusive, size_t max_rows,
+                   ScanPathCounters* counters);
+
   /// Pops the children tied at the smallest key and combines their disjoint
   /// column states into the current row.
   void BuildCurrent();
@@ -173,6 +229,7 @@ class ColumnMergingIterator final : public ContributionSource {
   SourceMinHeap heap_;
   ScanPathCounters counters_;  // local: the level merge above tracks its own
   std::vector<int> tied_;      // children contributing the current key
+  std::vector<ColumnRunView> zip_views_;  // per-child run windows (reused)
   bool valid_ = false;
   bool any_value_ = false;
   // False while the current lockstep row exists only in the children;

@@ -19,6 +19,7 @@
 #ifndef LASER_LASER_CONTRIBUTION_H_
 #define LASER_LASER_CONTRIBUTION_H_
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -42,6 +43,21 @@ struct ScanPathCounters {
   uint64_t rows_merged = 0;       ///< rows emitted by the merge layer
   uint64_t source_advances = 0;   ///< contribution-source Next()/run steps
   uint64_t heap_resifts = 0;      ///< k-way-merge heap repair operations
+  uint64_t zip_rows = 0;          ///< rows spliced by the column-run zip path
+  uint64_t zip_splices = 0;       ///< successful zip splice rounds
+};
+
+/// A read-only window over a source's prepared column run (the zip path's
+/// hand-off unit): `rows` decoded user keys, and for each covered projection
+/// position — `cols` is parallel to the source's covered_positions() — a
+/// flat array of `rows` decoded values, every one present (the run admits
+/// only single-version full rows). Pointers reference source-owned scratch;
+/// they are invalidated by the source's next AppendColumnRunTo, Next, or
+/// Seek.
+struct ColumnRunView {
+  const uint64_t* keys = nullptr;
+  size_t rows = 0;
+  std::vector<const ColumnValue*> cols;
 };
 
 /// Appends one resolved row to `batch`: positions in the kValue state carry
@@ -117,6 +133,37 @@ class ContributionSource {
       ++counters->source_advances;
     }
     return appended;
+  }
+
+  /// Zip support (the run-granularity merge mode): exposes, via `view`, up
+  /// to `max_rows` decoded rows that FOLLOW the current row, each provably a
+  /// single-version full row at or below the snapshot — so its contribution
+  /// is "every covered position has this value" with no folding left to do.
+  /// Exposed rows satisfy user key < `limit_exclusive` (empty = unbounded)
+  /// and <= `hi_inclusive` (empty = unbounded). Returns view->rows; 0 means
+  /// the next entry cannot be proven zip-eligible (version conflict, partial
+  /// row, tombstone, snapshot skip, bounds) or the source does not zip.
+  ///
+  /// The rows are NOT consumed: the current row and per-row accessors are
+  /// unaffected, and un-consumed rows are re-exposed (without re-decoding)
+  /// by the next call. REQUIRES: Valid().
+  virtual size_t AppendColumnRunTo(ColumnRunView* view,
+                                   const Slice& limit_exclusive,
+                                   const Slice& hi_inclusive, size_t max_rows) {
+    (void)view;
+    (void)limit_exclusive;
+    (void)hi_inclusive;
+    (void)max_rows;
+    return 0;
+  }
+
+  /// Marks the first `rows` rows of the last prepared column run as consumed
+  /// (the caller spliced them into a batch). They are now behind this
+  /// source's cursor: the next Next() advances to the first unconsumed row.
+  /// REQUIRES: rows <= the last AppendColumnRunTo return value.
+  virtual void ConsumeColumnRun(size_t rows) {
+    (void)rows;
+    assert(rows == 0);  // sources without zip support never expose rows
   }
 
   virtual Status status() const = 0;

@@ -42,6 +42,10 @@ LaserDB::LaserDB(const LaserOptions& options)
   if (options_.block_cache_bytes > 0) {
     cache_ = std::make_unique<BlockCache>(options_.block_cache_bytes,
                                           options_.block_cache_shards);
+    // The min-bytes-per-shard clamp can silently degrade the requested shard
+    // count; surface what the cache actually runs with.
+    stats_.block_cache_effective_shards.store(
+        static_cast<uint64_t>(cache_->num_shards()), std::memory_order_relaxed);
   }
 }
 
@@ -1100,6 +1104,9 @@ ScanIterator::~ScanIterator() {
                                            std::memory_order_relaxed);
     stats_->scan_heap_resifts.fetch_add(c.heap_resifts,
                                         std::memory_order_relaxed);
+    stats_->scan_zip_rows.fetch_add(c.zip_rows, std::memory_order_relaxed);
+    stats_->scan_zip_splices.fetch_add(c.zip_splices,
+                                       std::memory_order_relaxed);
     stats_->scan_batches_emitted.fetch_add(batches_emitted_,
                                            std::memory_order_relaxed);
   }

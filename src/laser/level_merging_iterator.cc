@@ -81,8 +81,12 @@ size_t LevelMergingIterator::FillRows(ScanBatch* batch, const Slice& hi_inclusiv
     if (!hi_inclusive.empty() && top_key.compare(hi_inclusive) > 0) break;
     const Slice second = heap_.second_key();
     if (second.empty() || top_key != second) {
-      // The top source is the sole contributor until `second`: let it emit
-      // the whole run batch-at-a-time, then repair the heap once.
+      // The top source is the sole contributor until `second`: hand the
+      // whole run off to it batch-at-a-time, then repair the heap once.
+      // When that source is a level's ColumnMergingIterator the handoff is
+      // where the zip path engages — its CG cursors splice column runs
+      // straight into the batch, bounded by the same `second`/`hi` keys, so
+      // a single contributing level streams at run granularity end to end.
       const size_t n = heap_.top_source()->AppendRunTo(
           batch, second, hi_inclusive, max_rows - appended, &counters_);
       appended += n;

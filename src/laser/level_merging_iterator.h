@@ -8,8 +8,11 @@
 // by key, and whenever the top source is the sole contributor for a key
 // range it drains that whole run straight into a columnar ScanBatch
 // (AppendRunTo), so merge cost is O(log k) per source advance instead of a
-// linear O(k) sweep per row. The per-row API survives as a thin adapter that
-// prefetches one row at a time from the batched core.
+// linear O(k) sweep per row. When the sole contributor is a level's
+// ColumnMergingIterator, the handoff continues at run granularity inside it
+// (the zip path: per-CG column runs spliced after a key-vector equality
+// check). The per-row API survives as a thin adapter that prefetches one
+// row at a time from the batched core.
 
 #ifndef LASER_LASER_LEVEL_MERGING_ITERATOR_H_
 #define LASER_LASER_LEVEL_MERGING_ITERATOR_H_
@@ -39,6 +42,11 @@ class LevelMergingIterator {
   /// no further rows exist within the bound. Any row prefetched by the
   /// per-row adapter is drained first; after the first AppendRows call the
   /// per-row accessors below refer to an exhausted cursor.
+  ///
+  /// This is the scan's single column-capacity growth site: it calls
+  /// ScanBatch::EnsureColumnCapacity once up front, and every downstream
+  /// fill (per-row fold, stretch emit, zip splice) writes by index within
+  /// that bound.
   size_t AppendRows(ScanBatch* batch, const Slice& hi_inclusive, size_t max_rows);
 
   // -- per-row adapter --

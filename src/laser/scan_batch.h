@@ -7,7 +7,10 @@
 #ifndef LASER_LASER_SCAN_BATCH_H_
 #define LASER_LASER_SCAN_BATCH_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "laser/schema.h"
@@ -44,13 +47,48 @@ struct ScanBatch {
 
   /// Guarantees every column vector can be written by index for rows
   /// [0, rows). Called by the merge layer before a fill.
+  ///
+  /// This is the ONLY growth site for the per-column vectors, and it keeps
+  /// `values` and `present` the same length as an invariant: a caller that
+  /// resized one of them independently (the pre-fix bug grew `present` only
+  /// under the `values.size() < rows` check, so the pair could silently
+  /// diverge) is healed here, and the pairing is assert-checked on exit.
   void EnsureColumnCapacity(size_t rows) {
     for (Column& column : columns) {
-      if (column.values.size() < rows) {
-        column.values.resize(rows);
-        column.present.resize(rows);
-      }
+      const size_t need =
+          std::max(rows, std::max(column.values.size(), column.present.size()));
+      if (column.values.size() != need) column.values.resize(need);
+      if (column.present.size() != need) column.present.resize(need);
+      assert(column.values.size() == column.present.size() &&
+             column.values.size() >= rows);
     }
+  }
+
+  // -- column-major splice helpers (the zip path's write primitives) --
+  // All REQUIRE EnsureColumnCapacity(row0 + n) was called; they write by
+  // index, never grow, and touch exactly the rows [row0, row0 + n).
+
+  /// Appends `n` already-decoded primary keys.
+  void AppendDecodedKeys(const uint64_t* decoded, size_t n) {
+    keys.insert(keys.end(), decoded, decoded + n);
+  }
+
+  /// Writes `n` present values into projection position `pos` starting at
+  /// row `row0` (one memcpy for the values, one memset for the presence).
+  void SpliceColumnRun(size_t pos, size_t row0, const ColumnValue* run_values,
+                       size_t n) {
+    Column& column = columns[pos];
+    assert(row0 + n <= column.values.size());
+    memcpy(column.values.data() + row0, run_values, n * sizeof(ColumnValue));
+    memset(column.present.data() + row0, 1, n);
+  }
+
+  /// Nulls rows [row0, row0 + n) of projection position `pos`.
+  void NullColumnRun(size_t pos, size_t row0, size_t n) {
+    Column& column = columns[pos];
+    assert(row0 + n <= column.values.size());
+    memset(column.present.data() + row0, 0, n);
+    memset(column.values.data() + row0, 0, n * sizeof(ColumnValue));
   }
 };
 

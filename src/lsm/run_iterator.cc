@@ -49,7 +49,9 @@ class RunIterator final : public Iterator {
     // Advancing to the next file destroys the previous file's iterator (and
     // with it the block the previous run's slices referenced), so the file
     // hop only happens at the top of the following call — by then the
-    // caller has consumed the old run.
+    // caller has consumed the old run. Decoded key columns (user_keys/tags)
+    // come from the per-file iterator's fill; each call fills a cleared run,
+    // so the decoded flag never mixes across files.
     while (iter_ != nullptr) {
       const size_t n = iter_->NextRun(run, max_entries);
       if (n > 0) return n;

@@ -134,12 +134,15 @@ class MemTableIterator final : public Iterator {
 
   size_t NextRun(IteratorRun* run, size_t max_entries) override {
     // Skiplist entries live in the memtable arena, which outlives every
-    // iterator: the run aliases them directly, no copies at all.
+    // iterator: the run aliases them directly, no copies at all. Keys are
+    // decoded (user_keys/tags) in the same pass — see IteratorRun.
     size_t n = 0;
+    run->keys_decoded = run->keys.empty();
     while (n < max_entries && iter_.Valid()) {
       const Slice k = GetLengthPrefixed(iter_.key());
       run->keys.push_back(k);
       run->values.push_back(GetLengthPrefixed(k.data() + k.size()));
+      run->AppendDecodedKey(k);
       ++n;
       iter_.Next();
     }

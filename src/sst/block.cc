@@ -107,8 +107,11 @@ class Block::Iter final : public Iterator {
     // virtual dispatch per entry. Values alias the block's own storage;
     // keys are materialized into the run arena (key_ is reused by the
     // delta-decoder), which is grown only between runs so earlier slices
-    // never dangle.
+    // never dangle. The fixed 16-byte internal-key layout is decoded into
+    // the run's user_keys/tags in the same pass (the bytes are already hot
+    // here), so the zip/stretch consumers never re-split the trailer.
     size_t n = 0;
+    run->keys_decoded = run->keys.empty();
     while (n < max_entries && Valid()) {
       const size_t offset = run->arena.size();
       if (offset + key_.size() > run->arena.capacity()) {
@@ -118,6 +121,7 @@ class Block::Iter final : public Iterator {
       run->arena.append(key_);
       run->keys.emplace_back(run->arena.data() + offset, key_.size());
       run->values.push_back(value_);
+      run->AppendDecodedKey(run->keys.back());
       ++n;
       ParseNextKey();
     }

@@ -1,5 +1,7 @@
 #include "sst/block_cache.h"
 
+#include <algorithm>
+
 namespace laser {
 
 namespace {
@@ -11,12 +13,20 @@ size_t RoundUpToPowerOfTwo(size_t n) {
 }
 
 /// A shard smaller than a few blocks would thrash: halve the shard count
-/// until every shard can hold a useful working set (or one shard remains).
+/// until every shard can hold kMinShardBytes (or one shard remains). The
+/// result is always >= 1 — a zero-capacity or sub-64KB cache runs a single
+/// shard instead of dividing by zero — and at most kMaxShards, so an absurd
+/// request cannot allocate 2^31 shard structs. Callers can read the clamped
+/// result back via num_shards(); LaserDB surfaces it in Stats/bench JSON so
+/// tiny-cache configs don't lose their sharding unannounced.
 size_t PickShardCount(size_t capacity_bytes, int requested) {
-  constexpr size_t kMinShardBytes = 64 * 1024;
-  size_t shards = RoundUpToPowerOfTwo(
-      requested > 0 ? static_cast<size_t>(requested) : BlockCache::kDefaultShards);
-  while (shards > 1 && capacity_bytes / shards < kMinShardBytes) shards >>= 1;
+  size_t want = requested > 0 ? static_cast<size_t>(requested)
+                              : static_cast<size_t>(BlockCache::kDefaultShards);
+  want = std::min(want, BlockCache::kMaxShards);
+  size_t shards = RoundUpToPowerOfTwo(want);
+  while (shards > 1 && capacity_bytes / shards < BlockCache::kMinShardBytes) {
+    shards >>= 1;
+  }
   return shards;
 }
 

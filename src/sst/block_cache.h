@@ -41,9 +41,21 @@ class BlockCache {
   /// Total bytes charged across all shards.
   size_t charge() const;
   size_t capacity() const { return capacity_; }
+
+  /// The EFFECTIVE shard count: the requested count rounded up to a power of
+  /// two, then clamped so every shard holds >= kMinShardBytes (always >= 1,
+  /// so tiny or zero capacities degrade to one shard instead of dividing by
+  /// zero). May be smaller than requested — callers that care about
+  /// contention should surface this (LaserDB reports it via
+  /// Stats::block_cache_effective_shards).
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   static constexpr int kDefaultShards = 16;
+  /// Floor on bytes per shard before the shard count is halved.
+  static constexpr size_t kMinShardBytes = 64 * 1024;
+  /// Ceiling on the shard count (guards absurd requests from allocating a
+  /// shard struct per 2^k up to INT_MAX).
+  static constexpr size_t kMaxShards = 1024;
 
  private:
   struct CacheKey {

@@ -5,6 +5,8 @@
 #ifndef LASER_UTIL_ITERATOR_H_
 #define LASER_UTIL_ITERATOR_H_
 
+#include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -18,16 +20,49 @@ namespace laser {
 /// storage or this run's `arena`; they are invalidated by the next
 /// NextRun/Seek on the iterator. `arena` is reserved before appending and
 /// never reallocated mid-run, so earlier slices stay valid while filling.
+///
+/// Sources that already walk the key bytes while filling also decode each
+/// internal key's fixed layout (8-byte big-endian user key ⊕ 8-byte trailer)
+/// into `user_keys`/`tags` in the same pass, so batch consumers fold over
+/// flat integer vectors instead of re-parsing every entry. `keys_decoded` is
+/// true only when EVERY entry of the run decoded (16-byte internal key);
+/// otherwise the decoded vectors are unspecified and consumers must parse
+/// `keys` themselves.
 struct IteratorRun {
   std::vector<Slice> keys;
   std::vector<Slice> values;
+  std::vector<uint64_t> user_keys;  ///< decoded user keys, parallel to keys
+  std::vector<uint64_t> tags;       ///< trailer: (sequence << 8) | type
+  bool keys_decoded = false;
   std::string arena;  ///< backing store for entries the source must copy
 
   size_t size() const { return keys.size(); }
   void clear() {
     keys.clear();
     values.clear();
+    user_keys.clear();
+    tags.clear();
+    keys_decoded = false;
     arena.clear();
+  }
+
+  /// Appends the decoded form of internal key `k` (call once per appended
+  /// entry, in order). Returns false — and poisons `keys_decoded` — when the
+  /// key does not have the engine's fixed 16-byte layout.
+  bool AppendDecodedKey(const Slice& k) {
+    if (!keys_decoded || k.size() != 16) {
+      keys_decoded = false;
+      return false;
+    }
+    uint64_t user_key = 0;
+    for (int i = 0; i < 8; ++i) {
+      user_key = (user_key << 8) | static_cast<unsigned char>(k.data()[i]);
+    }
+    uint64_t tag;
+    memcpy(&tag, k.data() + 8, sizeof(tag));  // trailer is fixed64 (LE hosts)
+    user_keys.push_back(user_key);
+    tags.push_back(tag);
+    return true;
   }
 };
 
@@ -74,6 +109,7 @@ class Iterator {
     // Generic fallback: copy keys and values into the run arena (advancing
     // an arbitrary iterator may invalidate its previous entry's slices).
     size_t n = 0;
+    run->keys_decoded = run->keys.empty();
     while (n < max_entries && Valid()) {
       const Slice k = key();
       const Slice v = value();
@@ -86,6 +122,7 @@ class Iterator {
       run->arena.append(v.data(), v.size());
       run->keys.emplace_back(run->arena.data() + offset, k.size());
       run->values.emplace_back(run->arena.data() + offset + k.size(), v.size());
+      run->AppendDecodedKey(run->keys.back());
       ++n;
       Next();
     }

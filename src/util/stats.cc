@@ -10,7 +10,8 @@ std::string Stats::ToString() const {
            "data_blocks=%llu index_blocks=%llu cache_hit=%llu cache_miss=%llu "
            "bloom_neg=%llu/%llu flushed=%lluB compacted=%lluB "
            "compactions=%llu stalls=%lluus wal_groups=%llu/%llu wal_syncs=%llu "
-           "scan_rows=%llu scan_batches=%llu scan_advances=%llu scan_resifts=%llu",
+           "scan_rows=%llu scan_batches=%llu scan_advances=%llu scan_resifts=%llu "
+           "scan_zip_rows=%llu scan_zip_splices=%llu cache_shards=%llu",
            static_cast<unsigned long long>(data_block_reads.load()),
            static_cast<unsigned long long>(index_block_reads.load()),
            static_cast<unsigned long long>(block_cache_hits.load()),
@@ -27,7 +28,10 @@ std::string Stats::ToString() const {
            static_cast<unsigned long long>(scan_rows_merged.load()),
            static_cast<unsigned long long>(scan_batches_emitted.load()),
            static_cast<unsigned long long>(scan_source_advances.load()),
-           static_cast<unsigned long long>(scan_heap_resifts.load()));
+           static_cast<unsigned long long>(scan_heap_resifts.load()),
+           static_cast<unsigned long long>(scan_zip_rows.load()),
+           static_cast<unsigned long long>(scan_zip_splices.load()),
+           static_cast<unsigned long long>(block_cache_effective_shards.load()));
   return buf;
 }
 

@@ -30,6 +30,14 @@ class Stats {
   std::atomic<uint64_t> scan_batches_emitted{0};  ///< non-empty NextBatch fills
   std::atomic<uint64_t> scan_source_advances{0};  ///< contribution-source steps
   std::atomic<uint64_t> scan_heap_resifts{0};     ///< k-way-merge heap repairs
+  std::atomic<uint64_t> scan_zip_rows{0};         ///< rows spliced run-at-a-time
+  std::atomic<uint64_t> scan_zip_splices{0};      ///< successful zip rounds
+
+  // -- configuration gauges (set once at open; not part of Reset) --
+  /// Shard count the block cache actually runs with after the min-bytes-per-
+  /// shard clamp — tiny caches silently degrade below the requested count,
+  /// so the effective value is surfaced here and in bench JSON.
+  std::atomic<uint64_t> block_cache_effective_shards{0};
 
   // -- write path --
   std::atomic<uint64_t> bytes_written_wal{0};
@@ -55,6 +63,8 @@ class Stats {
     scan_batches_emitted = 0;
     scan_source_advances = 0;
     scan_heap_resifts = 0;
+    scan_zip_rows = 0;
+    scan_zip_splices = 0;
     bytes_written_wal = 0;
     wal_syncs = 0;
     wal_group_commits = 0;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -77,6 +78,35 @@ TEST(BlockCacheTest, ShardCountRoundsUpAndClampsForTinyCaches) {
   // A 64KB cache must not shatter into sub-64KB shards.
   EXPECT_EQ(BlockCache(64 * 1024, 16).num_shards(), 1);
   EXPECT_EQ(BlockCache(256 * 1024, 16).num_shards(), 4);
+}
+
+// Regression (shard clamp edges): shards=1 must stay 1 (not round to 0 or
+// 2), capacity=0 must degrade to a single shard instead of dividing by
+// zero, a negative request falls back to the default, and an absurd request
+// cannot allocate a shard struct per power of two up to INT_MAX.
+TEST(BlockCacheTest, ShardClampEdges) {
+  EXPECT_EQ(BlockCache(1 << 20, 1).num_shards(), 1);
+  EXPECT_EQ(BlockCache(0, 16).num_shards(), 1);
+  EXPECT_EQ(BlockCache(0, 0).num_shards(), 1);
+  EXPECT_EQ(BlockCache(1, 1).num_shards(), 1);
+  EXPECT_EQ(BlockCache(1 << 20, -3).num_shards(), 16);  // default fallback
+  EXPECT_LE(BlockCache(std::numeric_limits<size_t>::max(),
+                       std::numeric_limits<int>::max())
+                .num_shards(),
+            static_cast<int>(BlockCache::kMaxShards));
+
+  // A zero-capacity cache is a valid (always-miss) cache: inserts evict
+  // immediately, lookups and charge accounting stay safe.
+  BlockCache zero(0, 4);
+  zero.Insert(1, 0, MakeBlock(64));
+  EXPECT_EQ(zero.Lookup(1, 0), nullptr);
+  EXPECT_EQ(zero.charge(), 0u);
+
+  // A sub-64KB single-shard cache still caches.
+  BlockCache tiny(32 * 1024, 8);
+  EXPECT_EQ(tiny.num_shards(), 1);
+  tiny.Insert(1, 0, MakeBlock(64));
+  EXPECT_NE(tiny.Lookup(1, 0), nullptr);
 }
 
 TEST(BlockCacheTest, ChargeNeverExceedsCapacityUnderPressure) {

@@ -121,10 +121,11 @@ TEST_P(ScanBatchDifferentialTest, BatchMatchesRowMatchesModel) {
   const int seed = GetParam();
   Random rng(0x5ca4ba7c + static_cast<uint64_t>(seed) * 7919);
 
-  // Rotate the design with the seed so row-only, equi-width, and the
-  // hybrid/simulated-columnar layouts all get differential coverage.
+  // Rotate the design with the seed so row-only, the many-small-CG zip
+  // shapes (size 2 and 3), and the hybrid/simulated-columnar layouts all get
+  // differential coverage.
   const std::vector<test::DesignParam> designs = {
-      {"row", 0}, {"cg3", 3}, {"htap", -1}, {"col", 1}};
+      {"row", 0}, {"cg2", 2}, {"cg3", 3}, {"htap", -1}, {"col", 1}};
   const test::DesignParam& design = designs[seed % designs.size()];
 
   auto env = NewMemEnv();
@@ -260,7 +261,7 @@ TEST_P(ScanBatchDifferentialTest, BatchMatchesRowMatchesModel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScanBatchDifferentialTest,
-                         ::testing::Range(0, 12));
+                         ::testing::Range(0, 15));
 
 // A scan opened on an empty range (or empty database) terminates cleanly in
 // both styles.
@@ -281,6 +282,192 @@ TEST(ScanBatchTest, EmptyRangeAndEmptyDb) {
   EXPECT_EQ(db->NewScan(10, 20, {1})->NextBatch(&batch), 0u);
   EXPECT_EQ(db->NewScan(0, 100, {1})->NextBatch(&batch), 2u);
 }
+
+// Regression (EnsureColumnCapacity pairing): the pre-fix code grew `present`
+// only under the `values.size() < rows` check, so a caller that resized one
+// vector independently left the pair silently diverged — later index writes
+// then ran past the short vector. EnsureColumnCapacity is the single growth
+// site and must restore values.size() == present.size() >= rows no matter
+// how a consumer mangled the vectors.
+TEST(ScanBatchTest, EnsureColumnCapacityRepairsDivergedVectors) {
+  ScanBatch batch;
+  batch.Reset(3);
+  batch.EnsureColumnCapacity(8);
+  for (const ScanBatch::Column& column : batch.columns) {
+    EXPECT_EQ(column.values.size(), 8u);
+    EXPECT_EQ(column.present.size(), 8u);
+  }
+
+  // A consumer shrank `present` below `values`: the old code saw
+  // values.size() >= rows and grew NEITHER, leaving present too short.
+  batch.columns[0].present.resize(2);
+  batch.EnsureColumnCapacity(8);
+  EXPECT_EQ(batch.columns[0].present.size(), 8u);
+  EXPECT_EQ(batch.columns[0].values.size(), 8u);
+
+  // The opposite divergence (present longer than values) must also heal,
+  // and growth keeps the pairing.
+  batch.columns[1].present.resize(32);
+  batch.EnsureColumnCapacity(16);
+  EXPECT_EQ(batch.columns[1].values.size(), batch.columns[1].present.size());
+  EXPECT_GE(batch.columns[1].values.size(), 16u);
+
+  // Shrinking requests never shrink storage (capacity is sticky).
+  batch.EnsureColumnCapacity(1);
+  EXPECT_GE(batch.columns[0].values.size(), 8u);
+  EXPECT_EQ(batch.columns[0].values.size(), batch.columns[0].present.size());
+}
+
+// -- zip-path targeted coverage: CG-size-2/3 designs where every level is a
+// stack of small column groups advancing in lockstep --
+
+/// Differentially checks every consumption style over [lo, hi] x projection.
+void CheckAllStyles(LaserDB* db, const Model& model, uint64_t lo, uint64_t hi,
+                    const ColumnSet& projection, const char* what) {
+  const auto expected = ModelScan(model, lo, hi, projection);
+  const auto via_rows = RowApiScan(db, lo, hi, projection);
+  ASSERT_EQ(via_rows, expected)
+      << what << ": row API mismatch [" << lo << "," << hi << "] got "
+      << Describe(via_rows) << " want " << Describe(expected);
+  // Batch sizes straddle zip splice boundaries (1 row at a time up to
+  // larger than the range) so zip<->fold flips happen at batch edges.
+  for (const size_t batch_rows :
+       {size_t{1}, size_t{2}, size_t{5}, size_t{29}, size_t{173}, size_t{4096}}) {
+    const auto via_batch = BatchApiScan(db, lo, hi, projection, batch_rows);
+    ASSERT_EQ(via_batch, expected)
+        << what << ": batch API mismatch batch_rows=" << batch_rows << " ["
+        << lo << "," << hi << "] got " << Describe(via_batch) << " want "
+        << Describe(expected);
+  }
+}
+
+class ZipPathTest : public ::testing::TestWithParam<int> {
+ protected:
+  /// Opens a tiny tree with CG size GetParam() (2 or 3).
+  std::unique_ptr<LaserDB> OpenDb(Env* env) {
+    LaserOptions options =
+        test::TinyTreeOptions(env, "/zipdb", kColumns, kLevels);
+    options.cg_config =
+        CgConfig::EquiWidth(kColumns, kLevels, GetParam());
+    std::unique_ptr<LaserDB> db;
+    EXPECT_TRUE(LaserDB::Open(options, &db).ok());
+    return db;
+  }
+};
+
+// Clean contiguous rows with islands of partial updates: the zip must
+// diverge mid-run at every island (only the updated column's group carries
+// the extra version) and re-engage after it.
+TEST_P(ZipPathTest, DivergenceMidRunFromPartialUpdates) {
+  auto env = NewMemEnv();
+  auto db = OpenDb(env.get());
+  Model model;
+  const uint64_t n = 400;
+  for (uint64_t k = 0; k < n; ++k) {
+    const auto row = test::TestRow(k, kColumns);
+    ASSERT_TRUE(db->Insert(k, row).ok());
+    for (int c = 0; c < kColumns; ++c) model[k][c + 1] = row[c];
+  }
+  ASSERT_TRUE(db->CompactUntilStable().ok());
+  // Update one column (one group) of every 17th key AFTER settling, so the
+  // newer partial version sits above the settled full rows.
+  for (uint64_t k = 3; k < n; k += 17) {
+    const int column = 1 + static_cast<int>(k % kColumns);
+    ASSERT_TRUE(db->Update(k, {{column, k * 7}}).ok());
+    model[k][column] = k * 7;
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  CheckAllStyles(db.get(), model, 0, n, MakeColumnRange(1, kColumns),
+                 "divergence-mid-run");
+  CheckAllStyles(db.get(), model, 120, 260, {1, 2, 9, 10},
+                 "divergence-mid-run narrow");
+
+  // And again after full compaction folds the islands back into full rows
+  // (the zip steady state).
+  ASSERT_TRUE(db->CompactUntilStable().ok());
+  CheckAllStyles(db.get(), model, 0, n, MakeColumnRange(1, kColumns),
+                 "divergence-mid-run settled");
+}
+
+// A tombstone resurrected in ONE column group only: delete the whole row,
+// then partial-update columns of a single group. That group's cursor sees a
+// newer value while every other group's newest version is the tombstone —
+// the zip must veto these keys and the fold must keep the per-group
+// tri-state semantics.
+TEST_P(ZipPathTest, TombstoneInOneColumnGroupOnly) {
+  auto env = NewMemEnv();
+  auto db = OpenDb(env.get());
+  Model model;
+  const uint64_t n = 300;
+  for (uint64_t k = 0; k < n; ++k) {
+    const auto row = test::TestRow(k, kColumns);
+    ASSERT_TRUE(db->Insert(k, row).ok());
+    for (int c = 0; c < kColumns; ++c) model[k][c + 1] = row[c];
+  }
+  ASSERT_TRUE(db->CompactUntilStable().ok());
+  for (uint64_t k = 5; k < n; k += 23) {
+    ASSERT_TRUE(db->Delete(k).ok());
+    model.erase(k);
+    // Columns 1..cg_size form exactly the first group of every level.
+    ASSERT_TRUE(db->Update(k, {{1, k + 1000}}).ok());
+    model[k][1] = k + 1000;
+  }
+  ASSERT_TRUE(db->Flush().ok());
+
+  CheckAllStyles(db.get(), model, 0, n, MakeColumnRange(1, kColumns),
+                 "tombstone-one-group");
+  // Projection entirely inside the resurrected group, and entirely outside.
+  CheckAllStyles(db.get(), model, 0, n, {1}, "tombstone-one-group inside");
+  CheckAllStyles(db.get(), model, 0, n, {kColumns},
+                 "tombstone-one-group outside");
+
+  ASSERT_TRUE(db->CompactUntilStable().ok());
+  CheckAllStyles(db.get(), model, 0, n, MakeColumnRange(1, kColumns),
+                 "tombstone-one-group settled");
+}
+
+// Zip<->fold mode flips across batch boundaries: every batch boundary lands
+// the merge mid-stream (often mid-splice), and the next NextBatch call must
+// resume exactly where the zip stopped — including when the resume point is
+// a mutation island that needs the fold.
+TEST_P(ZipPathTest, ModeFlipsAcrossBatchBoundaries) {
+  auto env = NewMemEnv();
+  auto db = OpenDb(env.get());
+  Model model;
+  const uint64_t n = 500;
+  for (uint64_t k = 0; k < n; ++k) {
+    const auto row = test::TestRow(k, kColumns);
+    ASSERT_TRUE(db->Insert(k, row).ok());
+    for (int c = 0; c < kColumns; ++c) model[k][c + 1] = row[c];
+  }
+  // Alternating mutation islands: a delete, a partial update, and a
+  // re-insert every 31 keys, flushed in two waves so versions span levels.
+  for (uint64_t k = 7; k < n; k += 31) {
+    ASSERT_TRUE(db->Delete(k).ok());
+    model.erase(k);
+  }
+  ASSERT_TRUE(db->Flush().ok());
+  for (uint64_t k = 13; k < n; k += 31) {
+    ASSERT_TRUE(db->Update(k, {{2, k}, {kColumns, k + 1}}).ok());
+    model[k][2] = k;
+    model[k][kColumns] = k + 1;
+  }
+  for (uint64_t k = 7; k < 200; k += 62) {
+    const auto row = test::TestRow(k + 9000, kColumns);
+    ASSERT_TRUE(db->Insert(k, row).ok());
+    auto& mrow = model[k];
+    mrow.clear();
+    for (int c = 0; c < kColumns; ++c) mrow[c + 1] = row[c];
+  }
+  ASSERT_TRUE(db->CompactUntilStable().ok());
+
+  CheckAllStyles(db.get(), model, 0, n, MakeColumnRange(1, kColumns),
+                 "mode-flips");
+  CheckAllStyles(db.get(), model, 50, 450, {1, 5, 6, kColumns}, "mode-flips mid");
+}
+
+INSTANTIATE_TEST_SUITE_P(CgSizes, ZipPathTest, ::testing::Values(2, 3));
 
 // NextBatch with max_rows == 0 is a harmless no-op that loses nothing.
 TEST(ScanBatchTest, ZeroMaxRows) {

@@ -7,9 +7,18 @@ code turns 1 when any watched field regresses by more than the threshold —
 wire it between a baseline artifact and a fresh run to gate perf in CI.
 
 Field direction: throughput-like fields (containing "per_sec", "rate",
-"ratio", "rows_per") regress when they DROP; everything else (latencies,
-counters, seconds, us, bytes) regresses when it RISES. Use --watch to limit
-the gate to specific fields (default: every shared numeric field).
+"ratio", "rows_per", "speedup") regress when they DROP; everything else
+(latencies, counters, seconds, us, bytes) regresses when it RISES. Use
+--watch to limit the gate to specific fields (default: every shared numeric
+field).
+
+Renames cannot false-pass the gate: rows present only in the baseline are
+reported as [removed], rows present only in the candidate as [new-only], and
+per-row added/removed metric FIELDS are listed by name. When --threshold-pct
+is set, removed rows and removed watched fields fail the gate too (pass
+--allow-unmatched to accept an intentional rename/retirement). A zero or
+missing baseline value never divides by zero: the delta is reported as "new"
+/ "from-zero" instead of a percentage.
 
 Examples:
   tools/bench_diff.py old/BENCH_scan_throughput.json BENCH_scan_throughput.json
@@ -20,9 +29,6 @@ import argparse
 import json
 import signal
 import sys
-
-# Dying quietly on a closed pipe (| head) beats a traceback.
-signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 META_FIELDS = {"series", "label"}
 # Parameter-like fields that identify a row rather than measure it.
@@ -41,7 +47,10 @@ HIGHER_IS_BETTER_HINTS = ("per_sec", "rate", "ratio", "rows_per", "speedup")
 def load_rows(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    return doc.get("bench", "?"), doc.get("scale"), doc.get("rows", [])
+    rows = doc.get("rows", [])
+    if not isinstance(rows, list):
+        rows = []
+    return doc.get("bench", "?"), doc.get("scale"), rows
 
 
 def row_key(row, match_fields):
@@ -52,11 +61,131 @@ def row_key(row, match_fields):
     return tuple(key)
 
 
+def row_ident(key):
+    return " ".join(k if isinstance(k, str) else f"{k[0]}={k[1]}" for k in key if k)
+
+
 def higher_is_better(field):
     return any(hint in field for hint in HIGHER_IS_BETTER_HINTS)
 
 
+def is_number(value):
+    # bool is an int subclass; treat it as a flag, not a metric.
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def pct_delta(old_value, new_value):
+    """Percent change, or None when the baseline is zero (no division)."""
+    if old_value == 0:
+        return None
+    return 100.0 * (new_value - old_value) / abs(old_value)
+
+
+def metric_fields(row, match_fields):
+    return {
+        field
+        for field, value in row.items()
+        if field not in META_FIELDS and field not in match_fields and is_number(value)
+    }
+
+
+def diff_rows(old_rows, new_rows, match_fields, watch, threshold_pct, out=print):
+    """Compares row lists; returns (regressions, removed_rows, removed_fields).
+
+    `regressions` are (ident, field, old, new, pct) beyond the threshold;
+    `removed_rows`/`removed_fields` are baseline rows / per-row watched fields
+    with no candidate counterpart (rename protection).
+    """
+    old_index = {}
+    for row in old_rows:
+        old_index.setdefault(row_key(row, match_fields), row)
+
+    regressions = []
+    removed_fields = []
+    new_only = 0
+    matched_keys = set()
+    for row in new_rows:
+        key = row_key(row, match_fields)
+        base = old_index.get(key)
+        ident = row_ident(key)
+        if base is None:
+            new_only += 1
+            out(f"[new-only] {ident}")
+            continue
+        matched_keys.add(key)
+        printed_header = False
+
+        def header():
+            nonlocal printed_header
+            if not printed_header:
+                out(ident)
+                printed_header = True
+
+        old_fields = metric_fields(base, match_fields)
+        new_fields = metric_fields(row, match_fields)
+        for field in sorted(new_fields - old_fields):
+            header()
+            out(f"  {field:28s} [added] {row[field]:g}")
+        for field in sorted(old_fields - new_fields):
+            header()
+            out(f"  {field:28s} [removed] was {base[field]:g}")
+            if threshold_pct is not None and (watch is None or field in watch):
+                removed_fields.append((ident, field))
+
+        for field, new_value in row.items():
+            if field in META_FIELDS or field in match_fields:
+                continue
+            old_value = base.get(field)
+            if not is_number(new_value) or not is_number(old_value):
+                continue
+            pct = pct_delta(old_value, new_value)
+            direction_up = higher_is_better(field)
+            watched = watch is None or field in watch
+            flag = ""
+            if pct is None:
+                delta = "(from-zero)" if new_value != 0 else "(0 -> 0)"
+                # A lower-is-better metric rising from a zero baseline is an
+                # unbounded regression (the old inf% semantics), not a free
+                # pass; a higher-is-better metric appearing from zero is an
+                # improvement.
+                if (
+                    threshold_pct is not None
+                    and watched
+                    and not direction_up
+                    and new_value != 0
+                ):
+                    regressions.append(
+                        (ident, field, old_value, new_value, float("inf")))
+                    flag = "  <-- REGRESSION"
+            else:
+                regressed_pct = -pct if direction_up else pct
+                if (
+                    threshold_pct is not None
+                    and watched
+                    and regressed_pct > threshold_pct
+                ):
+                    regressions.append((ident, field, old_value, new_value, pct))
+                    flag = "  <-- REGRESSION"
+                arrow = "+" if pct >= 0 else ""
+                delta = f"({arrow}{pct:.1f}%)"
+            header()
+            out(f"  {field:28s} {old_value:>14.6g} -> {new_value:>14.6g}  "
+                f"{delta}{flag}")
+
+    removed_rows = [
+        row_ident(key) for key in old_index if key not in matched_keys
+    ]
+    for ident in removed_rows:
+        out(f"[removed] {ident} — baseline row has no candidate match")
+    if new_only:
+        out(f"\n{new_only} new row(s) had no baseline match")
+    return regressions, removed_rows, removed_fields
+
+
 def main():
+    # Dying quietly on a closed pipe (| head) beats a traceback.
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("old", help="baseline BENCH_*.json")
     parser.add_argument("new", help="candidate BENCH_*.json")
@@ -78,6 +207,11 @@ def main():
         default=None,
         help="extra field treated as a row identifier rather than a metric",
     )
+    parser.add_argument(
+        "--allow-unmatched",
+        action="store_true",
+        help="removed baseline rows/fields warn instead of failing the gate",
+    )
     args = parser.parse_args()
 
     old_bench, old_scale, old_rows = load_rows(args.old)
@@ -89,61 +223,33 @@ def main():
               "deltas are not meaningful across scales")
 
     match_fields = DEFAULT_MATCH_FIELDS + (args.match or [])
-    old_index = {}
-    for row in old_rows:
-        old_index.setdefault(row_key(row, match_fields), row)
+    regressions, removed_rows, removed_fields = diff_rows(
+        old_rows, new_rows, match_fields, args.watch, args.threshold_pct)
 
-    regressions = []
-    unmatched = 0
-    for row in new_rows:
-        key = row_key(row, match_fields)
-        base = old_index.get(key)
-        ident = " ".join(k if isinstance(k, str) else f"{k[0]}={k[1]}"
-                         for k in key if k)
-        if base is None:
-            unmatched += 1
-            print(f"[new-only] {ident}")
-            continue
-        printed_header = False
-        for field, new_value in row.items():
-            if field in META_FIELDS or field in match_fields:
-                continue
-            old_value = base.get(field)
-            if not isinstance(new_value, (int, float)) or not isinstance(
-                old_value, (int, float)
-            ):
-                continue
-            if old_value == 0:
-                pct = float("inf") if new_value != 0 else 0.0
-            else:
-                pct = 100.0 * (new_value - old_value) / abs(old_value)
-            direction_up = higher_is_better(field)
-            regressed_pct = -pct if direction_up else pct
-            watched = args.watch is None or field in args.watch
-            flag = ""
-            if (
-                args.threshold_pct is not None
-                and watched
-                and regressed_pct > args.threshold_pct
-            ):
-                regressions.append((ident, field, old_value, new_value, pct))
-                flag = "  <-- REGRESSION"
-            if not printed_header:
-                print(ident)
-                printed_header = True
-            arrow = "+" if pct >= 0 else ""
-            print(f"  {field:28s} {old_value:>14.6g} -> {new_value:>14.6g}"
-                  f"  ({arrow}{pct:.1f}%){flag}")
-
-    if unmatched:
-        print(f"\n{unmatched} new row(s) had no baseline match")
+    failed = False
     if regressions:
         print(f"\nFAIL: {len(regressions)} field(s) regressed beyond "
               f"{args.threshold_pct}%:")
         for ident, field, old_value, new_value, pct in regressions:
             print(f"  {ident}: {field} {old_value:g} -> {new_value:g} ({pct:+.1f}%)")
-        return 1
-    return 0
+        failed = True
+    if args.threshold_pct is not None and not args.allow_unmatched:
+        # A renamed row or metric silently dropping out of the comparison is
+        # exactly how a regression gate false-passes; treat it as a failure
+        # unless explicitly allowed.
+        if removed_rows:
+            print(f"\nFAIL: {len(removed_rows)} baseline row(s) vanished from "
+                  "the candidate (rename? pass --allow-unmatched if intended):")
+            for ident in removed_rows:
+                print(f"  {ident}")
+            failed = True
+        if removed_fields:
+            print(f"\nFAIL: {len(removed_fields)} watched field(s) vanished "
+                  "from matched rows:")
+            for ident, field in removed_fields:
+                print(f"  {ident}: {field}")
+            failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

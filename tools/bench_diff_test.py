@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff.py (run by ctest as bench_diff_test).
+
+Covers the regression-gate edge cases the nightly workflow depends on:
+zero/missing baseline metrics must not raise, renamed rows/fields must fail
+the gate instead of silently false-passing, and direction-aware thresholds.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import bench_diff  # noqa: E402
+
+MATCH = bench_diff.DEFAULT_MATCH_FIELDS
+
+
+def run_diff(old_rows, new_rows, watch=None, threshold=10.0):
+    lines = []
+    result = bench_diff.diff_rows(old_rows, new_rows, MATCH, watch, threshold,
+                                  out=lines.append)
+    return result, "\n".join(lines)
+
+
+class PctDeltaTest(unittest.TestCase):
+    def test_zero_baseline_is_none_not_crash(self):
+        self.assertIsNone(bench_diff.pct_delta(0, 5))
+        self.assertIsNone(bench_diff.pct_delta(0, 0))
+        self.assertEqual(bench_diff.pct_delta(10, 5), -50.0)
+        self.assertEqual(bench_diff.pct_delta(-10, -5), 50.0)
+
+
+class DiffRowsTest(unittest.TestCase):
+    def test_zero_baseline_metric_reports_from_zero(self):
+        old = [{"series": "s", "threads": 1, "rows_per_sec": 0}]
+        new = [{"series": "s", "threads": 1, "rows_per_sec": 100}]
+        (regs, removed_rows, removed_fields), text = run_diff(old, new)
+        self.assertEqual(regs, [])
+        self.assertEqual(removed_rows, [])
+        self.assertEqual(removed_fields, [])
+        self.assertIn("from-zero", text)
+
+    def test_lower_is_better_rise_from_zero_still_regresses(self):
+        # The old inf% semantics: a watched latency/counter appearing from a
+        # zero baseline is an unbounded regression, not a gate bypass.
+        old = [{"series": "s", "threads": 1, "stall_us": 0}]
+        new = [{"series": "s", "threads": 1, "stall_us": 500000}]
+        (regs, _, _), text = run_diff(old, new, watch=["stall_us"])
+        self.assertEqual(len(regs), 1)
+        self.assertIn("REGRESSION", text)
+        # Unchanged zero stays clean.
+        same = [{"series": "s", "threads": 1, "stall_us": 0}]
+        (regs, _, _), _ = run_diff(old, same, watch=["stall_us"])
+        self.assertEqual(regs, [])
+
+    def test_regression_direction_throughput_drop(self):
+        old = [{"series": "s", "threads": 1, "rows_per_sec": 100}]
+        new = [{"series": "s", "threads": 1, "rows_per_sec": 50}]
+        (regs, _, _), text = run_diff(old, new, watch=["rows_per_sec"])
+        self.assertEqual(len(regs), 1)
+        self.assertIn("REGRESSION", text)
+
+    def test_latency_rise_regresses_and_drop_does_not(self):
+        old = [{"series": "s", "threads": 1, "us_per_scan": 100}]
+        worse = [{"series": "s", "threads": 1, "us_per_scan": 200}]
+        better = [{"series": "s", "threads": 1, "us_per_scan": 50}]
+        (regs, _, _), _ = run_diff(old, worse)
+        self.assertEqual(len(regs), 1)
+        (regs, _, _), _ = run_diff(old, better)
+        self.assertEqual(regs, [])
+
+    def test_renamed_row_is_reported_removed(self):
+        old = [{"series": "scan/wide-30", "threads": 1, "rows_per_sec": 100}]
+        new = [{"series": "scan/wide30", "threads": 1, "rows_per_sec": 1}]
+        (regs, removed_rows, _), text = run_diff(old, new,
+                                                 watch=["rows_per_sec"])
+        # The renamed row cannot regress (no match) but the vanished baseline
+        # row is what the gate must catch.
+        self.assertEqual(regs, [])
+        self.assertEqual(len(removed_rows), 1)
+        self.assertIn("[new-only]", text)
+        self.assertIn("[removed]", text)
+
+    def test_removed_watched_field_is_reported(self):
+        old = [{"series": "s", "threads": 1, "rows_per_sec": 100, "extra": 5}]
+        new = [{"series": "s", "threads": 1, "rows_per_sec": 100}]
+        (_, _, removed_fields), text = run_diff(old, new)
+        self.assertEqual(removed_fields, [("s threads=1", "extra")])
+        self.assertIn("[removed] was 5", text)
+
+    def test_added_field_reported_not_gated(self):
+        old = [{"series": "s", "threads": 1, "rows_per_sec": 100}]
+        new = [{"series": "s", "threads": 1, "rows_per_sec": 100,
+                "scan_zip_rows": 7}]
+        (regs, removed_rows, removed_fields), text = run_diff(old, new)
+        self.assertEqual((regs, removed_rows, removed_fields), ([], [], []))
+        self.assertIn("[added]", text)
+
+    def test_bool_and_string_fields_ignored(self):
+        old = [{"series": "s", "threads": 1, "ok": True, "note": "x",
+                "rows_per_sec": 100}]
+        new = [{"series": "s", "threads": 1, "ok": False, "note": "y",
+                "rows_per_sec": 100}]
+        (regs, _, _), _ = run_diff(old, new)
+        self.assertEqual(regs, [])
+
+    def test_within_threshold_passes(self):
+        old = [{"series": "s", "threads": 1, "rows_per_sec": 100}]
+        new = [{"series": "s", "threads": 1, "rows_per_sec": 95}]
+        (regs, _, _), _ = run_diff(old, new, watch=["rows_per_sec"],
+                                   threshold=10.0)
+        self.assertEqual(regs, [])
+
+
+if __name__ == "__main__":
+    unittest.main()
