@@ -157,6 +157,9 @@ struct EngineStatsSnapshot {
   uint64_t block_cache_hits = 0;
   uint64_t block_cache_misses = 0;
   uint64_t data_block_reads = 0;
+  uint64_t blocks_skipped_zonemap = 0;
+  uint64_t rows_filtered_pushdown = 0;
+  uint64_t aggs_pushed = 0;
 
   static EngineStatsSnapshot Capture(const Stats& stats) {
     EngineStatsSnapshot snap;
@@ -169,6 +172,9 @@ struct EngineStatsSnapshot {
     snap.block_cache_hits = stats.block_cache_hits.load();
     snap.block_cache_misses = stats.block_cache_misses.load();
     snap.data_block_reads = stats.data_block_reads.load();
+    snap.blocks_skipped_zonemap = stats.blocks_skipped_zonemap.load();
+    snap.rows_filtered_pushdown = stats.rows_filtered_pushdown.load();
+    snap.aggs_pushed = stats.aggs_pushed.load();
     return snap;
   }
 };
@@ -208,6 +214,15 @@ inline void AppendEngineStatsFields(
   fields->emplace_back(
       "data_block_reads",
       static_cast<double>(now.data_block_reads - since.data_block_reads));
+  fields->emplace_back("blocks_skipped_zonemap",
+                       static_cast<double>(now.blocks_skipped_zonemap -
+                                           since.blocks_skipped_zonemap));
+  fields->emplace_back("rows_filtered_pushdown",
+                       static_cast<double>(now.rows_filtered_pushdown -
+                                           since.rows_filtered_pushdown));
+  fields->emplace_back(
+      "aggs_pushed",
+      static_cast<double>(now.aggs_pushed - since.aggs_pushed));
   // Configuration gauge, not a delta: the block cache's effective (possibly
   // clamped) shard count.
   fields->emplace_back(

@@ -226,6 +226,151 @@ int main() {
     }
   }
 
+  // ---- Selective scan: predicate + aggregate pushdown vs filter-after-
+  // materialize. Column 1 is loaded clustered (value == key), so after
+  // compaction each data block's zone map covers a tight key-correlated
+  // range and a 5%-selectivity BETWEEN predicate lets the scan skip ~95% of
+  // the blocks before decode. The postfilter cell runs the PR-era plan —
+  // materialize every row, filter and fold bench-side — over the same tree;
+  // both cells must produce identical aggregates.
+  {
+    auto env = NewMemEnv();
+    LaserOptions options =
+        NarrowTableOptions(env.get(), "/scan_sel",
+                           CgConfig::HtapSimple(kColumns, kLevels, 6), kLevels,
+                           kSizeRatio);
+    options.block_cache_bytes = 8 * 1024 * 1024;
+    // One background thread: compaction order (and so tree shape and zone-map
+    // block boundaries) is deterministic run to run, which the nightly
+    // bench_diff gate on blocks_skipped_zonemap depends on.
+    options.background_threads = 1;
+    std::unique_ptr<LaserDB> db;
+    if (!LaserDB::Open(options, &db).ok()) {
+      fprintf(stderr, "FAIL: cannot open selective-scan DB\n");
+      return 1;
+    }
+    for (uint64_t k = 0; k < rows; ++k) {
+      std::vector<ColumnValue> row = BenchRow(k, kColumns);
+      row[0] = k;  // cluster column 1 with the key
+      if (!db->Insert(k, row).ok()) return 1;
+    }
+    Random mutate(13);
+    for (uint64_t i = 0; i < rows / 20; ++i) {
+      db->Update(mutate.Uniform(rows), {{3, i}, {17, i + 1}});
+    }
+    for (uint64_t i = 0; i < rows / 50; ++i) {
+      db->Delete(mutate.Uniform(rows));
+    }
+    if (!db->CompactUntilStable().ok()) return 1;
+
+    const ColumnSet projection = MakeColumnRange(1, kColumns);
+    const uint64_t pred_lo = rows * 45 / 100;
+    const uint64_t pred_hi = pred_lo + rows / 20;  // ~5% of the key domain
+    ScanSpec spec;
+    spec.predicates.push_back({1, PredOp::kBetween, pred_lo, pred_hi});
+
+    PrintHeader("selective scan: 5% BETWEEN on clustered col 1, wide-30");
+    printf("%-12s %14s %14s %10s\n", "plan", "rows/sec", "us/scan", "matches");
+
+    Env* benv = Env::Default();
+    constexpr int kRepeats = 3;
+    uint64_t live_rows = 0;  // rows the unfiltered scan materializes
+    double plan_rps[2] = {0, 0};
+    uint64_t plan_checksum[2] = {0, 0};
+    uint64_t plan_matches[2] = {0, 0};
+    const uint64_t skipped_before = db->stats().blocks_skipped_zonemap.load();
+
+    for (int plan = 0; plan < 2; ++plan) {  // 0 = postfilter, 1 = pushdown
+      const EngineStatsSnapshot cell_start =
+          EngineStatsSnapshot::Capture(db->stats());
+      double best_seconds = 0;
+      uint64_t checksum = 0;
+      uint64_t matches = 0;
+      for (int repeat = 0; repeat < kRepeats; ++repeat) {
+        const uint64_t t0 = benv->NowMicros();
+        if (plan == 0) {
+          auto scan = db->NewScan(0, rows - 1, projection);
+          if (scan == nullptr) return 1;
+          ScanBatch batch;
+          uint64_t seen = 0;
+          uint64_t sum = 0;
+          matches = 0;
+          while (size_t n = scan->NextBatch(&batch)) {
+            seen += n;
+            const ScanBatch::Column& c1 = batch.columns[0];
+            for (size_t r = 0; r < n; ++r) {
+              if (!c1.present[r]) continue;
+              const uint64_t v = c1.values[r];
+              if (v < pred_lo || v > pred_hi) continue;
+              ++matches;
+              for (size_t c = 0; c < batch.columns.size(); ++c) {
+                if (batch.columns[c].present[r]) sum += batch.columns[c].values[r];
+              }
+            }
+          }
+          live_rows = seen;
+          checksum = sum + matches;
+        } else {
+          auto scan = db->NewScan(0, rows - 1, projection, spec);
+          if (scan == nullptr) return 1;
+          ScanAggregates aggs;
+          if (!scan->AggregateAll(&aggs).ok()) {
+            fprintf(stderr, "FAIL: AggregateAll error\n");
+            return 1;
+          }
+          uint64_t sum = 0;
+          for (const uint64_t s : aggs.sums) sum += s;
+          matches = aggs.rows;
+          checksum = sum + aggs.rows;
+        }
+        const double seconds =
+            static_cast<double>(benv->NowMicros() - t0) / 1e6;
+        if (best_seconds == 0 || seconds < best_seconds) best_seconds = seconds;
+      }
+      // Both plans cover the same key domain; rows/s counts domain rows
+      // swept per second so the ratio reflects work avoided, not work done.
+      plan_rps[plan] = best_seconds > 0
+                           ? static_cast<double>(live_rows) / best_seconds
+                           : 0;
+      plan_checksum[plan] = checksum;
+      plan_matches[plan] = matches;
+      printf("%-12s %14.0f %14.0f %10" PRIu64 "\n",
+             plan == 0 ? "postfilter" : "pushdown", plan_rps[plan],
+             best_seconds * 1e6, matches);
+      std::vector<std::pair<std::string, double>> fields = {
+          {"pushdown", plan == 0 ? 0.0 : 1.0},
+          {"rows_per_sec", plan_rps[plan]},
+          {"us_per_scan", best_seconds * 1e6},
+          {"matches", static_cast<double>(matches)},
+          {"checksum", static_cast<double>(checksum % (1u << 30))}};
+      AppendEngineStatsFields(db->stats(), &fields, cell_start);
+      json.Record("scan/selective-5pct", plan == 0 ? "postfilter" : "pushdown",
+                  std::move(fields));
+    }
+
+    if (plan_checksum[0] != plan_checksum[1] ||
+        plan_matches[0] != plan_matches[1]) {
+      fprintf(stderr,
+              "FAIL: selective-scan plans disagree: postfilter %" PRIu64
+              " rows cksum %" PRIu64 " vs pushdown %" PRIu64 " rows cksum %" PRIu64
+              "\n",
+              plan_matches[0], plan_checksum[0], plan_matches[1],
+              plan_checksum[1]);
+      checksums_ok = false;
+    }
+    const uint64_t skipped =
+        db->stats().blocks_skipped_zonemap.load() - skipped_before;
+    if (plan_rps[0] > 0) {
+      const double ratio = plan_rps[1] / plan_rps[0];
+      printf("\nheadline: selective pushdown/postfilter = %.2fx, "
+             "blocks_skipped_zonemap = %" PRIu64 " (target: >= 2x, skips > 0)\n",
+             ratio, skipped);
+      json.Record("headline", "selective_pushdown_vs_postfilter",
+                  {{"ratio", ratio},
+                   {"blocks_skipped_zonemap", static_cast<double>(skipped)}});
+    }
+  }
+
   if (wide_row_rps_1t > 0) {
     const double ratio = wide_batch_rps_1t / wide_row_rps_1t;
     printf("\nheadline: wide-30 batch/row ratio (HTAP-simple, 1 thread) = %.2fx"

@@ -187,11 +187,28 @@ std::unique_ptr<Iterator> NewProjectingIterator(std::unique_ptr<Iterator> base,
 
 namespace {
 
+/// zone_columns for SSTs holding `cols` payloads: the CG's full column set
+/// with each column's fixed value width, in storage order (the builder
+/// interprets row presence bitmaps against this list).
+std::vector<SstBuildOptions::ZoneColumnSpec> ZoneColumnsFor(
+    const RowCodec* codec, const ColumnSet& cols) {
+  std::vector<SstBuildOptions::ZoneColumnSpec> specs;
+  specs.reserve(cols.size());
+  for (const int column : cols) {
+    specs.push_back({static_cast<uint32_t>(column),
+                     static_cast<uint32_t>(codec->ValueWidth(column))});
+  }
+  return specs;
+}
+
 /// Writes a stream of internal entries into target-sized SSTs, cutting only
 /// at user-key boundaries so one key's versions never straddle files.
 class OutputWriter {
  public:
-  explicit OutputWriter(const JobContext& ctx) : ctx_(ctx) {}
+  /// `columns` is the full column set of the CG being written (used for
+  /// zone-map summaries).
+  OutputWriter(const JobContext& ctx, const ColumnSet& columns)
+      : ctx_(ctx), columns_(columns) {}
 
   Status Add(const Slice& internal_key, const Slice& value) {
     const Slice user_key = ExtractUserKey(internal_key);
@@ -228,6 +245,7 @@ class OutputWriter {
     build_options.restart_interval = ctx_.options->restart_interval;
     build_options.compression = ctx_.options->compression;
     build_options.bloom_bits_per_key = ctx_.options->bloom_bits_per_key;
+    build_options.zone_columns = ZoneColumnsFor(ctx_.codec, columns_);
     builder_ = std::make_unique<SstBuilder>(build_options, std::move(file));
     pending_bytes_ = 0;
     return Status::OK();
@@ -262,6 +280,7 @@ class OutputWriter {
   }
 
   const JobContext& ctx_;
+  const ColumnSet columns_;
   std::unique_ptr<SstBuilder> builder_;
   uint64_t current_number_ = 0;
   uint64_t pending_bytes_ = 0;
@@ -310,7 +329,7 @@ Status RunCompaction(const JobContext& ctx, const CompactionJob& job,
     auto merged = NewMergingIterator(std::move(streams));
 
     VersionMerger merger(ctx.codec, child_cols, ctx.snapshots, job.to_bottom_level);
-    OutputWriter writer(ctx);
+    OutputWriter writer(ctx, child_cols);
 
     merged->SeekToFirst();
     std::string current_user_key;
@@ -373,6 +392,9 @@ Status RunFlush(const JobContext& ctx, const MemTable& imm,
   build_options.restart_interval = ctx.options->restart_interval;
   build_options.compression = ctx.options->compression;
   build_options.bloom_bits_per_key = ctx.options->bloom_bits_per_key;
+  // L0 files hold full rows over the whole schema.
+  build_options.zone_columns =
+      ZoneColumnsFor(ctx.codec, ctx.options->schema.AllColumns());
   SstBuilder builder(build_options, std::move(file));
 
   auto iter = imm.NewIterator();

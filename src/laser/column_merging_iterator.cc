@@ -32,12 +32,14 @@ ContributionIterator::ContributionIterator(std::unique_ptr<Iterator> iter,
                                            const RowCodec* codec,
                                            ColumnSet source_columns,
                                            ColumnSet projection,
-                                           SequenceNumber snapshot)
+                                           SequenceNumber snapshot,
+                                           ZoneMapScanFilter* pushdown)
     : iter_(std::move(iter)),
       codec_(codec),
       source_columns_(std::move(source_columns)),
       projection_(std::move(projection)),
-      snapshot_(snapshot) {
+      snapshot_(snapshot),
+      pushdown_(pushdown) {
   proj_position_of_source_column_.reserve(source_columns_.size());
   for (int col : source_columns_) {
     auto it = std::lower_bound(projection_.begin(), projection_.end(), col);
@@ -185,6 +187,24 @@ void ContributionIterator::ConsumeColumnRun(size_t rows) {
   assert(zip_pos_ <= zip_keys_.size());
 }
 
+void ContributionIterator::SkipTo(const Slice& limit_exclusive,
+                                  const Slice& hi_inclusive,
+                                  ScanPathCounters* counters) {
+  ++counters->source_advances;
+  if (limit_exclusive.empty()) {
+    // No other source bounds the window: every remaining key at or below
+    // `hi_inclusive` fails the predicate and nothing past it is in range.
+    (void)hi_inclusive;
+    ResetRun();
+    valid_ = false;
+    return;
+  }
+  // One index probe lands the block cursor on the first surviving key — the
+  // skipped window is never decoded (and, when the zone maps agree, its
+  // blocks are never even read).
+  Seek(limit_exclusive);
+}
+
 size_t ContributionIterator::EmitZipPending(ScanBatch* batch,
                                             const Slice& limit_exclusive,
                                             const Slice& hi_inclusive,
@@ -214,12 +234,19 @@ size_t ContributionIterator::FastEmitStretch(ScanBatch* batch,
   // Pass 1 — keys: walk the run buffer collecting entries that are
   // provably single-version full rows at or below the snapshot and within
   // bounds, straight off the run's decoded key columns (no per-entry
-  // re-parse). An entry is eligible only when its successor is also in the
-  // buffer (so single-version needs no refill) and its encoding has the
-  // expected full size (every column present, nothing truncated). Full rows
-  // always carry values for the overlapping columns, so every collected row
-  // is emitted. Entries shadowed by an already-resolved full row (the zip
-  // path's guard) are consumed without emitting.
+  // re-parse). A committed full row terminates its key's fold, so it is
+  // emitted immediately and the resolved guard marks the key — any older
+  // versions still ahead (even in a later refill) are consumed without
+  // re-emitting by every consumer path. That covers the run-boundary entry
+  // too: the buffer's last row no longer drops to the generic fold just
+  // because its successor is out of reach. The refill happens only HERE,
+  // before any value pointer is taken — a mid-stretch refill would release
+  // the block value_ptrs_ points into.
+  if (run_pos_ >= run_.size()) {
+    run_.clear();
+    run_pos_ = 0;
+    if (iter_->NextRun(&run_, kRunEntries) == 0) return 0;  // source drained
+  }
   if (!run_.keys_decoded) return 0;  // odd keys: the generic fold handles them
   const bool has_limit = !limit_exclusive.empty();
   const uint64_t limit = has_limit ? DecodeKey64(limit_exclusive) : 0;
@@ -227,7 +254,7 @@ size_t ContributionIterator::FastEmitStretch(ScanBatch* batch,
   const uint64_t hi = has_hi ? DecodeKey64(hi_inclusive) : 0;
   const size_t row0 = batch->keys.size();
   value_ptrs_.clear();
-  while (value_ptrs_.size() < max_rows && run_pos_ + 1 < run_.size()) {
+  while (value_ptrs_.size() < max_rows && run_pos_ < run_.size()) {
     const uint64_t user_key = run_.user_keys[run_pos_];
     if (resolved_guard_active_ && user_key == resolved_guard_key_) {
       ++run_pos_;
@@ -240,13 +267,12 @@ size_t ContributionIterator::FastEmitStretch(ScanBatch* batch,
     }
     if (has_limit && user_key >= limit) break;
     if (has_hi && user_key > hi) break;
-    if (run_.user_keys[run_pos_ + 1] == user_key) {
-      break;  // another version of this key follows
-    }
     const Slice value = run_.values[run_pos_];
     if (value.size() != full_row_size_) break;
     batch->keys.push_back(user_key);
     value_ptrs_.push_back(value.data() + bitmap_bytes_);
+    resolved_guard_key_ = user_key;
+    resolved_guard_active_ = true;
     ++run_pos_;
   }
   const size_t n = value_ptrs_.size();
@@ -355,12 +381,21 @@ void ContributionIterator::BuildNext() {
     valid_ = true;
     return;
   }
-  // Decoded fast path: the post-compaction steady state — a single-version
-  // full row at or below the snapshot — resolves off the run's decoded key
-  // columns without ParseInternalKey or the bitmap fold. The successor must
-  // be in the buffer to prove single-version; the run-boundary entry (and
-  // every irregular shape) takes the generic fold below.
-  while (run_.keys_decoded && run_pos_ + 1 < run_.size()) {
+  // Decoded fast path: the post-compaction steady state — a committed full
+  // row at or below the snapshot — resolves off the run's decoded key
+  // columns without ParseInternalKey or the bitmap fold. A full row
+  // terminates its key's fold on its own, so no successor proof is needed:
+  // the resolved guard (set below) makes every consumer path skip any older
+  // versions still ahead, including across the refill taken here when the
+  // buffer drains — the run-boundary entry resolves on this path too instead
+  // of dropping to the generic fold.
+  while (true) {
+    if (run_pos_ >= run_.size()) {
+      run_.clear();
+      run_pos_ = 0;
+      if (iter_->NextRun(&run_, kRunEntries) == 0) return;  // source drained
+    }
+    if (!run_.keys_decoded) break;  // odd keys: the generic fold handles them
     const uint64_t user_key = run_.user_keys[run_pos_];
     if (resolved_guard_active_ && user_key == resolved_guard_key_) {
       ++run_pos_;  // shadowed version of an already-resolved key
@@ -369,8 +404,7 @@ void ContributionIterator::BuildNext() {
     const uint64_t tag = run_.tags[run_pos_];
     const Slice value = run_.values[run_pos_];
     if (static_cast<ValueType>(tag & 0xff) != kTypeFullRow ||
-        (tag >> 8) > snapshot_ || run_.user_keys[run_pos_ + 1] == user_key ||
-        value.size() != full_row_size_) {
+        (tag >> 8) > snapshot_ || value.size() != full_row_size_) {
       break;
     }
     current_key_ = EncodeKey64(user_key);
@@ -393,6 +427,8 @@ void ContributionIterator::BuildNext() {
       }
       offset += width;
     }
+    resolved_guard_key_ = user_key;
+    resolved_guard_active_ = true;
     ++run_pos_;
     any_value_ = true;
     valid_ = true;
@@ -510,6 +546,11 @@ ColumnMergingIterator::ColumnMergingIterator(
       } else {
         uncovered_union_.push_back(static_cast<int>(pos));
       }
+    }
+    union_index_of_position_.assign(projection_size, -1);
+    for (size_t ui = 0; ui < covered_union_.size(); ++ui) {
+      union_index_of_position_[static_cast<size_t>(covered_union_[ui])] =
+          static_cast<int>(ui);
     }
   }
 }
@@ -641,6 +682,66 @@ size_t ColumnMergingIterator::ZipSplice(ScanBatch* batch,
   ++counters->zip_splices;
   counters->source_advances += rows * children_.size();
   return rows;
+}
+
+size_t ColumnMergingIterator::AppendColumnRunTo(ColumnRunView* view,
+                                                const Slice& limit_exclusive,
+                                                const Slice& hi_inclusive,
+                                                size_t max_rows) {
+  // The lift engages only from the lockstep state (every child tied on the
+  // current key): each child's prepared run then starts right after its
+  // current row, so the composed rows follow THIS source's current row as
+  // the contract demands. The composed length is the longest common-key
+  // prefix of the children's runs — per-index key equality is what makes
+  // "splice child columns side by side" equal to the row-at-a-time merge.
+  if (!covered_exact_ || tied_.size() != children_.size()) return 0;
+  zip_views_.resize(children_.size());
+  size_t cap = max_rows;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    const size_t n = children_[i]->AppendColumnRunTo(
+        &zip_views_[i], limit_exclusive, hi_inclusive, cap);
+    if (n == 0) return 0;
+    cap = std::min(cap, n);
+  }
+  size_t rows = cap;
+  const uint64_t* keys0 = zip_views_[0].keys;
+  for (size_t i = 1; i < children_.size() && rows > 0; ++i) {
+    const uint64_t* keys = zip_views_[i].keys;
+    if (memcmp(keys0, keys, rows * sizeof(uint64_t)) == 0) continue;
+    size_t j = 0;
+    while (j < rows && keys0[j] == keys[j]) ++j;
+    rows = j;
+  }
+  if (rows == 0) return 0;
+
+  // Compose without copying: keys are child 0's vector, and each union
+  // column borrows the pointer of the unique child covering that position.
+  view->keys = keys0;
+  view->rows = rows;
+  view->cols.resize(covered_union_.size());
+  for (size_t i = 0; i < children_.size(); ++i) {
+    const std::vector<int>& covered = *children_[i]->covered_positions();
+    for (size_t ci = 0; ci < covered.size(); ++ci) {
+      const int ui = union_index_of_position_[static_cast<size_t>(covered[ci])];
+      view->cols[static_cast<size_t>(ui)] = zip_views_[i].cols[ci];
+    }
+  }
+  return rows;
+}
+
+void ColumnMergingIterator::ConsumeColumnRun(size_t rows) {
+  if (rows == 0) return;
+  for (auto& child : children_) child->ConsumeColumnRun(rows);
+}
+
+void ColumnMergingIterator::SkipTo(const Slice& limit_exclusive,
+                                   const Slice& hi_inclusive,
+                                   ScanPathCounters* counters) {
+  for (auto& child : children_) {
+    child->SkipTo(limit_exclusive, hi_inclusive, counters);
+  }
+  heap_.Assign(children_);
+  BuildCurrent();
 }
 
 void ColumnMergingIterator::AdvanceTied(ScanPathCounters* counters,

@@ -13,6 +13,7 @@
 
 #include "laser/contribution.h"
 #include "laser/row_codec.h"
+#include "laser/scan_pushdown.h"
 #include "laser/source_heap.h"
 #include "lsm/dbformat.h"
 #include "util/iterator.h"
@@ -28,9 +29,14 @@ namespace laser {
 /// sources for overlapping groups).
 class ContributionIterator final : public ContributionSource {
  public:
+  /// `pushdown` (optional, must outlive this source) is the scan's zone-map
+  /// filter restricted to this source's columns; it is armed/disarmed by the
+  /// merge layer via ArmBlockSkipping so the underlying block cursor only
+  /// skips inside proven sole-contributor windows.
   ContributionIterator(std::unique_ptr<Iterator> iter, const RowCodec* codec,
                        ColumnSet source_columns, ColumnSet projection,
-                       SequenceNumber snapshot);
+                       SequenceNumber snapshot,
+                       ZoneMapScanFilter* pushdown = nullptr);
 
   bool Valid() const override { return valid_; }
   void SeekToFirst() override;
@@ -57,6 +63,19 @@ class ContributionIterator final : public ContributionSource {
   size_t AppendColumnRunTo(ColumnRunView* view, const Slice& limit_exclusive,
                            const Slice& hi_inclusive, size_t max_rows) override;
   void ConsumeColumnRun(size_t rows) override;
+
+  /// Pushdown fast-forward: re-seeks the underlying iterator past the whole
+  /// window in one index probe instead of decoding and discarding its rows.
+  void SkipTo(const Slice& limit_exclusive, const Slice& hi_inclusive,
+              ScanPathCounters* counters) override;
+
+  void ArmBlockSkipping(const Slice& limit_exclusive,
+                        const Slice& hi_inclusive) override {
+    if (pushdown_ != nullptr) pushdown_->SetWindow(limit_exclusive, hi_inclusive);
+  }
+  void DisarmBlockSkipping() override {
+    if (pushdown_ != nullptr) pushdown_->ClearWindow();
+  }
 
   const std::vector<int>* covered_positions() const override {
     return &covered_positions_;
@@ -135,6 +154,7 @@ class ContributionIterator final : public ContributionSource {
   size_t bitmap_bytes_ = 0;
   std::vector<const char*> value_ptrs_;  // FastEmitStretch scratch
   const SequenceNumber snapshot_;
+  ZoneMapScanFilter* const pushdown_;
 
   bool valid_ = false;
   bool any_value_ = false;  ///< some position of states_ is kValue
@@ -191,6 +211,35 @@ class ColumnMergingIterator final : public ContributionSource {
                      const Slice& hi_inclusive, size_t max_rows,
                      ScanPathCounters* counters) override;
 
+  /// Lifts the children's zip contract across the level boundary: when every
+  /// child is tied in lockstep (a full-coverage row), their prepared column
+  /// runs are composed — keys from child 0, value columns routed to the
+  /// union layout — into a single view the LEVEL merge can splice or shadow
+  /// against other levels. Returns 0 whenever any child cannot zip or the
+  /// children's upcoming keys diverge at the first row.
+  size_t AppendColumnRunTo(ColumnRunView* view, const Slice& limit_exclusive,
+                           const Slice& hi_inclusive, size_t max_rows) override;
+  void ConsumeColumnRun(size_t rows) override;
+
+  /// Forwards the window skip to every child, then rebuilds the heap and the
+  /// current row from the children's new positions.
+  void SkipTo(const Slice& limit_exclusive, const Slice& hi_inclusive,
+              ScanPathCounters* counters) override;
+
+  /// Safe to forward to every child at once: children hold DISJOINT column
+  /// groups of one level, so a block one child skips can only remove values
+  /// that themselves fail the scan's predicates — never a newer version of a
+  /// column another child supplies.
+  void ArmBlockSkipping(const Slice& limit_exclusive,
+                        const Slice& hi_inclusive) override {
+    for (auto& child : children_) {
+      child->ArmBlockSkipping(limit_exclusive, hi_inclusive);
+    }
+  }
+  void DisarmBlockSkipping() override {
+    for (auto& child : children_) child->DisarmBlockSkipping();
+  }
+
   Status status() const override;
 
  private:
@@ -244,6 +293,9 @@ class ColumnMergingIterator final : public ContributionSource {
   std::vector<int> covered_union_;
   std::vector<int> uncovered_union_;
   bool covered_exact_ = false;
+  // projection position -> index within covered_union_ (or -1): routes each
+  // child's zip columns into the composed union-layout view.
+  std::vector<int> union_index_of_position_;
 };
 
 }  // namespace laser

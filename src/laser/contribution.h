@@ -135,6 +135,40 @@ class ContributionSource {
     return appended;
   }
 
+  /// Skips (without emitting) every row with user key strictly below
+  /// `limit_exclusive` (empty = unbounded) and at most `hi_inclusive` (empty
+  /// = unbounded), leaving the source positioned at the first surviving key.
+  /// Callers use it when a pushed-down predicate proves no row of a
+  /// sole-contributor window can match (e.g. a predicated column this source
+  /// can never cover) — the same advance contract as AppendRunTo, minus the
+  /// decode.
+  virtual void SkipTo(const Slice& limit_exclusive, const Slice& hi_inclusive,
+                      ScanPathCounters* counters) {
+    while (Valid()) {
+      const Slice key = user_key();
+      if (!limit_exclusive.empty() && key.compare(limit_exclusive) >= 0) break;
+      if (!hi_inclusive.empty() && key.compare(hi_inclusive) > 0) break;
+      Next();
+      ++counters->source_advances;
+    }
+  }
+
+  /// Arms (until DisarmBlockSkipping) any zone-map block filter this source
+  /// tree owns, for a window in which the caller's merge proves this source
+  /// is the SOLE contributor of every user key strictly below
+  /// `limit_exclusive` (and at most `hi_inclusive`). While armed, the
+  /// source's underlying block cursors may drop whole data blocks that
+  /// provably fail the scan's predicates. Merge layers must arm exactly
+  /// around sole-contributor drains: per-row tie resolution across sources
+  /// sharing columns must run disarmed (a skipped block there could hide a
+  /// version an upstream predicate re-check needs). Default: no-op.
+  virtual void ArmBlockSkipping(const Slice& limit_exclusive,
+                                const Slice& hi_inclusive) {
+    (void)limit_exclusive;
+    (void)hi_inclusive;
+  }
+  virtual void DisarmBlockSkipping() {}
+
   /// Zip support (the run-granularity merge mode): exposes, via `view`, up
   /// to `max_rows` decoded rows that FOLLOW the current row, each provably a
   /// single-version full row at or below the snapshot — so its contribution

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cstdlib>
+#include <limits>
 
 #include "laser/column_merging_iterator.h"
 #include "lsm/run_iterator.h"
@@ -1008,9 +1009,49 @@ Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
 // Range scans (§4.3)
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Builds the zone-map filter for one SST-backed source: the scan's
+/// predicates restricted to the columns the source actually stores (a
+/// predicate on a column outside the source cannot be judged from its
+/// blocks). Returns nullptr when no predicate applies.
+std::unique_ptr<ZoneMapScanFilter> MakeSourceFilter(
+    const ScanSpec& spec, const ColumnSet& source_columns) {
+  std::vector<ScanPredicate> preds;
+  for (const ScanPredicate& pred : spec.predicates) {
+    if (std::binary_search(source_columns.begin(), source_columns.end(),
+                           pred.column)) {
+      preds.push_back(pred);
+    }
+  }
+  if (preds.empty()) return nullptr;
+  return std::make_unique<ZoneMapScanFilter>(std::move(preds));
+}
+
+}  // namespace
+
 std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
                                                ColumnSet projection) {
+  return NewScan(lo_key, hi_key, std::move(projection), ScanSpec());
+}
+
+std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
+                                               ColumnSet projection,
+                                               ScanSpec spec) {
   if (!CheckProjection(projection).ok()) return nullptr;
+  // Predicate columns must be projected: the filter re-check (and the
+  // aggregate fold) read them out of the batch.
+  std::vector<int> pred_positions;
+  for (const ScanPredicate& pred : spec.predicates) {
+    const auto it =
+        std::lower_bound(projection.begin(), projection.end(), pred.column);
+    if (it == projection.end() || *it != pred.column) return nullptr;
+    pred_positions.push_back(static_cast<int>(it - projection.begin()));
+  }
+  std::sort(pred_positions.begin(), pred_positions.end());
+  pred_positions.erase(
+      std::unique(pred_positions.begin(), pred_positions.end()),
+      pred_positions.end());
   stats_.range_scans.fetch_add(1, std::memory_order_relaxed);
 
   MemTable* mem;
@@ -1032,6 +1073,17 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
   const std::string hi_encoded = EncodeKey64(hi_key);
   std::vector<std::unique_ptr<ContributionSource>> sources;
 
+  // One zone-map filter per SST-backed source (memtables have no blocks to
+  // skip), owned by the ScanIterator so it outlives the block cursors that
+  // consult it.
+  std::vector<std::unique_ptr<ZoneMapScanFilter>> filters;
+  const auto add_filter = [&](const ColumnSet& cols) -> ZoneMapScanFilter* {
+    auto filter = MakeSourceFilter(spec, cols);
+    if (filter == nullptr) return nullptr;
+    filters.push_back(std::move(filter));
+    return filters.back().get();
+  };
+
   // Memtables: newest first.
   sources.push_back(std::make_unique<ContributionIterator>(
       mem->NewIterator(), &codec_, all_columns, projection, snapshot));
@@ -1046,8 +1098,10 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
   const auto& l0 = version->files(0, 0);
   for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
     if (!(*it)->OverlapsUserRange(Slice(lo_encoded), Slice(hi_encoded))) continue;
+    ZoneMapScanFilter* filter = add_filter(all_columns);
     sources.push_back(std::make_unique<ContributionIterator>(
-        (*it)->reader->NewIterator(), &codec_, all_columns, projection, snapshot));
+        (*it)->reader->NewIterator(filter), &codec_, all_columns, projection,
+        snapshot, filter));
   }
 
   // Levels >= 1: one ColumnMergingIterator per level over the overlapping
@@ -1058,9 +1112,10 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
     std::vector<std::unique_ptr<ContributionSource>> level_sources;
     for (int g : options_.cg_config.OverlappingGroups(level, projection)) {
       if (version->files(level, g).empty()) continue;
+      ZoneMapScanFilter* filter = add_filter(groups[g]);
       level_sources.push_back(std::make_unique<ContributionIterator>(
-          NewRunIterator(version->files(level, g)), &codec_, groups[g],
-          projection, snapshot));
+          NewRunIterator(version->files(level, g), filter), &codec_, groups[g],
+          projection, snapshot, filter));
     }
     if (level_sources.empty()) continue;
     if (level_sources.size() == 1) {
@@ -1071,8 +1126,8 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
     }
   }
 
-  auto impl = std::make_unique<LevelMergingIterator>(std::move(sources),
-                                                     projection.size());
+  auto impl = std::make_unique<LevelMergingIterator>(
+      std::move(sources), projection.size(), std::move(pred_positions));
   impl->Seek(Slice(lo_encoded));
 
   std::vector<MemTable*> pinned;
@@ -1080,21 +1135,33 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
   pinned.insert(pinned.end(), imms.begin(), imms.end());
   return std::make_unique<ScanIterator>(
       hi_key, std::move(projection), std::move(pinned), std::move(version),
-      std::move(impl), &stats_, trace_.load(std::memory_order_acquire));
+      std::move(impl), &stats_, trace_.load(std::memory_order_acquire),
+      std::move(spec), std::move(filters));
 }
 
 ScanIterator::ScanIterator(uint64_t hi_key, ColumnSet projection,
                            std::vector<MemTable*> pinned_memtables,
                            std::shared_ptr<const Version> pinned_version,
                            std::unique_ptr<LevelMergingIterator> impl,
-                           Stats* stats, WorkloadTrace* trace)
+                           Stats* stats, WorkloadTrace* trace, ScanSpec spec,
+                           std::vector<std::unique_ptr<ZoneMapScanFilter>> filters)
     : projection_(std::move(projection)),
       hi_key_encoded_(EncodeKey64(hi_key)),
+      spec_(std::move(spec)),
       pinned_memtables_(std::move(pinned_memtables)),
       pinned_version_(std::move(pinned_version)),
+      filters_(std::move(filters)),
       impl_(std::move(impl)),
       stats_(stats),
-      trace_(trace) {}
+      trace_(trace) {
+  pred_positions_.reserve(spec_.predicates.size());
+  for (const ScanPredicate& pred : spec_.predicates) {
+    const auto it =
+        std::lower_bound(projection_.begin(), projection_.end(), pred.column);
+    assert(it != projection_.end() && *it == pred.column);  // NewScan checked
+    pred_positions_.push_back(static_cast<size_t>(it - projection_.begin()));
+  }
+}
 
 ScanIterator::~ScanIterator() {
   if (stats_ != nullptr) {
@@ -1109,6 +1176,13 @@ ScanIterator::~ScanIterator() {
                                        std::memory_order_relaxed);
     stats_->scan_batches_emitted.fetch_add(batches_emitted_,
                                            std::memory_order_relaxed);
+    uint64_t blocks_skipped = 0;
+    for (const auto& filter : filters_) blocks_skipped += filter->blocks_skipped();
+    stats_->blocks_skipped_zonemap.fetch_add(blocks_skipped,
+                                             std::memory_order_relaxed);
+    stats_->rows_filtered_pushdown.fetch_add(rows_filtered_,
+                                             std::memory_order_relaxed);
+    stats_->aggs_pushed.fetch_add(aggs_pushed_, std::memory_order_relaxed);
   }
   if (trace_ != nullptr) {
     trace_->AddRangeScan(projection_, static_cast<double>(rows_emitted_));
@@ -1117,14 +1191,133 @@ ScanIterator::~ScanIterator() {
 }
 
 size_t ScanIterator::NextBatch(ScanBatch* batch, size_t max_rows) {
+  if (row_mode_) {
+    assert(!"ScanIterator: NextBatch after per-row access (one style only)");
+    mode_error_ = Status::InvalidArgument(
+        "ScanIterator: NextBatch called after per-row access; use one "
+        "consumption style per iterator");
+    return 0;
+  }
+  batch_mode_ = true;
   batch->Reset(projection_.size());
-  const size_t n = impl_->AppendRows(batch, Slice(hi_key_encoded_), max_rows);
+  // Under predicates a fill can be wiped out entirely; keep pulling so a 0
+  // return still means "exhausted", not "unlucky batch".
+  size_t n = 0;
+  while (true) {
+    n = impl_->AppendRows(batch, Slice(hi_key_encoded_), max_rows);
+    if (n == 0) break;
+    if (!spec_.predicates.empty()) FilterBatch(batch);
+    n = batch->size();
+    if (n > 0) break;
+    batch->Reset(projection_.size());
+  }
   rows_emitted_ += n;
   if (n > 0) ++batches_emitted_;
   return n;
 }
 
+void ScanIterator::FilterBatch(ScanBatch* batch) {
+  const size_t n = batch->size();
+  if (n == 0) return;
+  // Mask pass, one predicate at a time over the flat column arrays (the op
+  // switch is loop-invariant); a null in a predicated column fails it.
+  filter_mask_.assign(n, 1);
+  for (size_t pi = 0; pi < spec_.predicates.size(); ++pi) {
+    const ScanPredicate& pred = spec_.predicates[pi];
+    const ScanBatch::Column& col = batch->columns[pred_positions_[pi]];
+    for (size_t r = 0; r < n; ++r) {
+      filter_mask_[r] = static_cast<uint8_t>(
+          filter_mask_[r] &
+          (col.present[r] != 0 && PredicateMatches(pred, col.values[r]) ? 1 : 0));
+    }
+  }
+  // Column-major compaction of the survivors.
+  size_t write = 0;
+  for (size_t r = 0; r < n; ++r) {
+    if (filter_mask_[r] != 0) batch->keys[write++] = batch->keys[r];
+  }
+  if (write == n) return;
+  for (auto& col : batch->columns) {
+    size_t w = 0;
+    for (size_t r = 0; r < n; ++r) {
+      if (filter_mask_[r] == 0) continue;
+      col.present[w] = col.present[r];
+      col.values[w] = col.values[r];
+      ++w;
+    }
+  }
+  rows_filtered_ += n - write;
+  batch->keys.resize(write);
+}
+
+Status ScanIterator::AggregateAll(ScanAggregates* out) {
+  const size_t width = projection_.size();
+  out->rows = 0;
+  out->counts.assign(width, 0);
+  out->sums.assign(width, 0);
+  out->minima.assign(width, std::numeric_limits<uint64_t>::max());
+  out->maxima.assign(width, 0);
+  ScanBatch batch;
+  size_t n;
+  while ((n = NextBatch(&batch)) > 0) {
+    out->rows += n;
+    for (size_t pos = 0; pos < width; ++pos) {
+      const ScanBatch::Column& col = batch.columns[pos];
+      uint64_t count = 0;
+      uint64_t sum = 0;
+      uint64_t mn = out->minima[pos];
+      uint64_t mx = out->maxima[pos];
+      for (size_t r = 0; r < n; ++r) {
+        if (col.present[r] == 0) continue;
+        const uint64_t v = col.values[r];
+        ++count;
+        sum += v;
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      out->counts[pos] += count;
+      out->sums[pos] += sum;
+      out->minima[pos] = mn;
+      out->maxima[pos] = mx;
+    }
+  }
+  aggs_pushed_ += 4 * width;
+  return status();
+}
+
+bool ScanIterator::RowMatchesPredicates() const {
+  const auto& row = impl_->row();
+  for (size_t pi = 0; pi < spec_.predicates.size(); ++pi) {
+    const std::optional<ColumnValue>& value = row[pred_positions_[pi]];
+    if (!value.has_value()) return false;
+    if (!PredicateMatches(spec_.predicates[pi], *value)) return false;
+  }
+  return true;
+}
+
+void ScanIterator::SkipNonMatchingRows() {
+  while (impl_->Valid() &&
+         impl_->user_key().compare(Slice(hi_key_encoded_)) <= 0 &&
+         !RowMatchesPredicates()) {
+    ++rows_filtered_;
+    impl_->Next();
+  }
+}
+
 bool ScanIterator::Valid() const {
+  if (batch_mode_) {
+    assert(!"ScanIterator: per-row access after NextBatch (one style only)");
+    mode_error_ = Status::InvalidArgument(
+        "ScanIterator: per-row access after NextBatch; use one consumption "
+        "style per iterator");
+    return false;
+  }
+  row_mode_ = true;
+  if (!row_primed_ && !spec_.predicates.empty()) {
+    // Lazy so batch-style scans never pay a per-row skip at open.
+    const_cast<ScanIterator*>(this)->SkipNonMatchingRows();
+  }
+  row_primed_ = true;
   return impl_->Valid() &&
          impl_->user_key().compare(Slice(hi_key_encoded_)) <= 0;
 }
@@ -1133,6 +1326,7 @@ void ScanIterator::Next() {
   assert(Valid());
   ++rows_emitted_;
   impl_->Next();
+  if (!spec_.predicates.empty()) SkipNonMatchingRows();
 }
 
 uint64_t ScanIterator::key() const { return DecodeKey64(impl_->user_key()); }

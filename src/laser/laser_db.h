@@ -30,6 +30,7 @@
 #include "laser/level_merging_iterator.h"
 #include "laser/options.h"
 #include "laser/row_codec.h"
+#include "laser/scan_pushdown.h"
 #include "laser/write_batch.h"
 #include "lsm/compaction_picker.h"
 #include "lsm/manifest.h"
@@ -95,6 +96,16 @@ class LaserDB {
   /// iterator pins a consistent snapshot; it must not outlive the DB.
   std::unique_ptr<ScanIterator> NewScan(uint64_t lo_key, uint64_t hi_key,
                                         ColumnSet projection);
+
+  /// Range scan with pushed-down predicates: only rows satisfying EVERY
+  /// predicate in `spec` are emitted (a null in a predicated column fails
+  /// it). The predicates are evaluated inside the scan engine — vectorized
+  /// over whole batches, and below that as zone-map block skipping: data
+  /// blocks (and whole SSTs) whose value ranges provably cannot match are
+  /// never read or cached. Every predicate column must be in `projection`;
+  /// returns nullptr otherwise (as for an invalid projection).
+  std::unique_ptr<ScanIterator> NewScan(uint64_t lo_key, uint64_t hi_key,
+                                        ColumnSet projection, ScanSpec spec);
 
   // -- snapshots --
 
@@ -270,21 +281,26 @@ class LaserSnapshot {
 /// Cursor over the rows of a range scan (§4.3), in key order, with old
 /// versions discarded and columns stitched across levels and CGs.
 ///
-/// Two consumption styles:
+/// Three consumption styles:
 ///   - NextBatch(): the fast path. Pulls whole columnar batches (ScanBatch)
 ///     out of the heap-based k-way merge; consumers aggregate over flat
 ///     per-column arrays.
+///   - AggregateAll(): pushed aggregation. Folds count/sum/min/max per
+///     projected column inside the scan without handing rows to the caller.
 ///   - Valid()/Next()/values(): the classic per-row cursor, kept as a thin
 ///     adapter that prefetches one row at a time from the same merge core.
-/// Use one style per iterator: after the first NextBatch call the per-row
-/// accessors refer to an exhausted cursor.
+/// Use ONE style per iterator. Mixing NextBatch/AggregateAll with the
+/// per-row accessors asserts in debug builds; release builds invalidate the
+/// iterator instead — the misused call returns 0/false and status() reports
+/// InvalidArgument.
 class ScanIterator {
  public:
   ScanIterator(uint64_t hi_key, ColumnSet projection,
                std::vector<MemTable*> pinned_memtables,
                std::shared_ptr<const Version> pinned_version,
                std::unique_ptr<LevelMergingIterator> impl, Stats* stats = nullptr,
-               WorkloadTrace* trace = nullptr);
+               WorkloadTrace* trace = nullptr, ScanSpec spec = {},
+               std::vector<std::unique_ptr<ZoneMapScanFilter>> filters = {});
   /// Flushes scan-path counters into the engine stats and reports the scan
   /// to the trace collector (if any) with the number of rows actually
   /// emitted as its selectivity.
@@ -297,9 +313,16 @@ class ScanIterator {
   static constexpr size_t kDefaultBatchRows = 1024;
 
   /// Clears `batch` and fills it with up to `max_rows` rows in key order,
-  /// stopping at the scan's upper bound. Returns the rows appended; 0 means
-  /// the scan is exhausted.
+  /// stopping at the scan's upper bound; rows failing the scan's predicates
+  /// (if any) are filtered out before the batch is returned, so a non-empty
+  /// return contains only matches. Returns the rows appended; 0 means the
+  /// scan is exhausted (or, per the mode contract above, misused).
   size_t NextBatch(ScanBatch* batch, size_t max_rows = kDefaultBatchRows);
+
+  /// Drains the remaining scan, folding count/sum/min/max of every projected
+  /// column over the matching rows, without materializing rows for the
+  /// caller. Consumes the iterator (batch style). Returns status().
+  Status AggregateAll(ScanAggregates* out);
 
   bool Valid() const;
   void Next();
@@ -310,19 +333,48 @@ class ScanIterator {
   /// Values parallel to the projection. REQUIRES: Valid().
   const std::vector<std::optional<ColumnValue>>& values() const;
 
-  Status status() const { return impl_->status(); }
+  Status status() const {
+    if (!mode_error_.ok()) return mode_error_;
+    return impl_->status();
+  }
   const ColumnSet& projection() const { return projection_; }
 
  private:
+  /// Drops batch rows failing any predicate: one mask pass per predicate
+  /// over the flat column arrays, then a column-major compaction of the
+  /// survivors.
+  void FilterBatch(ScanBatch* batch);
+
+  /// Per-row adapter: advances the merge past rows failing the predicates so
+  /// both consumption styles see exactly the same rows.
+  void SkipNonMatchingRows();
+  bool RowMatchesPredicates() const;
+
   ColumnSet projection_;
   std::string hi_key_encoded_;
+  ScanSpec spec_;
+  std::vector<size_t> pred_positions_;  // projection position per predicate
   std::vector<MemTable*> pinned_memtables_;
   std::shared_ptr<const Version> pinned_version_;
+  // Sources inside impl_ hold raw pointers into filters_: keep the filters
+  // declared first so they are destroyed last.
+  std::vector<std::unique_ptr<ZoneMapScanFilter>> filters_;
   std::unique_ptr<LevelMergingIterator> impl_;
   Stats* stats_;
   WorkloadTrace* trace_;
   uint64_t rows_emitted_ = 0;
   uint64_t batches_emitted_ = 0;
+  uint64_t rows_filtered_ = 0;
+  uint64_t aggs_pushed_ = 0;
+  std::vector<uint8_t> filter_mask_;  // FilterBatch scratch
+  // Mode guard (one consumption style per iterator): the first NextBatch /
+  // AggregateAll locks batch mode, the first Valid() locks row mode; the
+  // per-row predicate skip runs lazily on the first Valid() so batch-style
+  // scans never pay for it.
+  bool batch_mode_ = false;
+  mutable bool row_mode_ = false;
+  mutable bool row_primed_ = false;
+  mutable Status mode_error_;
 };
 
 }  // namespace laser

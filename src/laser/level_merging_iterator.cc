@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 #include "util/coding.h"
 
@@ -9,8 +10,10 @@ namespace laser {
 
 LevelMergingIterator::LevelMergingIterator(
     std::vector<std::unique_ptr<ContributionSource>> sources,
-    size_t projection_size)
-    : sources_(std::move(sources)), projection_size_(projection_size) {
+    size_t projection_size, std::vector<int> predicate_positions)
+    : sources_(std::move(sources)),
+      projection_size_(projection_size),
+      predicate_positions_(std::move(predicate_positions)) {
   states_.resize(projection_size_);
   values_.resize(projection_size_);
   row_.resize(projection_size_);
@@ -87,19 +90,42 @@ size_t LevelMergingIterator::FillRows(ScanBatch* batch, const Slice& hi_inclusiv
       // where the zip path engages — its CG cursors splice column runs
       // straight into the batch, bounded by the same `second`/`hi` keys, so
       // a single contributing level streams at run granularity end to end.
-      const size_t n = heap_.top_source()->AppendRunTo(
-          batch, second, hi_inclusive, max_rows - appended, &counters_);
+      ContributionSource* top = heap_.top_source();
+      const bool pushdown = !predicate_positions_.empty();
+      if (pushdown) {
+        const std::vector<int>* covered = top->covered_positions();
+        if (covered != nullptr &&
+            !std::includes(covered->begin(), covered->end(),
+                           predicate_positions_.begin(),
+                           predicate_positions_.end())) {
+          // Some predicated column can never be present in this window:
+          // every row it could emit is null there and fails the scan's
+          // conjunction — fast-forward past the run without decoding it.
+          top->SkipTo(second, hi_inclusive, &counters_);
+          heap_.ReheapTop(&counters_);
+          continue;
+        }
+        // Sole-contributor window: the only place a zone-map verdict about
+        // a block is a verdict about the merged rows, so block skipping is
+        // armed exactly around this drain.
+        top->ArmBlockSkipping(second, hi_inclusive);
+      }
+      const size_t n = top->AppendRunTo(batch, second, hi_inclusive,
+                                        max_rows - appended, &counters_);
+      if (pushdown) top->DisarmBlockSkipping();
       appended += n;
       counters_.rows_merged += n;
       heap_.ReheapTop(&counters_);
     } else {
-      appended += CombineTiedRow(batch);
+      appended += CombineTiedRow(batch, hi_inclusive, max_rows - appended);
     }
   }
   return appended;
 }
 
-size_t LevelMergingIterator::CombineTiedRow(ScanBatch* batch) {
+size_t LevelMergingIterator::CombineTiedRow(ScanBatch* batch,
+                                            const Slice& hi_inclusive,
+                                            size_t max_rows) {
   heap_.PopTies(&tied_, &counters_);
   assert(tied_.size() >= 2);
 
@@ -143,6 +169,30 @@ size_t LevelMergingIterator::CombineTiedRow(ScanBatch* batch) {
     appended = 1;
     ++counters_.rows_merged;
   }
+
+  // Tied-zip lift: before the per-row advance, the tied sources' UPCOMING
+  // runs often keep overlapping (several levels carrying the same hot key
+  // range). When the newest tied source fully covers Π, its zip-eligible
+  // rows shadow everything the older tied sources hold at the same keys, so
+  // whole common-key prefixes splice from the newest source while every tied
+  // source consumes them — multi-level overlap stops falling back to a
+  // per-row fold per key. The window is bounded by the heap's next key: the
+  // non-tied sources have not moved, so nothing can interleave below it.
+  if (appended < max_rows && tied_.size() >= 2) {
+    const std::vector<int>* newest_covered =
+        sources_[tied_[0]]->covered_positions();
+    if (newest_covered != nullptr &&
+        newest_covered->size() == projection_size_) {
+      const Slice limit = heap_.empty() ? Slice() : heap_.top_key();
+      while (appended < max_rows) {
+        const size_t n =
+            ZipTiedRun(batch, limit, hi_inclusive, max_rows - appended);
+        if (n == 0) break;
+        appended += n;
+      }
+    }
+  }
+
   // Fully deleted keys emit nothing; the sources still advance past them.
   for (const int index : tied_) {
     sources_[index]->Next();
@@ -150,6 +200,50 @@ size_t LevelMergingIterator::CombineTiedRow(ScanBatch* batch) {
     if (sources_[index]->Valid()) heap_.Push(index, &counters_);
   }
   return appended;
+}
+
+size_t LevelMergingIterator::ZipTiedRun(ScanBatch* batch,
+                                        const Slice& limit_exclusive,
+                                        const Slice& hi_inclusive,
+                                        size_t max_rows) {
+  zip_views_.resize(tied_.size());
+  size_t cap = max_rows;
+  for (size_t i = 0; i < tied_.size(); ++i) {
+    const size_t n = sources_[tied_[i]]->AppendColumnRunTo(
+        &zip_views_[i], limit_exclusive, hi_inclusive, cap);
+    if (n == 0) return 0;
+    cap = std::min(cap, n);
+  }
+
+  // Longest common-key prefix across the tied runs (vectorized equality,
+  // divergence located only on mismatch). Per-index key equality is what
+  // makes "newest shadows the rest" hold row by row: at every spliced index
+  // all tied sources sit on the SAME user key, and lifecycle order says the
+  // newest source's committed full row wins it outright.
+  size_t rows = cap;
+  const uint64_t* keys0 = zip_views_[0].keys;
+  for (size_t i = 1; i < tied_.size() && rows > 0; ++i) {
+    const uint64_t* keys = zip_views_[i].keys;
+    if (memcmp(keys0, keys, rows * sizeof(uint64_t)) == 0) continue;
+    size_t j = 0;
+    while (j < rows && keys0[j] == keys[j]) ++j;
+    rows = j;
+  }
+  if (rows == 0) return 0;
+
+  const size_t row0 = batch->size();
+  batch->AppendDecodedKeys(keys0, rows);
+  const std::vector<int>& covered = *sources_[tied_[0]]->covered_positions();
+  for (size_t ci = 0; ci < covered.size(); ++ci) {
+    batch->SpliceColumnRun(static_cast<size_t>(covered[ci]), row0,
+                           zip_views_[0].cols[ci], rows);
+  }
+  for (const int index : tied_) sources_[index]->ConsumeColumnRun(rows);
+  counters_.rows_merged += rows;
+  counters_.zip_rows += rows;
+  ++counters_.zip_splices;
+  counters_.source_advances += rows * tied_.size();
+  return rows;
 }
 
 Status LevelMergingIterator::status() const {

@@ -31,9 +31,15 @@ namespace laser {
 class LevelMergingIterator {
  public:
   /// `sources` must be ordered newest to oldest (priority order);
-  /// `projection_size` is |Π|.
+  /// `projection_size` is |Π|. `predicate_positions` (sorted projection
+  /// positions, possibly empty) lists the columns the scan's pushed-down
+  /// predicates constrain: a sole-contributor window whose source can never
+  /// cover one of them is skipped outright (every row it could emit is null
+  /// there and fails the conjunction), and zone-map block skipping is armed
+  /// around each sole-contributor drain.
   LevelMergingIterator(std::vector<std::unique_ptr<ContributionSource>> sources,
-                       size_t projection_size);
+                       size_t projection_size,
+                       std::vector<int> predicate_positions = {});
 
   // -- batched core --
 
@@ -74,16 +80,30 @@ class LevelMergingIterator {
   size_t FillRows(ScanBatch* batch, const Slice& hi_inclusive, size_t max_rows);
 
   /// Combines the ≥2 sources tied at the smallest key into one row
-  /// (first-non-absent-wins in priority order), advances them all, and
-  /// appends the row unless it resolved to nothing. Returns rows appended
-  /// (0 or 1). REQUIRES: !heap_.empty() and a genuine key tie at the top.
-  size_t CombineTiedRow(ScanBatch* batch);
+  /// (first-non-absent-wins in priority order), then — when the newest tied
+  /// source fully covers Π — chains zip rounds over the tied sources'
+  /// upcoming runs (ZipTiedRun) before advancing them all. Returns rows
+  /// appended (bounded by `max_rows` and `hi_inclusive`). REQUIRES:
+  /// !heap_.empty(), a genuine key tie at the top, and max_rows >= 1.
+  size_t CombineTiedRow(ScanBatch* batch, const Slice& hi_inclusive,
+                        size_t max_rows);
+
+  /// One tied-zip round: every tied source exposes its prepared column run
+  /// below the heap's next key; over the longest common-key prefix each row
+  /// of every older source is an older version of the newest source's row at
+  /// that index, so the newest source's full-coverage columns are spliced
+  /// wholesale and every tied source consumes the prefix. Returns rows
+  /// spliced; 0 means some tied source cannot zip or the runs diverge
+  /// immediately. REQUIRES: the newest tied source covers all of Π.
+  size_t ZipTiedRun(ScanBatch* batch, const Slice& limit_exclusive,
+                    const Slice& hi_inclusive, size_t max_rows);
 
   /// Pulls the next row into the per-row adapter state.
   void PrefetchRow();
 
   std::vector<std::unique_ptr<ContributionSource>> sources_;
   const size_t projection_size_;
+  const std::vector<int> predicate_positions_;
   SourceMinHeap heap_;
   ScanPathCounters counters_;
 
@@ -91,6 +111,7 @@ class LevelMergingIterator {
   std::vector<int> tied_;
   std::vector<ColumnState> states_;
   std::vector<ColumnValue> values_;
+  std::vector<ColumnRunView> zip_views_;  // per-tied-source run windows
 
   // Per-row adapter state.
   bool row_valid_ = false;

@@ -1,0 +1,184 @@
+// Scan pushdown: per-column predicates evaluated inside the scan engine
+// (vectorized over decoded column vectors, before survivors reach the
+// ScanBatch) and the zone-map filter that lets SST iterators skip whole data
+// blocks — without fetching them into the block cache — when every row they
+// hold provably fails a predicate.
+//
+// Skip-safety argument (why CanSkip is sound):
+//  * A block may only be skipped inside a sole-contributor merge window
+//    (`SetWindow`): the heap proves no other source holds keys below the
+//    window limit, so every merged row in the window takes ALL its column
+//    values from this source — a value outside [min, max] cannot appear.
+//  * Multi-version rows within the block are fine: whatever version wins the
+//    fold, its value is one of the block's values (or null, which fails every
+//    predicate), so the per-column min/max bounds every possible outcome.
+//  * Blocks sharing a user key with a neighbor block are marked
+//    !self_contained by the builder and never skipped independently: a
+//    straddling key's winning version might live in the neighbor.
+
+#ifndef LASER_LASER_SCAN_PUSHDOWN_H_
+#define LASER_LASER_SCAN_PUSHDOWN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sst/format.h"
+#include "util/coding.h"
+#include "util/slice.h"
+
+namespace laser {
+
+/// Comparison operator of a pushed-down predicate. All comparisons are
+/// unsigned (column values are uint64).
+enum class PredOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBetween,  // operand <= value <= operand2 (both inclusive)
+};
+
+/// One conjunct: `column <op> operand`. A null (absent) column value fails
+/// every predicate, matching SQL WHERE semantics for non-null comparisons.
+struct ScanPredicate {
+  int column = 0;  // 1-based schema column id; must be in the projection
+  PredOp op = PredOp::kEq;
+  uint64_t operand = 0;
+  uint64_t operand2 = 0;  // kBetween only: inclusive upper bound
+};
+
+/// What a scan pushes below materialization: the AND of `predicates`.
+/// An empty spec scans unfiltered (the pre-pushdown behavior).
+struct ScanSpec {
+  std::vector<ScanPredicate> predicates;
+};
+
+/// Pushed aggregates over the matching rows of a scan: per projected column
+/// (parallel to the projection) the count/sum/min/max of present values.
+/// minima is UINT64_MAX and maxima 0 where counts is 0.
+struct ScanAggregates {
+  uint64_t rows = 0;  // matching rows (including rows null in every column)
+  std::vector<uint64_t> counts;
+  std::vector<uint64_t> sums;
+  std::vector<uint64_t> minima;
+  std::vector<uint64_t> maxima;
+};
+
+inline bool PredicateMatches(const ScanPredicate& pred, uint64_t value) {
+  switch (pred.op) {
+    case PredOp::kEq:
+      return value == pred.operand;
+    case PredOp::kNe:
+      return value != pred.operand;
+    case PredOp::kLt:
+      return value < pred.operand;
+    case PredOp::kLe:
+      return value <= pred.operand;
+    case PredOp::kGt:
+      return value > pred.operand;
+    case PredOp::kGe:
+      return value >= pred.operand;
+    case PredOp::kBetween:
+      return pred.operand <= value && value <= pred.operand2;
+  }
+  return true;  // unreachable
+}
+
+/// Could ANY value in [min, max] match `pred`? False positives are fine
+/// (the row-level filter re-checks); false negatives would drop rows.
+inline bool PredicateMayMatchRange(const ScanPredicate& pred, uint64_t min,
+                                   uint64_t max) {
+  switch (pred.op) {
+    case PredOp::kEq:
+      return min <= pred.operand && pred.operand <= max;
+    case PredOp::kNe:
+      return !(min == max && min == pred.operand);
+    case PredOp::kLt:
+      return min < pred.operand;
+    case PredOp::kLe:
+      return min <= pred.operand;
+    case PredOp::kGt:
+      return max > pred.operand;
+    case PredOp::kGe:
+      return max >= pred.operand;
+    case PredOp::kBetween:
+      return max >= pred.operand && min <= pred.operand2;
+  }
+  return true;  // unreachable
+}
+
+/// BlockReadFilter over one scan source: skips a summarized region when it
+/// lies entirely inside the current sole-contributor window and some
+/// conjunct provably fails for every row. One instance per SST-backed
+/// source; `predicates` are pre-restricted to columns the source stores.
+class ZoneMapScanFilter final : public BlockReadFilter {
+ public:
+  explicit ZoneMapScanFilter(std::vector<ScanPredicate> predicates)
+      : predicates_(std::move(predicates)) {}
+
+  /// Arms the filter for a sole-contributor window ending at
+  /// `limit_exclusive` (heap runner-up key; empty = unbounded) clamped to
+  /// the scan bound `hi_inclusive` (empty = unbounded). Both are 8-byte
+  /// big-endian user keys.
+  void SetWindow(const Slice& limit_exclusive, const Slice& hi_inclusive) {
+    window_active_ = false;
+    uint64_t bound = UINT64_MAX;
+    if (!limit_exclusive.empty()) {
+      if (limit_exclusive.size() != 8) return;
+      const uint64_t limit = DecodeKey64(limit_exclusive);
+      if (limit == 0) return;  // empty window: nothing is skippable
+      bound = limit - 1;
+    }
+    if (!hi_inclusive.empty()) {
+      if (hi_inclusive.size() != 8) return;
+      bound = std::min(bound, DecodeKey64(hi_inclusive));
+    }
+    window_bound_ = bound;
+    window_active_ = true;
+  }
+
+  /// Disarms the filter; per-row merge phases (key ties across sources) must
+  /// never skip blocks.
+  void ClearWindow() { window_active_ = false; }
+
+  bool CanSkip(const ZoneMapEntry& zone, size_t data_blocks) override {
+    if (!window_active_ || predicates_.empty()) return false;
+    if (!zone.self_contained) return false;
+    if (zone.last_user_key > window_bound_) return false;
+    for (const ScanPredicate& pred : predicates_) {
+      const ZoneMapColumn* col = FindColumn(zone, pred.column);
+      if (col == nullptr) continue;  // column not summarized: no verdict
+      // One conjunct that cannot match anywhere in the block fails every
+      // row (AND semantics); an all-null column fails by itself.
+      if (!col->has_values ||
+          !PredicateMayMatchRange(pred, col->min, col->max)) {
+        blocks_skipped_ += data_blocks;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  uint64_t blocks_skipped() const { return blocks_skipped_; }
+
+ private:
+  static const ZoneMapColumn* FindColumn(const ZoneMapEntry& zone,
+                                         int column) {
+    for (const ZoneMapColumn& col : zone.cols) {
+      if (static_cast<int>(col.column) == column) return &col;
+    }
+    return nullptr;
+  }
+
+  const std::vector<ScanPredicate> predicates_;
+  bool window_active_ = false;
+  uint64_t window_bound_ = 0;  // inclusive largest skippable user key
+  uint64_t blocks_skipped_ = 0;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LASER_SCAN_PUSHDOWN_H_

@@ -10,7 +10,9 @@ namespace {
 
 class RunIterator final : public Iterator {
  public:
-  explicit RunIterator(Version::FileList files) : files_(std::move(files)) {}
+  explicit RunIterator(Version::FileList files,
+                       BlockReadFilter* filter = nullptr)
+      : files_(std::move(files)), filter_(filter) {}
 
   bool Valid() const override { return iter_ != nullptr && iter_->Valid(); }
 
@@ -61,6 +63,7 @@ class RunIterator final : public Iterator {
         return 0;
       }
       ++index_;
+      SkipFilteredFilesForward();
       InitIterator();
       if (iter_ != nullptr) iter_->SeekToFirst();
     }
@@ -80,7 +83,22 @@ class RunIterator final : public Iterator {
     if (index_ >= files_.size()) {
       iter_.reset();
     } else {
-      iter_ = files_[index_]->reader->NewIterator();
+      iter_ = files_[index_]->reader->NewIterator(filter_);
+    }
+  }
+
+  /// On a file hop, consults the filter against each upcoming file's folded
+  /// zone map and skips files whose every row provably fails — the file is
+  /// never opened, none of its blocks are fetched.
+  void SkipFilteredFilesForward() {
+    if (filter_ == nullptr) return;
+    while (index_ < files_.size()) {
+      const SstReader* reader = files_[index_]->reader.get();
+      const ZoneMapEntry* file_zone = reader->file_zone();
+      if (file_zone == nullptr) return;
+      const size_t blocks = reader->zone_maps()->blocks.size();
+      if (!filter_->CanSkip(*file_zone, blocks)) return;
+      ++index_;
     }
   }
 
@@ -99,6 +117,7 @@ class RunIterator final : public Iterator {
 
   InternalKeyComparator cmp_;
   Version::FileList files_;
+  BlockReadFilter* filter_;
   size_t index_ = 0;
   std::unique_ptr<Iterator> iter_;
   Status status_;
@@ -106,9 +125,10 @@ class RunIterator final : public Iterator {
 
 }  // namespace
 
-std::unique_ptr<Iterator> NewRunIterator(Version::FileList files) {
+std::unique_ptr<Iterator> NewRunIterator(Version::FileList files,
+                                         BlockReadFilter* filter) {
   if (files.empty()) return std::make_unique<EmptyIterator>();
-  return std::make_unique<RunIterator>(std::move(files));
+  return std::make_unique<RunIterator>(std::move(files), filter);
 }
 
 }  // namespace laser

@@ -7,13 +7,21 @@
 #include <memory>
 
 #include "lsm/version.h"
+#include "sst/format.h"
 #include "util/iterator.h"
 
 namespace laser {
 
 /// Creates an iterator over `files` (must be sorted by smallest key and
 /// non-overlapping). Pins the files via shared_ptr.
-std::unique_ptr<Iterator> NewRunIterator(Version::FileList files);
+///
+/// A non-null `filter` (which must outlive the iterator) is consulted on
+/// every forward hop: per data block inside each file, and per FILE against
+/// the file's folded zone map — a rejected file is skipped without even
+/// opening an iterator on it. File-level skipping is sound here because run
+/// files never share user keys across file boundaries.
+std::unique_ptr<Iterator> NewRunIterator(Version::FileList files,
+                                         BlockReadFilter* filter = nullptr);
 
 }  // namespace laser
 

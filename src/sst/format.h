@@ -7,14 +7,17 @@
 //   [properties block]      fixed set of varint fields (uncompressed, CRC'd)
 //   [index block]           key = last internal key of data block,
 //                           value = BlockHandle
+//   [zone-map block]        optional per-data-block column min/max summaries
+//                           (uncompressed, CRC'd); absent => zero handle
 //   footer (fixed size)     filter handle | props handle | index handle |
-//                           padding | magic
+//                           zone handle | padding | magic
 
 #ifndef LASER_SST_FORMAT_H_
 #define LASER_SST_FORMAT_H_
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/coding.h"
 #include "util/slice.h"
@@ -70,20 +73,24 @@ struct SstProperties {
   }
 };
 
-/// Fixed-size footer at the end of every SST.
+/// Fixed-size footer at the end of every SST. A zero `zone_handle` means the
+/// file carries no zone-map block (readers fall back to scanning every
+/// block).
 struct Footer {
   BlockHandle filter_handle;
   BlockHandle props_handle;
   BlockHandle index_handle;
+  BlockHandle zone_handle;
 
   static constexpr uint64_t kMagic = 0x4c41534552445221ull;  // "LASERDR!"
-  static constexpr size_t kEncodedLength = 3 * BlockHandle::kMaxEncodedLength + 8;
+  static constexpr size_t kEncodedLength = 4 * BlockHandle::kMaxEncodedLength + 8;
 
   void EncodeTo(std::string* dst) const {
     const size_t original_size = dst->size();
     filter_handle.EncodeTo(dst);
     props_handle.EncodeTo(dst);
     index_handle.EncodeTo(dst);
+    zone_handle.EncodeTo(dst);
     dst->resize(original_size + kEncodedLength - 8);  // zero-pad
     PutFixed64(dst, kMagic);
   }
@@ -99,8 +106,129 @@ struct Footer {
     Slice handles(input->data(), kEncodedLength - 8);
     LASER_RETURN_IF_ERROR(filter_handle.DecodeFrom(&handles));
     LASER_RETURN_IF_ERROR(props_handle.DecodeFrom(&handles));
-    return index_handle.DecodeFrom(&handles);
+    LASER_RETURN_IF_ERROR(index_handle.DecodeFrom(&handles));
+    return zone_handle.DecodeFrom(&handles);
   }
+};
+
+// -- zone maps: per-data-block column summaries for predicate block skipping --
+
+/// Min/max of the values one column takes within one data block.
+/// `has_values == false` means the column is present in the block's schema
+/// but every row leaves it null (min/max are then meaningless).
+struct ZoneMapColumn {
+  uint32_t column = 0;  // 1-based schema column id
+  bool has_values = false;
+  uint64_t min = 0;
+  uint64_t max = 0;
+};
+
+/// Summary of one data block, keyed by the block's file offset (the same
+/// offset the index block's BlockHandle carries, so readers can find the
+/// entry for an index position without decoding the block).
+///
+/// `self_contained` is false when the block shares a user key with an
+/// adjacent block in the same file; such blocks must not be skipped
+/// independently (a predicate verdict needs every version of a key).
+struct ZoneMapEntry {
+  uint64_t block_offset = 0;
+  uint64_t first_user_key = 0;  // decoded 8-byte user keys, inclusive
+  uint64_t last_user_key = 0;
+  bool self_contained = true;
+  std::vector<ZoneMapColumn> cols;  // sorted by column id
+};
+
+/// The file's zone-map block: one entry per data block, in file order.
+struct ZoneMaps {
+  std::vector<ZoneMapEntry> blocks;
+
+  void EncodeTo(std::string* dst) const {
+    PutVarint64(dst, blocks.size());
+    for (const ZoneMapEntry& entry : blocks) {
+      PutVarint64(dst, entry.block_offset);
+      PutFixed64(dst, entry.first_user_key);
+      PutFixed64(dst, entry.last_user_key);
+      PutVarint64(dst, entry.self_contained ? 1 : 0);
+      PutVarint64(dst, entry.cols.size());
+      for (const ZoneMapColumn& col : entry.cols) {
+        PutVarint64(dst, col.column);
+        dst->push_back(col.has_values ? 1 : 0);
+        PutVarint64(dst, col.min);
+        PutVarint64(dst, col.max);
+      }
+    }
+  }
+
+  Status DecodeFrom(Slice* input) {
+    blocks.clear();
+    uint64_t num_blocks = 0;
+    if (!GetVarint64(input, &num_blocks)) {
+      return Status::Corruption("bad zone-map block count");
+    }
+    blocks.reserve(num_blocks);
+    for (uint64_t i = 0; i < num_blocks; ++i) {
+      ZoneMapEntry entry;
+      uint64_t flags = 0;
+      uint64_t num_cols = 0;
+      if (!GetVarint64(input, &entry.block_offset) || input->size() < 16) {
+        return Status::Corruption("bad zone-map entry");
+      }
+      entry.first_user_key = DecodeFixed64(input->data());
+      entry.last_user_key = DecodeFixed64(input->data() + 8);
+      input->remove_prefix(16);
+      if (!GetVarint64(input, &flags) || !GetVarint64(input, &num_cols)) {
+        return Status::Corruption("bad zone-map entry");
+      }
+      entry.self_contained = (flags & 1) != 0;
+      entry.cols.reserve(num_cols);
+      for (uint64_t c = 0; c < num_cols; ++c) {
+        ZoneMapColumn col;
+        uint64_t column = 0;
+        if (!GetVarint64(input, &column) || input->empty()) {
+          return Status::Corruption("bad zone-map column");
+        }
+        col.column = static_cast<uint32_t>(column);
+        col.has_values = (*input)[0] != 0;
+        input->remove_prefix(1);
+        if (!GetVarint64(input, &col.min) || !GetVarint64(input, &col.max)) {
+          return Status::Corruption("bad zone-map column");
+        }
+        entry.cols.push_back(col);
+      }
+      blocks.push_back(std::move(entry));
+    }
+    return Status::OK();
+  }
+
+  /// Entry for the data block at `block_offset`, or nullptr. O(log n):
+  /// entries are in file order, so offsets are strictly increasing.
+  const ZoneMapEntry* Find(uint64_t block_offset) const {
+    size_t lo = 0;
+    size_t hi = blocks.size();
+    while (lo < hi) {
+      const size_t mid = lo + (hi - lo) / 2;
+      if (blocks[mid].block_offset < block_offset) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo < blocks.size() && blocks[lo].block_offset == block_offset) {
+      return &blocks[lo];
+    }
+    return nullptr;
+  }
+};
+
+/// Scan-side hook deciding whether a summarized region (one data block, or a
+/// whole file's fold) can be skipped without reading it. Implementations live
+/// above the sst layer (they know the scan's predicates and window);
+/// `data_blocks` is how many data-block reads the skip avoids, so
+/// implementations can count them when they return true.
+class BlockReadFilter {
+ public:
+  virtual ~BlockReadFilter() = default;
+  virtual bool CanSkip(const ZoneMapEntry& zone, size_t data_blocks) = 0;
 };
 
 /// 1-byte compression tag + 4-byte masked CRC32C appended to every block.

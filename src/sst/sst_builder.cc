@@ -14,6 +14,7 @@ SstBuilder::SstBuilder(const SstBuildOptions& options,
       index_block_(1),
       filter_(options.bloom_bits_per_key) {
   props_.smallest_seq = kMaxSequenceNumber;
+  zone_accum_.resize(options_.zone_columns.size());
 }
 
 void SstBuilder::Add(const Slice& internal_key, const Slice& value) {
@@ -40,9 +41,75 @@ void SstBuilder::Add(const Slice& internal_key, const Slice& value) {
   props_.raw_key_bytes += internal_key.size();
   props_.raw_value_bytes += value.size();
 
+  if (zone_valid_ && !options_.zone_columns.empty()) {
+    AccumulateZone(internal_key, value);
+  }
+
   data_block_.Add(internal_key, value);
   if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
     FlushDataBlock();
+  }
+}
+
+void SstBuilder::AccumulateZone(const Slice& internal_key, const Slice& value) {
+  const Slice user_key = ExtractUserKey(internal_key);
+  if (user_key.size() != 8) {
+    zone_valid_ = false;
+    zone_blocks_.clear();
+    return;
+  }
+  const uint64_t key = DecodeKey64(user_key);
+
+  if (!zone_block_open_) {
+    zone_block_open_ = true;
+    zone_current_.first_user_key = key;
+    zone_current_.self_contained = true;
+    for (ZoneMapColumn& accum : zone_accum_) accum.has_values = false;
+    // A user key straddling a block boundary ties the two blocks together:
+    // neither may be skipped without the other (the winning version of the
+    // straddling key could live in either).
+    if (!zone_blocks_.empty() && zone_blocks_.back().last_user_key == key) {
+      zone_blocks_.back().self_contained = false;
+      zone_current_.self_contained = false;
+    }
+  }
+  zone_current_.last_user_key = key;
+
+  if (ExtractValueType(internal_key) == kTypeDeletion) return;
+
+  // Row payload: presence bitmap over the full column-group set, then the
+  // present columns' fixed-width LE values in order (RowCodec's layout,
+  // re-derived here from zone_columns so the sst layer needs no laser
+  // dependency).
+  const size_t num_cols = options_.zone_columns.size();
+  const size_t bitmap_bytes = (num_cols + 7) / 8;
+  if (value.size() < bitmap_bytes) {
+    zone_valid_ = false;
+    zone_blocks_.clear();
+    return;
+  }
+  const uint8_t* bitmap = reinterpret_cast<const uint8_t*>(value.data());
+  const char* cursor = value.data() + bitmap_bytes;
+  const char* end = value.data() + value.size();
+  for (size_t i = 0; i < num_cols; ++i) {
+    if (((bitmap[i / 8] >> (i % 8)) & 1) == 0) continue;
+    const uint32_t width = options_.zone_columns[i].width;
+    if (cursor + width > end || (width != 4 && width != 8)) {
+      zone_valid_ = false;
+      zone_blocks_.clear();
+      return;
+    }
+    const uint64_t v = width == 4 ? DecodeFixed32(cursor) : DecodeFixed64(cursor);
+    cursor += width;
+    ZoneMapColumn& accum = zone_accum_[i];
+    if (!accum.has_values) {
+      accum.has_values = true;
+      accum.min = v;
+      accum.max = v;
+    } else {
+      if (v < accum.min) accum.min = v;
+      if (v > accum.max) accum.max = v;
+    }
   }
 }
 
@@ -53,6 +120,20 @@ void SstBuilder::FlushDataBlock() {
   data_block_.Reset();
   pending_index_key_ = largest_key_;
   pending_index_entry_ = true;
+
+  if (zone_block_open_) {
+    zone_block_open_ = false;
+    if (zone_valid_) {
+      zone_current_.block_offset = pending_handle_.offset;
+      zone_current_.cols.clear();
+      for (size_t i = 0; i < zone_accum_.size(); ++i) {
+        ZoneMapColumn col = zone_accum_[i];
+        col.column = options_.zone_columns[i].column;
+        zone_current_.cols.push_back(col);
+      }
+      zone_blocks_.push_back(zone_current_);
+    }
+  }
 }
 
 void SstBuilder::WriteBlock(const Slice& contents, CompressionType type,
@@ -102,6 +183,16 @@ Status SstBuilder::Finish() {
   props_.EncodeTo(&props_contents);
   WriteBlock(Slice(props_contents), CompressionType::kNone, &footer.props_handle);
   if (!status_.ok()) return status_;
+
+  // Zone-map block (uncompressed; absent => zero handle in the footer).
+  if (zone_valid_ && !zone_blocks_.empty()) {
+    ZoneMaps zones;
+    zones.blocks = std::move(zone_blocks_);
+    std::string zone_contents;
+    zones.EncodeTo(&zone_contents);
+    WriteBlock(Slice(zone_contents), CompressionType::kNone, &footer.zone_handle);
+    if (!status_.ok()) return status_;
+  }
 
   // Index block.
   if (pending_index_entry_) {

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "lsm/dbformat.h"
 #include "sst/block_builder.h"
@@ -23,6 +24,19 @@ struct SstBuildOptions {
   int restart_interval = 16;
   CompressionType compression = CompressionType::kNone;
   int bloom_bits_per_key = 10;
+
+  /// One summarized column of the file's row payloads: schema column id plus
+  /// its fixed value width in bytes (4 or 8).
+  struct ZoneColumnSpec {
+    uint32_t column = 0;
+    uint32_t width = 0;
+  };
+  /// The column-group's FULL column set in storage order; row payloads are
+  /// `presence bitmap over this list | fixed-width values of present
+  /// columns`. When non-empty the builder accumulates per-block min/max per
+  /// column and writes a zone-map block (scan-side block skipping). Empty =>
+  /// no zone maps (the footer's zone handle stays zero).
+  std::vector<ZoneColumnSpec> zone_columns;
 };
 
 class SstBuilder {
@@ -53,6 +67,10 @@ class SstBuilder {
   void FlushDataBlock();
   /// Writes `contents` with the block trailer; sets *handle.
   void WriteBlock(const Slice& contents, CompressionType type, BlockHandle* handle);
+  /// Folds one entry into the open block's zone accumulators. Any payload
+  /// the zone_columns layout cannot explain disables zone maps for the whole
+  /// file (safe fallback: readers scan every block).
+  void AccumulateZone(const Slice& internal_key, const Slice& value);
 
   SstBuildOptions options_;
   std::unique_ptr<WritableFile> file_;
@@ -70,6 +88,13 @@ class SstBuilder {
   BlockHandle pending_handle_;
   bool pending_index_entry_ = false;
   std::string compression_scratch_;
+
+  // Zone-map accumulation (active while zone_valid_ && !zone_columns.empty()).
+  bool zone_valid_ = true;
+  bool zone_block_open_ = false;
+  ZoneMapEntry zone_current_;               // cols stay empty until flush
+  std::vector<ZoneMapColumn> zone_accum_;   // parallel to zone_columns
+  std::vector<ZoneMapEntry> zone_blocks_;   // finished blocks, file order
 };
 
 }  // namespace laser

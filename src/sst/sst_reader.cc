@@ -1,5 +1,6 @@
 #include "sst/sst_reader.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "util/codec.h"
@@ -73,8 +74,57 @@ Status SstReader::Open(Env* env, const std::string& fname, uint64_t file_number,
   Slice props_input(props_contents);
   LASER_RETURN_IF_ERROR(r->props_.DecodeFrom(&props_input));
 
+  // Zone maps are an optimization, never a requirement: any read or decode
+  // problem silently leaves zone_maps_ null and scans read every block.
+  if (footer.zone_handle.size > 0) {
+    std::string zone_contents;
+    if (ReadRawBlock(r->file_.get(), footer.zone_handle, &zone_contents).ok()) {
+      auto zones = std::make_unique<ZoneMaps>();
+      Slice zone_input(zone_contents);
+      if (zones->DecodeFrom(&zone_input).ok() && !zones->blocks.empty()) {
+        r->zone_maps_ = std::move(zones);
+        r->BuildFileZone();
+      }
+    }
+  }
+
   *reader = std::move(r);
   return Status::OK();
+}
+
+void SstReader::BuildFileZone() {
+  const std::vector<ZoneMapEntry>& blocks = zone_maps_->blocks;
+  file_zone_ = ZoneMapEntry();
+  file_zone_.first_user_key = blocks.front().first_user_key;
+  file_zone_.last_user_key = blocks.back().last_user_key;
+  file_zone_.self_contained = true;  // run files never straddle user keys
+  // Fold per-column min/max; keep only columns summarized in EVERY block
+  // (a column absent from one block's summary leaves that block's values
+  // unbounded, so no file-wide verdict is possible for it).
+  file_zone_.cols = blocks.front().cols;
+  for (size_t b = 1; b < blocks.size() && !file_zone_.cols.empty(); ++b) {
+    std::vector<ZoneMapColumn> merged;
+    for (const ZoneMapColumn& fold : file_zone_.cols) {
+      for (const ZoneMapColumn& col : blocks[b].cols) {
+        if (col.column != fold.column) continue;
+        ZoneMapColumn out = fold;
+        if (col.has_values) {
+          if (!out.has_values) {
+            out.has_values = true;
+            out.min = col.min;
+            out.max = col.max;
+          } else {
+            out.min = std::min(out.min, col.min);
+            out.max = std::max(out.max, col.max);
+          }
+        }
+        merged.push_back(out);
+        break;
+      }
+    }
+    file_zone_.cols = std::move(merged);
+  }
+  has_file_zone_ = true;
 }
 
 bool SstReader::KeyMayMatch(const Slice& user_key) const {
@@ -144,8 +194,11 @@ bool SstReader::Get(const Slice& user_key, SequenceNumber snapshot,
 /// cursor yields entries.
 class SstReader::TwoLevelIterator final : public Iterator {
  public:
-  explicit TwoLevelIterator(const SstReader* reader)
-      : reader_(reader), index_iter_(reader->index_block_->NewIterator()) {}
+  explicit TwoLevelIterator(const SstReader* reader,
+                            BlockReadFilter* filter = nullptr)
+      : reader_(reader),
+        filter_(filter),
+        index_iter_(reader->index_block_->NewIterator()) {}
 
   bool Valid() const override { return data_iter_ != nullptr && data_iter_->Valid(); }
 
@@ -222,20 +275,38 @@ class SstReader::TwoLevelIterator final : public Iterator {
         return;
       }
       index_iter_->Next();
+      if (filter_ != nullptr) MaybeSkipFilteredBlocks();
       InitDataBlock();
       if (data_iter_ != nullptr) data_iter_->SeekToFirst();
     }
   }
 
+  /// Advances the index cursor past data blocks the scan filter proves
+  /// irrelevant; those blocks are never fetched (not even into the cache).
+  /// Only called on forward hops, never on Seek positioning.
+  void MaybeSkipFilteredBlocks() {
+    const ZoneMaps* zones = reader_->zone_maps();
+    if (zones == nullptr) return;
+    while (index_iter_->Valid()) {
+      Slice handle_contents = index_iter_->value();
+      BlockHandle handle;
+      if (!handle.DecodeFrom(&handle_contents).ok()) return;
+      const ZoneMapEntry* zone = zones->Find(handle.offset);
+      if (zone == nullptr || !filter_->CanSkip(*zone, 1)) return;
+      index_iter_->Next();
+    }
+  }
+
   const SstReader* reader_;
+  BlockReadFilter* filter_;
   std::unique_ptr<Iterator> index_iter_;
   std::shared_ptr<Block> data_block_;  // keeps the current block alive
   std::unique_ptr<Iterator> data_iter_;
   Status status_;
 };
 
-std::unique_ptr<Iterator> SstReader::NewIterator() const {
-  return std::make_unique<TwoLevelIterator>(this);
+std::unique_ptr<Iterator> SstReader::NewIterator(BlockReadFilter* filter) const {
+  return std::make_unique<TwoLevelIterator>(this, filter);
 }
 
 }  // namespace laser

@@ -41,12 +41,32 @@ class SstReader {
   /// True if the bloom filter may contain the user key.
   bool KeyMayMatch(const Slice& user_key) const;
 
-  /// Iterator over all entries (internal keys).
-  std::unique_ptr<Iterator> NewIterator() const;
+  /// Iterator over all entries (internal keys). With a non-null `filter` the
+  /// iterator consults it (against the file's zone maps, if any) before
+  /// hopping to the next data block and skips blocks the filter rejects —
+  /// the skipped blocks are never read or cached. Position-changing calls
+  /// (Seek*) never skip; only forward hops do, so a filter can never hide
+  /// the block a caller explicitly seeks into. `filter` must outlive the
+  /// iterator.
+  std::unique_ptr<Iterator> NewIterator(BlockReadFilter* filter = nullptr) const;
 
   const SstProperties& properties() const { return props_; }
   uint64_t file_number() const { return file_number_; }
   uint64_t file_size() const { return file_size_; }
+
+  /// Per-block zone maps, or nullptr when the file has none (older files, a
+  /// builder without zone columns, or a zone block that failed to decode —
+  /// all of which safely degrade to scanning every block).
+  const ZoneMaps* zone_maps() const { return zone_maps_.get(); }
+
+  /// Whole-file fold of the zone maps (min/max over every block, columns
+  /// summarized in all blocks), or nullptr. Callers merging sorted runs use
+  /// it to skip entire files; `self_contained` is true because run files
+  /// never share a user key with their neighbors (compaction cuts outputs at
+  /// user-key boundaries).
+  const ZoneMapEntry* file_zone() const {
+    return has_file_zone_ ? &file_zone_ : nullptr;
+  }
 
  private:
   class TwoLevelIterator;
@@ -61,6 +81,9 @@ class SstReader {
   static Status ReadRawBlock(RandomAccessFile* file, const BlockHandle& handle,
                              std::string* contents);
 
+  /// Folds the parsed zone maps into file_zone_.
+  void BuildFileZone();
+
   std::unique_ptr<RandomAccessFile> file_;
   uint64_t file_number_ = 0;
   uint64_t file_size_ = 0;
@@ -70,6 +93,9 @@ class SstReader {
   std::unique_ptr<Block> index_block_;
   std::string filter_data_;
   SstProperties props_;
+  std::unique_ptr<ZoneMaps> zone_maps_;
+  ZoneMapEntry file_zone_;
+  bool has_file_zone_ = false;
 };
 
 }  // namespace laser

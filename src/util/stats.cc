@@ -11,7 +11,9 @@ std::string Stats::ToString() const {
            "bloom_neg=%llu/%llu flushed=%lluB compacted=%lluB "
            "compactions=%llu stalls=%lluus wal_groups=%llu/%llu wal_syncs=%llu "
            "scan_rows=%llu scan_batches=%llu scan_advances=%llu scan_resifts=%llu "
-           "scan_zip_rows=%llu scan_zip_splices=%llu cache_shards=%llu",
+           "scan_zip_rows=%llu scan_zip_splices=%llu "
+           "zonemap_skips=%llu pushdown_filtered=%llu aggs_pushed=%llu "
+           "cache_shards=%llu",
            static_cast<unsigned long long>(data_block_reads.load()),
            static_cast<unsigned long long>(index_block_reads.load()),
            static_cast<unsigned long long>(block_cache_hits.load()),
@@ -31,6 +33,9 @@ std::string Stats::ToString() const {
            static_cast<unsigned long long>(scan_heap_resifts.load()),
            static_cast<unsigned long long>(scan_zip_rows.load()),
            static_cast<unsigned long long>(scan_zip_splices.load()),
+           static_cast<unsigned long long>(blocks_skipped_zonemap.load()),
+           static_cast<unsigned long long>(rows_filtered_pushdown.load()),
+           static_cast<unsigned long long>(aggs_pushed.load()),
            static_cast<unsigned long long>(block_cache_effective_shards.load()));
   return buf;
 }

@@ -33,6 +33,11 @@ class Stats {
   std::atomic<uint64_t> scan_zip_rows{0};         ///< rows spliced run-at-a-time
   std::atomic<uint64_t> scan_zip_splices{0};      ///< successful zip rounds
 
+  // -- scan pushdown (predicates, zone maps, pushed aggregates) --
+  std::atomic<uint64_t> blocks_skipped_zonemap{0};   ///< data blocks never read
+  std::atomic<uint64_t> rows_filtered_pushdown{0};   ///< rows dropped by preds
+  std::atomic<uint64_t> aggs_pushed{0};              ///< aggregates folded in-scan
+
   // -- configuration gauges (set once at open; not part of Reset) --
   /// Shard count the block cache actually runs with after the min-bytes-per-
   /// shard clamp — tiny caches silently degrade below the requested count,
@@ -65,6 +70,9 @@ class Stats {
     scan_heap_resifts = 0;
     scan_zip_rows = 0;
     scan_zip_splices = 0;
+    blocks_skipped_zonemap = 0;
+    rows_filtered_pushdown = 0;
+    aggs_pushed = 0;
     bytes_written_wal = 0;
     wal_syncs = 0;
     wal_group_commits = 0;

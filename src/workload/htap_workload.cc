@@ -71,14 +71,14 @@ HtapWorkloadSpec HtapWorkloadSpec::NarrowHW(double scale) {
   q2b.count = static_cast<uint64_t>(500 * scale);
   spec.point_reads.push_back(q2b);
 
-  ScanSpec q4;
+  WorkloadScanSpec q4;
   q4.projection = MakeColumnRange(21, 30);
   q4.selectivity = 0.05;
   q4.count = 12;
   q4.aggregate_max = false;
   spec.scans.push_back(q4);
 
-  ScanSpec q5;
+  WorkloadScanSpec q5;
   q5.projection = MakeColumnRange(28, 30);
   q5.selectivity = 0.50;
   q5.count = 12;
@@ -198,7 +198,7 @@ void HtapWorkloadRunner::FillTrace(WorkloadTrace* trace, int levels,
     }
   }
 
-  for (const ScanSpec& scan : spec_.scans) {
+  for (const WorkloadScanSpec& scan : spec_.scans) {
     trace->AddRangeScan(scan.projection,
                         scan.selectivity * static_cast<double>(total_rows),
                         scan.count);
@@ -303,7 +303,7 @@ Status HtapWorkloadRunner::Run(TableEngine* engine, HtapWorkloadResult* result,
 
   // Q4 / Q5 scans.
   for (size_t s = 0; s < spec_.scans.size(); ++s) {
-    const ScanSpec& scan = spec_.scans[s];
+    const WorkloadScanSpec& scan = spec_.scans[s];
     for (uint64_t q = 0; q < scan.count; ++q) {
       const uint64_t span =
           static_cast<uint64_t>(scan.selectivity * static_cast<double>(kKeyDomain));

@@ -30,8 +30,9 @@ struct PointReadSpec {
   uint64_t count = 0;
 };
 
-/// Spec of one scan class (Q4 / Q5).
-struct ScanSpec {
+/// Spec of one scan class (Q4 / Q5). (Renamed from ScanSpec: that name now
+/// belongs to the engine's predicate-pushdown spec in laser/scan_pushdown.h.)
+struct WorkloadScanSpec {
   ColumnSet projection;
   /// Fraction of the key domain covered by the range predicate.
   double selectivity = 0.05;
@@ -49,7 +50,7 @@ struct HtapWorkloadSpec {
   double update_recency_mean = 0.98;
   double update_recency_sd = 0.02;
   std::vector<PointReadSpec> point_reads;  ///< Q2a, Q2b
-  std::vector<ScanSpec> scans;             ///< Q4, Q5
+  std::vector<WorkloadScanSpec> scans;             ///< Q4, Q5
   uint64_t seed = 42;
 
   /// The paper's HW over the narrow table (Table 3), scaled by `scale`

@@ -86,31 +86,17 @@ class LaserTableEngine final : public TableEngine {
 
   Status ScanAggregate(uint64_t lo, uint64_t hi, const ColumnSet& projection,
                        AggregateResult* result) override {
-    result->sums.assign(projection.size(), 0);
-    result->maxima.assign(projection.size(), 0);
-    result->rows = 0;
     auto scan = db_->NewScan(lo, hi, projection);
     if (scan == nullptr) return Status::InvalidArgument("bad projection");
-    // Batch-at-a-time: the aggregate folds flat per-column arrays instead of
-    // crossing the iterator stack once per row.
-    ScanBatch batch;
-    while (size_t n = scan->NextBatch(&batch)) {
-      for (size_t i = 0; i < projection.size(); ++i) {
-        const ScanBatch::Column& column = batch.columns[i];
-        uint64_t sum = result->sums[i];
-        uint64_t maximum = result->maxima[i];
-        for (size_t r = 0; r < n; ++r) {
-          if (column.present[r]) {
-            sum += column.values[r];
-            maximum = std::max(maximum, column.values[r]);
-          }
-        }
-        result->sums[i] = sum;
-        result->maxima[i] = maximum;
-      }
-      result->rows += n;
-    }
-    return scan->status();
+    // Pushed aggregation: the fold runs inside the scan over flat per-column
+    // arrays — no row ever crosses the engine boundary just to be summed.
+    ScanAggregates aggs;
+    LASER_RETURN_IF_ERROR(scan->AggregateAll(&aggs));
+    result->sums = std::move(aggs.sums);
+    // A column with no present values aggregates to 0 under this interface.
+    result->maxima = std::move(aggs.maxima);
+    result->rows = aggs.rows;
+    return Status::OK();
   }
 
   Status Checkpoint() override { return db_->Flush(); }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -115,6 +116,149 @@ std::vector<ResultRow> BatchApiScan(LaserDB* db, uint64_t lo, uint64_t hi,
   return out;
 }
 
+/// Filter-after-materialize reference for pushdown: keep the model rows where
+/// every predicate matches its column's projected value (null fails, AND
+/// semantics) — exactly what the engine must compute below materialization.
+std::vector<ResultRow> FilterRows(std::vector<ResultRow> rows,
+                                  const ColumnSet& projection,
+                                  const ScanSpec& spec) {
+  std::vector<ResultRow> out;
+  for (auto& row : rows) {
+    bool match = true;
+    for (const ScanPredicate& pred : spec.predicates) {
+      const auto it =
+          std::lower_bound(projection.begin(), projection.end(), pred.column);
+      const size_t pos = static_cast<size_t>(it - projection.begin());
+      const auto& value = row.values[pos];
+      if (!value.has_value() || !PredicateMatches(pred, *value)) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<ResultRow> PredRowApiScan(LaserDB* db, uint64_t lo, uint64_t hi,
+                                      const ColumnSet& projection,
+                                      const ScanSpec& spec) {
+  std::vector<ResultRow> out;
+  auto scan = db->NewScan(lo, hi, projection, spec);
+  EXPECT_NE(scan, nullptr);
+  for (; scan->Valid(); scan->Next()) {
+    out.push_back(ResultRow{scan->key(), scan->values()});
+  }
+  EXPECT_TRUE(scan->status().ok());
+  return out;
+}
+
+std::vector<ResultRow> PredBatchApiScan(LaserDB* db, uint64_t lo, uint64_t hi,
+                                        const ColumnSet& projection,
+                                        const ScanSpec& spec,
+                                        size_t batch_rows) {
+  std::vector<ResultRow> out;
+  auto scan = db->NewScan(lo, hi, projection, spec);
+  EXPECT_NE(scan, nullptr);
+  ScanBatch batch;
+  while (size_t n = scan->NextBatch(&batch, batch_rows)) {
+    EXPECT_LE(n, batch_rows);
+    for (size_t i = 0; i < n; ++i) {
+      ResultRow row;
+      row.key = batch.keys[i];
+      for (size_t c = 0; c < projection.size(); ++c) {
+        if (batch.columns[c].present[i]) {
+          row.values.emplace_back(batch.columns[c].values[i]);
+        } else {
+          row.values.emplace_back(std::nullopt);
+        }
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  EXPECT_TRUE(scan->status().ok());
+  return out;
+}
+
+/// Folds the reference rows into the aggregates AggregateAll must return.
+ScanAggregates FoldRows(const std::vector<ResultRow>& rows, size_t width) {
+  ScanAggregates aggs;
+  aggs.counts.assign(width, 0);
+  aggs.sums.assign(width, 0);
+  aggs.minima.assign(width, UINT64_MAX);
+  aggs.maxima.assign(width, 0);
+  aggs.rows = rows.size();
+  for (const ResultRow& row : rows) {
+    for (size_t c = 0; c < width; ++c) {
+      if (!row.values[c].has_value()) continue;
+      const uint64_t v = *row.values[c];
+      ++aggs.counts[c];
+      aggs.sums[c] += v;
+      aggs.minima[c] = std::min(aggs.minima[c], v);
+      aggs.maxima[c] = std::max(aggs.maxima[c], v);
+    }
+  }
+  return aggs;
+}
+
+/// Differentially checks the pushdown plans (batched, per-row, aggregated)
+/// against filter-after-materialize over the model.
+void CheckPushdownStyles(LaserDB* db, const Model& model, uint64_t lo,
+                         uint64_t hi, const ColumnSet& projection,
+                         const ScanSpec& spec, const char* what) {
+  const auto expected =
+      FilterRows(ModelScan(model, lo, hi, projection), projection, spec);
+  const auto via_rows = PredRowApiScan(db, lo, hi, projection, spec);
+  ASSERT_EQ(via_rows, expected)
+      << what << ": predicated row API mismatch [" << lo << "," << hi
+      << "] got " << Describe(via_rows) << " want " << Describe(expected);
+  for (const size_t batch_rows : {size_t{1}, size_t{7}, size_t{64},
+                                  size_t{1024}}) {
+    const auto via_batch =
+        PredBatchApiScan(db, lo, hi, projection, spec, batch_rows);
+    ASSERT_EQ(via_batch, expected)
+        << what << ": predicated batch API mismatch batch_rows=" << batch_rows
+        << " [" << lo << "," << hi << "] got " << Describe(via_batch)
+        << " want " << Describe(expected);
+  }
+
+  const ScanAggregates want = FoldRows(expected, projection.size());
+  auto scan = db->NewScan(lo, hi, projection, spec);
+  ASSERT_NE(scan, nullptr);
+  ScanAggregates got;
+  ASSERT_TRUE(scan->AggregateAll(&got).ok());
+  ASSERT_EQ(got.rows, want.rows) << what << ": aggregate row count";
+  ASSERT_EQ(got.counts, want.counts) << what << ": aggregate counts";
+  ASSERT_EQ(got.sums, want.sums) << what << ": aggregate sums";
+  ASSERT_EQ(got.minima, want.minima) << what << ": aggregate minima";
+  ASSERT_EQ(got.maxima, want.maxima) << what << ": aggregate maxima";
+}
+
+/// A random 1-2 conjunct spec over `projection`. Operands are drawn from the
+/// value domain, sometimes from an actual stored value so kEq/kNe hit.
+ScanSpec RandomSpec(Random* rng, const Model& model,
+                    const ColumnSet& projection) {
+  ScanSpec spec;
+  const int conjuncts = 1 + static_cast<int>(rng->Uniform(2));
+  for (int i = 0; i < conjuncts; ++i) {
+    ScanPredicate pred;
+    pred.column = projection[rng->Uniform(projection.size())];
+    pred.op = static_cast<PredOp>(rng->Uniform(7));
+    pred.operand = rng->Uniform(1u << 30);
+    if (!model.empty() && rng->Uniform(3) == 0) {
+      auto it = model.lower_bound(rng->Uniform(kKeySpace));
+      if (it == model.end()) it = model.begin();
+      const auto v = it->second.find(pred.column);
+      if (v != it->second.end()) pred.operand = v->second;
+    }
+    if (pred.op == PredOp::kBetween) {
+      pred.operand2 = pred.operand + rng->Uniform(1u << 28);
+    }
+    spec.predicates.push_back(pred);
+  }
+  return spec;
+}
+
 class ScanBatchDifferentialTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ScanBatchDifferentialTest, BatchMatchesRowMatchesModel) {
@@ -214,14 +358,29 @@ TEST_P(ScanBatchDifferentialTest, BatchMatchesRowMatchesModel) {
             << "] got " << Describe(via_batch) << " want "
             << Describe(expected);
       }
+      // Pushdown differential: the same range under a random predicate spec,
+      // checked across all three consumption styles (batched, per-row,
+      // aggregated) against filter-after-materialize over the model.
+      const ScanSpec spec = RandomSpec(&rng, model, projection);
+      ASSERT_NO_FATAL_FAILURE(CheckPushdownStyles(db.get(), model, lo, hi,
+                                                  projection, spec,
+                                                  "pushdown rotation"))
+          << "seed=" << seed << " design=" << design.name;
     }
   }
 
   // Snapshot cut: a scan pins its read point at NewScan time; writes applied
   // afterwards must stay invisible to both consumption styles.
   const Model frozen = model;
+  const ColumnSet full_proj = MakeColumnRange(1, kColumns);
+  ScanSpec pinned_spec;
+  pinned_spec.predicates.push_back(
+      {1 + static_cast<int>(rng.Uniform(kColumns)), PredOp::kGe,
+       rng.Uniform(1u << 30)});
   auto pinned_rows = db->NewScan(0, kKeySpace, MakeColumnRange(1, kColumns));
   auto pinned_batch = db->NewScan(0, kKeySpace, MakeColumnRange(1, kColumns));
+  auto pinned_pred = db->NewScan(0, kKeySpace, full_proj, pinned_spec);
+  ASSERT_NE(pinned_pred, nullptr);
   for (int i = 0; i < 200; ++i) {
     const uint64_t key = rng.Uniform(kKeySpace);
     if (rng.Uniform(3) == 0) {
@@ -258,6 +417,28 @@ TEST_P(ScanBatchDifferentialTest, BatchMatchesRowMatchesModel) {
     }
   }
   ASSERT_EQ(via_batch, expected) << "snapshot cut leaked into NextBatch";
+
+  // The predicated scan is pinned too: its pushed-down filter must run over
+  // the frozen versions, not the post-cut writes.
+  const auto pred_expected = FilterRows(
+      ModelScan(frozen, 0, kKeySpace, full_proj), full_proj, pinned_spec);
+  std::vector<ResultRow> via_pred;
+  while (size_t n = pinned_pred->NextBatch(&batch, 13)) {
+    for (size_t i = 0; i < n; ++i) {
+      ResultRow row;
+      row.key = batch.keys[i];
+      for (size_t c = 0; c < batch.columns.size(); ++c) {
+        if (batch.columns[c].present[i]) {
+          row.values.emplace_back(batch.columns[c].values[i]);
+        } else {
+          row.values.emplace_back(std::nullopt);
+        }
+      }
+      via_pred.push_back(std::move(row));
+    }
+  }
+  ASSERT_EQ(via_pred, pred_expected)
+      << "snapshot cut leaked into the predicated scan";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScanBatchDifferentialTest,
@@ -468,6 +649,70 @@ TEST_P(ZipPathTest, ModeFlipsAcrossBatchBoundaries) {
 }
 
 INSTANTIATE_TEST_SUITE_P(CgSizes, ZipPathTest, ::testing::Values(2, 3));
+
+// A predicate on a column outside the projection is a caller error: NewScan
+// refuses it up front (the pushdown evaluates over projected vectors only).
+TEST(ScanPushdownTest, PredicateColumnMustBeProjected) {
+  auto env = NewMemEnv();
+  LaserOptions options = test::TinyTreeOptions(env.get(), "/db", 4, 3);
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+  ScanSpec spec;
+  spec.predicates.push_back({3, PredOp::kGt, 5});
+  EXPECT_EQ(db->NewScan(0, 100, {1, 2}, spec), nullptr);
+  EXPECT_NE(db->NewScan(0, 100, {1, 2, 3}, spec), nullptr);
+}
+
+// Mode-mixing regression: a ScanIterator is either a batch cursor or a row
+// cursor, never both — the two consumption styles share one underlying merge
+// and mixing them silently skipped rows before the guard existed. In release
+// builds (the default RelWithDebInfo defines NDEBUG) the misused call is
+// inert and status() reports InvalidArgument; debug builds assert instead,
+// so the release-path expectations are compiled out there.
+TEST(ScanPushdownTest, MixingBatchAndRowModesIsAnError) {
+#ifdef NDEBUG
+  auto env = NewMemEnv();
+  LaserOptions options = test::TinyTreeOptions(env.get(), "/db", 4, 3);
+  std::unique_ptr<LaserDB> db;
+  ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+  for (uint64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(db->Insert(k, test::TestRow(k, 4)).ok());
+  }
+
+  {
+    // Batch first: the row API is then off limits.
+    auto scan = db->NewScan(0, 49, {1, 2});
+    ScanBatch batch;
+    ASSERT_GT(scan->NextBatch(&batch, 8), 0u);
+    EXPECT_FALSE(scan->Valid());
+    EXPECT_FALSE(scan->status().ok());
+    // The batch side keeps working; the error sticks in status().
+    EXPECT_GT(scan->NextBatch(&batch, 8), 0u);
+    EXPECT_FALSE(scan->status().ok());
+  }
+  {
+    // Row first: NextBatch and AggregateAll are then off limits.
+    auto scan = db->NewScan(0, 49, {1, 2});
+    ASSERT_TRUE(scan->Valid());
+    ScanBatch batch;
+    EXPECT_EQ(scan->NextBatch(&batch, 8), 0u);
+    EXPECT_FALSE(scan->status().ok());
+    ScanAggregates aggs;
+    EXPECT_FALSE(scan->AggregateAll(&aggs).ok());
+  }
+  {
+    // AggregateAll is a batch-mode consumer.
+    auto scan = db->NewScan(0, 49, {1, 2});
+    ScanAggregates aggs;
+    ASSERT_TRUE(scan->AggregateAll(&aggs).ok());
+    EXPECT_EQ(aggs.rows, 50u);
+    EXPECT_FALSE(scan->Valid());
+    EXPECT_FALSE(scan->status().ok());
+  }
+#else
+  GTEST_SKIP() << "debug builds assert on mode mixing";
+#endif
+}
 
 // NextBatch with max_rows == 0 is a harmless no-op that loses nothing.
 TEST(ScanBatchTest, ZeroMaxRows) {

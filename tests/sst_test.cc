@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <string>
 
+#include "laser/scan_pushdown.h"
 #include "lsm/dbformat.h"
 #include "sst/block.h"
 #include "sst/block_builder.h"
@@ -223,8 +225,9 @@ TEST_P(SstTest, PropertiesRecorded) {
 TEST_P(SstTest, MultipleVersionsOfKeyReturnedNewestFirst) {
   std::unique_ptr<WritableFile> file;
   ASSERT_TRUE(env_->NewWritableFile("/test.sst", &file).ok());
-  SstBuilder builder(SstBuildOptions{.compression = GetParam()},
-                     std::move(file));
+  SstBuildOptions multi_options;
+  multi_options.compression = GetParam();
+  SstBuilder builder(multi_options, std::move(file));
   // Internal key order: same user key, descending seq.
   builder.Add(IKey(5, 30, kTypePartialRow), "p30");
   builder.Add(IKey(5, 20, kTypePartialRow), "p20");
@@ -320,6 +323,280 @@ TEST(SstSizeTest, CompressionShrinksFile) {
     sizes[idx++] = builder.FileSize();
   }
   EXPECT_LT(sizes[1], sizes[0] * 7 / 10);
+}
+
+// ------------------------------------------------------------ Zone maps --
+
+/// One CG row payload over the two-column layout {1, 2} (both width 4):
+/// presence bitmap byte, then the present columns' fixed32 values.
+std::string ZoneRow(std::optional<uint32_t> c1, std::optional<uint32_t> c2) {
+  std::string out;
+  uint8_t bitmap = 0;
+  if (c1.has_value()) bitmap |= 1;
+  if (c2.has_value()) bitmap |= 2;
+  out.push_back(static_cast<char>(bitmap));
+  if (c1.has_value()) PutFixed32(&out, *c1);
+  if (c2.has_value()) PutFixed32(&out, *c2);
+  return out;
+}
+
+class ZoneMapSstTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+
+  /// Keys 0..n-1, column 1 clustered (value = key * 10), column 2 constant
+  /// 500 or always-null. Small blocks force many zone entries.
+  void Build(int n, bool null_c2 = false) {
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_->NewWritableFile("/zone.sst", &file).ok());
+    SstBuildOptions options;
+    options.block_size = 256;
+    options.zone_columns = {{1, 4}, {2, 4}};
+    SstBuilder builder(options, std::move(file));
+    for (int i = 0; i < n; ++i) {
+      builder.Add(IKey(i, i + 1),
+                  ZoneRow(static_cast<uint32_t>(i) * 10,
+                          null_c2 ? std::nullopt
+                                  : std::optional<uint32_t>(500)));
+    }
+    ASSERT_TRUE(builder.Finish().ok());
+    Open();
+  }
+
+  void Open() {
+    reader_.reset();
+    ASSERT_TRUE(SstReader::Open(env_.get(), "/zone.sst", 1, nullptr, &stats_,
+                                &reader_)
+                    .ok());
+  }
+
+  /// Full forward scan through `filter`; returns rows seen.
+  int CountRows(BlockReadFilter* filter) {
+    auto iter = reader_->NewIterator(filter);
+    int count = 0;
+    for (iter->SeekToFirst(); iter->Valid(); iter->Next()) ++count;
+    EXPECT_TRUE(iter->status().ok());
+    return count;
+  }
+
+  std::unique_ptr<Env> env_;
+  Stats stats_;
+  std::unique_ptr<SstReader> reader_;
+};
+
+TEST_F(ZoneMapSstTest, BuilderWritesPerBlockAndFileZones) {
+  Build(400);
+  const ZoneMaps* zones = reader_->zone_maps();
+  ASSERT_NE(zones, nullptr);
+  ASSERT_GT(zones->blocks.size(), 3u);
+  for (const ZoneMapEntry& entry : zones->blocks) {
+    EXPECT_TRUE(entry.self_contained);  // unique keys never straddle
+    ASSERT_EQ(entry.cols.size(), 2u);
+    EXPECT_EQ(entry.cols[0].column, 1u);
+    ASSERT_TRUE(entry.cols[0].has_values);
+    // Column 1 clusters with the key, so its bounds are exactly the key
+    // bounds scaled.
+    EXPECT_EQ(entry.cols[0].min, entry.first_user_key * 10);
+    EXPECT_EQ(entry.cols[0].max, entry.last_user_key * 10);
+    ASSERT_TRUE(entry.cols[1].has_values);
+    EXPECT_EQ(entry.cols[1].min, 500u);
+    EXPECT_EQ(entry.cols[1].max, 500u);
+  }
+  const ZoneMapEntry* file_zone = reader_->file_zone();
+  ASSERT_NE(file_zone, nullptr);
+  EXPECT_EQ(file_zone->first_user_key, 0u);
+  EXPECT_EQ(file_zone->last_user_key, 399u);
+  ASSERT_EQ(file_zone->cols.size(), 2u);
+  EXPECT_EQ(file_zone->cols[0].min, 0u);
+  EXPECT_EQ(file_zone->cols[0].max, 3990u);
+}
+
+TEST_F(ZoneMapSstTest, FilteredScanSkipsNonMatchingBlocks) {
+  Build(400);
+  // Column 1 spans [0, 3990]; select a narrow mid-range band. Blocks whose
+  // band doesn't intersect vanish from the scan without being read.
+  ZoneMapScanFilter filter({{1, PredOp::kBetween, 2000, 2100}});
+  filter.SetWindow(Slice(), Slice());  // whole file is the skip window
+  const uint64_t reads_before = stats_.data_block_reads.load();
+  const int rows = CountRows(&filter);
+  const uint64_t reads =
+      stats_.data_block_reads.load() - reads_before;
+  EXPECT_GT(filter.blocks_skipped(), 0u);
+  EXPECT_LT(reads, reader_->zone_maps()->blocks.size());
+  // Every row of the predicate band survives: skipping is conservative.
+  EXPECT_GE(rows, 11);  // keys 200..210 carry values 2000..2100
+  EXPECT_LT(rows, 400);
+
+  // Disarmed, the same filter skips nothing and the scan sees every row.
+  ZoneMapScanFilter disarmed({{1, PredOp::kBetween, 2000, 2100}});
+  EXPECT_EQ(CountRows(&disarmed), 400);
+  EXPECT_EQ(disarmed.blocks_skipped(), 0u);
+}
+
+TEST_F(ZoneMapSstTest, AllNullColumnIsSkippable) {
+  Build(300, /*null_c2=*/true);
+  const ZoneMaps* zones = reader_->zone_maps();
+  ASSERT_NE(zones, nullptr);
+  for (const ZoneMapEntry& entry : zones->blocks) {
+    ASSERT_EQ(entry.cols.size(), 2u);
+    EXPECT_FALSE(entry.cols[1].has_values);
+  }
+  // Any predicate on the all-null column fails every row of every block.
+  // SeekToFirst always lands in the first block (position-changing calls
+  // never skip, so a filter cannot hide an explicitly sought block); every
+  // forward hop after it is skipped.
+  ZoneMapScanFilter filter({{2, PredOp::kGe, 0}});
+  filter.SetWindow(Slice(), Slice());
+  const ZoneMapEntry& first = zones->blocks.front();
+  const int first_block_rows =
+      static_cast<int>(first.last_user_key - first.first_user_key + 1);
+  EXPECT_EQ(CountRows(&filter), first_block_rows);
+  EXPECT_EQ(filter.blocks_skipped(), zones->blocks.size() - 1);
+}
+
+TEST_F(ZoneMapSstTest, CorruptZoneBlockFallsBackToFullScan) {
+  Build(400);
+  ASSERT_NE(reader_->zone_maps(), nullptr);
+
+  std::string contents;
+  ASSERT_TRUE(env_->ReadFileToString("/zone.sst", &contents).ok());
+  Slice tail(contents.data() + contents.size() - Footer::kEncodedLength,
+             Footer::kEncodedLength);
+  Footer footer;
+  ASSERT_TRUE(footer.DecodeFrom(&tail).ok());
+  ASSERT_GT(footer.zone_handle.size, 0u);
+  // Flip a byte inside the zone block: its CRC (or decode) fails and the
+  // reader silently drops the zone maps instead of failing Open.
+  contents[footer.zone_handle.offset + footer.zone_handle.size / 2] ^= 0xff;
+  ASSERT_TRUE(env_->WriteStringToFile(Slice(contents), "/zone.sst").ok());
+  Open();
+  EXPECT_EQ(reader_->zone_maps(), nullptr);
+  EXPECT_EQ(reader_->file_zone(), nullptr);
+
+  // With no zone maps an armed filter has no verdicts: nothing is skipped.
+  ZoneMapScanFilter filter({{1, PredOp::kEq, 999999}});
+  filter.SetWindow(Slice(), Slice());
+  EXPECT_EQ(CountRows(&filter), 400);
+  EXPECT_EQ(filter.blocks_skipped(), 0u);
+}
+
+TEST_F(ZoneMapSstTest, FileWithoutZoneColumnsHasNoZoneMaps) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile("/zone.sst", &file).ok());
+  SstBuildOptions plain_options;
+  plain_options.block_size = 256;
+  SstBuilder builder(plain_options, std::move(file));
+  for (int i = 0; i < 200; ++i) {
+    builder.Add(IKey(i, i + 1), ZoneRow(1, 2));
+  }
+  ASSERT_TRUE(builder.Finish().ok());
+  Open();
+  EXPECT_EQ(reader_->zone_maps(), nullptr);
+  ZoneMapScanFilter filter({{1, PredOp::kEq, 999999}});
+  filter.SetWindow(Slice(), Slice());
+  EXPECT_EQ(CountRows(&filter), 200);
+}
+
+// ZoneMapScanFilter verdict unit tests: a zone of keys [10, 20] whose
+// column 1 values span [100, 200].
+class ZoneMapFilterTest : public ::testing::Test {
+ protected:
+  ZoneMapFilterTest() {
+    zone_.first_user_key = 10;
+    zone_.last_user_key = 20;
+    zone_.self_contained = true;
+    zone_.cols = {{1, true, 100, 200}};
+  }
+
+  /// CanSkip under an unbounded armed window.
+  bool Skips(const ScanPredicate& pred) {
+    ZoneMapScanFilter filter({pred});
+    filter.SetWindow(Slice(), Slice());
+    return filter.CanSkip(zone_, 1);
+  }
+
+  ZoneMapEntry zone_;
+};
+
+TEST_F(ZoneMapFilterTest, RangeBoundsAreInclusive) {
+  // Predicates touching exactly min or max may match: never skip.
+  EXPECT_FALSE(Skips({1, PredOp::kEq, 100}));
+  EXPECT_FALSE(Skips({1, PredOp::kEq, 200}));
+  EXPECT_FALSE(Skips({1, PredOp::kLe, 100}));
+  EXPECT_FALSE(Skips({1, PredOp::kGe, 200}));
+  EXPECT_FALSE(Skips({1, PredOp::kBetween, 200, 300}));
+  EXPECT_FALSE(Skips({1, PredOp::kBetween, 50, 100}));
+  // One past the bound provably fails.
+  EXPECT_TRUE(Skips({1, PredOp::kEq, 99}));
+  EXPECT_TRUE(Skips({1, PredOp::kEq, 201}));
+  EXPECT_TRUE(Skips({1, PredOp::kLt, 100}));
+  EXPECT_TRUE(Skips({1, PredOp::kGt, 200}));
+  EXPECT_TRUE(Skips({1, PredOp::kBetween, 201, 300}));
+  EXPECT_TRUE(Skips({1, PredOp::kBetween, 50, 99}));
+}
+
+TEST_F(ZoneMapFilterTest, UnknownColumnGivesNoVerdict) {
+  EXPECT_FALSE(Skips({7, PredOp::kEq, 0}));
+}
+
+TEST_F(ZoneMapFilterTest, WindowGatesEveryVerdict) {
+  ZoneMapScanFilter filter({{1, PredOp::kEq, 99}});
+  // Disarmed: no skip even though the predicate provably fails.
+  EXPECT_FALSE(filter.CanSkip(zone_, 1));
+  // Armed but the window ends inside the zone (bound 14 < last key 20):
+  // a tied source may still contribute to the zone's tail keys.
+  const std::string limit = EncodeKey64(15);
+  filter.SetWindow(Slice(limit), Slice());
+  EXPECT_FALSE(filter.CanSkip(zone_, 1));
+  // Window covers the zone: skip, counting the avoided block reads.
+  const std::string wide = EncodeKey64(1000);
+  filter.SetWindow(Slice(wide), Slice());
+  EXPECT_TRUE(filter.CanSkip(zone_, 3));
+  EXPECT_TRUE(filter.CanSkip(zone_, 2));
+  EXPECT_EQ(filter.blocks_skipped(), 5u);
+  // ClearWindow disarms again.
+  filter.ClearWindow();
+  EXPECT_FALSE(filter.CanSkip(zone_, 1));
+  // The scan's hi bound clamps the window below the zone's tail too.
+  const std::string hi = EncodeKey64(12);
+  filter.SetWindow(Slice(), Slice(hi));
+  EXPECT_FALSE(filter.CanSkip(zone_, 1));
+}
+
+TEST_F(ZoneMapFilterTest, StraddlingBlocksNeverSkip) {
+  zone_.self_contained = false;
+  EXPECT_FALSE(Skips({1, PredOp::kEq, 99}));
+}
+
+TEST(ZoneMapStraddleTest, BuilderMarksKeySpanningBlocks) {
+  // Many versions of one user key force it across block boundaries; every
+  // block it touches must be !self_contained.
+  auto env = NewMemEnv();
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewWritableFile("/straddle.sst", &file).ok());
+  SstBuildOptions options;
+  options.block_size = 128;
+  options.zone_columns = {{1, 4}, {2, 4}};
+  SstBuilder builder(options, std::move(file));
+  builder.Add(IKey(1, 500), ZoneRow(7, 8));
+  for (int s = 400; s > 0; --s) {  // one hot key, descending seq
+    builder.Add(IKey(2, s, kTypePartialRow), ZoneRow(s, std::nullopt));
+  }
+  builder.Add(IKey(3, 1), ZoneRow(9, 10));
+  ASSERT_TRUE(builder.Finish().ok());
+  std::unique_ptr<SstReader> reader;
+  ASSERT_TRUE(
+      SstReader::Open(env.get(), "/straddle.sst", 1, nullptr, nullptr, &reader)
+          .ok());
+  const ZoneMaps* zones = reader->zone_maps();
+  ASSERT_NE(zones, nullptr);
+  ASSERT_GT(zones->blocks.size(), 2u);
+  int straddling = 0;
+  for (const ZoneMapEntry& entry : zones->blocks) {
+    if (!entry.self_contained) ++straddling;
+  }
+  // Key 2 spans every interior block boundary.
+  EXPECT_GE(straddling, 2);
 }
 
 // ----------------------------------------------------------- BlockCache --

@@ -41,7 +41,16 @@ DEFAULT_MATCH_FIELDS = [
     "levels",
     "selectivity",
 ]
-HIGHER_IS_BETTER_HINTS = ("per_sec", "rate", "ratio", "rows_per", "speedup")
+HIGHER_IS_BETTER_HINTS = (
+    "per_sec",
+    "rate",
+    "ratio",
+    "rows_per",
+    "speedup",
+    # Zone-map pushdown effectiveness: skipped blocks dropping (especially to
+    # zero) means block skipping silently stopped engaging.
+    "blocks_skipped",
+)
 
 
 def load_rows(path):
