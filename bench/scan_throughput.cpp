@@ -21,6 +21,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "laser/sharded_laser_db.h"
 
 namespace laser::bench {
 namespace {
@@ -41,8 +42,10 @@ struct ModeResult {
 };
 
 /// One thread's scan loop. Each thread owns a deterministic range sequence;
-/// `batched` selects the consumption mode.
-ModeResult RunScans(LaserDB* db, uint64_t key_domain, const ColumnSet& projection,
+/// `batched` selects the consumption mode. Works over LaserDB and
+/// ShardedLaserDB alike (both expose NewScan + the same cursor contract).
+template <typename DB>
+ModeResult RunScans(DB* db, uint64_t key_domain, const ColumnSet& projection,
                     double selectivity, int scans, uint64_t seed, bool batched) {
   Random rng(seed);
   const uint64_t span = static_cast<uint64_t>(selectivity * key_domain);
@@ -83,11 +86,21 @@ ModeResult RunScans(LaserDB* db, uint64_t key_domain, const ColumnSet& projectio
 }  // namespace
 }  // namespace laser::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace laser;
   using namespace laser::bench;
   const double scale = ScaleFactor();
   BenchJson json("scan_throughput");
+
+  // Default sweep covers the nightly rows; --shards=N narrows it to {1, N}
+  // for the shard-scaling acceptance check.
+  std::vector<int> shard_counts = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    int n = 0;
+    if (sscanf(argv[i], "--shards=%d", &n) == 1 && n >= 1) {
+      shard_counts = n > 1 ? std::vector<int>{1, n} : std::vector<int>{1};
+    }
+  }
 
   const uint64_t rows = static_cast<uint64_t>(60000 * scale);
   const double selectivity = 0.2;
@@ -121,6 +134,10 @@ int main() {
     LaserOptions options = NarrowTableOptions(env.get(), "/scan_tp",
                                               design.config, kLevels, kSizeRatio);
     options.block_cache_bytes = 8 * 1024 * 1024;  // exercise the sharded cache
+    // One background thread: deterministic compaction interleaving means a
+    // deterministic tree shape, so the nightly bench_diff gate compares the
+    // same physical plan run to run (the selective section already pins it).
+    options.background_threads = 1;
     std::unique_ptr<LaserDB> db;
     if (!LaserDB::Open(options, &db).ok()) {
       fprintf(stderr, "FAIL: cannot open design %s\n", design.name.c_str());
@@ -368,6 +385,125 @@ int main() {
       json.Record("headline", "selective_pushdown_vs_postfilter",
                   {{"ratio", ratio},
                    {"blocks_skipped_zonemap", static_cast<double>(skipped)}});
+    }
+  }
+
+  // ---- Sharded fan-out scans: the shard-per-core engine under concurrent
+  // OLAP threads. Same table range-partitioned across N shards; every scan
+  // concatenates per-shard merges, so per-scan work is unchanged — the win
+  // under concurrency comes from smaller per-shard merge fans, independent
+  // block caches, and per-shard commit/compaction state.
+  {
+    constexpr int kScanThreads = 4;
+    const ColumnSet projection = MakeColumnRange(1, kColumns);
+    PrintHeader("sharded fan-out scan: wide-30 batch, 4 threads (HTAP-simple)");
+    printf("%-8s %8s %14s %14s %8s\n", "shards", "threads", "rows/sec",
+           "us/scan", "rows");
+
+    double shard_rps_1 = 0;
+    double shard_rps_max = 0;
+    int max_shards = 0;
+    uint64_t shard_checksum_1 = 0;
+    bool first_count = true;
+    for (int shards : shard_counts) {
+      auto env = NewMemEnv();
+      ShardedLaserOptions soptions;
+      soptions.base = NarrowTableOptions(
+          env.get(), "/scan_shard", CgConfig::HtapSimple(kColumns, kLevels, 6),
+          kLevels, kSizeRatio);
+      soptions.base.block_cache_bytes = 8 * 1024 * 1024;
+      soptions.base.background_threads = 1;  // deterministic per-shard trees
+      soptions.num_shards = shards;
+      soptions.key_domain = rows;
+      std::unique_ptr<ShardedLaserDB> db;
+      if (!ShardedLaserDB::Open(soptions, &db).ok()) {
+        fprintf(stderr, "FAIL: cannot open %d-shard DB\n", shards);
+        return 1;
+      }
+      // Same data and mutation stream for every shard count, so cross-count
+      // checksums must agree exactly.
+      for (uint64_t k = 0; k < rows; ++k) {
+        if (!db->Insert(k, BenchRow(k, kColumns)).ok()) return 1;
+      }
+      Random mutate(17);
+      for (uint64_t i = 0; i < rows / 20; ++i) {
+        db->Update(mutate.Uniform(rows), {{3, i}, {17, i + 1}});
+      }
+      for (uint64_t i = 0; i < rows / 50; ++i) {
+        db->Delete(mutate.Uniform(rows));
+      }
+      if (!db->CompactUntilStable().ok()) return 1;
+
+      constexpr int kRepeats = 3;
+      double rows_per_sec = 0;
+      double us_per_scan = 0;
+      uint64_t total_rows = 0;
+      uint64_t checksum = 0;
+      for (int repeat = 0; repeat < kRepeats; ++repeat) {
+        std::vector<ModeResult> results(kScanThreads);
+        std::vector<std::thread> workers;
+        for (int t = 0; t < kScanThreads; ++t) {
+          workers.emplace_back([&, t] {
+            results[t] = RunScans(db.get(), rows, projection, selectivity,
+                                  scans_per_thread, /*seed=*/1000 + t,
+                                  /*batched=*/true);
+          });
+        }
+        for (auto& worker : workers) worker.join();
+        double max_seconds = 0;
+        total_rows = 0;
+        checksum = 0;
+        for (const ModeResult& r : results) {
+          max_seconds = std::max(max_seconds, r.seconds);
+          total_rows += r.rows;
+          checksum ^= r.checksum;
+        }
+        const double repeat_rps =
+            max_seconds > 0 ? static_cast<double>(total_rows) / max_seconds : 0;
+        if (repeat_rps > rows_per_sec) {
+          rows_per_sec = repeat_rps;
+          us_per_scan =
+              max_seconds * 1e6 / (kScanThreads * scans_per_thread);
+        }
+      }
+      printf("%-8d %8d %14.0f %14.0f %8" PRIu64 "\n", shards, kScanThreads,
+             rows_per_sec, us_per_scan, total_rows);
+      Stats aggregated;
+      db->AggregateStats(&aggregated);
+      json.Record("scan/sharded-wide30", "shards_" + std::to_string(shards),
+                  {{"shards", static_cast<double>(shards)},
+                   {"threads", static_cast<double>(kScanThreads)},
+                   {"rows_per_sec", rows_per_sec},
+                   {"us_per_scan", us_per_scan},
+                   {"rows", static_cast<double>(total_rows)},
+                   {"checksum", static_cast<double>(checksum % (1u << 30))},
+                   {"blocks_skipped_zonemap",
+                    static_cast<double>(
+                        aggregated.blocks_skipped_zonemap.load())}});
+      if (first_count) {
+        shard_checksum_1 = checksum;
+        first_count = false;
+      } else if (checksum != shard_checksum_1) {
+        fprintf(stderr,
+                "FAIL: %d-shard scan checksum %" PRIu64
+                " != 1-shard checksum %" PRIu64 "\n",
+                shards, checksum, shard_checksum_1);
+        checksums_ok = false;
+      }
+      if (shards == 1) shard_rps_1 = rows_per_sec;
+      if (shards >= max_shards) {
+        max_shards = shards;
+        shard_rps_max = rows_per_sec;
+      }
+    }
+    if (shard_rps_1 > 0 && max_shards > 1) {
+      const double ratio = shard_rps_max / shard_rps_1;
+      printf("\nheadline: %d-shard vs 1-shard scan throughput = %.2fx "
+             "(acceptance bar on a >=4-core runner: >= 2x at 4 shards)\n",
+             max_shards, ratio);
+      json.Record("headline", "sharded_scan_vs_single",
+                  {{"shards", static_cast<double>(max_shards)},
+                   {"ratio", ratio}});
     }
   }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "laser/sharded_laser_db.h"
 
 namespace laser::bench {
 namespace {
@@ -95,14 +96,80 @@ bool RunConfig(const std::string& path, WalSyncPolicy policy, int threads,
   return true;
 }
 
+/// Sharded ingest: writer threads with shard affinity, one group-commit
+/// queue (and one WAL fsync stream) per shard. The 1-shard row is the
+/// single-queue baseline the speedup is measured against.
+bool RunShardedConfig(const std::string& path, int shards, int threads,
+                      uint64_t total_ops, RunResult* out) {
+  Env* env = Env::Default();
+  env->RemoveDir(path);
+  const uint64_t per_thread = total_ops / threads;
+  const uint64_t domain = per_thread * threads;
+  const uint64_t shard_width = domain / shards;
+
+  ShardedLaserOptions options;
+  options.base = BenchOptions(path, WalSyncPolicy::kSyncEveryGroup);
+  options.num_shards = shards;
+  options.key_domain = domain;
+  std::unique_ptr<ShardedLaserDB> db;
+  if (!ShardedLaserDB::Open(options, &db).ok()) return false;
+
+  // Thread t targets shard t % shards; its slot within the shard keeps key
+  // ranges disjoint. With 1 shard every writer contends on one commit
+  // queue; with N shards the queues (and fsync streams) run per core.
+  std::vector<Histogram> latencies(threads);
+  std::vector<std::thread> workers;
+  const uint64_t t0 = env->NowMicros();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const uint64_t base =
+          static_cast<uint64_t>(t % shards) * shard_width +
+          static_cast<uint64_t>(t / shards) * per_thread;
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        const uint64_t key = base + i;
+        const uint64_t op_start = env->NowMicros();
+        if (!db->Insert(key, BenchRow(key, kColumns)).ok()) return;
+        latencies[t].Add(static_cast<double>(env->NowMicros() - op_start));
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double seconds = static_cast<double>(env->NowMicros() - t0) / 1e6;
+
+  Histogram merged;
+  for (const Histogram& h : latencies) merged.Merge(h);
+  if (merged.count() != per_thread * threads) return false;  // a write failed
+
+  out->ops_per_sec = static_cast<double>(merged.count()) / seconds;
+  out->p50_us = merged.Percentile(50);
+  out->p99_us = merged.Percentile(99);
+  Stats aggregated;
+  db->AggregateStats(&aggregated);
+  out->wal_syncs = aggregated.wal_syncs.load();
+  out->groups = aggregated.wal_group_commits.load();
+  db.reset();
+  env->RemoveDir(path);
+  return true;
+}
+
 }  // namespace
 }  // namespace laser::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace laser;
   using namespace laser::bench;
   const double scale = ScaleFactor();
   BenchJson json("wal_group_commit");
+
+  // Default shard sweep covers the nightly rows; --shards=N narrows it to
+  // {1, N} for the shard-scaling acceptance check.
+  std::vector<int> shard_counts = {1, 2, 4};
+  for (int i = 1; i < argc; ++i) {
+    int n = 0;
+    if (sscanf(argv[i], "--shards=%d", &n) == 1 && n >= 1) {
+      shard_counts = n > 1 ? std::vector<int>{1, n} : std::vector<int>{1};
+    }
+  }
 
   const uint64_t total_ops = static_cast<uint64_t>(3000 * scale);
   const std::string path = "wal_group_commit_bench.tmp";
@@ -147,6 +214,48 @@ int main() {
         max_threads, speedup);
     json.Record("speedup", "group_vs_write",
                 {{"threads", static_cast<double>(max_threads)}, {"speedup", speedup}});
+  }
+
+  // ---- Shard-per-core ingest: shards x 8 writers, sync_every_group.
+  constexpr int kShardThreads = 8;
+  PrintHeader(
+      "Shard-per-core engine: shards x 8 writer threads (sync_every_group)");
+  printf("%-8s %8s %12s %10s %10s %10s %10s\n", "shards", "threads", "ops/sec",
+         "p50 us", "p99 us", "fsyncs", "groups");
+  double shard_ops_1 = 0, shard_ops_max = 0;
+  int max_shards = 0;
+  for (int shards : shard_counts) {
+    RunResult r;
+    if (!RunShardedConfig(path, shards, kShardThreads, total_ops, &r)) {
+      fprintf(stderr, "sharded config x%d failed\n", shards);
+      continue;
+    }
+    printf("%-8d %8d %12.0f %10.1f %10.1f %10" PRIu64 " %10" PRIu64 "\n",
+           shards, kShardThreads, r.ops_per_sec, r.p50_us, r.p99_us,
+           r.wal_syncs, r.groups);
+    json.Record("sharded_throughput", "shards_" + std::to_string(shards),
+                {{"shards", static_cast<double>(shards)},
+                 {"threads", static_cast<double>(kShardThreads)},
+                 {"ops", static_cast<double>(total_ops)},
+                 {"ops_per_sec", r.ops_per_sec},
+                 {"p50_us", r.p50_us},
+                 {"p99_us", r.p99_us},
+                 {"wal_syncs", static_cast<double>(r.wal_syncs)},
+                 {"groups", static_cast<double>(r.groups)}});
+    if (shards == 1) shard_ops_1 = r.ops_per_sec;
+    if (shards >= max_shards) {
+      max_shards = shards;
+      shard_ops_max = r.ops_per_sec;
+    }
+  }
+  if (shard_ops_1 > 0 && max_shards > 1) {
+    const double speedup = shard_ops_max / shard_ops_1;
+    printf("\n%d shards vs 1 shard at %d threads: %.2fx "
+           "(acceptance bar on a >=4-core runner: >= 2x at 4 shards)\n",
+           max_shards, kShardThreads, speedup);
+    json.Record("sharded_speedup", "shards_vs_1",
+                {{"shards", static_cast<double>(max_shards)},
+                 {"speedup", speedup}});
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <limits>
+#include <map>
 
 #include "laser/column_merging_iterator.h"
 #include "lsm/run_iterator.h"
@@ -166,24 +167,29 @@ Status LaserDB::ReplayWal(const std::string& fname) {
     // Each record is one commit group; a torn record was dropped whole by
     // the reader, so groups replay all-or-nothing.
     Slice payload = record;
-    uint64_t first_seq;
-    uint32_t count;
-    if (!wal::DecodeGroupHeader(&payload, &first_seq, &count)) {
+    wal::GroupHeader header;
+    if (!wal::DecodeAnyGroupHeader(&payload, &header)) {
       return Status::Corruption("bad WAL group header in " + fname);
     }
-    for (uint32_t i = 0; i < count; ++i) {
+    // A prepared group replays only if the coordinator committed its xid
+    // (presumed abort otherwise); its sequences are consumed either way so
+    // shard numbering is identical whether or not the crash happened.
+    const bool apply =
+        !header.prepared || (options_.prepared_commit_resolver != nullptr &&
+                             options_.prepared_commit_resolver(header.xid));
+    for (uint32_t i = 0; i < header.count; ++i) {
       ValueType type;
       Slice user_key, value;
       if (!DecodeWalEntry(&payload, &type, &user_key, &value)) {
         return Status::Corruption("bad WAL entry in " + fname);
       }
-      mem_->Add(first_seq + i, type, user_key, value);
+      if (apply) mem_->Add(header.first_seq + i, type, user_key, value);
     }
     if (!payload.empty()) {
       return Status::Corruption("trailing bytes in WAL group in " + fname);
     }
-    if (count > 0) {
-      const SequenceNumber last = first_seq + count - 1;
+    if (header.count > 0) {
+      const SequenceNumber last = header.first_seq + header.count - 1;
       if (last > last_sequence_.load()) last_sequence_.store(last);
     }
   }
@@ -205,6 +211,9 @@ LaserDB::~LaserDB() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_ = true;
+    // Wake a flush parked on an undecided prepared xid — it re-checks
+    // shutting_down_ and bails out.
+    cv_.notify_all();
     cv_.wait(lock, [this] { return running_jobs_ == 0; });
   }
   wal_sync_cv_.notify_all();
@@ -282,6 +291,35 @@ Status LaserDB::Write(const WriteBatch& batch) {
     }
   }
   return s;
+}
+
+Status LaserDB::WritePrepared(uint64_t xid, const WriteBatch& batch) {
+  if (xid == 0) return Status::InvalidArgument("prepared xid must be nonzero");
+  if (batch.empty()) return Status::OK();
+  WriteRequest req;
+  for (const WriteBatch::Op& op : batch.ops()) {
+    LASER_RETURN_IF_ERROR(EncodeOp(op.type, op.key, &op.row, &op.values, &req));
+  }
+  req.prepared_xid = xid;
+  // The fragment must be durable before the coordinator can write its commit
+  // record: once that record lands, replay WILL apply this group.
+  req.sync = true;
+  return SubmitWrite(&req);
+}
+
+void LaserDB::MarkXidCommitted(uint64_t xid) {
+  std::unique_lock<std::mutex> lock(mu_);
+  mem_prepared_xids_.erase(xid);
+  for (auto& xids : imm_prepared_xids_) xids.erase(xid);
+  // A flush may be parked on this xid draining from its memtable's set.
+  cv_.notify_all();
+}
+
+void LaserDB::Poison(const Status& error) {
+  if (error.ok()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (bg_error_.ok()) bg_error_ = error;
+  cv_.notify_all();
 }
 
 Status LaserDB::EncodeOp(ValueType type, uint64_t key,
@@ -368,7 +406,7 @@ void LaserDB::CommitWriteGroup(WriteRequest* req, std::unique_lock<std::mutex>* 
   // stays at the front of the queue throughout, so dropping the lock here
   // is safe — nobody else can touch wal_ or mem_.
   if (options_.wal_sync_policy == WalSyncPolicy::kSyncEveryGroup &&
-      wal_ != nullptr && req->count > 0) {
+      wal_ != nullptr && req->count > 0 && req->prepared_xid == 0) {
     size_t seen = write_queue_.size();
     for (int window = 0; window < 8; ++window) {
       lock->unlock();
@@ -383,7 +421,10 @@ void LaserDB::CommitWriteGroup(WriteRequest* req, std::unique_lock<std::mutex>* 
   // Build the commit group: consecutive queued batches are coalesced into
   // one WAL record. kSyncEveryWrite forbids coalescing so every batch pays
   // its own fsync; a sync-only leader stays solo so it can never smuggle
-  // batches past MakeRoomForWrite. Rotations never join. Member pointers
+  // batches past MakeRoomForWrite. Rotations never join. Prepared fragments
+  // never coalesce in either direction — their record carries a per-xid
+  // header, and mixing undecided data into a plain group would tie other
+  // writers' durability to a foreign commit decision. Member pointers
   // are snapshotted here, under the lock: the IO phase below must not touch
   // write_queue_ itself while followers keep enqueueing.
   std::vector<WriteRequest*> members{req};
@@ -391,10 +432,11 @@ void LaserDB::CommitWriteGroup(WriteRequest* req, std::unique_lock<std::mutex>* 
   size_t group_bytes = req->entries.size();
   uint32_t count = req->count;
   bool sync = req->sync;
-  if (options_.wal_sync_policy != WalSyncPolicy::kSyncEveryWrite && req->count > 0) {
+  if (options_.wal_sync_policy != WalSyncPolicy::kSyncEveryWrite &&
+      req->count > 0 && req->prepared_xid == 0) {
     while (members.size() < write_queue_.size()) {
       WriteRequest* next = write_queue_[members.size()];
-      if (next->rotate) break;
+      if (next->rotate || next->prepared_xid != 0) break;
       if (group_bytes + next->entries.size() > kMaxGroupBytes) break;
       group_bytes += next->entries.size();
       count += next->count;
@@ -414,8 +456,13 @@ void LaserDB::CommitWriteGroup(WriteRequest* req, std::unique_lock<std::mutex>* 
 
   std::string record;
   if (wal != nullptr && count > 0) {
-    record.reserve(15 + group_bytes);
-    wal::AppendGroupHeader(&record, first_seq, count);
+    record.reserve(35 + group_bytes);
+    if (req->prepared_xid != 0) {
+      wal::AppendPreparedGroupHeader(&record, req->prepared_xid, first_seq,
+                                     count);
+    } else {
+      wal::AppendGroupHeader(&record, first_seq, count);
+    }
     for (const WriteRequest* member : members) {
       record.append(member->entries);
     }
@@ -451,6 +498,12 @@ void LaserDB::CommitWriteGroup(WriteRequest* req, std::unique_lock<std::mutex>* 
   if (s.ok()) {
     if (count > 0) {
       last_sequence_.store(first_seq + count - 1, std::memory_order_release);
+      // The fragment sits in the memtable with its commit undecided; the
+      // flush gate keys off this set until MarkXidCommitted (or recovery)
+      // resolves it. mem is still mem_: rotation is leader-exclusive.
+      if (req->prepared_xid != 0) {
+        mem_prepared_xids_.insert(req->prepared_xid);
+      }
     }
     if (!record.empty()) {
       stats_.bytes_written_wal.fetch_add(record.size(), std::memory_order_relaxed);
@@ -502,6 +555,8 @@ Status LaserDB::RotateMemtableLocked() {
   LASER_RETURN_IF_ERROR(SyncWalForIntervalLocked());
   imm_.push_back(mem_);
   imm_wal_numbers_.push_back(wal_number_);
+  imm_prepared_xids_.push_back(std::move(mem_prepared_xids_));
+  mem_prepared_xids_.clear();
   mem_ = new MemTable();
   mem_->Ref();
   if (wal_ != nullptr) {
@@ -616,7 +671,17 @@ void LaserDB::BackgroundFlush() {
   uint64_t wal_number = 0;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (imm_.empty() || shutting_down_) {
+    // Two-phase gate: an immutable memtable holding prepared-but-undecided
+    // transactions must not reach L0 — the flush would delete its WAL and
+    // the data could never be rolled back if the coordinator aborts. Park
+    // until every xid resolves (MarkXidCommitted), the engine poisons, or
+    // shutdown. Only this thread removes from imm_, so the front is stable
+    // across the wait.
+    cv_.wait(lock, [this] {
+      return shutting_down_ || !bg_error_.ok() || imm_.empty() ||
+             imm_prepared_xids_.front().empty();
+    });
+    if (imm_.empty() || shutting_down_ || !bg_error_.ok()) {
       flush_scheduled_ = false;
       --running_jobs_;
       cv_.notify_all();
@@ -641,6 +706,7 @@ void LaserDB::BackgroundFlush() {
     if (s.ok()) {
       imm_.erase(imm_.begin());
       imm_wal_numbers_.erase(imm_wal_numbers_.begin());
+      imm_prepared_xids_.erase(imm_prepared_xids_.begin());
       imm->Unref();
       if (options_.use_wal) {
         env_->RemoveFile(db_path_ + "/" + WalFileName(wal_number));
@@ -1014,18 +1080,31 @@ namespace {
 /// Builds the zone-map filter for one SST-backed source: the scan's
 /// predicates restricted to the columns the source actually stores (a
 /// predicate on a column outside the source cannot be judged from its
-/// blocks). Returns nullptr when no predicate applies.
+/// blocks). `pred_cover` is the scan-wide census of how many sources cover
+/// each predicate column; a predicate whose column only this source covers
+/// is marked unconditional (window-free skipping is sound for it — see the
+/// skip-safety argument in scan_pushdown.h). Returns nullptr when no
+/// predicate applies.
 std::unique_ptr<ZoneMapScanFilter> MakeSourceFilter(
-    const ScanSpec& spec, const ColumnSet& source_columns) {
+    const ScanSpec& spec, const ColumnSet& source_columns,
+    const std::map<int, int>& pred_cover) {
   std::vector<ScanPredicate> preds;
+  std::vector<bool> unconditional;
+  bool any_unconditional = false;
   for (const ScanPredicate& pred : spec.predicates) {
     if (std::binary_search(source_columns.begin(), source_columns.end(),
                            pred.column)) {
       preds.push_back(pred);
+      const auto it = pred_cover.find(pred.column);
+      const bool sole = it != pred_cover.end() && it->second == 1;
+      unconditional.push_back(sole);
+      any_unconditional |= sole;
     }
   }
   if (preds.empty()) return nullptr;
-  return std::make_unique<ZoneMapScanFilter>(std::move(preds));
+  if (!any_unconditional) unconditional.clear();
+  return std::make_unique<ZoneMapScanFilter>(std::move(preds),
+                                             std::move(unconditional));
 }
 
 }  // namespace
@@ -1073,12 +1152,56 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
   const std::string hi_encoded = EncodeKey64(hi_key);
   std::vector<std::unique_ptr<ContributionSource>> sources;
 
+  // Exclusive-coverage census: for each predicate column, how many of this
+  // scan's sources could supply a value for it. Non-empty memtables and
+  // range-overlapping L0 files cover every column (row format); a level>=1
+  // run covers its group's columns when any of its files overlaps the range.
+  // A census count of 1 marks the predicate unconditional for that lone
+  // source, enabling window-free skips (seek-time file skips, L0 plan
+  // pruning) — sound because every emitted row's value for the column then
+  // comes from that source or is null, and null fails every predicate.
+  std::map<int, int> pred_cover;
+  if (!spec.predicates.empty()) {
+    for (const ScanPredicate& pred : spec.predicates) pred_cover[pred.column];
+    int full_row_sources = mem->num_entries() > 0 ? 1 : 0;
+    for (MemTable* m : imms) {
+      if (m->num_entries() > 0) ++full_row_sources;
+    }
+    for (const auto& file : version->files(0, 0)) {
+      if (file->OverlapsUserRange(Slice(lo_encoded), Slice(hi_encoded))) {
+        ++full_row_sources;
+      }
+    }
+    if (full_row_sources > 0) {
+      for (auto& entry : pred_cover) entry.second += full_row_sources;
+    }
+    for (int level = 1; level < version->num_levels(); ++level) {
+      const auto& groups = options_.cg_config.groups(level);
+      for (int g : options_.cg_config.OverlappingGroups(level, projection)) {
+        bool overlaps = false;
+        for (const auto& file : version->files(level, g)) {
+          if (file->OverlapsUserRange(Slice(lo_encoded), Slice(hi_encoded))) {
+            overlaps = true;
+            break;
+          }
+        }
+        if (!overlaps) continue;
+        for (auto& entry : pred_cover) {
+          if (std::binary_search(groups[g].begin(), groups[g].end(),
+                                 entry.first)) {
+            ++entry.second;
+          }
+        }
+      }
+    }
+  }
+
   // One zone-map filter per SST-backed source (memtables have no blocks to
   // skip), owned by the ScanIterator so it outlives the block cursors that
   // consult it.
   std::vector<std::unique_ptr<ZoneMapScanFilter>> filters;
   const auto add_filter = [&](const ColumnSet& cols) -> ZoneMapScanFilter* {
-    auto filter = MakeSourceFilter(spec, cols);
+    auto filter = MakeSourceFilter(spec, cols, pred_cover);
     if (filter == nullptr) return nullptr;
     filters.push_back(std::move(filter));
     return filters.back().get();
@@ -1099,6 +1222,19 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
   for (auto it = l0.rbegin(); it != l0.rend(); ++it) {
     if (!(*it)->OverlapsUserRange(Slice(lo_encoded), Slice(hi_encoded))) continue;
     ZoneMapScanFilter* filter = add_filter(all_columns);
+    // File-level zone check: a file whose folded zone proves an
+    // unconditional predicate cannot match anywhere drops out of the scan
+    // plan without being opened (the filter stays owned by the iterator so
+    // its skip counters reach stats).
+    if (filter != nullptr) {
+      const SstReader* reader = (*it)->reader.get();
+      const ZoneMapEntry* file_zone = reader->file_zone();
+      if (file_zone != nullptr &&
+          filter->CanSkipFile(*file_zone,
+                              reader->zone_maps()->blocks.size())) {
+        continue;
+      }
+    }
     sources.push_back(std::make_unique<ContributionIterator>(
         (*it)->reader->NewIterator(filter), &codec_, all_columns, projection,
         snapshot, filter));
@@ -1177,9 +1313,15 @@ ScanIterator::~ScanIterator() {
     stats_->scan_batches_emitted.fetch_add(batches_emitted_,
                                            std::memory_order_relaxed);
     uint64_t blocks_skipped = 0;
-    for (const auto& filter : filters_) blocks_skipped += filter->blocks_skipped();
+    uint64_t files_skipped = 0;
+    for (const auto& filter : filters_) {
+      blocks_skipped += filter->blocks_skipped();
+      files_skipped += filter->files_skipped();
+    }
     stats_->blocks_skipped_zonemap.fetch_add(blocks_skipped,
                                              std::memory_order_relaxed);
+    stats_->files_skipped_zonemap.fetch_add(files_skipped,
+                                            std::memory_order_relaxed);
     stats_->rows_filtered_pushdown.fetch_add(rows_filtered_,
                                              std::memory_order_relaxed);
     stats_->aggs_pushed.fetch_add(aggs_pushed_, std::memory_order_relaxed);

@@ -79,6 +79,33 @@ class LaserDB {
   /// An empty batch is a no-op.
   Status Write(const WriteBatch& batch);
 
+  // -- two-phase writes (cross-shard batches; see ShardedLaserDB) --
+  //
+  // A coordinator splits one logical batch into per-shard fragments and
+  // drives: WritePrepared on every touched shard (fragment durable + applied,
+  // commit undecided), a commit record in its own log, then MarkXidCommitted
+  // everywhere. On replay a prepared group is applied only if
+  // options.prepared_commit_resolver confirms the xid committed (presumed
+  // abort). An immutable memtable holding undecided xids is not flushed
+  // until they resolve, so uncommitted prepared data never reaches L0 —
+  // crash recovery can therefore never see half of a cross-shard batch.
+
+  /// Phase 1: durably logs `batch` as a prepared fragment of transaction
+  /// `xid` (always fsynced, never coalesced with other writers) and applies
+  /// it to the memtable. The write is NOT committed yet: after a crash it
+  /// replays only if the resolver confirms `xid`. xid must be nonzero.
+  Status WritePrepared(uint64_t xid, const WriteBatch& batch);
+
+  /// Phase 2: marks `xid` decided-committed, releasing any flush waiting on
+  /// it. Called by the coordinator after its commit record is durable.
+  void MarkXidCommitted(uint64_t xid);
+
+  /// Forces the engine into the poisoned (read-only) state with `error`.
+  /// The coordinator uses this when a sibling shard fails mid-batch
+  /// (commit-or-poison): no later write can be acknowledged, and undecided
+  /// prepared data is discarded by recovery on the next open.
+  void Poison(const Status& error);
+
   // -- reads (§3.1 / §4.3) --
 
   struct ReadResult {
@@ -148,10 +175,11 @@ class LaserDB {
   /// One writer's seat in the group-commit queue. The front request is the
   /// leader; followers block on `cv` until the leader sets `done`.
   struct WriteRequest {
-    std::string entries;  ///< WAL-entry-encoded ops (see write_batch.h)
-    uint32_t count = 0;   ///< entries in `entries`
-    bool sync = false;    ///< force a WAL fsync with this group
-    bool rotate = false;  ///< rotate the memtable instead of writing
+    std::string entries;       ///< WAL-entry-encoded ops (see write_batch.h)
+    uint32_t count = 0;        ///< entries in `entries`
+    uint64_t prepared_xid = 0; ///< nonzero: two-phase fragment of this xid
+    bool sync = false;         ///< force a WAL fsync with this group
+    bool rotate = false;       ///< rotate the memtable instead of writing
     bool done = false;
     Status status;
     std::condition_variable cv;
@@ -232,6 +260,14 @@ class LaserDB {
   MemTable* mem_ = nullptr;
   std::vector<MemTable*> imm_;             // oldest first
   std::vector<uint64_t> imm_wal_numbers_;  // parallel to imm_
+
+  /// Prepared-but-undecided transaction ids per memtable (guarded by mu_;
+  /// the active set tracks mem_, the vector is parallel to imm_). A flush
+  /// waits until its memtable's set drains — that wait is deadlock-free as
+  /// long as coordinators prepare shards in one canonical order, which keeps
+  /// the cross-shard wait graph acyclic.
+  std::set<uint64_t> mem_prepared_xids_;
+  std::vector<std::set<uint64_t>> imm_prepared_xids_;
   std::shared_ptr<Version> version_;
 
   std::atomic<uint64_t> next_file_number_{1};

@@ -7,6 +7,8 @@
 #define LASER_LASER_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 #include "laser/cg_config.h"
@@ -113,6 +115,14 @@ struct LaserOptions {
   int wal_sync_interval_ms = 10;
 
   bool create_if_missing = true;
+
+  /// Recovery-side commit oracle for two-phase (prepared) WAL groups: given
+  /// a transaction id found in a prepared record during replay, returns
+  /// whether the coordinator committed it. Unset means presumed abort —
+  /// every prepared group found at recovery is discarded. Set by
+  /// ShardedLaserDB from its coordinator log; plain LaserDB users can ignore
+  /// it. Only consulted during Open().
+  std::function<bool(uint64_t)> prepared_commit_resolver;
 
   /// When true, compactions run only via LaserDB::CompactUntilStable()
   /// (used by the write-amplification experiment, Fig. 7(e)).

@@ -5,16 +5,30 @@
 // hold provably fails a predicate.
 //
 // Skip-safety argument (why CanSkip is sound):
-//  * A block may only be skipped inside a sole-contributor merge window
+//  * A block may be skipped inside a sole-contributor merge window
 //    (`SetWindow`): the heap proves no other source holds keys below the
 //    window limit, so every merged row in the window takes ALL its column
 //    values from this source — a value outside [min, max] cannot appear.
+//  * A predicate marked *unconditional* may additionally drive skips with no
+//    window armed (seeks, whole-file hops, L0 planning). Scan planning marks
+//    a predicate unconditional for a source only when that source is the
+//    scan's ONLY source covering the predicate's column. Then any emitted
+//    row's value for that column either comes from this source or is null —
+//    and null fails every predicate. If the zone proves the predicate fails
+//    for every value the source holds in the region, every merged row drawing
+//    on the region fails the conjunct (AND semantics) and is dropped by the
+//    row-level re-check regardless; skipping the region can therefore never
+//    change the emitted result, even though other columns of those rows
+//    (partial updates, tombstones) would have merged differently.
 //  * Multi-version rows within the block are fine: whatever version wins the
 //    fold, its value is one of the block's values (or null, which fails every
 //    predicate), so the per-column min/max bounds every possible outcome.
 //  * Blocks sharing a user key with a neighbor block are marked
 //    !self_contained by the builder and never skipped independently: a
-//    straddling key's winning version might live in the neighbor.
+//    straddling key's winning version might live in the neighbor. This gate
+//    applies to unconditional skips too — dropping only one block of a
+//    straddling key could resurrect a stale value *for the predicate column
+//    itself* from the neighbor, which the null argument does not cover.
 
 #ifndef LASER_LASER_SCAN_PUSHDOWN_H_
 #define LASER_LASER_SCAN_PUSHDOWN_H_
@@ -116,8 +130,14 @@ inline bool PredicateMayMatchRange(const ScanPredicate& pred, uint64_t min,
 /// source; `predicates` are pre-restricted to columns the source stores.
 class ZoneMapScanFilter final : public BlockReadFilter {
  public:
-  explicit ZoneMapScanFilter(std::vector<ScanPredicate> predicates)
-      : predicates_(std::move(predicates)) {}
+  /// `unconditional`, when non-empty, is parallel to `predicates`: a true
+  /// flag marks a predicate whose column no other scan source covers, letting
+  /// it veto regions with no sole-contributor window armed (see the
+  /// skip-safety argument above). Empty means all predicates are windowed.
+  explicit ZoneMapScanFilter(std::vector<ScanPredicate> predicates,
+                             std::vector<bool> unconditional = {})
+      : predicates_(std::move(predicates)),
+        unconditional_(std::move(unconditional)) {}
 
   /// Arms the filter for a sole-contributor window ending at
   /// `limit_exclusive` (heap runner-up key; empty = unbounded) clamped to
@@ -145,26 +165,46 @@ class ZoneMapScanFilter final : public BlockReadFilter {
   void ClearWindow() { window_active_ = false; }
 
   bool CanSkip(const ZoneMapEntry& zone, size_t data_blocks) override {
-    if (!window_active_ || predicates_.empty()) return false;
+    return Evaluate(zone, data_blocks, /*file_level=*/false);
+  }
+
+  /// Whole-file verdict (folded zone from `SstReader::file_zone()`), counted
+  /// separately so stats can report files never opened.
+  bool CanSkipFile(const ZoneMapEntry& zone, size_t data_blocks) override {
+    return Evaluate(zone, data_blocks, /*file_level=*/true);
+  }
+
+  uint64_t blocks_skipped() const { return blocks_skipped_; }
+  uint64_t files_skipped() const { return files_skipped_; }
+
+ private:
+  bool Evaluate(const ZoneMapEntry& zone, size_t data_blocks,
+                bool file_level) {
+    if (predicates_.empty()) return false;
     if (!zone.self_contained) return false;
-    if (zone.last_user_key > window_bound_) return false;
-    for (const ScanPredicate& pred : predicates_) {
+    const bool windowed =
+        window_active_ && zone.last_user_key <= window_bound_;
+    for (size_t i = 0; i < predicates_.size(); ++i) {
+      // A windowed region lets every predicate vote; outside a window only
+      // unconditional predicates (sole column coverage) may.
+      if (!windowed && (unconditional_.empty() || !unconditional_[i])) {
+        continue;
+      }
+      const ScanPredicate& pred = predicates_[i];
       const ZoneMapColumn* col = FindColumn(zone, pred.column);
       if (col == nullptr) continue;  // column not summarized: no verdict
-      // One conjunct that cannot match anywhere in the block fails every
+      // One conjunct that cannot match anywhere in the region fails every
       // row (AND semantics); an all-null column fails by itself.
       if (!col->has_values ||
           !PredicateMayMatchRange(pred, col->min, col->max)) {
         blocks_skipped_ += data_blocks;
+        if (file_level) ++files_skipped_;
         return true;
       }
     }
     return false;
   }
 
-  uint64_t blocks_skipped() const { return blocks_skipped_; }
-
- private:
   static const ZoneMapColumn* FindColumn(const ZoneMapEntry& zone,
                                          int column) {
     for (const ZoneMapColumn& col : zone.cols) {
@@ -174,9 +214,11 @@ class ZoneMapScanFilter final : public BlockReadFilter {
   }
 
   const std::vector<ScanPredicate> predicates_;
+  const std::vector<bool> unconditional_;
   bool window_active_ = false;
   uint64_t window_bound_ = 0;  // inclusive largest skippable user key
   uint64_t blocks_skipped_ = 0;
+  uint64_t files_skipped_ = 0;
 };
 
 }  // namespace laser

@@ -1,0 +1,51 @@
+#include "laser/shard_router.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace laser {
+
+ShardRouter::ShardRouter(std::vector<uint64_t> split_points)
+    : split_points_(std::move(split_points)) {
+#ifndef NDEBUG
+  for (size_t i = 0; i + 1 < split_points_.size(); ++i) {
+    assert(split_points_[i] < split_points_[i + 1]);
+  }
+#endif
+}
+
+ShardRouter ShardRouter::Uniform(int num_shards, uint64_t key_domain) {
+  assert(num_shards >= 1);
+  std::vector<uint64_t> splits;
+  splits.reserve(num_shards > 0 ? num_shards - 1 : 0);
+  const uint64_t width = key_domain / static_cast<uint64_t>(num_shards);
+  for (int i = 1; i < num_shards; ++i) {
+    uint64_t split = width * static_cast<uint64_t>(i);
+    // A domain smaller than the shard count would yield duplicate splits;
+    // force strict monotonicity so every shard keeps a nonempty range.
+    if (!splits.empty() && split <= splits.back()) split = splits.back() + 1;
+    if (split == 0) split = 1;
+    splits.push_back(split);
+  }
+  return ShardRouter(std::move(splits));
+}
+
+int ShardRouter::ShardOf(uint64_t key) const {
+  // First split strictly above the key; keys past every split land in the
+  // last shard.
+  return static_cast<int>(
+      std::upper_bound(split_points_.begin(), split_points_.end(), key) -
+      split_points_.begin());
+}
+
+uint64_t ShardRouter::shard_lo(int shard) const {
+  assert(shard >= 0 && shard < num_shards());
+  return shard == 0 ? 0 : split_points_[shard - 1];
+}
+
+uint64_t ShardRouter::shard_hi(int shard) const {
+  assert(shard >= 0 && shard < num_shards());
+  return shard == num_shards() - 1 ? UINT64_MAX : split_points_[shard] - 1;
+}
+
+}  // namespace laser

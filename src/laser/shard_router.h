@@ -1,0 +1,43 @@
+// ShardRouter: maps primary keys to range shards. The key space is cut at
+// N-1 split points into N contiguous, disjoint, ordered ranges — shard i
+// owns [shard_lo(i), shard_hi(i)] inclusive and the union covers the whole
+// uint64 domain. Range partitioning (not hashing) keeps a cross-shard scan a
+// simple concatenation of per-shard scans in shard order.
+
+#ifndef LASER_LASER_SHARD_ROUTER_H_
+#define LASER_LASER_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace laser {
+
+class ShardRouter {
+ public:
+  /// `split_points` are the strictly increasing exclusive upper bounds of
+  /// shards 0..N-2; the last shard is unbounded above. Empty = one shard.
+  explicit ShardRouter(std::vector<uint64_t> split_points);
+
+  /// Cuts [0, key_domain) into `num_shards` equal-width ranges (the last
+  /// shard also absorbs keys >= key_domain). Degenerate domains still yield
+  /// strictly increasing splits, so every shard stays addressable.
+  static ShardRouter Uniform(int num_shards, uint64_t key_domain);
+
+  int num_shards() const { return static_cast<int>(split_points_.size()) + 1; }
+
+  /// Shard owning `key`.
+  int ShardOf(uint64_t key) const;
+
+  /// Inclusive key range owned by `shard`.
+  uint64_t shard_lo(int shard) const;
+  uint64_t shard_hi(int shard) const;
+
+  const std::vector<uint64_t>& split_points() const { return split_points_; }
+
+ private:
+  std::vector<uint64_t> split_points_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_LASER_SHARD_ROUTER_H_

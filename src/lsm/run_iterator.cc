@@ -18,6 +18,7 @@ class RunIterator final : public Iterator {
 
   void SeekToFirst() override {
     index_ = 0;
+    SkipFilteredFilesForward();
     InitIterator();
     if (iter_ != nullptr) iter_->SeekToFirst();
     SkipEmptyFilesForward();
@@ -36,6 +37,12 @@ class RunIterator final : public Iterator {
       }
     }
     index_ = lo;
+    // A seek landing inside a file whose folded zone map fails a predicate
+    // skips it (and any qualifying followers) without opening it. Files
+    // before `lo` lie entirely below the target, so skipping forward from
+    // here preserves seek semantics: the per-file Seek below still positions
+    // at the first key >= target in the first surviving file.
+    SkipFilteredFilesForward();
     InitIterator();
     if (iter_ != nullptr) iter_->Seek(target);
     SkipEmptyFilesForward();
@@ -87,9 +94,9 @@ class RunIterator final : public Iterator {
     }
   }
 
-  /// On a file hop, consults the filter against each upcoming file's folded
-  /// zone map and skips files whose every row provably fails — the file is
-  /// never opened, none of its blocks are fetched.
+  /// On a seek or a file hop, consults the filter against each upcoming
+  /// file's folded zone map and skips files whose every row provably fails —
+  /// the file is never opened, none of its blocks are fetched.
   void SkipFilteredFilesForward() {
     if (filter_ == nullptr) return;
     while (index_ < files_.size()) {
@@ -97,7 +104,7 @@ class RunIterator final : public Iterator {
       const ZoneMapEntry* file_zone = reader->file_zone();
       if (file_zone == nullptr) return;
       const size_t blocks = reader->zone_maps()->blocks.size();
-      if (!filter_->CanSkip(*file_zone, blocks)) return;
+      if (!filter_->CanSkipFile(*file_zone, blocks)) return;
       ++index_;
     }
   }

@@ -42,7 +42,7 @@ void MemTable::Add(SequenceNumber seq, ValueType type, const Slice& user_key,
   memcpy(p, value.data(), value.size());
   assert(p + value.size() == buf + encoded_len);
   table_.Insert(buf);
-  ++num_entries_;
+  num_entries_.fetch_add(1, std::memory_order_relaxed);
   if (smallest_seq_ == 0 || seq < smallest_seq_) smallest_seq_ = seq;
   if (seq > largest_seq_) largest_seq_ = seq;
 }

@@ -62,8 +62,11 @@ class MemTable {
   /// Approximate memory used by entries.
   size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
 
-  /// Number of entries added.
-  uint64_t num_entries() const { return num_entries_; }
+  /// Number of entries added. Safe to read concurrently with the single
+  /// writer (scan planning uses it for the source-coverage census).
+  uint64_t num_entries() const {
+    return num_entries_.load(std::memory_order_relaxed);
+  }
 
   /// Smallest sequence number in this memtable (0 if empty). Used by the
   /// time-based compaction priority for freshly flushed L0 runs.
@@ -86,7 +89,7 @@ class MemTable {
   Arena arena_;
   Table table_;
   std::atomic<int> refs_{0};
-  uint64_t num_entries_ = 0;
+  std::atomic<uint64_t> num_entries_{0};
   SequenceNumber smallest_seq_ = 0;
   SequenceNumber largest_seq_ = 0;
 };

@@ -229,6 +229,13 @@ class BlockReadFilter {
  public:
   virtual ~BlockReadFilter() = default;
   virtual bool CanSkip(const ZoneMapEntry& zone, size_t data_blocks) = 0;
+
+  /// Same verdict for a whole file's folded zone (`SstReader::file_zone()`).
+  /// Split out so implementations can count skipped files separately from
+  /// skipped blocks; defaults to the block verdict.
+  virtual bool CanSkipFile(const ZoneMapEntry& zone, size_t data_blocks) {
+    return CanSkip(zone, data_blocks);
+  }
 };
 
 /// 1-byte compression tag + 4-byte masked CRC32C appended to every block.

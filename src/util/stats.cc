@@ -4,6 +4,48 @@
 
 namespace laser {
 
+void Stats::AddCountersTo(Stats* out) const {
+  const auto add = [](const std::atomic<uint64_t>& from,
+                      std::atomic<uint64_t>& to) {
+    to.fetch_add(from.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  };
+  add(data_block_reads, out->data_block_reads);
+  add(index_block_reads, out->index_block_reads);
+  add(block_cache_hits, out->block_cache_hits);
+  add(block_cache_misses, out->block_cache_misses);
+  add(bloom_checks, out->bloom_checks);
+  add(bloom_negatives, out->bloom_negatives);
+  add(point_reads, out->point_reads);
+  add(range_scans, out->range_scans);
+  add(scan_rows_merged, out->scan_rows_merged);
+  add(scan_batches_emitted, out->scan_batches_emitted);
+  add(scan_source_advances, out->scan_source_advances);
+  add(scan_heap_resifts, out->scan_heap_resifts);
+  add(scan_zip_rows, out->scan_zip_rows);
+  add(scan_zip_splices, out->scan_zip_splices);
+  add(blocks_skipped_zonemap, out->blocks_skipped_zonemap);
+  add(files_skipped_zonemap, out->files_skipped_zonemap);
+  add(rows_filtered_pushdown, out->rows_filtered_pushdown);
+  add(aggs_pushed, out->aggs_pushed);
+  add(bytes_written_wal, out->bytes_written_wal);
+  add(wal_syncs, out->wal_syncs);
+  add(wal_group_commits, out->wal_group_commits);
+  add(wal_group_writes, out->wal_group_writes);
+  add(bytes_flushed, out->bytes_flushed);
+  add(bytes_compacted, out->bytes_compacted);
+  add(compaction_jobs, out->compaction_jobs);
+  add(flush_jobs, out->flush_jobs);
+  add(write_stall_micros, out->write_stall_micros);
+  // Gauge, not a counter: the per-shard caches are identical, report the max.
+  const uint64_t shards =
+      block_cache_effective_shards.load(std::memory_order_relaxed);
+  if (shards >
+      out->block_cache_effective_shards.load(std::memory_order_relaxed)) {
+    out->block_cache_effective_shards.store(shards, std::memory_order_relaxed);
+  }
+}
+
 std::string Stats::ToString() const {
   char buf[768];
   snprintf(buf, sizeof(buf),
@@ -12,8 +54,8 @@ std::string Stats::ToString() const {
            "compactions=%llu stalls=%lluus wal_groups=%llu/%llu wal_syncs=%llu "
            "scan_rows=%llu scan_batches=%llu scan_advances=%llu scan_resifts=%llu "
            "scan_zip_rows=%llu scan_zip_splices=%llu "
-           "zonemap_skips=%llu pushdown_filtered=%llu aggs_pushed=%llu "
-           "cache_shards=%llu",
+           "zonemap_skips=%llu zonemap_file_skips=%llu pushdown_filtered=%llu "
+           "aggs_pushed=%llu cache_shards=%llu",
            static_cast<unsigned long long>(data_block_reads.load()),
            static_cast<unsigned long long>(index_block_reads.load()),
            static_cast<unsigned long long>(block_cache_hits.load()),
@@ -34,6 +76,7 @@ std::string Stats::ToString() const {
            static_cast<unsigned long long>(scan_zip_rows.load()),
            static_cast<unsigned long long>(scan_zip_splices.load()),
            static_cast<unsigned long long>(blocks_skipped_zonemap.load()),
+           static_cast<unsigned long long>(files_skipped_zonemap.load()),
            static_cast<unsigned long long>(rows_filtered_pushdown.load()),
            static_cast<unsigned long long>(aggs_pushed.load()),
            static_cast<unsigned long long>(block_cache_effective_shards.load()));

@@ -35,6 +35,7 @@ class Stats {
 
   // -- scan pushdown (predicates, zone maps, pushed aggregates) --
   std::atomic<uint64_t> blocks_skipped_zonemap{0};   ///< data blocks never read
+  std::atomic<uint64_t> files_skipped_zonemap{0};    ///< files never opened
   std::atomic<uint64_t> rows_filtered_pushdown{0};   ///< rows dropped by preds
   std::atomic<uint64_t> aggs_pushed{0};              ///< aggregates folded in-scan
 
@@ -71,6 +72,7 @@ class Stats {
     scan_zip_rows = 0;
     scan_zip_splices = 0;
     blocks_skipped_zonemap = 0;
+    files_skipped_zonemap = 0;
     rows_filtered_pushdown = 0;
     aggs_pushed = 0;
     bytes_written_wal = 0;
@@ -83,6 +85,11 @@ class Stats {
     flush_jobs = 0;
     write_stall_micros = 0;
   }
+
+  /// Accumulates every counter into `*out` (the effective-shards gauge takes
+  /// the max, not the sum). Used by ShardedLaserDB to aggregate per-shard
+  /// engine stats into one view.
+  void AddCountersTo(Stats* out) const;
 
   std::string ToString() const;
 };

@@ -15,6 +15,19 @@
 // Group atomicity on replay falls out of record framing: a torn record fails
 // its length/CRC checks and is dropped whole, so the log replays as a clean
 // prefix of commit groups — a group is never half-applied.
+//
+// Prepared framing (cross-shard two-phase batches): a group written as a
+// *prepare* fragment of a distributed batch carries a transaction id whose
+// commit is decided by the coordinator log, not by this WAL. Its payload is
+//   sentinel   varint64  kPreparedSentinel (no real first_seq can be it:
+//                        sequences are dense counters from 1)
+//   xid        varint64  coordinator transaction id
+//   first_seq  varint64  as above
+//   count      varint32  as above
+//   entries    as above
+// On replay a prepared group is applied only if the recovery-side resolver
+// says `xid` committed (presumed abort otherwise); its sequences are still
+// consumed either way so shard sequence numbering is stable across crashes.
 
 #ifndef LASER_WAL_LOG_FORMAT_H_
 #define LASER_WAL_LOG_FORMAT_H_
@@ -51,6 +64,40 @@ inline void AppendGroupHeader(std::string* dst, uint64_t first_seq, uint32_t cou
 /// Returns false on corruption.
 inline bool DecodeGroupHeader(Slice* input, uint64_t* first_seq, uint32_t* count) {
   return GetVarint64(input, first_seq) && GetVarint32(input, count);
+}
+
+/// First varint of a prepared-group payload. Sequence numbers are dense
+/// counters starting at 1, so a real group can never begin with this value.
+constexpr uint64_t kPreparedSentinel = UINT64_MAX;
+
+/// Appends a prepared-group header (two-phase batch fragment) to `dst`.
+inline void AppendPreparedGroupHeader(std::string* dst, uint64_t xid,
+                                      uint64_t first_seq, uint32_t count) {
+  PutVarint64(dst, kPreparedSentinel);
+  PutVarint64(dst, xid);
+  PutVarint64(dst, first_seq);
+  PutVarint32(dst, count);
+}
+
+/// Either kind of group header, decoded.
+struct GroupHeader {
+  bool prepared = false;
+  uint64_t xid = 0;  // valid iff prepared
+  uint64_t first_seq = 0;
+  uint32_t count = 0;
+};
+
+/// Decodes a plain or prepared group header from the front of `input`,
+/// advancing it. Returns false on corruption.
+inline bool DecodeAnyGroupHeader(Slice* input, GroupHeader* header) {
+  if (!GetVarint64(input, &header->first_seq)) return false;
+  header->prepared = header->first_seq == kPreparedSentinel;
+  if (header->prepared &&
+      (!GetVarint64(input, &header->xid) ||
+       !GetVarint64(input, &header->first_seq))) {
+    return false;
+  }
+  return GetVarint32(input, &header->count);
 }
 
 }  // namespace laser::wal

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "laser/laser_db.h"
+#include "laser/sharded_laser_db.h"
 #include "tests/recovery_harness.h"
 #include "util/env_fault.h"
 
@@ -412,6 +413,268 @@ TEST(CrashRecoveryTest, CrashDuringRecoveryAfterCrash) {
     std::unique_ptr<LaserDB> db;
     ASSERT_TRUE(harness.Open(&db).ok());
     test::RecoveryHarness::VerifyMatchesModel(db.get(), outcome.model);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded crash matrix: cross-shard WriteBatches through the two-phase
+// coordinator (prepare on every touched shard, commit record in txn.log),
+// killed at every filesystem operation. Recovery must be all-or-nothing per
+// batch: acknowledged batches fully visible on both shards, unacknowledged
+// ones fully invisible (presumed abort) — never a half-applied batch.
+// ---------------------------------------------------------------------------
+
+class ShardedCrashHarness {
+ public:
+  static constexpr int kColumns = 4;
+  static constexpr uint64_t kMaxKey = 64;  // 2 shards: split at 32
+
+  ShardedCrashHarness() : base_(NewMemEnv()), fault_(base_.get()) {}
+
+  FaultInjectionEnv* fault_env() { return &fault_; }
+
+  ShardedLaserOptions MakeOptions() {
+    ShardedLaserOptions options;
+    LaserOptions& base = options.base;
+    base.env = &fault_;
+    base.path = "/sharded";
+    base.schema = Schema::UniformInt32(kColumns);
+    base.num_levels = 4;
+    base.size_ratio = 2;
+    base.cg_config = CgConfig::EquiWidth(kColumns, 4, 2);
+    base.write_buffer_size = 1 << 20;  // never rotates on its own
+    base.level0_bytes = 2 * 1024;
+    base.level0_file_compaction_trigger = 2;
+    base.target_sst_size = 2 * 1024;
+    base.block_size = 1024;
+    base.background_threads = 1;
+    base.disable_auto_compactions = true;
+    // Acked == durable: singles fsync per write, prepares force fsync anyway,
+    // and the commit record is fsynced by the coordinator — so a crash must
+    // preserve exactly the acknowledged model.
+    base.wal_sync_policy = WalSyncPolicy::kSyncEveryWrite;
+    base.wal_sync_interval_ms = 60 * 60 * 1000;
+    options.num_shards = 2;
+    options.key_domain = kMaxKey;
+    return options;
+  }
+
+  Status Open(std::unique_ptr<ShardedLaserDB>* db) {
+    return ShardedLaserDB::Open(MakeOptions(), db);
+  }
+
+  struct Outcome {
+    Model model;  // acknowledged state only
+    bool completed = false;
+  };
+
+  /// Single-writer deterministic script: cross-shard batches (shard 0 owns
+  /// keys < 32, shard 1 the rest) interleaved with routed singles and a
+  /// flush. The model advances only on acknowledged ops.
+  Outcome RunScript(ShardedLaserDB* db) {
+    Outcome out;
+    auto row_of = [](uint64_t key) {
+      test::RowState row(kColumns);
+      for (int c = 1; c <= kColumns; ++c) row[c - 1] = key * 100 + c;
+      return row;
+    };
+
+    // Cross-shard inserts, one key per side, committed atomically.
+    for (uint64_t j = 0; j < 6; ++j) {
+      WriteBatch batch;
+      batch.Insert(1 + j, test::TestRow(1 + j, kColumns));
+      batch.Insert(33 + j, test::TestRow(33 + j, kColumns));
+      if (!db->Write(batch).ok()) return out;
+      out.model[1 + j] = row_of(1 + j);
+      out.model[33 + j] = row_of(33 + j);
+    }
+
+    // Routed single-key writes ride each shard's ordinary group commit.
+    for (uint64_t key : {12, 13, 44}) {
+      if (!db->Insert(key, test::TestRow(key, kColumns)).ok()) return out;
+      out.model[key] = row_of(key);
+    }
+
+    // A mixed cross-shard batch: update + tombstone + fresh inserts.
+    {
+      WriteBatch batch;
+      batch.Update(1, {{2, 9002}});
+      batch.Delete(33);
+      batch.Insert(20, test::TestRow(20, kColumns));
+      batch.Insert(50, test::TestRow(50, kColumns));
+      if (!db->Write(batch).ok()) return out;
+      out.model[1][1] = 9002;
+      out.model.erase(33);
+      out.model[20] = row_of(20);
+      out.model[50] = row_of(50);
+    }
+
+    // Flush both shards (memtable -> L0, manifest install, WAL delete),
+    // then commit more cross-shard batches on the flushed tree.
+    if (!db->Flush().ok()) return out;
+    for (uint64_t j = 0; j < 3; ++j) {
+      WriteBatch batch;
+      batch.Insert(24 + j, test::TestRow(24 + j, kColumns));
+      batch.Insert(54 + j, test::TestRow(54 + j, kColumns));
+      batch.Update(34 + j, {{4, 7000 + j}});
+      if (!db->Write(batch).ok()) return out;
+      out.model[24 + j] = row_of(24 + j);
+      out.model[54 + j] = row_of(54 + j);
+      out.model[34 + j][3] = 7000 + j;
+    }
+
+    out.completed = true;
+    return out;
+  }
+
+  /// Point-reads the whole key universe and runs one fan-out scan; both must
+  /// match `model` exactly.
+  static void VerifyMatchesModel(ShardedLaserDB* db, const Model& model) {
+    const ColumnSet all = MakeColumnRange(1, kColumns);
+    for (uint64_t key = 1; key <= kMaxKey; ++key) {
+      LaserDB::ReadResult result;
+      ASSERT_TRUE(db->Read(key, all, &result).ok()) << "key " << key;
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_FALSE(result.found) << "unacked key " << key << " resurrected";
+        continue;
+      }
+      ASSERT_TRUE(result.found) << "acked key " << key << " lost";
+      for (int c = 0; c < kColumns; ++c) {
+        ASSERT_EQ(result.values[c], it->second[c])
+            << "key " << key << " column " << (c + 1);
+      }
+    }
+    auto scan = db->NewScan(1, kMaxKey, all);
+    ASSERT_NE(scan, nullptr);
+    auto it = model.begin();
+    for (; scan->Valid(); scan->Next(), ++it) {
+      ASSERT_NE(it, model.end()) << "scan emitted extra key " << scan->key();
+      EXPECT_EQ(scan->key(), it->first);
+      for (int c = 0; c < kColumns; ++c) {
+        ASSERT_EQ(scan->values()[c], it->second[c])
+            << "scan key " << it->first << " column " << (c + 1);
+      }
+    }
+    ASSERT_TRUE(scan->status().ok());
+    EXPECT_EQ(it, model.end());
+  }
+
+ private:
+  std::unique_ptr<Env> base_;
+  FaultInjectionEnv fault_;
+};
+
+TEST(ShardedCrashMatrixTest, CrossShardBatchesAtomicAtEveryOperation) {
+  // Profiling run: no faults; pin down the op stream and check it actually
+  // exercises the protocol (prepared-group WAL syncs, commit records).
+  uint64_t total_ops = 0;
+  {
+    ShardedCrashHarness harness;
+    std::unique_ptr<ShardedLaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    ShardedCrashHarness::Outcome outcome = harness.RunScript(db.get());
+    ASSERT_TRUE(outcome.completed);
+    ShardedCrashHarness::VerifyMatchesModel(db.get(), outcome.model);
+    total_ops = harness.fault_env()->mutating_ops();
+    size_t txn_syncs = 0;
+    size_t wal_syncs = 0;
+    for (const OpRecord& op : harness.fault_env()->history()) {
+      if (op.kind == OpKind::kSync && HasSuffix(op.fname, "txn.log")) {
+        ++txn_syncs;
+      }
+      if (op.kind == OpKind::kSync && HasSuffix(op.fname, ".wal")) {
+        ++wal_syncs;
+      }
+    }
+    EXPECT_EQ(txn_syncs, 10u);  // one commit point per cross-shard batch
+    // Two forced prepare syncs per cross-shard batch plus the routed singles.
+    EXPECT_GE(wal_syncs, 2 * txn_syncs + 3);
+  }
+  ASSERT_GT(total_ops, 50u);
+
+  for (uint64_t k = 0; k < total_ops; ++k) {
+    SCOPED_TRACE("crash after op " + std::to_string(k));
+    ShardedCrashHarness harness;
+    harness.fault_env()->CrashAfterOps(k);
+    ShardedCrashHarness::Outcome outcome;
+    {
+      std::unique_ptr<ShardedLaserDB> db;
+      if (harness.Open(&db).ok()) {
+        outcome = harness.RunScript(db.get());
+      }
+    }
+    EXPECT_FALSE(outcome.completed);
+    harness.fault_env()->DropUnsyncedData();
+    harness.fault_env()->ClearFaults();
+    std::unique_ptr<ShardedLaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    ShardedCrashHarness::VerifyMatchesModel(db.get(), outcome.model);
+  }
+}
+
+// Crash exactly at the commit point (the first coordinator-log append):
+// both shards hold a durable prepared fragment with no commit record. Then
+// crash the recovery itself at every operation. Every clean reopen must land
+// on exactly the acked state — the undecided fragments must never surface,
+// no matter how recovery is interrupted (presumed abort is idempotent).
+TEST(ShardedCrashMatrixTest, RecoveryWithUndecidedPreparedBatchIsIdempotent) {
+  uint64_t first_txn_append = 0;
+  {
+    ShardedCrashHarness harness;
+    std::unique_ptr<ShardedLaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    ShardedCrashHarness::Outcome outcome = harness.RunScript(db.get());
+    ASSERT_TRUE(outcome.completed);
+    const auto history = harness.fault_env()->history();
+    for (uint64_t i = 0; i < history.size(); ++i) {
+      if (history[i].kind == OpKind::kAppend &&
+          HasSuffix(history[i].fname, "txn.log")) {
+        first_txn_append = i;
+        break;
+      }
+    }
+    ASSERT_GT(first_txn_append, 0u);
+  }
+
+  ShardedCrashHarness harness;
+  harness.fault_env()->CrashAfterOps(first_txn_append);
+  ShardedCrashHarness::Outcome outcome;
+  {
+    std::unique_ptr<ShardedLaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    outcome = harness.RunScript(db.get());
+    EXPECT_FALSE(outcome.completed);
+  }
+  harness.fault_env()->DropUnsyncedData();
+  const FaultInjectionEnv::DurableState image =
+      harness.fault_env()->SnapshotDurableState();
+
+  // Profile how many ops one clean recovery performs from this image.
+  harness.fault_env()->ClearFaults();
+  const uint64_t before = harness.fault_env()->mutating_ops();
+  {
+    std::unique_ptr<ShardedLaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    ShardedCrashHarness::VerifyMatchesModel(db.get(), outcome.model);
+  }
+  const uint64_t recovery_ops = harness.fault_env()->mutating_ops() - before;
+  ASSERT_GT(recovery_ops, 0u);
+
+  for (uint64_t j = 0; j < recovery_ops; ++j) {
+    SCOPED_TRACE("second crash after recovery op " + std::to_string(j));
+    harness.fault_env()->RestoreDurableState(image);
+    harness.fault_env()->ClearFaults();
+    harness.fault_env()->CrashAfterOps(j);
+    {
+      std::unique_ptr<ShardedLaserDB> db;
+      harness.Open(&db);  // usually dies mid-recovery; either way we crash
+    }
+    harness.fault_env()->DropUnsyncedData();
+    harness.fault_env()->ClearFaults();
+    std::unique_ptr<ShardedLaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    ShardedCrashHarness::VerifyMatchesModel(db.get(), outcome.model);
   }
 }
 

@@ -9,6 +9,8 @@
 
 #include "laser/scan_pushdown.h"
 #include "lsm/dbformat.h"
+#include "lsm/file_meta.h"
+#include "lsm/run_iterator.h"
 #include "sst/block.h"
 #include "sst/block_builder.h"
 #include "sst/block_cache.h"
@@ -478,6 +480,132 @@ TEST_F(ZoneMapSstTest, CorruptZoneBlockFallsBackToFullScan) {
   filter.SetWindow(Slice(), Slice());
   EXPECT_EQ(CountRows(&filter), 400);
   EXPECT_EQ(filter.blocks_skipped(), 0u);
+}
+
+TEST_F(ZoneMapSstTest, UnconditionalPredicateSkipsWithoutWindow) {
+  Build(400);
+  // No window is ever armed. A windowed-only filter must not skip: the
+  // merge has not proven sole contribution.
+  ZoneMapScanFilter windowed({{1, PredOp::kGt, 999999}});
+  EXPECT_EQ(CountRows(&windowed), 400);
+  EXPECT_EQ(windowed.blocks_skipped(), 0u);
+
+  // The same predicate marked unconditional (scan planning proved no other
+  // source covers column 1) vetoes blocks window-free. SeekToFirst still
+  // lands in the first block — position-changing calls never skip — so
+  // exactly the first block's rows survive.
+  ZoneMapScanFilter filter({{1, PredOp::kGt, 999999}}, {true});
+  const ZoneMaps* zones = reader_->zone_maps();
+  const ZoneMapEntry& first = zones->blocks.front();
+  EXPECT_EQ(CountRows(&filter),
+            static_cast<int>(first.last_user_key - first.first_user_key + 1));
+  EXPECT_EQ(filter.blocks_skipped(), zones->blocks.size() - 1);
+}
+
+TEST_F(ZoneMapSstTest, FileLevelVerdictCountsSkippedFiles) {
+  Build(400);
+  const ZoneMapEntry* file_zone = reader_->file_zone();
+  ASSERT_NE(file_zone, nullptr);
+  const size_t blocks = reader_->zone_maps()->blocks.size();
+
+  // Column 1 spans [0, 3990]; an unconditional predicate above the file max
+  // rejects the whole file with no window armed and books every block it
+  // holds as skipped, plus one whole-file skip.
+  ZoneMapScanFilter filter({{1, PredOp::kGt, 999999}}, {true});
+  EXPECT_TRUE(filter.CanSkipFile(*file_zone, blocks));
+  EXPECT_EQ(filter.files_skipped(), 1u);
+  EXPECT_EQ(filter.blocks_skipped(), blocks);
+
+  // A band intersecting the file's range cannot reject it; neither can a
+  // failing predicate lacking the unconditional flag (file hops honor the
+  // windowed-only contract too).
+  ZoneMapScanFilter matching({{1, PredOp::kBetween, 0, 50}}, {true});
+  EXPECT_FALSE(matching.CanSkipFile(*file_zone, blocks));
+  EXPECT_EQ(matching.files_skipped(), 0u);
+  ZoneMapScanFilter no_flag({{1, PredOp::kGt, 999999}});
+  EXPECT_FALSE(no_flag.CanSkipFile(*file_zone, blocks));
+  EXPECT_EQ(no_flag.files_skipped(), 0u);
+}
+
+// ------------------------------------------- RunIterator file-level skips --
+
+class RunZoneSkipTest : public ::testing::Test {
+ protected:
+  void SetUp() override { env_ = NewMemEnv(); }
+
+  /// One run SST holding keys [lo, hi]: column 1 = key * 10, column 2 = 500.
+  std::shared_ptr<FileMetaData> BuildFile(uint64_t number, uint64_t lo,
+                                          uint64_t hi) {
+    const std::string name = "/" + std::to_string(number) + ".sst";
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(env_->NewWritableFile(name, &file).ok());
+    SstBuildOptions options;
+    options.block_size = 256;
+    options.zone_columns = {{1, 4}, {2, 4}};
+    SstBuilder builder(options, std::move(file));
+    for (uint64_t k = lo; k <= hi; ++k) {
+      builder.Add(IKey(k, k + 1), ZoneRow(static_cast<uint32_t>(k) * 10, 500));
+    }
+    EXPECT_TRUE(builder.Finish().ok());
+    auto meta = std::make_shared<FileMetaData>();
+    meta->file_number = number;
+    meta->smallest = IKey(lo, lo + 1);
+    meta->largest = IKey(hi, hi + 1);
+    std::unique_ptr<SstReader> reader;
+    EXPECT_TRUE(SstReader::Open(env_.get(), name, number, nullptr, &stats_,
+                                &reader)
+                    .ok());
+    meta->reader = std::move(reader);
+    return meta;
+  }
+
+  /// Keys 0..299 split over three files; only the last holds column-1
+  /// values >= 2000.
+  Version::FileList ThreeFileRun() {
+    return {BuildFile(1, 0, 99), BuildFile(2, 100, 199),
+            BuildFile(3, 200, 299)};
+  }
+
+  std::unique_ptr<Env> env_;
+  Stats stats_;
+};
+
+TEST_F(RunZoneSkipTest, SeekSkipsNonMatchingFileUnopened) {
+  Version::FileList run = ThreeFileRun();
+  // Seek lands in file 2 (keys 100..199, column 1 in [1000, 1990]); its
+  // folded zone fails the predicate, so the file is hopped without a single
+  // block fetch and the cursor comes up on file 3's first key.
+  ZoneMapScanFilter filter({{1, PredOp::kGe, 2000}}, {true});
+  auto iter = NewRunIterator(run, &filter);
+  const uint64_t reads_before = stats_.data_block_reads.load();
+  iter->Seek(IKey(100, kMaxSequenceNumber));
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(DecodeKey64(ExtractUserKey(iter->key())), 200u);
+  EXPECT_EQ(filter.files_skipped(), 1u);
+  EXPECT_EQ(stats_.data_block_reads.load() - reads_before, 1u);
+
+  // Without the unconditional flag (and no window) the same seek opens
+  // file 2 and positions normally.
+  ZoneMapScanFilter no_flag({{1, PredOp::kGe, 2000}});
+  auto plain = NewRunIterator(run, &no_flag);
+  plain->Seek(IKey(100, kMaxSequenceNumber));
+  ASSERT_TRUE(plain->Valid());
+  EXPECT_EQ(DecodeKey64(ExtractUserKey(plain->key())), 100u);
+  EXPECT_EQ(no_flag.files_skipped(), 0u);
+}
+
+TEST_F(RunZoneSkipTest, SeekToFirstSkipsLeadingFiles) {
+  Version::FileList run = ThreeFileRun();
+  ZoneMapScanFilter filter({{1, PredOp::kGe, 2000}}, {true});
+  auto iter = NewRunIterator(run, &filter);
+  iter->SeekToFirst();
+  ASSERT_TRUE(iter->Valid());
+  EXPECT_EQ(DecodeKey64(ExtractUserKey(iter->key())), 200u);
+  EXPECT_EQ(filter.files_skipped(), 2u);
+  // The surviving file scans to its end.
+  int rows = 0;
+  for (; iter->Valid(); iter->Next()) ++rows;
+  EXPECT_EQ(rows, 100);
 }
 
 TEST_F(ZoneMapSstTest, FileWithoutZoneColumnsHasNoZoneMaps) {
