@@ -1,0 +1,58 @@
+#include "workload/freshness_probe.h"
+
+#include <algorithm>
+
+namespace laser {
+
+FreshnessProbe::FreshnessProbe(uint64_t max_tickets)
+    : max_tickets_(max_tickets),
+      ack_us_(new std::atomic<uint64_t>[max_tickets]) {
+  for (uint64_t i = 0; i < max_tickets_; ++i) {
+    ack_us_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t FreshnessProbe::AllocateTicket() {
+  const uint64_t ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  if (ticket > max_tickets_) {
+    next_ticket_.store(max_tickets_ + 1, std::memory_order_relaxed);
+    return 0;
+  }
+  return ticket;
+}
+
+void FreshnessProbe::RecordAck(uint64_t ticket, uint64_t ack_us) {
+  if (ticket < 1 || ticket > max_tickets_ || ack_us == 0) return;
+  ack_us_[ticket - 1].store(ack_us, std::memory_order_release);
+}
+
+void FreshnessProbe::ObserveVisible(uint64_t max_visible_ticket,
+                                    uint64_t scan_end_us) {
+  if (max_visible_ticket == 0) return;
+  max_visible_ticket = std::min(max_visible_ticket, max_tickets_);
+
+  // Re-check parked tickets first: they were visible in an earlier round, so
+  // once the ack lands their commit-to-visible lag is zero by definition.
+  size_t kept = 0;
+  for (uint64_t ticket : pending_) {
+    if (ack_us_[ticket - 1].load(std::memory_order_acquire) != 0) {
+      lag_us_.Add(0.0);
+    } else {
+      pending_[kept++] = ticket;
+    }
+  }
+  pending_.resize(kept);
+
+  for (uint64_t t = processed_upto_ + 1; t <= max_visible_ticket; ++t) {
+    const uint64_t ack = ack_us_[t - 1].load(std::memory_order_acquire);
+    if (ack == 0) {
+      pending_.push_back(t);  // visible before ack: no lag sample yet
+    } else {
+      lag_us_.Add(scan_end_us > ack ? static_cast<double>(scan_end_us - ack)
+                                    : 0.0);
+    }
+  }
+  processed_upto_ = std::max(processed_upto_, max_visible_ticket);
+}
+
+}  // namespace laser

@@ -1,0 +1,89 @@
+// FreshnessProbe: measures HTAP data freshness — the lag between a
+// transactional commit being acknowledged and its rows becoming visible to
+// an analytic snapshot scan (Polynesia's "update propagation latency",
+// OLxPBench's freshness requirement).
+//
+// Protocol:
+//  * A writer allocates a monotonic ticket, stamps it into the rows of one
+//    transaction, commits, and records the ack time (AllocateTicket /
+//    RecordAck — both thread-safe).
+//  * The analytic thread, after each scan round, reports the highest ticket
+//    the scan observed plus the scan's end timestamp (ObserveVisible —
+//    single-consumer). Every ticket at or below that high-water mark was
+//    visible to the scan (tickets are stamped before commit and scans read
+//    consistent snapshots, so a missing lower ticket can only be a not yet
+//    committed transaction — those are deferred, see below).
+//
+// For each newly-visible ticket the probe records lag = scan_end - ack_time,
+// clamped at zero: a ticket observed before its ack lands (the group-commit
+// leader applies to the memtable moments before the writer thread records
+// the ack) has, by definition, zero commit-to-visible lag. A visible ticket
+// whose ack has NOT been recorded yet is never given a lag sample — it parks
+// on a pending list and resolves (at zero lag) once the ack arrives. That is
+// the invariant tpcc_consistency_test pins: no lag is ever reported for an
+// unacknowledged write.
+
+#ifndef LASER_WORKLOAD_FRESHNESS_PROBE_H_
+#define LASER_WORKLOAD_FRESHNESS_PROBE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/histogram.h"
+
+namespace laser {
+
+class FreshnessProbe {
+ public:
+  /// `max_tickets` bounds AllocateTicket; the ack table is preallocated so
+  /// RecordAck is one relaxed atomic store (no locks on the commit path).
+  explicit FreshnessProbe(uint64_t max_tickets);
+
+  FreshnessProbe(const FreshnessProbe&) = delete;
+  FreshnessProbe& operator=(const FreshnessProbe&) = delete;
+
+  /// Returns the next ticket (1-based, monotonic). Thread-safe. Returns 0
+  /// when the preallocated table is exhausted (caller stops stamping).
+  uint64_t AllocateTicket();
+
+  /// Marks `ticket` acknowledged at `ack_us`. Thread-safe. `ack_us` must be
+  /// nonzero (0 means "not acked").
+  void RecordAck(uint64_t ticket, uint64_t ack_us);
+
+  /// Reports one analytic round: every ticket <= `max_visible_ticket` was
+  /// visible to a scan that finished at `scan_end_us`. Single consumer (the
+  /// analytic thread). Ignores max_visible_ticket == 0 (empty scan).
+  void ObserveVisible(uint64_t max_visible_ticket, uint64_t scan_end_us);
+
+  /// Lag samples recorded so far (microseconds). Single-consumer view; call
+  /// after the analytic thread has quiesced.
+  const Histogram& lags() const { return lag_us_; }
+
+  /// Tickets currently visible-but-unacked (parked; no lag reported).
+  uint64_t pending_unacked() const { return pending_.size(); }
+
+  /// High-water mark of tickets handed out.
+  uint64_t allocated() const { return next_ticket_.load() - 1; }
+
+  /// True iff `ticket` has a recorded ack.
+  bool acked(uint64_t ticket) const {
+    return ticket >= 1 && ticket <= max_tickets_ &&
+           ack_us_[ticket - 1].load(std::memory_order_acquire) != 0;
+  }
+
+ private:
+  const uint64_t max_tickets_;
+  std::unique_ptr<std::atomic<uint64_t>[]> ack_us_;  // 0 = unacked
+  std::atomic<uint64_t> next_ticket_{1};
+
+  // Analytic-thread-only state.
+  uint64_t processed_upto_ = 0;
+  std::vector<uint64_t> pending_;
+  Histogram lag_us_;
+};
+
+}  // namespace laser
+
+#endif  // LASER_WORKLOAD_FRESHNESS_PROBE_H_

@@ -1,0 +1,141 @@
+// TPC-C composite-key encoder: maps the six benchmark tables (warehouse,
+// district, customer, order, order_line, stock) onto LASER's single uint64
+// primary-key space, warehouse-major so that range sharding partitions by
+// warehouse and every table's rows for one warehouse are contiguous.
+//
+// Bit layout (high to low):
+//   [ w_id : 16 ][ table : 4 ][ d_id : 8 ][ mid : 28 ][ low : 8 ]
+//
+// `mid`/`low` hold the table-specific remainder: customer id, order id,
+// item id, and order-line number. Within one (warehouse, table) prefix keys
+// sort by (district, id, line), so a district's orders, an order's lines,
+// and a warehouse's stock are each one contiguous scan range — the TPC-C
+// transactions and the consistency checker read them with bounded scans,
+// and the CH-style analytics sweep the whole domain with a pushed
+// table-id predicate instead.
+
+#ifndef LASER_WORKLOAD_TPCC_KEYS_H_
+#define LASER_WORKLOAD_TPCC_KEYS_H_
+
+#include <cstdint>
+
+namespace laser::tpcc {
+
+/// Table tag stored in the key AND in column 1 of every row (the analytic
+/// scans predicate on the column; zone maps then skip non-order_line
+/// blocks). Values are the key-order of the tables within a warehouse.
+enum class Table : uint8_t {
+  kWarehouse = 1,
+  kDistrict = 2,
+  kCustomer = 3,
+  kOrder = 4,
+  kOrderLine = 5,
+  kStock = 6,
+};
+
+namespace key_layout {
+constexpr int kLowBits = 8;    // order-line number
+constexpr int kMidBits = 28;   // customer / order / item id
+constexpr int kDistrictBits = 8;
+constexpr int kTableBits = 4;
+constexpr int kMidShift = kLowBits;
+constexpr int kDistrictShift = kMidShift + kMidBits;
+constexpr int kTableShift = kDistrictShift + kDistrictBits;
+constexpr int kWarehouseShift = kTableShift + kTableBits;
+}  // namespace key_layout
+
+/// First key of warehouse `w`'s range (w is 1-based, as in TPC-C).
+constexpr uint64_t WarehouseBase(uint32_t w) {
+  return static_cast<uint64_t>(w) << key_layout::kWarehouseShift;
+}
+
+constexpr uint64_t TableBase(uint32_t w, Table table) {
+  return WarehouseBase(w) | (static_cast<uint64_t>(table)
+                             << key_layout::kTableShift);
+}
+
+constexpr uint64_t WarehouseKey(uint32_t w) {
+  return TableBase(w, Table::kWarehouse);
+}
+
+constexpr uint64_t DistrictKey(uint32_t w, uint32_t d) {
+  return TableBase(w, Table::kDistrict) |
+         (static_cast<uint64_t>(d) << key_layout::kDistrictShift);
+}
+
+constexpr uint64_t CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+  return TableBase(w, Table::kCustomer) |
+         (static_cast<uint64_t>(d) << key_layout::kDistrictShift) |
+         (static_cast<uint64_t>(c) << key_layout::kMidShift);
+}
+
+constexpr uint64_t OrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  return TableBase(w, Table::kOrder) |
+         (static_cast<uint64_t>(d) << key_layout::kDistrictShift) |
+         (static_cast<uint64_t>(o) << key_layout::kMidShift);
+}
+
+/// Line numbers are 1-based and bounded by kMaxOrderLines.
+constexpr uint64_t OrderLineKey(uint32_t w, uint32_t d, uint32_t o,
+                                uint32_t line) {
+  return TableBase(w, Table::kOrderLine) |
+         (static_cast<uint64_t>(d) << key_layout::kDistrictShift) |
+         (static_cast<uint64_t>(o) << key_layout::kMidShift) | line;
+}
+
+constexpr uint64_t StockKey(uint32_t w, uint32_t item) {
+  return TableBase(w, Table::kStock) |
+         (static_cast<uint64_t>(item) << key_layout::kMidShift);
+}
+
+/// Inclusive key range [lo, hi] of one table within one warehouse.
+struct KeyRange {
+  uint64_t lo;
+  uint64_t hi;
+};
+
+constexpr KeyRange TableRange(uint32_t w, Table table) {
+  const uint64_t lo = TableBase(w, table);
+  return {lo, lo | ((uint64_t{1} << key_layout::kTableShift) - 1)};
+}
+
+/// All orders / order lines of one district.
+constexpr KeyRange DistrictRange(uint32_t w, Table table, uint32_t d) {
+  const uint64_t lo = TableBase(w, table) |
+                      (static_cast<uint64_t>(d) << key_layout::kDistrictShift);
+  return {lo, lo | ((uint64_t{1} << key_layout::kDistrictShift) - 1)};
+}
+
+/// The lines of one order.
+constexpr KeyRange OrderLineRange(uint32_t w, uint32_t d, uint32_t o) {
+  const uint64_t lo = OrderLineKey(w, d, o, 0);
+  return {lo, lo | ((uint64_t{1} << key_layout::kLowBits) - 1)};
+}
+
+/// Exclusive upper bound of the whole key space for W warehouses (1..W).
+constexpr uint64_t KeyDomain(uint32_t warehouses) {
+  return WarehouseBase(warehouses + 1);
+}
+
+// Decoders (used by the consistency checker and tests).
+constexpr uint32_t KeyWarehouse(uint64_t key) {
+  return static_cast<uint32_t>(key >> key_layout::kWarehouseShift);
+}
+constexpr Table KeyTable(uint64_t key) {
+  return static_cast<Table>((key >> key_layout::kTableShift) & 0xF);
+}
+constexpr uint32_t KeyDistrict(uint64_t key) {
+  return static_cast<uint32_t>((key >> key_layout::kDistrictShift) & 0xFF);
+}
+constexpr uint32_t KeyMid(uint64_t key) {
+  return static_cast<uint32_t>((key >> key_layout::kMidShift) &
+                               ((uint64_t{1} << key_layout::kMidBits) - 1));
+}
+constexpr uint32_t KeyLow(uint64_t key) {
+  return static_cast<uint32_t>(key &
+                               ((uint64_t{1} << key_layout::kLowBits) - 1));
+}
+
+}  // namespace laser::tpcc
+
+#endif  // LASER_WORKLOAD_TPCC_KEYS_H_

@@ -6,11 +6,18 @@ field is reported as old -> new with a % delta. With --threshold-pct the exit
 code turns 1 when any watched field regresses by more than the threshold —
 wire it between a baseline artifact and a fresh run to gate perf in CI.
 
-Field direction: throughput-like fields (containing "per_sec", "rate",
-"ratio", "rows_per", "speedup") regress when they DROP; everything else
-(latencies, counters, seconds, us, bytes) regresses when it RISES. Use
---watch to limit the gate to specific fields (default: every shared numeric
-field).
+Field direction: freshness/lag fields regress when they RISE, no matter what
+else their name contains (LOWER_IS_BETTER_HINTS wins); throughput-like fields
+(containing "per_sec", "rate", "ratio", "rows_per", "speedup") regress when
+they DROP; everything else (latencies, counters, seconds, us, bytes)
+regresses when it RISES. Use --watch to limit the gate to specific fields
+(default: every shared numeric field).
+
+First-run bootstrap: with --allow-missing-baseline a nonexistent baseline
+file passes cleanly — every candidate row is reported as new and the exit
+code is 0 — so the very first nightly (no artifact to fetch yet) seeds the
+baseline instead of failing the gate. Without the flag a missing baseline is
+a clean error (exit 2), not a traceback.
 
 Renames cannot false-pass the gate: rows present only in the baseline are
 reported as [removed], rows present only in the candidate as [new-only], and
@@ -51,6 +58,13 @@ HIGHER_IS_BETTER_HINTS = (
     # zero) means block skipping silently stopped engaging.
     "blocks_skipped",
 )
+# Checked BEFORE the higher-is-better hints: HTAP freshness lag regresses
+# when it rises even though field names like "freshness_sample_rate" would
+# otherwise pattern-match a throughput hint.
+LOWER_IS_BETTER_HINTS = (
+    "freshness",
+    "lag",
+)
 
 
 def load_rows(path):
@@ -75,6 +89,8 @@ def row_ident(key):
 
 
 def higher_is_better(field):
+    if any(hint in field for hint in LOWER_IS_BETTER_HINTS):
+        return False
     return any(hint in field for hint in HIGHER_IS_BETTER_HINTS)
 
 
@@ -221,9 +237,27 @@ def main():
         action="store_true",
         help="removed baseline rows/fields warn instead of failing the gate",
     )
+    parser.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help="a nonexistent baseline file passes cleanly (first-run "
+        "bootstrap): candidate rows are reported as new, exit 0",
+    )
     args = parser.parse_args()
 
-    old_bench, old_scale, old_rows = load_rows(args.old)
+    try:
+        old_bench, old_scale, old_rows = load_rows(args.old)
+    except FileNotFoundError:
+        if not args.allow_missing_baseline:
+            print(f"error: baseline {args.old} does not exist "
+                  "(pass --allow-missing-baseline to bootstrap)")
+            return 2
+        _, _, new_rows = load_rows(args.new)
+        print(f"no baseline at {args.old}; bootstrapping from candidate:")
+        for row in new_rows:
+            print(f"[new] {row_ident(row_key(row, DEFAULT_MATCH_FIELDS))}")
+        print(f"\n{len(new_rows)} new row(s), no baseline to diff against")
+        return 0
     new_bench, new_scale, new_rows = load_rows(args.new)
     if old_bench != new_bench:
         print(f"warning: comparing different benches: {old_bench} vs {new_bench}")

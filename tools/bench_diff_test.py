@@ -6,8 +6,10 @@ zero/missing baseline metrics must not raise, renamed rows/fields must fail
 the gate instead of silently false-passing, and direction-aware thresholds.
 """
 
+import json
 import os
 import sys
+import tempfile
 import unittest
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
@@ -112,6 +114,79 @@ class DiffRowsTest(unittest.TestCase):
         (regs, _, _), _ = run_diff(old, new, watch=["rows_per_sec"],
                                    threshold=10.0)
         self.assertEqual(regs, [])
+
+
+class DirectionTest(unittest.TestCase):
+    def test_freshness_is_lower_is_better_even_with_rate_in_name(self):
+        # LOWER_IS_BETTER_HINTS must win over the throughput hints: a
+        # freshness lag rising is a regression regardless of suffix.
+        self.assertFalse(bench_diff.higher_is_better("freshness_p99_us"))
+        self.assertFalse(bench_diff.higher_is_better("freshness_sample_rate"))
+        self.assertFalse(bench_diff.higher_is_better("commit_lag_ratio"))
+        self.assertTrue(bench_diff.higher_is_better("rows_per_sec"))
+
+    def test_freshness_rise_regresses_and_drop_does_not(self):
+        old = [{"series": "tpcc", "freshness_p99_us": 1000}]
+        worse = [{"series": "tpcc", "freshness_p99_us": 5000}]
+        better = [{"series": "tpcc", "freshness_p99_us": 200}]
+        (regs, _, _), text = run_diff(old, worse, watch=["freshness_p99_us"])
+        self.assertEqual(len(regs), 1)
+        self.assertIn("REGRESSION", text)
+        (regs, _, _), _ = run_diff(old, better, watch=["freshness_p99_us"])
+        self.assertEqual(regs, [])
+
+
+class MissingBaselineTest(unittest.TestCase):
+    """First-run bootstrap: the nightly gate's very first run has no baseline
+    artifact; --allow-missing-baseline must pass cleanly, and the flagless
+    path must be a clean error, never a traceback."""
+
+    def _run_main(self, argv):
+        old_argv = sys.argv
+        sys.argv = ["bench_diff.py"] + argv
+        try:
+            return bench_diff.main()
+        finally:
+            sys.argv = old_argv
+
+    def test_missing_baseline_with_flag_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            candidate = os.path.join(tmp, "BENCH_x.json")
+            with open(candidate, "w", encoding="utf-8") as f:
+                json.dump({"bench": "x", "rows": [
+                    {"series": "tpcc", "label": "a", "txn_per_sec": 100},
+                    {"series": "tpcc", "label": "b", "txn_per_sec": 200},
+                ]}, f)
+            missing = os.path.join(tmp, "baseline", "BENCH_x.json")
+            rc = self._run_main([missing, candidate,
+                                 "--allow-missing-baseline",
+                                 "--threshold-pct", "10"])
+            self.assertEqual(rc, 0)
+
+    def test_missing_baseline_without_flag_is_clean_error(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            candidate = os.path.join(tmp, "BENCH_x.json")
+            with open(candidate, "w", encoding="utf-8") as f:
+                json.dump({"bench": "x", "rows": []}, f)
+            missing = os.path.join(tmp, "nope.json")
+            # Must return an error code, not raise FileNotFoundError.
+            rc = self._run_main([missing, candidate])
+            self.assertEqual(rc, 2)
+
+    def test_present_baseline_still_diffs_with_flag(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            old = os.path.join(tmp, "old.json")
+            new = os.path.join(tmp, "new.json")
+            with open(old, "w", encoding="utf-8") as f:
+                json.dump({"bench": "x", "rows": [
+                    {"series": "tpcc", "label": "a", "txn_per_sec": 100}]}, f)
+            with open(new, "w", encoding="utf-8") as f:
+                json.dump({"bench": "x", "rows": [
+                    {"series": "tpcc", "label": "a", "txn_per_sec": 10}]}, f)
+            rc = self._run_main([old, new, "--allow-missing-baseline",
+                                 "--threshold-pct", "10",
+                                 "--watch", "txn_per_sec"])
+            self.assertEqual(rc, 1)
 
 
 if __name__ == "__main__":
