@@ -160,6 +160,9 @@ struct EngineStatsSnapshot {
   uint64_t blocks_skipped_zonemap = 0;
   uint64_t rows_filtered_pushdown = 0;
   uint64_t aggs_pushed = 0;
+  uint64_t bloom_checks = 0;
+  uint64_t bloom_negatives = 0;
+  uint64_t bloom_false_positives = 0;
 
   static EngineStatsSnapshot Capture(const Stats& stats) {
     EngineStatsSnapshot snap;
@@ -175,6 +178,9 @@ struct EngineStatsSnapshot {
     snap.blocks_skipped_zonemap = stats.blocks_skipped_zonemap.load();
     snap.rows_filtered_pushdown = stats.rows_filtered_pushdown.load();
     snap.aggs_pushed = stats.aggs_pushed.load();
+    snap.bloom_checks = stats.bloom_checks.load();
+    snap.bloom_negatives = stats.bloom_negatives.load();
+    snap.bloom_false_positives = stats.bloom_false_positives.load();
     return snap;
   }
 };
@@ -223,6 +229,23 @@ inline void AppendEngineStatsFields(
   fields->emplace_back(
       "aggs_pushed",
       static_cast<double>(now.aggs_pushed - since.aggs_pushed));
+  // Filter telemetry. bloom_fpr is the measured false-positive rate over
+  // the probes that could have short-circuited (negatives + false
+  // positives); probes that legitimately found the key don't dilute it.
+  const double bloom_neg =
+      static_cast<double>(now.bloom_negatives - since.bloom_negatives);
+  const double bloom_fp = static_cast<double>(now.bloom_false_positives -
+                                              since.bloom_false_positives);
+  fields->emplace_back(
+      "bloom_checks",
+      static_cast<double>(now.bloom_checks - since.bloom_checks));
+  fields->emplace_back("bloom_negatives", bloom_neg);
+  fields->emplace_back("bloom_false_positives", bloom_fp);
+  fields->emplace_back(
+      "bloom_fpr", bloom_neg + bloom_fp > 0 ? bloom_fp / (bloom_neg + bloom_fp) : 0.0);
+  // Gauge: serialized filter bytes live in the current version.
+  fields->emplace_back("filter_bytes",
+                       static_cast<double>(stats.filter_bytes_total.load()));
   // Configuration gauge, not a delta: the block cache's effective (possibly
   // clamped) shard count.
   fields->emplace_back(

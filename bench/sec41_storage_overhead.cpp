@@ -16,17 +16,24 @@
 namespace laser::bench {
 namespace {
 
-uint64_t LoadLaserVariant(CompressionType compression, int restart_interval) {
+struct VariantBytes {
+  uint64_t total = 0;
+  uint64_t filter = 0;  // bloom filter blocks within `total`
+};
+
+VariantBytes LoadLaserVariant(CompressionType compression,
+                              int restart_interval) {
   auto env = NewMemEnv();
   LaserOptions options =
       NarrowTableOptions(env.get(), "/s41", CgConfig::ColumnOnly(30, 6), 6);
   options.compression = compression;
   options.restart_interval = restart_interval;
   std::unique_ptr<LaserDB> db;
-  if (!LaserDB::Open(options, &db).ok()) return 0;
+  if (!LaserDB::Open(options, &db).ok()) return {};
   const uint64_t rows = static_cast<uint64_t>(60000 * ScaleFactor());
-  if (!LoadUniform(db.get(), rows).ok()) return 0;
-  return db->current_version()->TotalBytes();
+  if (!LoadUniform(db.get(), rows).ok()) return {};
+  return {db->current_version()->TotalBytes(),
+          db->stats().filter_bytes_total.load()};
 }
 
 uint64_t LoadColumnStore() {
@@ -63,36 +70,50 @@ int main() {
   PrintHeader("Section 4.1: simulated column-group storage overhead");
   printf("(paper: naive 86GB -> Snappy 51GB -> +delta keys 48GB; MonetDB 43GB)\n\n");
 
-  const uint64_t naive =
+  const VariantBytes naive =
       LoadLaserVariant(CompressionType::kNone, /*restart_interval=*/1);
-  const uint64_t compressed =
+  const VariantBytes compressed =
       LoadLaserVariant(CompressionType::kLightLZ, /*restart_interval=*/1);
-  const uint64_t delta =
+  const VariantBytes delta =
       LoadLaserVariant(CompressionType::kLightLZ, /*restart_interval=*/16);
-  const uint64_t pure_column = laser::bench::LoadColumnStore();
+  // The pure column store keeps no bloom filters: its point reads binary-
+  // search the contiguous key array, so filter bytes are honestly zero.
+  const VariantBytes pure_column = {laser::bench::LoadColumnStore(), 0};
 
-  printf("%-48s %12s %8s\n", "variant", "bytes", "ratio");
-  printf("%-48s %12" PRIu64 " %8.2f\n",
-         "A. simulated CGs, no compression, no delta", naive, 1.0);
-  printf("%-48s %12" PRIu64 " %8.2f\n", "B. simulated CGs + LightLZ", compressed,
-         static_cast<double>(compressed) / naive);
-  printf("%-48s %12" PRIu64 " %8.2f\n", "C. simulated CGs + LightLZ + delta keys",
-         delta, static_cast<double>(delta) / naive);
-  printf("%-48s %12" PRIu64 " %8.2f\n", "D. pure column store (contiguous)",
-         pure_column, static_cast<double>(pure_column) / naive);
+  printf("%-48s %12s %8s %10s\n", "variant", "bytes", "ratio", "filter");
+  printf("%-48s %12" PRIu64 " %8.2f %10" PRIu64 "\n",
+         "A. simulated CGs, no compression, no delta", naive.total, 1.0,
+         naive.filter);
+  printf("%-48s %12" PRIu64 " %8.2f %10" PRIu64 "\n",
+         "B. simulated CGs + LightLZ", compressed.total,
+         static_cast<double>(compressed.total) / naive.total,
+         compressed.filter);
+  printf("%-48s %12" PRIu64 " %8.2f %10" PRIu64 "\n",
+         "C. simulated CGs + LightLZ + delta keys", delta.total,
+         static_cast<double>(delta.total) / naive.total, delta.filter);
+  printf("%-48s %12" PRIu64 " %8.2f %10" PRIu64 "\n",
+         "D. pure column store (contiguous)", pure_column.total,
+         static_cast<double>(pure_column.total) / naive.total,
+         pure_column.filter);
 
   BenchJson json("sec41_storage_overhead");
-  const std::pair<const char*, uint64_t> variants[] = {
+  const std::pair<const char*, VariantBytes> variants[] = {
       {"A. simulated CGs, no compression, no delta", naive},
       {"B. simulated CGs + LightLZ", compressed},
       {"C. simulated CGs + LightLZ + delta keys", delta},
       {"D. pure column store (contiguous)", pure_column}};
   for (const auto& [name, bytes] : variants) {
     json.Record("storage", name,
-                {{"bytes", static_cast<double>(bytes)},
-                 {"ratio_vs_naive", naive ? static_cast<double>(bytes) /
-                                                static_cast<double>(naive)
-                                          : 0.0}});
+                {{"bytes", static_cast<double>(bytes.total)},
+                 {"ratio_vs_naive", naive.total
+                                        ? static_cast<double>(bytes.total) /
+                                              static_cast<double>(naive.total)
+                                        : 0.0},
+                 {"filter_bytes", static_cast<double>(bytes.filter)},
+                 {"filter_overhead_pct",
+                  bytes.total ? 100.0 * static_cast<double>(bytes.filter) /
+                                    static_cast<double>(bytes.total)
+                              : 0.0}});
   }
   printf("\nExpected shape: A > B > C > D, with C within ~15%% of D\n"
          "(paper: 86 > 51 > 48 > 43).\n");

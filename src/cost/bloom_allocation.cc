@@ -1,0 +1,142 @@
+#include "cost/bloom_allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace laser {
+
+namespace {
+const double kLn2 = 0.6931471805599453;
+const double kLn2Sq = kLn2 * kLn2;
+}  // namespace
+
+double BloomFpr(double bits_per_key) {
+  if (bits_per_key <= 0) return 1.0;
+  return std::exp(-bits_per_key * kLn2Sq);
+}
+
+// Lagrangian of min Σ w_i·exp(-b_i·ln²2) s.t. Σ n_i·b_i = M (w_i = how
+// often level i's filter is actually probed, n_i = its entry count) gives
+// exp(-b_i·ln²2)·w_i/n_i = c for a shared multiplier c, i.e. each level's
+// expected false-positive *count per lookup per entry-of-memory* is equal.
+// Substituting into the budget, with e_i = n_i/w_i:
+//
+//   ln c = -(M·ln²2 + Σ n_i·ln e_i) / Σ n_i
+//   b_i  = -(ln c + ln e_i) / ln²2
+//
+// Classic Monkey is w_i = 1 everywhere (e_i = n_i). The unconstrained
+// optimum can go negative (huge levels past the crossover: fpr would
+// exceed 1) or absurdly high (tiny levels). Standard water-filling: clamp
+// the worst violator to its bound, drop it from the active set, and
+// re-solve with the remaining budget. Each iteration retires one level, so
+// the loop runs at most L times.
+BloomAllocationResult SolveMonkeyAllocation(
+    const std::vector<double>& entries_per_level, double avg_bits_per_key,
+    double max_bits_per_key, const std::vector<double>& probe_weights) {
+  const size_t n = entries_per_level.size();
+  BloomAllocationResult result;
+  result.bits_per_key.assign(n, 0.0);
+  if (max_bits_per_key <= 0) max_bits_per_key = 40.0;
+
+  enum State { kActive, kZero, kCapped };
+  std::vector<State> state(n, kActive);
+  // ln(n_i / w_i): only the weight *ratios* matter — a common scale factor
+  // shifts every ln e_i equally and cancels against ln c — so raw measured
+  // check counts work as weights without normalization.
+  std::vector<double> ln_eff(n, 0.0);
+  double total_entries = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double w = probe_weights.empty()
+                         ? 1.0
+                         : (i < probe_weights.size() ? probe_weights[i] : 1.0);
+    if (entries_per_level[i] > 0) total_entries += entries_per_level[i];
+    if (entries_per_level[i] > 0 && w > 0) {
+      ln_eff[i] = std::log(entries_per_level[i] / w);
+    } else {
+      // Empty level, or one the walk never probes: a filter there can't
+      // reject anything. Its entries still count toward the budget (equal
+      // total memory vs uniform), but the bits go to probed levels.
+      state[i] = kZero;
+    }
+  }
+  if (total_entries <= 0 || avg_bits_per_key <= 0) return result;
+  const double budget = avg_bits_per_key * total_entries;
+
+  std::vector<double> bits(n, 0.0);
+  for (size_t round = 0; round <= n; ++round) {
+    double active_entries = 0, active_wlnw = 0, capped_bits = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (state[i] == kActive) {
+        active_entries += entries_per_level[i];
+        active_wlnw += entries_per_level[i] * ln_eff[i];
+      } else if (state[i] == kCapped) {
+        capped_bits += entries_per_level[i] * max_bits_per_key;
+      }
+    }
+    if (active_entries <= 0) break;
+    const double active_budget = budget - capped_bits;
+    if (active_budget <= 0) {
+      // Degenerate: the caps alone exhaust the budget; starve the rest.
+      for (size_t i = 0; i < n; ++i) {
+        if (state[i] == kActive) state[i] = kZero;
+      }
+      break;
+    }
+    const double ln_c = -(active_budget * kLn2Sq + active_wlnw) / active_entries;
+
+    // One clamp per round: the deepest-negative level to zero first (it
+    // frees the most misallocated memory), else the highest-overshoot
+    // level to the cap.
+    int worst_zero = -1, worst_cap = -1;
+    double worst_zero_bits = 0, worst_cap_bits = max_bits_per_key;
+    for (size_t i = 0; i < n; ++i) {
+      if (state[i] != kActive) continue;
+      bits[i] = -(ln_c + ln_eff[i]) / kLn2Sq;
+      if (bits[i] < worst_zero_bits) {
+        worst_zero_bits = bits[i];
+        worst_zero = static_cast<int>(i);
+      } else if (bits[i] > worst_cap_bits) {
+        worst_cap_bits = bits[i];
+        worst_cap = static_cast<int>(i);
+      }
+    }
+    if (worst_zero >= 0) {
+      state[worst_zero] = kZero;
+    } else if (worst_cap >= 0) {
+      state[worst_cap] = kCapped;
+    } else {
+      break;  // feasible everywhere: done
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    double b = 0;
+    if (state[i] == kActive) {
+      b = std::min(std::max(bits[i], 0.0), max_bits_per_key);
+    } else if (state[i] == kCapped) {
+      b = max_bits_per_key;
+    }
+    result.bits_per_key[i] = b;
+    if (entries_per_level[i] > 0) {
+      result.total_bits += entries_per_level[i] * b;
+      result.expected_sum_fpr += BloomFpr(b);
+    }
+  }
+  return result;
+}
+
+BloomAllocationResult UniformAllocation(
+    const std::vector<double>& entries_per_level, double bits_per_key) {
+  BloomAllocationResult result;
+  result.bits_per_key.assign(entries_per_level.size(), 0.0);
+  if (bits_per_key < 0) bits_per_key = 0;
+  for (size_t i = 0; i < entries_per_level.size(); ++i) {
+    if (entries_per_level[i] <= 0) continue;
+    result.bits_per_key[i] = bits_per_key;
+    result.total_bits += entries_per_level[i] * bits_per_key;
+    result.expected_sum_fpr += BloomFpr(bits_per_key);
+  }
+  return result;
+}
+
+}  // namespace laser

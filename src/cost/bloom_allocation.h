@@ -1,0 +1,77 @@
+// Monkey-style optimal bloom-filter allocation (Dayan et al., SIGMOD'17).
+//
+// A zero-result point lookup probes one filter per sorted run; its expected
+// I/O cost is the sum of the runs' false-positive rates. With a standard
+// bloom filter, fpr(b) = 0.6185^b for b bits per key, so spending the same
+// bits-per-key everywhere (the classic uniform policy) is suboptimal: a
+// deep level holds T× the keys of the level above it, and shaving its
+// filter by one bit frees T× the memory that fattening the level above by
+// one bit costs. Minimizing Σ_i fpr_i subject to Σ_i n_i·b_i = M gives the
+// closed form fpr_i ∝ n_i: deeper (bigger) levels run at proportionally
+// higher false-positive rates, i.e. get fewer bits per key, and beyond the
+// crossover where the unconstrained optimum would exceed fpr = 1 they get
+// no filter at all.
+//
+// The solver is pure arithmetic over relative level sizes — the optimum
+// depends only on the entry-count ratios and the per-key budget, not on
+// absolute counts — so callers can pass either real entry counts or the
+// geometric capacity shape (T^level).
+
+#ifndef LASER_COST_BLOOM_ALLOCATION_H_
+#define LASER_COST_BLOOM_ALLOCATION_H_
+
+#include <vector>
+
+namespace laser {
+
+/// Expected false-positive rate of a bloom filter with `bits_per_key` bits
+/// per key and the optimal probe count k = ln2·b: exp(-b·ln²2) ≈ 0.6185^b.
+/// Returns 1.0 for b <= 0 (no filter rejects nothing).
+double BloomFpr(double bits_per_key);
+
+struct BloomAllocationResult {
+  /// Fractional bits per key, parallel to `entries_per_level`. 0 means the
+  /// level is past the crossover: build no filter at all.
+  std::vector<double> bits_per_key;
+  /// Σ entries_i · bits_i — equals the requested budget up to clamping.
+  double total_bits = 0;
+  /// Σ BloomFpr(bits_i) over levels that hold entries: the expected number
+  /// of wasted run probes per zero-result lookup.
+  double expected_sum_fpr = 0;
+};
+
+/// Assigns per-level bits-per-key minimizing the sum of expected false
+/// positives across levels, holding total filter memory at
+/// `avg_bits_per_key × Σ entries_per_level` (so kUniform at the same
+/// average is bit-for-bit the same total budget).
+///
+/// `entries_per_level[i]` is the (expected or actual) entry count of level
+/// i; levels with zero entries get zero bits and are excluded from the
+/// budget. `max_bits_per_key` caps any one level's allocation (beyond
+/// ~43 bits the 30-probe clamp makes extra bits useless); capped memory is
+/// NOT redistributed past the cap, so the total can fall below the budget
+/// only when every uncapped level is already at its bound.
+///
+/// `probe_weights` (optional, parallel to `entries_per_level`) generalizes
+/// the objective to Σ_i w_i·fpr_i: w_i is the probability a zero-result
+/// lookup actually reaches level i's filter. Classic Monkey assumes every
+/// run is probed on every lookup (w_i = 1), but an engine whose walk skips
+/// levels via file-range checks probes deep levels far more often than
+/// shallow ones, and the optimum shifts accordingly — the closed form
+/// replaces ln(n_i) with ln(n_i / w_i), so only the *ratios* of the weights
+/// matter (measured per-level check counts can be passed unnormalized).
+/// Levels with weight 0 are never probed and get no filter. Empty means
+/// all-ones, i.e. classic Monkey.
+BloomAllocationResult SolveMonkeyAllocation(
+    const std::vector<double>& entries_per_level, double avg_bits_per_key,
+    double max_bits_per_key = 40.0,
+    const std::vector<double>& probe_weights = {});
+
+/// The uniform policy expressed in the same shape: every level with entries
+/// gets exactly `bits_per_key`.
+BloomAllocationResult UniformAllocation(
+    const std::vector<double>& entries_per_level, double bits_per_key);
+
+}  // namespace laser
+
+#endif  // LASER_COST_BLOOM_ALLOCATION_H_

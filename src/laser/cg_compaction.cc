@@ -206,9 +206,11 @@ std::vector<SstBuildOptions::ZoneColumnSpec> ZoneColumnsFor(
 class OutputWriter {
  public:
   /// `columns` is the full column set of the CG being written (used for
-  /// zone-map summaries).
-  OutputWriter(const JobContext& ctx, const ColumnSet& columns)
-      : ctx_(ctx), columns_(columns) {}
+  /// zone-map summaries); `target_level` picks the level's filter
+  /// allocation (Monkey hands each level its own bits-per-key).
+  OutputWriter(const JobContext& ctx, const ColumnSet& columns,
+               int target_level)
+      : ctx_(ctx), columns_(columns), target_level_(target_level) {}
 
   Status Add(const Slice& internal_key, const Slice& value) {
     const Slice user_key = ExtractUserKey(internal_key);
@@ -244,7 +246,8 @@ class OutputWriter {
     build_options.block_size = ctx_.options->block_size;
     build_options.restart_interval = ctx_.options->restart_interval;
     build_options.compression = ctx_.options->compression;
-    build_options.bloom_bits_per_key = ctx_.options->bloom_bits_per_key;
+    build_options.bloom_bits_per_key =
+        ctx_.options->bloom_bits_for_level(target_level_);
     build_options.zone_columns = ZoneColumnsFor(ctx_.codec, columns_);
     builder_ = std::make_unique<SstBuilder>(build_options, std::move(file));
     pending_bytes_ = 0;
@@ -281,6 +284,7 @@ class OutputWriter {
 
   const JobContext& ctx_;
   const ColumnSet columns_;
+  const int target_level_;
   std::unique_ptr<SstBuilder> builder_;
   uint64_t current_number_ = 0;
   uint64_t pending_bytes_ = 0;
@@ -329,7 +333,7 @@ Status RunCompaction(const JobContext& ctx, const CompactionJob& job,
     auto merged = NewMergingIterator(std::move(streams));
 
     VersionMerger merger(ctx.codec, child_cols, ctx.snapshots, job.to_bottom_level);
-    OutputWriter writer(ctx, child_cols);
+    OutputWriter writer(ctx, child_cols, job.level + 1);
 
     merged->SeekToFirst();
     std::string current_user_key;
@@ -391,7 +395,7 @@ Status RunFlush(const JobContext& ctx, const MemTable& imm,
   build_options.block_size = ctx.options->block_size;
   build_options.restart_interval = ctx.options->restart_interval;
   build_options.compression = ctx.options->compression;
-  build_options.bloom_bits_per_key = ctx.options->bloom_bits_per_key;
+  build_options.bloom_bits_per_key = ctx.options->bloom_bits_for_level(0);
   // L0 files hold full rows over the whole schema.
   build_options.zone_columns =
       ZoneColumnsFor(ctx.codec, ctx.options->schema.AllColumns());

@@ -9,6 +9,7 @@
 
 #include "laser/column_merging_iterator.h"
 #include "lsm/run_iterator.h"
+#include "sst/bloom.h"
 #include "util/coding.h"
 #include "wal/log_reader.h"
 
@@ -38,6 +39,7 @@ LaserDB::LaserDB(const LaserOptions& options)
     : options_(options),
       env_(options_.env),
       db_path_(options_.path),
+      all_columns_(options_.schema.AllColumns()),
       codec_(&options_.schema),
       picker_(&options_),
       manifest_(options_.env, options_.path) {
@@ -48,6 +50,14 @@ LaserDB::LaserDB(const LaserOptions& options)
     // count; surface what the cache actually runs with.
     stats_.block_cache_effective_shards.store(
         static_cast<uint64_t>(cache_->num_shards()), std::memory_order_relaxed);
+  }
+  // Configuration gauge: the per-level filter allocation Finalize() derived
+  // (×1000 so fractional Monkey bits survive the integer slot).
+  for (int level = 0; level < options_.num_levels; ++level) {
+    const int slot = std::min(level, Stats::kStatsLevels - 1);
+    stats_.bloom_millibits_by_level[slot].store(
+        static_cast<uint64_t>(options_.bloom_bits_for_level(level) * 1000.0),
+        std::memory_order_relaxed);
   }
 }
 
@@ -797,12 +807,37 @@ void LaserDB::CollectObsoleteFiles() {
 }
 
 Status LaserDB::SaveManifest() {
+  RefreshFilterGauges();
   ManifestData data;
   data.version = version_;
   data.next_file_number = next_file_number_.load();
   data.last_sequence = last_sequence_.load();
   data.wal_number = wal_number_;
   return manifest_.Save(data);
+}
+
+void LaserDB::RefreshFilterGauges() {
+  uint64_t total = 0;
+  for (int level = 0; level < version_->num_levels(); ++level) {
+    uint64_t level_bytes = 0;
+    for (int group = 0; group < version_->num_groups(level); ++group) {
+      for (const auto& f : version_->files(level, group)) {
+        level_bytes += f->reader != nullptr ? f->reader->filter_bytes()
+                                            : f->props.filter_bytes;
+      }
+    }
+    const int slot = std::min(level, Stats::kStatsLevels - 1);
+    // Accumulate (not assign) into the clamp slot so deep levels fold.
+    if (slot == level) {
+      stats_.filter_bytes_by_level[slot].store(level_bytes,
+                                               std::memory_order_relaxed);
+    } else {
+      stats_.filter_bytes_by_level[slot].fetch_add(level_bytes,
+                                                   std::memory_order_relaxed);
+    }
+    total += level_bytes;
+  }
+  stats_.filter_bytes_total.store(total, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -894,14 +929,45 @@ Status LaserDB::CheckProjection(const ColumnSet& projection) const {
 
 namespace {
 
+/// One level's candidate file for the deep-level walk (memoized by the
+/// pre-pass so FileContaining runs once per level per lookup).
+struct DeepCandidate {
+  int level;
+  int group;
+  FileMetaData* file;  // owned by the pinned Version, valid for this call
+};
+
+/// Per-thread buffers for LaserDB::Read. After each thread's first lookup the
+/// whole point-read path is allocation-free: every vector here keeps its
+/// capacity across calls. Stale contents (including DeepCandidate pointers
+/// into a previous call's Version) are overwritten before use, never read.
+struct ReadScratch {
+  std::vector<uint8_t> resolved;
+  std::vector<std::optional<ColumnValue>> values;
+  std::vector<ColumnValuePair> decode;
+  std::vector<KeyVersion> versions;
+  ColumnSet needed;
+  std::vector<DeepCandidate> candidates;
+};
+
+ReadScratch& TlsReadScratch() {
+  thread_local ReadScratch scratch;
+  return scratch;
+}
+
 /// Tracks which projected columns still need resolution during the top-down
-/// walk of a point lookup.
+/// walk of a point lookup. State lives in the caller's ReadScratch.
 class PointResolver {
  public:
-  PointResolver(const ColumnSet& projection, const RowCodec* codec)
-      : projection_(projection), codec_(codec) {
-    resolved_.assign(projection.size(), false);
-    values_.resize(projection.size());
+  PointResolver(const ColumnSet& projection, const RowCodec* codec,
+                ReadScratch* scratch)
+      : projection_(projection),
+        codec_(codec),
+        resolved_(scratch->resolved),
+        values_(scratch->values),
+        scratch_(scratch->decode) {
+    resolved_.assign(projection.size(), 0);
+    values_.assign(projection.size(), std::nullopt);
     unresolved_ = projection.size();
   }
 
@@ -979,12 +1045,12 @@ class PointResolver {
 
   const ColumnSet& projection_;
   const RowCodec* codec_;
-  std::vector<bool> resolved_;
-  std::vector<std::optional<ColumnValue>> values_;
+  std::vector<uint8_t>& resolved_;
+  std::vector<std::optional<ColumnValue>>& values_;
+  std::vector<ColumnValuePair>& scratch_;
   size_t unresolved_;
   int current_level_ = 0;
   int resolve_level_ = 0;
-  std::vector<ColumnValuePair> scratch_;
 };
 
 }  // namespace
@@ -1009,18 +1075,18 @@ Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
     snapshot = last_sequence_.load();
   }
 
-  // Per-call scratch: the key is encoded into a stack buffer and the probe
-  // vectors are sized once, so the top-down walk below allocates nothing per
-  // memtable/file/CG probed.
-  const ColumnSet all_columns = options_.schema.AllColumns();
+  // Thread-local scratch: the key is encoded into a stack buffer and every
+  // probe vector reuses its previous capacity, so after a thread's first
+  // lookup the whole walk below allocates nothing.
+  const ColumnSet& all_columns = all_columns_;
   char key_buf[8];
   EncodeBigEndian64(key_buf, key);
   const Slice user_key(key_buf, sizeof(key_buf));
-  PointResolver resolver(projection, &codec_);
-  std::vector<KeyVersion> versions;
-  versions.reserve(4);
-  ColumnSet needed;
-  needed.reserve(projection.size());
+  ReadScratch& scratch = TlsReadScratch();
+  PointResolver resolver(projection, &codec_, &scratch);
+  std::vector<KeyVersion>& versions = scratch.versions;
+  versions.clear();
+  ColumnSet& needed = scratch.needed;
 
   // 1. Memtables, newest first.
   if (mem->GetVersions(user_key, snapshot, &versions)) {
@@ -1033,32 +1099,61 @@ Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
     }
   }
 
+  // Every file's filter is probed with the same hash; compute it once.
+  const uint32_t key_hash = BloomKeyHash(user_key);
+  FilterOutcome outcome;
+
   // 2. Level-0 files, newest first.
   if (!resolver.done()) {
     const auto& l0 = version->files(0, 0);
     for (auto it = l0.rbegin(); it != l0.rend() && !resolver.done(); ++it) {
       if (!(*it)->OverlapsUserRange(user_key, user_key)) continue;
       versions.clear();
-      if ((*it)->reader->Get(user_key, snapshot, &versions)) {
-        resolver.Apply(all_columns, versions);
+      const bool added =
+          (*it)->reader->Get(user_key, key_hash, snapshot, &versions, &outcome);
+      if (outcome != FilterOutcome::kNoFilter) {
+        stats_.RecordBloomProbe(0, outcome == FilterOutcome::kNegative,
+                                outcome == FilterOutcome::kPass && !added);
+      }
+      if (added) resolver.Apply(all_columns, versions);
+    }
+  }
+
+  // 2b. Deep-level pre-pass: find each level's candidate file once and warm
+  // the cache lines its filter probes will touch. A zero-result lookup at
+  // cache-miss scale is dominated by the filters' DRAM latency, so issuing
+  // every level's prefetch before the first probe overlaps those misses.
+  // Pure memoization + hint: the walk below visits the same files in the
+  // same order and still re-checks which groups matter.
+  std::vector<DeepCandidate>& candidates = scratch.candidates;
+  candidates.clear();
+  if (!resolver.done()) {
+    for (int level = 1; level < version->num_levels(); ++level) {
+      const int groups = static_cast<int>(options_.cg_config.groups(level).size());
+      for (int g = 0; g < groups; ++g) {
+        FileMetaData* file = version->FileContainingRaw(level, g, user_key);
+        if (file == nullptr) continue;
+        file->reader->PrefetchFilterProbes(key_hash);
+        candidates.push_back({level, g, file});
       }
     }
   }
 
   // 3. Deeper levels: probe only CGs still covering unresolved columns.
-  for (int level = 1; level < version->num_levels() && !resolver.done(); ++level) {
-    resolver.set_current_level(level);
-    const auto& groups = options_.cg_config.groups(level);
-    for (size_t g = 0; g < groups.size() && !resolver.done(); ++g) {
-      resolver.UnresolvedIn(groups[g], &needed);
-      if (needed.empty()) continue;
-      auto file = version->FileContaining(level, static_cast<int>(g), user_key);
-      if (file == nullptr) continue;
-      versions.clear();
-      if (file->reader->Get(user_key, snapshot, &versions)) {
-        resolver.Apply(groups[g], versions);
-      }
+  for (const DeepCandidate& cand : candidates) {
+    if (resolver.done()) break;
+    resolver.set_current_level(cand.level);
+    const ColumnSet& group_cols = options_.cg_config.groups(cand.level)[cand.group];
+    resolver.UnresolvedIn(group_cols, &needed);
+    if (needed.empty()) continue;
+    versions.clear();
+    const bool added = cand.file->reader->Get(user_key, key_hash, snapshot,
+                                              &versions, &outcome);
+    if (outcome != FilterOutcome::kNoFilter) {
+      stats_.RecordBloomProbe(cand.level, outcome == FilterOutcome::kNegative,
+                              outcome == FilterOutcome::kPass && !added);
     }
+    if (added) resolver.Apply(group_cols, versions);
   }
 
   resolver.Finish(result);

@@ -244,9 +244,16 @@ class LaserDB {
   /// Persists the manifest. REQUIRES: mu_ held.
   Status SaveManifest();
 
+  /// Re-sums the per-level filter-bytes gauges from the current version.
+  /// Called at every version install (SaveManifest). REQUIRES: mu_ held.
+  void RefreshFilterGauges();
+
   LaserOptions options_;
   Env* env_;
   std::string db_path_;
+  /// schema.AllColumns(), materialized once — the point-read hot path needs
+  /// it per call and must not re-allocate it.
+  ColumnSet all_columns_;
   RowCodec codec_;
   Stats stats_;
   std::unique_ptr<BlockCache> cache_;

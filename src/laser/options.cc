@@ -1,6 +1,30 @@
 #include "laser/options.h"
 
+#include "cost/bloom_allocation.h"
+
 namespace laser {
+
+std::vector<double> LaserOptions::ExpectedEntriesPerLevel() const {
+  // Encoded entry footprint: 8-byte user key + 8-byte seq/type tag, plus the
+  // full-row payload (presence bitmap over the schema + every column's
+  // fixed-width value). Block/restart overhead is ignored — the solver only
+  // needs the level-size *ratios*, which it cancels out of.
+  const int c = schema.num_columns();
+  double entry_bytes = 16.0 + (c + 7) / 8;
+  for (int id = 1; id <= c; ++id) entry_bytes += schema.value_size(id);
+
+  // Capacity shape, not measured occupancy: callers that know the real
+  // settled tree (e.g. bench_point_lookup) can pass measured per-level
+  // entry counts straight to SolveMonkeyAllocation and set
+  // bloom_bits_per_level explicitly instead.
+  std::vector<double> entries(num_levels, 0.0);
+  double level_bytes = static_cast<double>(level0_bytes);
+  for (int level = 0; level < num_levels; ++level) {
+    entries[level] = level_bytes / entry_bytes;
+    level_bytes *= size_ratio;
+  }
+  return entries;
+}
 
 Status LaserOptions::Finalize() {
   if (env == nullptr) env = Env::Default();
@@ -32,6 +56,37 @@ Status LaserOptions::Finalize() {
   }
   if (wal_sync_policy == WalSyncPolicy::kSyncIntervalMs && wal_sync_interval_ms < 1) {
     return Status::InvalidArgument("wal_sync_interval_ms must be >= 1");
+  }
+  if (lazy_leveling_last_level) {
+    // Reserved knob (Dostoevsky-style lazy leveling); reject rather than
+    // silently run a shape the compaction picker doesn't implement.
+    return Status::InvalidArgument(
+        "lazy_leveling_last_level is not implemented yet (ROADMAP item 5 "
+        "carry-over)");
+  }
+  if (bloom_total_bits_budget < 0) {
+    return Status::InvalidArgument("bloom_total_bits_budget must be >= 0");
+  }
+
+  // Derive the per-level filter allocation (idempotent: an explicit or
+  // previously-derived vector of the right length is kept as-is).
+  if (static_cast<int>(bloom_bits_per_level.size()) != num_levels) {
+    bloom_bits_per_level.assign(num_levels, 0.0);
+    const std::vector<double> entries = ExpectedEntriesPerLevel();
+    double total_entries = 0;
+    for (double e : entries) total_entries += e;
+    // An explicit absolute budget overrides the bits_per_key-derived one.
+    const double avg_bits =
+        bloom_total_bits_budget > 0 && total_entries > 0
+            ? bloom_total_bits_budget / total_entries
+            : static_cast<double>(bloom_bits_per_key);
+    if (avg_bits > 0) {
+      const BloomAllocationResult alloc =
+          bloom_allocation == BloomAllocation::kMonkey
+              ? SolveMonkeyAllocation(entries, avg_bits)
+              : UniformAllocation(entries, avg_bits);
+      bloom_bits_per_level = alloc.bits_per_key;
+    }
   }
   return Status::OK();
 }

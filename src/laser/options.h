@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "laser/cg_config.h"
 #include "laser/schema.h"
@@ -34,6 +35,16 @@ enum class WalSyncPolicy {
   /// Never fsync the WAL. A crash may lose everything since the last
   /// memtable flush. The default, matching the paper's benchmarks.
   kNoSync,
+};
+
+/// How the total filter-bits budget is split across levels.
+enum class BloomAllocation {
+  /// Every level gets bloom_bits_per_key — the classic policy.
+  kUniform,
+  /// Monkey (Dayan et al., SIGMOD'17): the same total budget re-split so
+  /// the sum of expected false positives across levels is minimized —
+  /// deeper levels get fewer bits per key; past the crossover, none.
+  kMonkey,
 };
 
 /// Which SST of an overflowing sorted run is compacted first (§2.1, Fig. 2).
@@ -89,8 +100,43 @@ struct LaserOptions {
   /// Per-block compression.
   CompressionType compression = CompressionType::kNone;
 
-  /// Bloom filter sizing; <= 0 disables filters.
+  /// Bloom filter sizing; <= 0 disables filters. Under kUniform this is the
+  /// bits-per-key of every level; under kMonkey it is the tree-wide AVERAGE
+  /// bits-per-key (same total memory, optimally re-split per level).
   int bloom_bits_per_key = 10;
+
+  /// Per-level split policy for the filter budget.
+  BloomAllocation bloom_allocation = BloomAllocation::kUniform;
+
+  /// Absolute filter budget in bits. 0 (default) derives the budget from
+  /// bloom_bits_per_key × expected tree entries, so kUniform stays
+  /// bit-compatible with the seed format and kMonkey spends exactly the
+  /// memory uniform would have.
+  double bloom_total_bits_budget = 0;
+
+  /// Lazy-leveling stub (Dostoevsky): tier the upper levels, level only the
+  /// last. Reserved but NOT implemented by the compaction picker —
+  /// Finalize() rejects `true` so no config can silently claim a shape the
+  /// engine doesn't run. Carry-over in ROADMAP item 5.
+  bool lazy_leveling_last_level = false;
+
+  /// Derived by Finalize(): bits-per-key each level's SST builder uses,
+  /// num_levels entries. Uniform: bloom_bits_per_key everywhere. Monkey:
+  /// the solver's allocation over expected level capacities.
+  std::vector<double> bloom_bits_per_level;
+
+  /// The (derived) allocation for `level`; safe for any level index.
+  double bloom_bits_for_level(int level) const {
+    if (level < 0 || level >= static_cast<int>(bloom_bits_per_level.size())) {
+      return bloom_bits_per_key;
+    }
+    return bloom_bits_per_level[level];
+  }
+
+  /// Expected entry capacity per level (level0_bytes·T^level over the
+  /// schema's encoded row size) — the weight vector handed to the Monkey
+  /// solver. Exposed for tests and the advisor.
+  std::vector<double> ExpectedEntriesPerLevel() const;
 
   CompactionPriority compaction_priority = CompactionPriority::kOldestSmallestSeqFirst;
 

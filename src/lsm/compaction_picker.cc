@@ -47,7 +47,13 @@ double CompactionPicker::Score(const Version& version, int level, int group) con
   }
   const uint64_t capacity = GroupCapacityBytes(level, group);
   if (capacity == 0) return 0;
-  return static_cast<double>(version.GroupBytes(level, group)) /
+  // Data bytes, not file bytes: per-level filter allocation (Monkey) makes
+  // filter blocks a level-dependent fraction of each file, and scoring on
+  // raw file sizes would let the filter policy steer compaction into a
+  // different tree shape than the same writes produce under uniform
+  // filters — breaking equal-shape comparisons and coupling unrelated
+  // policies.
+  return static_cast<double>(version.GroupDataBytes(level, group)) /
          static_cast<double>(capacity);
 }
 
@@ -64,9 +70,14 @@ std::shared_ptr<FileMetaData> CompactionPicker::PickParentFile(
     const Version::FileList& run) const {
   assert(!run.empty());
   if (options_->compaction_priority == CompactionPriority::kByCompensatedSize) {
+    // Compare data footprints (file minus filter block) so the pick order
+    // is independent of the per-level filter allocation.
+    const auto data_bytes = [](const FileMetaData& f) {
+      return f.file_size - std::min(f.props.filter_bytes, f.file_size);
+    };
     return *std::max_element(run.begin(), run.end(),
-                             [](const auto& a, const auto& b) {
-                               return a->file_size < b->file_size;
+                             [&](const auto& a, const auto& b) {
+                               return data_bytes(*a) < data_bytes(*b);
                              });
   }
   // kOldestSmallestSeqFirst: the SST whose key range has gone longest

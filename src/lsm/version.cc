@@ -42,6 +42,15 @@ uint64_t Version::GroupBytes(int level, int group) const {
   return total;
 }
 
+uint64_t Version::GroupDataBytes(int level, int group) const {
+  uint64_t total = 0;
+  for (const auto& f : files_[level][group]) {
+    const uint64_t filter = std::min(f->props.filter_bytes, f->file_size);
+    total += f->file_size - filter;
+  }
+  return total;
+}
+
 uint64_t Version::GroupEntries(int level, int group) const {
   uint64_t total = 0;
   for (const auto& f : files_[level][group]) total += f->props.num_entries;
@@ -67,9 +76,11 @@ Version::FileList Version::OverlappingFiles(int level, int group, const Slice& l
   return result;
 }
 
-std::shared_ptr<FileMetaData> Version::FileContaining(int level, int group,
-                                                      const Slice& user_key) const {
-  const FileList& run = files_[level][group];
+namespace {
+
+/// Index of the file in `run` (a non-overlapping sorted run) whose user-key
+/// range contains `user_key`, or run.size() if none.
+size_t IndexContaining(const Version::FileList& run, const Slice& user_key) {
   // Binary search: first file with largest_user_key >= user_key.
   size_t lo = 0;
   size_t hi = run.size();
@@ -82,9 +93,25 @@ std::shared_ptr<FileMetaData> Version::FileContaining(int level, int group,
     }
   }
   if (lo < run.size() && run[lo]->smallest_user_key().compare(user_key) <= 0) {
-    return run[lo];
+    return lo;
   }
-  return nullptr;
+  return run.size();
+}
+
+}  // namespace
+
+std::shared_ptr<FileMetaData> Version::FileContaining(int level, int group,
+                                                      const Slice& user_key) const {
+  const FileList& run = files_[level][group];
+  const size_t index = IndexContaining(run, user_key);
+  return index < run.size() ? run[index] : nullptr;
+}
+
+FileMetaData* Version::FileContainingRaw(int level, int group,
+                                         const Slice& user_key) const {
+  const FileList& run = files_[level][group];
+  const size_t index = IndexContaining(run, user_key);
+  return index < run.size() ? run[index].get() : nullptr;
 }
 
 void Version::ReplaceFiles(int level, int group, const FileList& remove,

@@ -44,6 +44,11 @@ class Version {
 
   /// Total bytes in one sorted run.
   uint64_t GroupBytes(int level, int group) const;
+  /// GroupBytes minus each file's serialized filter block: the level's DATA
+  /// footprint. Compaction sizing uses this so the filter allocation policy
+  /// (uniform vs per-level Monkey) cannot perturb tree shape — two trees fed
+  /// the same writes converge to the same files regardless of filter sizes.
+  uint64_t GroupDataBytes(int level, int group) const;
 
   /// Total entries in one sorted run.
   uint64_t GroupEntries(int level, int group) const;
@@ -59,6 +64,11 @@ class Version {
   /// contains `user_key`, or nullptr.
   std::shared_ptr<FileMetaData> FileContaining(int level, int group,
                                                const Slice& user_key) const;
+
+  /// FileContaining without the shared_ptr copy, for hot paths that already
+  /// pin this Version (the Version's file list keeps the file alive).
+  FileMetaData* FileContainingRaw(int level, int group,
+                                  const Slice& user_key) const;
 
   /// Replaces run (level, group): removes `remove` (matched by file_number)
   /// and inserts `add`, keeping the run sorted by smallest key.

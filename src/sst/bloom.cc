@@ -1,62 +1,104 @@
 #include "sst/bloom.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/hash.h"
 
 namespace laser {
 
-namespace {
-uint32_t BloomHash(const Slice& key) {
-  return Hash32(key.data(), key.size(), 0xbc9f1d34);
+uint32_t BloomKeyHash(const Slice& key) {
+  // Hash32 skips its tail finalizer for 4-byte-aligned input, so sequential
+  // fixed64 keys (the common primary-key shape) come out clustered and the
+  // measured FPR drifts far from the 0.6185^bits curve the Monkey solver
+  // optimizes against. The fmix32 avalanche restores the theoretical curve.
+  uint32_t h = Hash32(key.data(), key.size(), 0xbc9f1d34);
+  h ^= h >> 16;
+  h *= 0x85ebca6b;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35;
+  h ^= h >> 16;
+  return h;
 }
-}  // namespace
 
-BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
-    : bits_per_key_(bits_per_key),
-      // k = ln(2) * bits/key, clamped to [1, 30].
-      num_probes_(std::clamp(static_cast<int>(bits_per_key * 0.69), 1, 30)) {}
+BloomFilterBuilder::BloomFilterBuilder(double bits_per_key)
+    : bits_per_key_(bits_per_key) {}
 
 void BloomFilterBuilder::AddKey(const Slice& key) {
-  hashes_.push_back(BloomHash(key));
+  hashes_.push_back(BloomKeyHash(key));
 }
 
 std::string BloomFilterBuilder::Finish() {
-  size_t bits = hashes_.size() * static_cast<size_t>(bits_per_key_);
+  if (bits_per_key_ <= 0) return std::string();
+
+  size_t bits =
+      static_cast<size_t>(std::ceil(hashes_.size() * bits_per_key_));
   // Tiny filters have a high false positive rate; enforce a floor.
   if (bits < 64) bits = 64;
   const size_t bytes = (bits + 7) / 8;
   bits = bytes * 8;
 
+  // k = ln(2) * bits/key from the *rounded* size: after the 64-bit floor a
+  // 1-key filter really holds 64 bits/key, and 30 well-spread probes beat
+  // the nominal k=7 there.
+  const double actual_bits_per_key =
+      hashes_.empty() ? static_cast<double>(bits)
+                      : static_cast<double>(bits) / hashes_.size();
+  const int num_probes = static_cast<int>(std::clamp(
+      std::llround(actual_bits_per_key * 0.6931471805599453), 1LL, 30LL));
+
   std::string result(bytes, '\0');
   for (uint32_t h : hashes_) {
-    // Double hashing (Kirsch-Mitzenmacher).
-    const uint32_t delta = (h >> 17) | (h << 15);
-    for (int j = 0; j < num_probes_; ++j) {
+    // Double hashing (Kirsch-Mitzenmacher). The stride must be odd: an even
+    // stride shares factors with the (byte-rounded, so power-of-two-friendly)
+    // table size and the probe chain collapses onto a handful of slots — a
+    // 2-key 64-bit filter measured 12% FPR instead of ~1e-6 without this.
+    const uint32_t delta = ((h >> 17) | (h << 15)) | 1;
+    for (int j = 0; j < num_probes; ++j) {
       const uint32_t bitpos = h % bits;
       result[bitpos / 8] |= static_cast<char>(1 << (bitpos % 8));
       h += delta;
     }
   }
-  result.push_back(static_cast<char>(num_probes_));
+  result.push_back(static_cast<char>(num_probes));
   return result;
 }
 
 bool BloomFilterReader::KeyMayMatch(const Slice& key) const {
+  return KeyMayMatchHash(BloomKeyHash(key));
+}
+
+bool BloomFilterReader::KeyMayMatchHash(uint32_t h) const {
   if (data_.size() < 2) return true;  // malformed: be conservative
   const size_t bytes = data_.size() - 1;
   const size_t bits = bytes * 8;
   const int num_probes = static_cast<unsigned char>(data_[data_.size() - 1]);
   if (num_probes > 30 || num_probes < 1) return true;
 
-  uint32_t h = BloomHash(key);
-  const uint32_t delta = (h >> 17) | (h << 15);
+  const uint32_t delta = ((h >> 17) | (h << 15)) | 1;  // must match Finish()
   for (int j = 0; j < num_probes; ++j) {
     const uint32_t bitpos = h % bits;
     if ((data_[bitpos / 8] & (1 << (bitpos % 8))) == 0) return false;
     h += delta;
   }
   return true;
+}
+
+void BloomFilterReader::Prefetch(uint32_t h) const {
+#if defined(__GNUC__) || defined(__clang__)
+  if (data_.size() < 2) return;
+  const size_t bits = (data_.size() - 1) * 8;
+  const uint32_t delta = ((h >> 17) | (h << 15)) | 1;
+  // A negative probe short-circuits after ~2 probes on average, so
+  // warming the first few lines covers nearly every miss.
+  for (int j = 0; j < 3; ++j) {
+    __builtin_prefetch(data_.data() + (h % bits) / 8, 0 /*read*/,
+                       1 /*low temporal locality*/);
+    h += delta;
+  }
+#else
+  (void)h;
+#endif
 }
 
 }  // namespace laser

@@ -1,6 +1,11 @@
 // Bloom filter over the user keys of one SST (§2.1: "many LSM-Tree
-// implementations include a bloom filter with each SST"). The cost model
-// assumes fpr ≈ 1%, which 10 bits/key with k=7 delivers.
+// implementations include a bloom filter with each SST"). The per-level
+// bits-per-key is fractional so a Monkey-style allocation
+// (cost/bloom_allocation.h) can hand deeper levels non-integer budgets;
+// the probe count is recomputed from the *actual* bits/entry after the
+// filter is rounded up to whole bytes and the 64-bit floor, so tiny SSTs
+// (1–2 key tail outputs) get the probe count their real density warrants
+// instead of a degenerate one derived from the nominal budget.
 
 #ifndef LASER_SST_BLOOM_H_
 #define LASER_SST_BLOOM_H_
@@ -13,21 +18,27 @@
 
 namespace laser {
 
+/// The hash every filter probe is derived from. Exposed so a point lookup
+/// can hash its key once and probe many files' filters.
+uint32_t BloomKeyHash(const Slice& key);
+
 /// Builds the serialized filter: bit array followed by a 1-byte probe count.
+/// A non-positive bits_per_key means "this level carries no filter":
+/// Finish() returns an empty string and the SST omits the filter block.
 class BloomFilterBuilder {
  public:
-  explicit BloomFilterBuilder(int bits_per_key = 10);
+  explicit BloomFilterBuilder(double bits_per_key = 10.0);
 
   void AddKey(const Slice& key);
 
-  /// Serializes the filter for the keys added so far.
+  /// Serializes the filter for the keys added so far ("" if bits_per_key
+  /// <= 0).
   std::string Finish();
 
   size_t num_keys() const { return hashes_.size(); }
 
  private:
-  const int bits_per_key_;
-  int num_probes_;
+  const double bits_per_key_;
   std::vector<uint32_t> hashes_;
 };
 
@@ -39,6 +50,13 @@ class BloomFilterReader {
 
   /// False means the key is definitely absent.
   bool KeyMayMatch(const Slice& key) const;
+
+  /// Same, with the key hash precomputed via BloomKeyHash.
+  bool KeyMayMatchHash(uint32_t h) const;
+
+  /// Issues prefetch hints for the cache lines the first probes of `h`
+  /// will touch. Pure hint: no result, no side effects on matching.
+  void Prefetch(uint32_t h) const;
 
  private:
   Slice data_;

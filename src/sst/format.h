@@ -54,6 +54,7 @@ struct SstProperties {
   uint64_t raw_value_bytes = 0;
   uint64_t smallest_seq = 0;
   uint64_t largest_seq = 0;
+  uint64_t filter_bytes = 0;  // serialized bloom filter size (0 = no filter)
 
   void EncodeTo(std::string* dst) const {
     PutVarint64(dst, num_entries);
@@ -61,12 +62,16 @@ struct SstProperties {
     PutVarint64(dst, raw_value_bytes);
     PutVarint64(dst, smallest_seq);
     PutVarint64(dst, largest_seq);
+    PutVarint64(dst, filter_bytes);
   }
 
   Status DecodeFrom(Slice* input) {
     if (GetVarint64(input, &num_entries) && GetVarint64(input, &raw_key_bytes) &&
         GetVarint64(input, &raw_value_bytes) && GetVarint64(input, &smallest_seq) &&
         GetVarint64(input, &largest_seq)) {
+      // filter_bytes was appended after the seed format; files written before
+      // it simply lack the field.
+      if (!GetVarint64(input, &filter_bytes)) filter_bytes = 0;
       return Status::OK();
     }
     return Status::Corruption("bad properties block");

@@ -173,10 +173,16 @@ Status SstBuilder::Finish() {
 
   Footer footer;
 
-  // Filter block (never compressed: it is random bits).
+  // Filter block (never compressed: it is random bits). A level allocated
+  // zero filter bits writes no block at all; the footer's filter handle
+  // stays zero and readers treat every key as a possible match.
   std::string filter_contents = filter_.Finish();
-  WriteBlock(Slice(filter_contents), CompressionType::kNone, &footer.filter_handle);
-  if (!status_.ok()) return status_;
+  if (!filter_contents.empty()) {
+    WriteBlock(Slice(filter_contents), CompressionType::kNone,
+               &footer.filter_handle);
+    if (!status_.ok()) return status_;
+  }
+  props_.filter_bytes = filter_contents.size();
 
   // Properties block.
   std::string props_contents;

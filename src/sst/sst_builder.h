@@ -23,7 +23,9 @@ struct SstBuildOptions {
   size_t block_size = 4096;
   int restart_interval = 16;
   CompressionType compression = CompressionType::kNone;
-  int bloom_bits_per_key = 10;
+  /// Fractional per-key filter budget for this file's level (Monkey hands
+  /// deep levels non-integer allocations); <= 0 builds no filter block.
+  double bloom_bits_per_key = 10;
 
   /// One summarized column of the file's row payloads: schema column id plus
   /// its fixed value width in bytes (4 or 8).

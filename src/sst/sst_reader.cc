@@ -65,8 +65,12 @@ Status SstReader::Open(Env* env, const std::string& fname, uint64_t file_number,
       ReadRawBlock(r->file_.get(), footer.index_handle, &index_contents));
   r->index_block_ = std::make_unique<Block>(std::move(index_contents));
 
-  LASER_RETURN_IF_ERROR(
-      ReadRawBlock(r->file_.get(), footer.filter_handle, &r->filter_data_));
+  // A zero filter handle means the level's Monkey allocation was zero bits:
+  // no filter block was written, and every lookup must probe the blocks.
+  if (footer.filter_handle.size > 0) {
+    LASER_RETURN_IF_ERROR(
+        ReadRawBlock(r->file_.get(), footer.filter_handle, &r->filter_data_));
+  }
 
   std::string props_contents;
   LASER_RETURN_IF_ERROR(
@@ -128,6 +132,7 @@ void SstReader::BuildFileZone() {
 }
 
 bool SstReader::KeyMayMatch(const Slice& user_key) const {
+  if (filter_data_.empty()) return true;  // no filter: not a check
   if (stats_ != nullptr) {
     stats_->bloom_checks.fetch_add(1, std::memory_order_relaxed);
   }
@@ -171,7 +176,25 @@ Status SstReader::ReadDataBlock(const BlockHandle& handle,
 bool SstReader::Get(const Slice& user_key, SequenceNumber snapshot,
                     std::vector<KeyVersion>* versions) const {
   if (!KeyMayMatch(user_key)) return false;
+  return GetAfterFilter(user_key, snapshot, versions);
+}
 
+bool SstReader::Get(const Slice& user_key, uint32_t key_hash,
+                    SequenceNumber snapshot, std::vector<KeyVersion>* versions,
+                    FilterOutcome* outcome) const {
+  if (filter_data_.empty()) {
+    *outcome = FilterOutcome::kNoFilter;
+  } else if (!BloomFilterReader(Slice(filter_data_)).KeyMayMatchHash(key_hash)) {
+    *outcome = FilterOutcome::kNegative;
+    return false;
+  } else {
+    *outcome = FilterOutcome::kPass;
+  }
+  return GetAfterFilter(user_key, snapshot, versions);
+}
+
+bool SstReader::GetAfterFilter(const Slice& user_key, SequenceNumber snapshot,
+                               std::vector<KeyVersion>* versions) const {
   auto iter = NewIterator();
   iter->Seek(MakeLookupKey(user_key, snapshot));
   bool added = false;

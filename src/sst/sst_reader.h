@@ -20,6 +20,10 @@
 
 namespace laser {
 
+/// What the filter said about a point lookup before any block was read.
+/// kNoFilter: the file carries no filter block (zero-bits Monkey level).
+enum class FilterOutcome { kNoFilter, kNegative, kPass };
+
 class SstReader {
  public:
   /// Opens `fname`; `cache` and `stats` may be nullptr. `file_number` keys
@@ -38,8 +42,27 @@ class SstReader {
   bool Get(const Slice& user_key, SequenceNumber snapshot,
            std::vector<KeyVersion>* versions) const;
 
+  /// Point-lookup fast path: the caller hashed the key once (BloomKeyHash)
+  /// and probes many files with it. Reports the filter verdict via
+  /// *outcome instead of bumping this reader's Stats — the caller knows the
+  /// file's level and attributes the probe (and any false positive: a
+  /// kPass that returns false) itself.
+  bool Get(const Slice& user_key, uint32_t key_hash, SequenceNumber snapshot,
+           std::vector<KeyVersion>* versions, FilterOutcome* outcome) const;
+
   /// True if the bloom filter may contain the user key.
   bool KeyMayMatch(const Slice& user_key) const;
+
+  /// Warms the cache lines the filter probes of `key_hash` will touch.
+  /// Pure hint; no-op when the file has no filter.
+  void PrefetchFilterProbes(uint32_t key_hash) const {
+    if (!filter_data_.empty()) {
+      BloomFilterReader(Slice(filter_data_)).Prefetch(key_hash);
+    }
+  }
+
+  /// Serialized filter size pinned in memory (0 = no filter block).
+  uint64_t filter_bytes() const { return filter_data_.size(); }
 
   /// Iterator over all entries (internal keys). With a non-null `filter` the
   /// iterator consults it (against the file's zone maps, if any) before
@@ -76,6 +99,10 @@ class SstReader {
   /// Reads (through the cache) the data block at `handle`.
   Status ReadDataBlock(const BlockHandle& handle,
                        std::shared_ptr<Block>* block) const;
+
+  /// The block walk shared by both Get overloads (filter already consulted).
+  bool GetAfterFilter(const Slice& user_key, SequenceNumber snapshot,
+                      std::vector<KeyVersion>* versions) const;
 
   /// Reads a raw block (no cache), verifying its trailer.
   static Status ReadRawBlock(RandomAccessFile* file, const BlockHandle& handle,

@@ -16,6 +16,15 @@ void Stats::AddCountersTo(Stats* out) const {
   add(block_cache_misses, out->block_cache_misses);
   add(bloom_checks, out->bloom_checks);
   add(bloom_negatives, out->bloom_negatives);
+  add(bloom_false_positives, out->bloom_false_positives);
+  for (int i = 0; i < kStatsLevels; ++i) {
+    add(bloom_checks_by_level[i], out->bloom_checks_by_level[i]);
+    add(bloom_negatives_by_level[i], out->bloom_negatives_by_level[i]);
+    add(bloom_false_positives_by_level[i],
+        out->bloom_false_positives_by_level[i]);
+    add(filter_bytes_by_level[i], out->filter_bytes_by_level[i]);
+  }
+  add(filter_bytes_total, out->filter_bytes_total);
   add(point_reads, out->point_reads);
   add(range_scans, out->range_scans);
   add(scan_rows_merged, out->scan_rows_merged);
@@ -44,13 +53,22 @@ void Stats::AddCountersTo(Stats* out) const {
       out->block_cache_effective_shards.load(std::memory_order_relaxed)) {
     out->block_cache_effective_shards.store(shards, std::memory_order_relaxed);
   }
+  // Bits-per-key is a shared configuration gauge too (shards run the same
+  // allocation): take the max rather than summing.
+  for (int i = 0; i < kStatsLevels; ++i) {
+    const uint64_t mb = bloom_millibits_by_level[i].load(std::memory_order_relaxed);
+    if (mb > out->bloom_millibits_by_level[i].load(std::memory_order_relaxed)) {
+      out->bloom_millibits_by_level[i].store(mb, std::memory_order_relaxed);
+    }
+  }
 }
 
 std::string Stats::ToString() const {
   char buf[768];
   snprintf(buf, sizeof(buf),
            "data_blocks=%llu index_blocks=%llu cache_hit=%llu cache_miss=%llu "
-           "bloom_neg=%llu/%llu flushed=%lluB compacted=%lluB "
+           "bloom_neg=%llu/%llu bloom_fp=%llu filter_bytes=%llu "
+           "flushed=%lluB compacted=%lluB "
            "compactions=%llu stalls=%lluus wal_groups=%llu/%llu wal_syncs=%llu "
            "scan_rows=%llu scan_batches=%llu scan_advances=%llu scan_resifts=%llu "
            "scan_zip_rows=%llu scan_zip_splices=%llu "
@@ -62,6 +80,8 @@ std::string Stats::ToString() const {
            static_cast<unsigned long long>(block_cache_misses.load()),
            static_cast<unsigned long long>(bloom_negatives.load()),
            static_cast<unsigned long long>(bloom_checks.load()),
+           static_cast<unsigned long long>(bloom_false_positives.load()),
+           static_cast<unsigned long long>(filter_bytes_total.load()),
            static_cast<unsigned long long>(bytes_flushed.load()),
            static_cast<unsigned long long>(bytes_compacted.load()),
            static_cast<unsigned long long>(compaction_jobs.load()),
@@ -80,7 +100,25 @@ std::string Stats::ToString() const {
            static_cast<unsigned long long>(rows_filtered_pushdown.load()),
            static_cast<unsigned long long>(aggs_pushed.load()),
            static_cast<unsigned long long>(block_cache_effective_shards.load()));
-  return buf;
+  std::string out(buf);
+
+  // Per-level filter line: only levels with configured bits, live filter
+  // bytes, or probe activity (keeps the line empty on fresh/filterless DBs).
+  for (int i = 0; i < kStatsLevels; ++i) {
+    const unsigned long long mb = bloom_millibits_by_level[i].load();
+    const unsigned long long fb = filter_bytes_by_level[i].load();
+    const unsigned long long checks = bloom_checks_by_level[i].load();
+    if (mb == 0 && fb == 0 && checks == 0) continue;
+    char lv[160];
+    snprintf(lv, sizeof(lv),
+             " L%d[bits=%.2f filter=%lluB checks=%llu neg=%llu fp=%llu]", i,
+             static_cast<double>(mb) / 1000.0, fb, checks,
+             static_cast<unsigned long long>(bloom_negatives_by_level[i].load()),
+             static_cast<unsigned long long>(
+                 bloom_false_positives_by_level[i].load()));
+    out += lv;
+  }
+  return out;
 }
 
 }  // namespace laser

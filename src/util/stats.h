@@ -15,6 +15,9 @@ namespace laser {
 /// Thread-safe counters; cheap relaxed increments.
 class Stats {
  public:
+  /// Per-level stat arrays clamp deeper levels into the last slot.
+  static constexpr int kStatsLevels = 16;
+
   // -- read path --
   std::atomic<uint64_t> data_block_reads{0};   ///< data blocks fetched
   std::atomic<uint64_t> index_block_reads{0};  ///< index blocks fetched
@@ -22,8 +25,35 @@ class Stats {
   std::atomic<uint64_t> block_cache_misses{0};
   std::atomic<uint64_t> bloom_checks{0};
   std::atomic<uint64_t> bloom_negatives{0};  ///< lookups short-circuited
+  /// Filter said "maybe" but the block probe found no version of the key.
+  /// Only the point-read walk in LaserDB::Read can tell, so only it counts.
+  std::atomic<uint64_t> bloom_false_positives{0};
   std::atomic<uint64_t> point_reads{0};
   std::atomic<uint64_t> range_scans{0};
+
+  // -- per-level filter telemetry (level >= kStatsLevels folds into the
+  //    last slot; L0 probes are level 0) --
+  std::atomic<uint64_t> bloom_checks_by_level[kStatsLevels] = {};
+  std::atomic<uint64_t> bloom_negatives_by_level[kStatsLevels] = {};
+  std::atomic<uint64_t> bloom_false_positives_by_level[kStatsLevels] = {};
+
+  /// One filter probe from the point-read walk, attributed to `level`.
+  /// Mirrors into the aggregate counters.
+  void RecordBloomProbe(int level, bool negative, bool false_positive) {
+    if (level < 0) level = 0;
+    if (level >= kStatsLevels) level = kStatsLevels - 1;
+    bloom_checks.fetch_add(1, std::memory_order_relaxed);
+    bloom_checks_by_level[level].fetch_add(1, std::memory_order_relaxed);
+    if (negative) {
+      bloom_negatives.fetch_add(1, std::memory_order_relaxed);
+      bloom_negatives_by_level[level].fetch_add(1, std::memory_order_relaxed);
+    }
+    if (false_positive) {
+      bloom_false_positives.fetch_add(1, std::memory_order_relaxed);
+      bloom_false_positives_by_level[level].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
 
   // -- scan path (batched merge; flushed per scan, not per row) --
   std::atomic<uint64_t> scan_rows_merged{0};      ///< rows emitted by merges
@@ -45,6 +75,15 @@ class Stats {
   /// so the effective value is surfaced here and in bench JSON.
   std::atomic<uint64_t> block_cache_effective_shards{0};
 
+  // -- filter-memory gauges (refreshed at every version install) --
+  /// Serialized filter bytes currently live per level, and their sum: the
+  /// real memory the filter budget bought, visible next to SST bytes.
+  std::atomic<uint64_t> filter_bytes_by_level[kStatsLevels] = {};
+  std::atomic<uint64_t> filter_bytes_total{0};
+  /// Configured bits-per-key per level ×1000 (gauge; fractional Monkey
+  /// allocations survive the integer slot).
+  std::atomic<uint64_t> bloom_millibits_by_level[kStatsLevels] = {};
+
   // -- write path --
   std::atomic<uint64_t> bytes_written_wal{0};
   std::atomic<uint64_t> wal_syncs{0};          ///< fsyncs issued on the WAL
@@ -63,6 +102,12 @@ class Stats {
     block_cache_misses = 0;
     bloom_checks = 0;
     bloom_negatives = 0;
+    bloom_false_positives = 0;
+    for (int i = 0; i < kStatsLevels; ++i) {
+      bloom_checks_by_level[i] = 0;
+      bloom_negatives_by_level[i] = 0;
+      bloom_false_positives_by_level[i] = 0;
+    }
     point_reads = 0;
     range_scans = 0;
     scan_rows_merged = 0;

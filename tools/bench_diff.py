@@ -60,10 +60,14 @@ HIGHER_IS_BETTER_HINTS = (
 )
 # Checked BEFORE the higher-is-better hints: HTAP freshness lag regresses
 # when it rises even though field names like "freshness_sample_rate" would
-# otherwise pattern-match a throughput hint.
+# otherwise pattern-match a throughput hint. Same for bloom accuracy: a
+# "false_positive_rate" would match the "rate" throughput hint, but more
+# false positives is strictly worse.
 LOWER_IS_BETTER_HINTS = (
     "freshness",
     "lag",
+    "fpr",
+    "false_positive",
 )
 
 

@@ -125,6 +125,25 @@ class DirectionTest(unittest.TestCase):
         self.assertFalse(bench_diff.higher_is_better("commit_lag_ratio"))
         self.assertTrue(bench_diff.higher_is_better("rows_per_sec"))
 
+    def test_fpr_and_false_positives_are_lower_is_better(self):
+        # "false_positive_rate" contains the "rate" throughput hint and
+        # "bloom_fpr" contains no throughput hint at all; both must gate on a
+        # RISE, so a filter-accuracy regression can't sneak past the nightly.
+        self.assertFalse(bench_diff.higher_is_better("bloom_fpr"))
+        self.assertFalse(bench_diff.higher_is_better("false_positive_rate"))
+        self.assertFalse(bench_diff.higher_is_better("bloom_false_positives"))
+        self.assertTrue(bench_diff.higher_is_better("neg_lookups_per_sec"))
+
+    def test_fpr_rise_regresses_and_drop_does_not(self):
+        old = [{"series": "pl", "label": "monkey_T2", "bloom_fpr": 0.004}]
+        worse = [{"series": "pl", "label": "monkey_T2", "bloom_fpr": 0.02}]
+        better = [{"series": "pl", "label": "monkey_T2", "bloom_fpr": 0.001}]
+        (regs, _, _), text = run_diff(old, worse, watch=["bloom_fpr"])
+        self.assertEqual(len(regs), 1)
+        self.assertIn("REGRESSION", text)
+        (regs, _, _), _ = run_diff(old, better, watch=["bloom_fpr"])
+        self.assertEqual(regs, [])
+
     def test_freshness_rise_regresses_and_drop_does_not(self):
         old = [{"series": "tpcc", "freshness_p99_us": 1000}]
         worse = [{"series": "tpcc", "freshness_p99_us": 5000}]
