@@ -3,20 +3,127 @@
 // chosen design against the pure-row and pure-column alternatives.
 //
 //   ./examples/advisor_tool [columns] [levels]
+//   ./examples/advisor_tool --stats-json FILE [label]
+//
+// The first form feeds the advisor the paper's synthetic HW mix (Table 3).
+// The second replays live telemetry: FILE is a bench JSON report carrying a
+// "morph/stats_dump" row (bench_design_morph emits one per arm), and the
+// advisor re-derives the design from those counters via BuildTraceFromStats —
+// the same path the in-process DesignAdvisorDaemon uses. `label` picks among
+// multiple dump rows (e.g. "adaptive" vs "static-mismatched").
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "cost/cost_model.h"
 #include "cost/design_advisor.h"
+#include "cost/trace.h"
+#include "util/stats.h"
 #include "workload/htap_workload.h"
 
 using namespace laser;
 
+namespace {
+
+// Pulls `"name": <number>` out of a bench JSON row. The reports are
+// machine-written one row per line with exactly this spacing (bench_common.h),
+// so a substring probe is enough — no JSON library in the container.
+bool FindField(const std::string& line, const std::string& name,
+               uint64_t* out) {
+  const std::string needle = "\"" + name + "\": ";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+  return true;
+}
+
+// Loads the first morph/stats_dump row (matching `label`, if given) into
+// `stats`, returning the schema width and level count inferred from which
+// per-column / per-level fields the dump carries.
+bool LoadStatsDump(const char* path, const char* label, Stats* stats,
+                   int* columns, int* levels) {
+  std::ifstream in(path);
+  if (!in) {
+    fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"series\": \"morph/stats_dump\"") == std::string::npos) {
+      continue;
+    }
+    if (label != nullptr &&
+        line.find(std::string("\"label\": \"") + label + "\"") ==
+            std::string::npos) {
+      continue;
+    }
+    uint64_t v = 0;
+    if (FindField(line, "inserts", &v)) stats->inserts = v;
+    if (FindField(line, "updates", &v)) stats->updates = v;
+    if (FindField(line, "range_scans", &v)) stats->range_scans = v;
+    if (FindField(line, "scan_rows_emitted", &v)) stats->scan_rows_emitted = v;
+    *columns = 0;
+    for (int c = 1; c <= Stats::kStatsColumns; ++c) {
+      const int slot = Stats::ColumnSlot(c);
+      bool seen = false;
+      char name[32];
+      snprintf(name, sizeof(name), "scan_col_%d", c);
+      if (FindField(line, name, &v)) {
+        stats->scan_projected_by_column[slot] = v;
+        seen = true;
+      }
+      snprintf(name, sizeof(name), "point_col_%d", c);
+      if (FindField(line, name, &v)) {
+        stats->point_projected_by_column[slot] = v;
+        seen = true;
+      }
+      snprintf(name, sizeof(name), "upd_col_%d", c);
+      if (FindField(line, name, &v)) {
+        stats->updated_by_column[slot] = v;
+        seen = true;
+      }
+      if (seen) *columns = c;
+    }
+    *levels = 1;
+    for (int l = 0; l < Stats::kStatsLevels; ++l) {
+      char name[32];
+      snprintf(name, sizeof(name), "point_level_%d", l);
+      if (FindField(line, name, &v)) {
+        stats->point_reads_by_level[l] = v;
+        *levels = l + 1;
+      }
+    }
+    return *columns > 0;
+  }
+  fprintf(stderr, "no morph/stats_dump row%s%s in %s\n",
+          label ? " labelled " : "", label ? label : "", path);
+  return false;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const int columns = argc > 1 ? atoi(argv[1]) : 30;
-  const int levels = argc > 2 ? atoi(argv[2]) : 8;
+  const char* stats_path = nullptr;
+  const char* stats_label = nullptr;
+  int columns = 30;
+  int levels = 8;
+  if (argc > 2 && strcmp(argv[1], "--stats-json") == 0) {
+    stats_path = argv[2];
+    if (argc > 3) stats_label = argv[3];
+  } else {
+    if (argc > 1) columns = atoi(argv[1]);
+    if (argc > 2) levels = atoi(argv[2]);
+  }
+
+  Stats stats;
+  if (stats_path != nullptr &&
+      !LoadStatsDump(stats_path, stats_label, &stats, &columns, &levels)) {
+    return 1;
+  }
 
   Schema schema = Schema::UniformInt32(columns);
   LsmShape shape;
@@ -26,21 +133,30 @@ int main(int argc, char** argv) {
   shape.blocks_level0 = 64;
   shape.num_columns = columns;
 
-  // Describe the workload: here, the paper's HW mix (Table 3) scaled to the
-  // requested schema width. In a deployment this trace comes from profiling
-  // (LaserDB records per-level statistics; see cost/trace.h).
   WorkloadTrace trace(levels);
-  HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(1.0);
-  if (columns != 30) {
-    // Rescale the HW projections onto the wider/narrower schema.
-    spec.num_columns = columns;
-    spec.point_reads[0].projection = MakeColumnRange(1, columns);
-    spec.point_reads[1].projection =
-        MakeColumnRange(columns / 2 + 1, columns);
-    spec.scans[0].projection = MakeColumnRange(2 * columns / 3 + 1, columns);
-    spec.scans[1].projection = MakeColumnRange(columns - columns / 10, columns);
+  if (stats_path != nullptr) {
+    // Live telemetry replay: the counters become co-access sets exactly as
+    // the in-process daemon sees them.
+    BuildTraceFromStats(stats, &trace);
+    printf("Telemetry replayed from %s%s%s:\n", stats_path,
+           stats_label ? ", label " : "", stats_label ? stats_label : "");
+  } else {
+    // Describe the workload: here, the paper's HW mix (Table 3) scaled to the
+    // requested schema width. In a deployment this trace comes from profiling
+    // (LaserDB records per-level statistics; see cost/trace.h).
+    HtapWorkloadSpec spec = HtapWorkloadSpec::NarrowHW(1.0);
+    if (columns != 30) {
+      // Rescale the HW projections onto the wider/narrower schema.
+      spec.num_columns = columns;
+      spec.point_reads[0].projection = MakeColumnRange(1, columns);
+      spec.point_reads[1].projection =
+          MakeColumnRange(columns / 2 + 1, columns);
+      spec.scans[0].projection = MakeColumnRange(2 * columns / 3 + 1, columns);
+      spec.scans[1].projection =
+          MakeColumnRange(columns - columns / 10, columns);
+    }
+    HtapWorkloadRunner(spec).FillTrace(&trace, levels, shape.size_ratio);
   }
-  HtapWorkloadRunner(spec).FillTrace(&trace, levels, shape.size_ratio);
 
   printf("Workload trace fed to the advisor:\n%s\n", trace.ToString().c_str());
 
@@ -60,7 +176,7 @@ int main(int argc, char** argv) {
   CostModel col_model(shape, &col);
 
   const ColumnSet wide = MakeColumnRange(1, columns);
-  const ColumnSet narrow = spec.scans[1].projection;
+  const ColumnSet narrow = MakeColumnRange(columns - columns / 10, columns);
   const double selectivity = 1e6;
 
   printf("Predicted costs (block I/Os; §5):\n");

@@ -1,0 +1,85 @@
+#include "cost/design_advisor_daemon.h"
+
+#include <chrono>
+#include <utility>
+
+namespace laser {
+
+DesignAdvisorDaemon::DesignAdvisorDaemon(const Schema* schema,
+                                         DesignAdvisorDaemonOptions options,
+                                         Hooks hooks)
+    : options_(std::move(options)),
+      hooks_(std::move(hooks)),
+      advisor_(schema, options_.shape, options_.advisor) {}
+
+DesignAdvisorDaemon::~DesignAdvisorDaemon() { Stop(); }
+
+void DesignAdvisorDaemon::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void DesignAdvisorDaemon::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void DesignAdvisorDaemon::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                     [this] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+  }
+}
+
+double DesignAdvisorDaemon::ScoreDesign(const CgConfig& config,
+                                        const WorkloadTrace& trace) const {
+  double cost = 0;
+  for (int level = 0; level < config.num_levels(); ++level) {
+    cost += advisor_.LevelCost(level, config.groups(level), trace);
+  }
+  return cost;
+}
+
+bool DesignAdvisorDaemon::TickOnce() {
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  WorkloadTrace trace(options_.shape.num_levels);
+  hooks_.fill_trace(&trace);
+  // No observed work yet: nothing to re-score, leave the design alone.
+  if (trace.inserts() == 0 && trace.point_reads().empty() &&
+      trace.range_scans().empty() && trace.updates().empty()) {
+    return false;
+  }
+
+  const CgConfig incumbent = hooks_.design_to_beat();
+  const CgConfig candidate = advisor_.SelectDesign(trace);
+  if (candidate == incumbent) return false;
+
+  const double incumbent_cost = ScoreDesign(incumbent, trace);
+  const double candidate_cost = ScoreDesign(candidate, trace);
+  // Morphing rewrites whole levels; demand a real predicted win, not a tie
+  // within noise.
+  if (candidate_cost >= incumbent_cost * (1.0 - options_.min_predicted_gain)) {
+    return false;
+  }
+  if (!hooks_.install(candidate).ok()) return false;
+  installs_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace laser

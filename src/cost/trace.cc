@@ -63,6 +63,74 @@ std::vector<ColumnSet> WorkloadTrace::CoAccessSets() const {
   return std::vector<ColumnSet>(sets.begin(), sets.end());
 }
 
+namespace {
+
+/// Groups columns by identical per-column counts: each distinct nonzero
+/// count becomes one (column set, count) bucket.
+std::map<uint64_t, ColumnSet> BucketByCount(
+    const std::atomic<uint64_t> (&by_column)[Stats::kStatsColumns]) {
+  std::map<uint64_t, ColumnSet> buckets;
+  for (int i = 0; i < Stats::kStatsColumns; ++i) {
+    const uint64_t n = by_column[i].load(std::memory_order_relaxed);
+    if (n > 0) buckets[n].push_back(i + 1);
+  }
+  return buckets;
+}
+
+}  // namespace
+
+void BuildTraceFromStats(const Stats& stats, WorkloadTrace* trace) {
+  trace->AddInsert(stats.inserts.load(std::memory_order_relaxed));
+
+  // Range scans: one co-access set per equal-count bucket, all at the
+  // global average selectivity.
+  const uint64_t scans = stats.range_scans.load(std::memory_order_relaxed);
+  const double avg_selected =
+      scans > 0 ? static_cast<double>(
+                      stats.scan_rows_emitted.load(std::memory_order_relaxed)) /
+                      static_cast<double>(scans)
+                : 0.0;
+  for (const auto& [count, columns] : BucketByCount(
+           stats.scan_projected_by_column)) {
+    trace->AddRangeScan(columns, avg_selected, count);
+  }
+
+  // Point reads: spread each bucket over levels in proportion to where the
+  // walk actually resolved reads (remainder lands on the busiest level).
+  uint64_t level_total = 0;
+  int busiest = 0;
+  for (int l = 0; l < Stats::kStatsLevels; ++l) {
+    const uint64_t n = stats.point_reads_by_level[l].load(std::memory_order_relaxed);
+    level_total += n;
+    if (n > stats.point_reads_by_level[busiest].load(std::memory_order_relaxed)) {
+      busiest = l;
+    }
+  }
+  for (const auto& [count, columns] : BucketByCount(
+           stats.point_projected_by_column)) {
+    if (level_total == 0) {
+      trace->AddPointRead(columns, 0, count);
+      continue;
+    }
+    uint64_t assigned = 0;
+    for (int l = 0; l < Stats::kStatsLevels; ++l) {
+      const uint64_t share =
+          count * stats.point_reads_by_level[l].load(std::memory_order_relaxed) /
+          level_total;
+      if (share > 0) trace->AddPointRead(columns, l, share);
+      assigned += share;
+    }
+    if (assigned < count) trace->AddPointRead(columns, busiest, count - assigned);
+  }
+
+  // Updates: per-column singletons (the engine sees individual update ops,
+  // and CoAccessSets() excludes updates anyway).
+  for (int i = 0; i < Stats::kStatsColumns; ++i) {
+    const uint64_t n = stats.updated_by_column[i].load(std::memory_order_relaxed);
+    if (n > 0) trace->AddUpdate({i + 1}, n);
+  }
+}
+
 std::string WorkloadTrace::ToString() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out = "inserts=" + std::to_string(inserts_) + "\n";

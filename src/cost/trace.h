@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "laser/schema.h"
+#include "util/stats.h"
 
 namespace laser {
 
@@ -65,6 +66,20 @@ class WorkloadTrace {
   std::map<ColumnSet, ScanStats> range_scans_;
   std::map<ColumnSet, uint64_t> updates_;
 };
+
+/// Reconstructs an advisor-ready trace from the engine's aggregate Stats
+/// counters — the live-telemetry bridge of the online design loop. The
+/// per-column counters cannot recover the exact projection multiset, but
+/// they do recover its atoms: columns sharing identical access counts are
+/// co-accessed everywhere the workload touched them, so each equal-count
+/// bucket becomes one co-access set (with overlapping projections the
+/// buckets are exactly the intersection atoms the advisor would derive).
+/// Per-column access frequencies — what the Eq. 9 cost terms actually
+/// consume — are preserved exactly. Point-read sets are spread over levels
+/// proportional to `point_reads_by_level`; updates enter as per-column
+/// singletons; scan selectivity is scan_rows_emitted / range_scans.
+/// Counters are folded into `trace` on top of whatever it already holds.
+void BuildTraceFromStats(const Stats& stats, WorkloadTrace* trace);
 
 }  // namespace laser
 

@@ -144,7 +144,7 @@ class ProjectingIterator final : public Iterator {
     if (identity_ || ExtractValueType(base_->key()) == kTypeDeletion) {
       return base_->value();
     }
-    projected_ = codec_->Project(parent_, child_, base_->value());
+    projected_ = codec_->Reproject(parent_, child_, base_->value());
     return Slice(projected_);
   }
 
@@ -157,7 +157,7 @@ class ProjectingIterator final : public Iterator {
     while (base_->Valid()) {
       const ValueType type = ExtractValueType(base_->key());
       if (type != kTypePartialRow) return;
-      projected_ = codec_->Project(parent_, child_, base_->value());
+      projected_ = codec_->Reproject(parent_, child_, base_->value());
       if (codec_->PresentCount(child_, Slice(projected_)) > 0) return;
       base_->Next();
     }
@@ -302,38 +302,51 @@ class OutputWriter {
 
 Status RunCompaction(const JobContext& ctx, const CompactionJob& job,
                      CompactionResult* result) {
-  const CgConfig& config = ctx.options->cg_config;
-  const ColumnSet& parent_cols = config.groups(job.level)[job.group];
+  // All column sets come from the job (snapshotted at pick time from the
+  // Version being compacted) — never from options: mid-morph the live layout
+  // differs per level and the options config describes neither side.
+  const int output_level = job.morph ? job.level : job.level + 1;
 
   result->outputs.clear();
   result->outputs.resize(job.child_groups.size());
 
   for (size_t ci = 0; ci < job.child_groups.size(); ++ci) {
-    const int child_group = job.child_groups[ci];
-    const ColumnSet& child_cols = config.groups(job.level + 1)[child_group];
-
-    // Parent stream, projected onto the child's columns.
-    std::unique_ptr<Iterator> parent_iter;
-    if (job.level == 0) {
-      // L0 files overlap: merge them all.
-      std::vector<std::unique_ptr<Iterator>> l0_iters;
-      for (const auto& f : job.parent_files) {
-        l0_iters.push_back(f->reader->NewIterator());
-      }
-      parent_iter = NewMergingIterator(std::move(l0_iters));
-    } else {
-      parent_iter = NewRunIterator(job.parent_files);
-    }
-    parent_iter = NewProjectingIterator(std::move(parent_iter), ctx.codec,
-                                        parent_cols, child_cols);
+    const ColumnSet& child_cols = job.child_columns[ci];
 
     std::vector<std::unique_ptr<Iterator>> streams;
-    streams.push_back(std::move(parent_iter));
-    streams.push_back(NewRunIterator(job.child_files[ci]));
+    if (job.morph) {
+      // Re-lay the whole level in place: merge every input run whose columns
+      // intersect this output group, re-encoded for it. Non-intersecting
+      // runs contribute nothing — tombstones are replicated across all
+      // groups of a level, so any intersecting run carries them.
+      for (size_t g = 0; g < job.morph_input_files.size(); ++g) {
+        const ColumnSet& in_cols = job.morph_input_columns[g];
+        if (!ColumnSetsIntersect(in_cols, child_cols)) continue;
+        streams.push_back(NewProjectingIterator(
+            NewRunIterator(job.morph_input_files[g]), ctx.codec, in_cols,
+            child_cols));
+      }
+    } else {
+      // Parent stream, re-encoded onto the child's columns.
+      std::unique_ptr<Iterator> parent_iter;
+      if (job.level == 0) {
+        // L0 files overlap: merge them all.
+        std::vector<std::unique_ptr<Iterator>> l0_iters;
+        for (const auto& f : job.parent_files) {
+          l0_iters.push_back(f->reader->NewIterator());
+        }
+        parent_iter = NewMergingIterator(std::move(l0_iters));
+      } else {
+        parent_iter = NewRunIterator(job.parent_files);
+      }
+      streams.push_back(NewProjectingIterator(std::move(parent_iter), ctx.codec,
+                                              job.parent_columns, child_cols));
+      streams.push_back(NewRunIterator(job.child_files[ci]));
+    }
     auto merged = NewMergingIterator(std::move(streams));
 
     VersionMerger merger(ctx.codec, child_cols, ctx.snapshots, job.to_bottom_level);
-    OutputWriter writer(ctx, child_cols, job.level + 1);
+    OutputWriter writer(ctx, child_cols, output_level);
 
     merged->SeekToFirst();
     std::string current_user_key;
@@ -364,6 +377,31 @@ Status RunCompaction(const JobContext& ctx, const CompactionJob& job,
       e.type = parsed.type;
       e.sequence = parsed.sequence;
       e.value = merged->value().ToString();
+      // A row that was full in its source layout may not cover this output
+      // group (the source columns need not contain it). Retype so deeper
+      // merging keeps looking for the missing columns.
+      if (e.type == kTypeFullRow &&
+          !ctx.codec->IsComplete(child_cols, Slice(e.value))) {
+        e.type = kTypePartialRow;
+      }
+      // Equal-(key, seq) entries are fragments of one logical write whose
+      // columns were split across source groups (or the same tombstone
+      // replicated into several of them): recombine into a single entry.
+      // VersionMerger requires strictly decreasing sequences per key.
+      if (!versions.empty() && versions.back().sequence == e.sequence) {
+        MergedEntry& prev = versions.back();
+        if (prev.type == kTypeDeletion || e.type == kTypeDeletion) {
+          prev.type = kTypeDeletion;
+          prev.value.clear();
+        } else {
+          prev.value =
+              ctx.codec->Merge(child_cols, Slice(prev.value), Slice(e.value));
+          prev.type = ctx.codec->IsComplete(child_cols, Slice(prev.value))
+                          ? kTypeFullRow
+                          : kTypePartialRow;
+        }
+        continue;
+      }
       versions.push_back(std::move(e));
     }
     LASER_RETURN_IF_ERROR(merged->status());
@@ -379,7 +417,11 @@ Status RunCompaction(const JobContext& ctx, const CompactionJob& job,
   if (ctx.stats != nullptr) {
     ctx.stats->bytes_compacted.fetch_add(result->bytes_written,
                                          std::memory_order_relaxed);
-    ctx.stats->compaction_jobs.fetch_add(1, std::memory_order_relaxed);
+    if (job.morph) {
+      ctx.stats->design_morph_compactions.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ctx.stats->compaction_jobs.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return Status::OK();
 }

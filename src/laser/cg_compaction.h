@@ -1,7 +1,11 @@
 // CG-local compaction (§4.4): merges one overflowing column group of level i
-// into its contained child groups at level i+1, changing the data layout in
-// flight (row → narrower CGs) via projection, and merging row versions
-// newest-wins-per-column (§4.2). Also hosts the flush job (memtable → L0).
+// into its overlapping child groups at level i+1, changing the data layout in
+// flight (row → narrower CGs) via re-encoding, and merging row versions
+// newest-wins-per-column (§4.2). Containment between adjacent levels is NOT
+// required: fragments of one write travel independently and recombine when
+// they meet (equal-sequence merge), which is what lets a design morph change
+// one level at a time. Also hosts the in-place level re-layout ("morph") job
+// and the flush job (memtable → L0).
 
 #ifndef LASER_LASER_CG_COMPACTION_H_
 #define LASER_LASER_CG_COMPACTION_H_
@@ -52,8 +56,10 @@ class VersionMerger {
 };
 
 /// Wraps an internal-key iterator over rows encoded for `parent`, re-encoding
-/// each value for `child` ⊆ parent. Partial rows whose projection is empty
-/// are skipped; tombstones pass through (they must reach every child chain).
+/// each value for `child` (no containment required: the intersection of the
+/// two sets is kept, so fragments recombine downstream via the equal-sequence
+/// merge in RunCompaction). Partial rows whose re-encoding is empty are
+/// skipped; tombstones pass through (they must reach every child chain).
 std::unique_ptr<Iterator> NewProjectingIterator(std::unique_ptr<Iterator> base,
                                                 const RowCodec* codec,
                                                 ColumnSet parent, ColumnSet child);

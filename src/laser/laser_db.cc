@@ -78,17 +78,49 @@ Status LaserDB::Open(const LaserOptions& options, std::unique_ptr<LaserDB>* db) 
     std::unique_lock<std::mutex> lock(instance->mu_);
     instance->MaybeScheduleBackgroundWork();
   }
+  if (finalized.enable_design_advisor) {
+    LaserDB* raw = instance.get();
+    DesignAdvisorDaemonOptions dopts;
+    dopts.interval_ms = finalized.advisor_interval_ms;
+    dopts.min_predicted_gain = finalized.advisor_min_predicted_gain;
+    dopts.shape = ShapeFromOptions(finalized);
+    DesignAdvisorDaemon::Hooks hooks;
+    hooks.fill_trace = [raw](WorkloadTrace* trace) {
+      BuildTraceFromStats(raw->stats_, trace);
+    };
+    hooks.design_to_beat = [raw] {
+      // Compare against the committed target while a morph converges — the
+      // mid-morph layout is transient and would destabilize the hysteresis.
+      CgConfig target = raw->TargetDesign();
+      return target.num_levels() > 0 ? target : raw->CurrentDesign();
+    };
+    hooks.install = [raw](const CgConfig& design) {
+      return raw->SetTargetDesign(design);
+    };
+    instance->advisor_ = std::make_unique<DesignAdvisorDaemon>(
+        &instance->options_.schema, dopts, std::move(hooks));
+    instance->advisor_->Start();
+  }
   *db = std::move(instance);
   return Status::OK();
 }
 
+LsmShape LaserDB::ShapeFromOptions(const LaserOptions& options) {
+  const int c = options.schema.num_columns();
+  double entry_bytes = 16.0 + (c + 7) / 8;
+  for (int id = 1; id <= c; ++id) entry_bytes += options.schema.value_size(id);
+  LsmShape shape;
+  shape.num_levels = options.num_levels;
+  shape.size_ratio = options.size_ratio;
+  shape.entries_per_block = static_cast<double>(options.block_size) / entry_bytes;
+  shape.blocks_level0 =
+      static_cast<double>(options.level0_bytes) / options.block_size;
+  shape.num_columns = c;
+  return shape;
+}
+
 Status LaserDB::Recover() {
   LASER_RETURN_IF_ERROR(env_->CreateDir(db_path_));
-
-  std::vector<int> groups_per_level;
-  for (int level = 0; level < options_.num_levels; ++level) {
-    groups_per_level.push_back(options_.cg_config.num_groups(level));
-  }
 
   if (manifest_.Exists()) {
     ManifestData data;
@@ -96,14 +128,19 @@ Status LaserDB::Recover() {
     if (data.version->num_levels() != options_.num_levels) {
       return Status::InvalidArgument("manifest level count != options");
     }
+    // The manifest's per-level design is authoritative for existing trees —
+    // options_.cg_config only seeds a fresh create. A morph interrupted by a
+    // crash thus resumes from whatever mixed layout was installed, and the
+    // reloaded target below keeps it converging instead of reverting.
     version_ = std::move(data.version);
+    target_design_ = std::move(data.target_design);
     next_file_number_.store(data.next_file_number);
     last_sequence_.store(data.last_sequence);
   } else {
     if (!options_.create_if_missing) {
       return Status::NotFound("no database at " + db_path_);
     }
-    version_ = Version::Empty(options_.num_levels, groups_per_level);
+    version_ = Version::Empty(options_.cg_config);
   }
 
   // Remove SSTs not referenced by the manifest (crash leftovers) and find
@@ -218,6 +255,9 @@ Status LaserDB::NewWal() {
 }
 
 LaserDB::~LaserDB() {
+  // Stop the advisor first: its install hook takes mu_ and schedules work,
+  // which must not race the shutdown sequence below.
+  if (advisor_ != nullptr) advisor_->Stop();
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutting_down_ = true;
@@ -251,6 +291,7 @@ Status LaserDB::Insert(uint64_t key, const std::vector<ColumnValue>& row) {
   LASER_RETURN_IF_ERROR(EncodeOp(kTypeFullRow, key, &row, nullptr, &req));
   Status s = SubmitWrite(&req);
   if (s.ok()) {
+    stats_.inserts.fetch_add(1, std::memory_order_relaxed);
     if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
       trace->AddInsert();
     }
@@ -263,6 +304,11 @@ Status LaserDB::Update(uint64_t key, const std::vector<ColumnValuePair>& values)
   LASER_RETURN_IF_ERROR(EncodeOp(kTypePartialRow, key, nullptr, &values, &req));
   Status s = SubmitWrite(&req);
   if (s.ok()) {
+    stats_.updates.fetch_add(1, std::memory_order_relaxed);
+    for (const auto& pair : values) {
+      stats_.updated_by_column[Stats::ColumnSlot(pair.column)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
     if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
       ColumnSet columns;
       columns.reserve(values.size());
@@ -287,11 +333,18 @@ Status LaserDB::Write(const WriteBatch& batch) {
   }
   Status s = SubmitWrite(&req);
   if (s.ok()) {
-    if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
-      for (const WriteBatch::Op& op : batch.ops()) {
-        if (op.type == kTypeFullRow) {
-          trace->AddInsert();
-        } else if (op.type == kTypePartialRow) {
+    WorkloadTrace* trace = trace_.load(std::memory_order_acquire);
+    for (const WriteBatch::Op& op : batch.ops()) {
+      if (op.type == kTypeFullRow) {
+        stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+        if (trace != nullptr) trace->AddInsert();
+      } else if (op.type == kTypePartialRow) {
+        stats_.updates.fetch_add(1, std::memory_order_relaxed);
+        for (const auto& pair : op.values) {
+          stats_.updated_by_column[Stats::ColumnSlot(pair.column)].fetch_add(
+              1, std::memory_order_relaxed);
+        }
+        if (trace != nullptr) {
           ColumnSet columns;
           columns.reserve(op.values.size());
           for (const auto& pair : op.values) columns.push_back(pair.column);
@@ -666,7 +719,9 @@ void LaserDB::MaybeScheduleBackgroundWork() {
 
 void LaserDB::ScheduleCompactions() {
   while (running_jobs_ < options_.background_threads) {
-    auto job = picker_.Pick(*version_, busy_);
+    const CgConfig* target =
+        target_design_.num_levels() > 0 ? &target_design_ : nullptr;
+    auto job = picker_.Pick(*version_, busy_, target);
     if (!job.has_value()) break;
     for (const auto& claim : job->Claims()) busy_.insert(claim);
     ++running_jobs_;
@@ -741,13 +796,26 @@ void LaserDB::BackgroundCompact(CompactionJob job) {
     bool installed = false;
     if (s.ok()) {
       auto next = version_->Clone();
-      next->ReplaceFiles(job.level, job.group, job.parent_files, {});
-      for (size_t ci = 0; ci < job.child_groups.size(); ++ci) {
-        next->ReplaceFiles(job.level + 1, job.child_groups[ci],
-                           job.child_files[ci], result.outputs[ci]);
+      if (job.morph) {
+        // Install the re-laid level atomically: new partition + new runs in
+        // one step, so the published Version's per-level design always
+        // matches its files.
+        next->ResetLevel(job.level, job.child_columns, result.outputs);
+      } else {
+        next->ReplaceFiles(job.level, job.group, job.parent_files, {});
+        for (size_t ci = 0; ci < job.child_groups.size(); ++ci) {
+          next->ReplaceFiles(job.level + 1, job.child_groups[ci],
+                             job.child_files[ci], result.outputs[ci]);
+        }
       }
       version_ = std::move(next);
       installed = true;
+      // Morph complete? Clear the target before persisting so the manifest
+      // records the finished state in the same snapshot.
+      if (target_design_.num_levels() > 0 && version_->design() == target_design_) {
+        target_design_ = CgConfig();
+        stats_.design_morphs_completed.fetch_add(1, std::memory_order_relaxed);
+      }
       s = SaveManifest();
     }
     if (s.ok()) {
@@ -759,6 +827,11 @@ void LaserDB::BackgroundCompact(CompactionJob job) {
           obsolete_.emplace_back(f, f->file_number);
         }
       }
+      for (const auto& input_run : job.morph_input_files) {
+        for (const auto& f : input_run) {
+          obsolete_.emplace_back(f, f->file_number);
+        }
+      }
       // Release this job's references before sweeping, so the metadata can
       // expire and the files can be unlinked now. This must include
       // result.outputs: the new version owns those files, and if this
@@ -767,6 +840,7 @@ void LaserDB::BackgroundCompact(CompactionJob job) {
       // orphans on disk.
       job.parent_files.clear();
       job.child_files.clear();
+      job.morph_input_files.clear();
       result.outputs.clear();
       CollectObsoleteFiles();
     } else {
@@ -813,6 +887,7 @@ Status LaserDB::SaveManifest() {
   data.next_file_number = next_file_number_.load();
   data.last_sequence = last_sequence_.load();
   data.wal_number = wal_number_;
+  data.target_design = target_design_;
   return manifest_.Save(data);
 }
 
@@ -862,8 +937,10 @@ Status LaserDB::CompactUntilStable() {
     if (!bg_error_.ok()) return bg_error_;
     // Schedule work even when auto compactions are disabled.
     ScheduleCompactions();
+    const CgConfig* target =
+        target_design_.num_levels() > 0 ? &target_design_ : nullptr;
     if (running_jobs_ == 0 && imm_.empty() &&
-        !picker_.NeedsCompaction(*version_)) {
+        !picker_.NeedsCompaction(*version_, target)) {
       CollectObsoleteFiles();
       return Status::OK();
     }
@@ -891,6 +968,50 @@ std::shared_ptr<const Version> LaserDB::current_version() const {
 std::string LaserDB::DebugString() const {
   std::unique_lock<std::mutex> lock(mu_);
   return version_->DebugString();
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive design (§6 online)
+// ---------------------------------------------------------------------------
+
+Status LaserDB::SetTargetDesign(const CgConfig& target) {
+  if (target.num_levels() != options_.num_levels) {
+    return Status::InvalidArgument("target design level count != num_levels");
+  }
+  {
+    Status s = target.Validate(options_.schema.num_columns());
+    if (!s.ok()) {
+      return Status::InvalidArgument("target design: " + s.ToString());
+    }
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!bg_error_.ok()) return bg_error_;
+  if (target == target_design_) return Status::OK();
+  if (target_design_.num_levels() == 0 && target == version_->design()) {
+    // Already laid out this way and no morph in flight: nothing to do.
+    return Status::OK();
+  }
+  // Persist the target before any morph work happens so a crash mid-morph
+  // resumes toward the same design.
+  CgConfig previous = std::move(target_design_);
+  target_design_ = target;
+  Status s = SaveManifest();
+  if (!s.ok()) {
+    target_design_ = std::move(previous);
+    return s;
+  }
+  MaybeScheduleBackgroundWork();
+  return Status::OK();
+}
+
+CgConfig LaserDB::CurrentDesign() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return version_->design();
+}
+
+CgConfig LaserDB::TargetDesign() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return target_design_;
 }
 
 // ---------------------------------------------------------------------------
@@ -1129,7 +1250,7 @@ Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
   candidates.clear();
   if (!resolver.done()) {
     for (int level = 1; level < version->num_levels(); ++level) {
-      const int groups = static_cast<int>(options_.cg_config.groups(level).size());
+      const int groups = static_cast<int>(version->design().groups(level).size());
       for (int g = 0; g < groups; ++g) {
         FileMetaData* file = version->FileContainingRaw(level, g, user_key);
         if (file == nullptr) continue;
@@ -1143,7 +1264,10 @@ Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
   for (const DeepCandidate& cand : candidates) {
     if (resolver.done()) break;
     resolver.set_current_level(cand.level);
-    const ColumnSet& group_cols = options_.cg_config.groups(cand.level)[cand.group];
+    // The pinned Version's design is authoritative: mid-morph, a level's
+    // layout may differ from both the seed config and the morph target.
+    const ColumnSet& group_cols =
+        version->design().groups(cand.level)[cand.group];
     resolver.UnresolvedIn(group_cols, &needed);
     if (needed.empty()) continue;
     versions.clear();
@@ -1157,6 +1281,14 @@ Status LaserDB::Read(uint64_t key, const ColumnSet& projection,
   }
 
   resolver.Finish(result);
+  if (result->found) {
+    const int slot = std::min(resolver.resolve_level(), Stats::kStatsLevels - 1);
+    stats_.point_reads_by_level[slot].fetch_add(1, std::memory_order_relaxed);
+    for (int column : projection) {
+      stats_.point_projected_by_column[Stats::ColumnSlot(column)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
   if (WorkloadTrace* trace = trace_.load(std::memory_order_acquire)) {
     if (result->found) trace->AddPointRead(projection, resolver.resolve_level());
   }
@@ -1271,8 +1403,8 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
       for (auto& entry : pred_cover) entry.second += full_row_sources;
     }
     for (int level = 1; level < version->num_levels(); ++level) {
-      const auto& groups = options_.cg_config.groups(level);
-      for (int g : options_.cg_config.OverlappingGroups(level, projection)) {
+      const auto& groups = version->design().groups(level);
+      for (int g : version->design().OverlappingGroups(level, projection)) {
         bool overlaps = false;
         for (const auto& file : version->files(level, g)) {
           if (file->OverlapsUserRange(Slice(lo_encoded), Slice(hi_encoded))) {
@@ -1293,11 +1425,21 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
 
   // One zone-map filter per SST-backed source (memtables have no blocks to
   // skip), owned by the ScanIterator so it outlives the block cursors that
-  // consult it.
+  // consult it. A source storing every projected column also gets fold
+  // support (a filter even with no predicates): if the consumer turns out to
+  // be AggregateAll, blocks provably made of visible all-matching rows
+  // contribute their zone summaries instead of being read.
   std::vector<std::unique_ptr<ZoneMapScanFilter>> filters;
   const auto add_filter = [&](const ColumnSet& cols) -> ZoneMapScanFilter* {
     auto filter = MakeSourceFilter(spec, cols, pred_cover);
-    if (filter == nullptr) return nullptr;
+    const bool covers = ColumnSetIsSubset(projection, cols);
+    if (filter == nullptr) {
+      if (!covers) return nullptr;
+      filter = std::make_unique<ZoneMapScanFilter>(std::vector<ScanPredicate>());
+    }
+    // `covers` implies the filter carries every predicate of the scan
+    // (predicate columns ⊆ projection ⊆ cols), the second fold requirement.
+    if (covers) filter->ConfigureFold(projection, snapshot);
     filters.push_back(std::move(filter));
     return filters.back().get();
   };
@@ -1338,10 +1480,13 @@ std::unique_ptr<ScanIterator> LaserDB::NewScan(uint64_t lo_key, uint64_t hi_key,
   // Levels >= 1: one ColumnMergingIterator per level over the overlapping
   // groups (§4.3: "we optimize range queries with projections by opening
   // iterators only for the overlapping column-groups in each level").
+  // The pinned Version's per-level design is authoritative — mid-morph it
+  // may disagree with both options_.cg_config and the morph target, and the
+  // scan must stitch whatever layout each level actually has.
   for (int level = 1; level < version->num_levels(); ++level) {
-    const auto& groups = options_.cg_config.groups(level);
+    const auto& groups = version->design().groups(level);
     std::vector<std::unique_ptr<ContributionSource>> level_sources;
-    for (int g : options_.cg_config.OverlappingGroups(level, projection)) {
+    for (int g : version->design().OverlappingGroups(level, projection)) {
       if (version->files(level, g).empty()) continue;
       ZoneMapScanFilter* filter = add_filter(groups[g]);
       level_sources.push_back(std::make_unique<ContributionIterator>(
@@ -1420,6 +1565,15 @@ ScanIterator::~ScanIterator() {
     stats_->rows_filtered_pushdown.fetch_add(rows_filtered_,
                                              std::memory_order_relaxed);
     stats_->aggs_pushed.fetch_add(aggs_pushed_, std::memory_order_relaxed);
+    stats_->aggs_from_zonemap.fetch_add(aggs_from_zonemap_,
+                                        std::memory_order_relaxed);
+    stats_->scan_rows_emitted.fetch_add(rows_emitted_,
+                                        std::memory_order_relaxed);
+    // Per scan (not per row): the trace weights scans by rows separately.
+    for (int column : projection_) {
+      stats_->scan_projected_by_column[Stats::ColumnSlot(column)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
   }
   if (trace_ != nullptr) {
     trace_->AddRangeScan(projection_, static_cast<double>(rows_emitted_));
@@ -1494,6 +1648,14 @@ Status ScanIterator::AggregateAll(ScanAggregates* out) {
   out->sums.assign(width, 0);
   out->minima.assign(width, std::numeric_limits<uint64_t>::max());
   out->maxima.assign(width, 0);
+  // No caller sees rows from this iterator any more, so fold-capable
+  // sources may answer whole blocks from their zone maps: arm their folds
+  // and force sole-contributor windows even on a predicate-free scan.
+  bool any_fold = false;
+  for (const auto& filter : filters_) {
+    if (filter->ArmFold()) any_fold = true;
+  }
+  if (any_fold) impl_->set_arm_windows_always(true);
   ScanBatch batch;
   size_t n;
   while ((n = NextBatch(&batch)) > 0) {
@@ -1517,6 +1679,22 @@ Status ScanIterator::AggregateAll(ScanAggregates* out) {
       out->minima[pos] = mn;
       out->maxima[pos] = mx;
     }
+  }
+  // Merge in the blocks the filters answered from zone maps alone.
+  for (const auto& filter : filters_) {
+    if (filter->blocks_folded() == 0) continue;
+    const ScanAggregates& fold = filter->folded();
+    out->rows += fold.rows;
+    // Folded rows reached the aggregate result; count them as emitted for
+    // stats and the workload trace's selectivity.
+    rows_emitted_ += fold.rows;
+    for (size_t pos = 0; pos < width; ++pos) {
+      out->counts[pos] += fold.counts[pos];
+      out->sums[pos] += fold.sums[pos];
+      out->minima[pos] = std::min(out->minima[pos], fold.minima[pos]);
+      out->maxima[pos] = std::max(out->maxima[pos], fold.maxima[pos]);
+    }
+    aggs_from_zonemap_ += filter->blocks_folded();
   }
   aggs_pushed_ += 4 * width;
   return status();

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "cost/design_advisor_daemon.h"
 #include "cost/trace.h"
 #include "laser/cg_compaction.h"
 #include "laser/level_merging_iterator.h"
@@ -151,6 +152,29 @@ class LaserDB {
   /// Waits for all scheduled background work to finish.
   void WaitForBackgroundWork();
 
+  // -- adaptive design (§6: online advisor -> in-flight morphing) --
+
+  /// Declares `target` the design the tree should converge to. The target is
+  /// persisted in the manifest (a crash mid-morph resumes converging) and
+  /// background compaction re-lays mismatched levels one at a time, shallow
+  /// first; scans and reads stay correct throughout because every path
+  /// consults the pinned Version's per-level design. Setting the current
+  /// design (with no morph in flight) is a no-op. With auto compactions
+  /// disabled, CompactUntilStable() drives the morph to completion.
+  Status SetTargetDesign(const CgConfig& target);
+
+  /// The design the tree's files are laid out in right now, per level
+  /// (mid-morph: a mix of old and target partitions).
+  CgConfig CurrentDesign() const;
+
+  /// The in-flight morph target; num_levels() == 0 when none.
+  CgConfig TargetDesign() const;
+
+  /// Cost-model shape (Table 1 parameters) derived from the options — the
+  /// same mapping the embedded advisor daemon uses. Exposed so external
+  /// advisor hosts (ShardedLaserDB, tools) score with identical terms.
+  static LsmShape ShapeFromOptions(const LaserOptions& options);
+
   // -- workload profiling (§6.1) --
 
   /// Starts recording operations into `trace` (reads are attributed to the
@@ -276,6 +300,13 @@ class LaserDB {
   std::set<uint64_t> mem_prepared_xids_;
   std::vector<std::set<uint64_t>> imm_prepared_xids_;
   std::shared_ptr<Version> version_;
+  /// Design the tree is converging to; num_levels() == 0 when no morph is in
+  /// flight. Persisted in the manifest next to the current design. Guarded
+  /// by mu_.
+  CgConfig target_design_;
+  /// Periodic advisor loop (options.enable_design_advisor); started after
+  /// recovery, stopped first in the destructor.
+  std::unique_ptr<DesignAdvisorDaemon> advisor_;
 
   std::atomic<uint64_t> next_file_number_{1};
   std::atomic<SequenceNumber> last_sequence_{0};
@@ -409,6 +440,7 @@ class ScanIterator {
   uint64_t batches_emitted_ = 0;
   uint64_t rows_filtered_ = 0;
   uint64_t aggs_pushed_ = 0;
+  uint64_t aggs_from_zonemap_ = 0;
   std::vector<uint8_t> filter_mask_;  // FilterBatch scratch
   // Mode guard (one consumption style per iterator): the first NextBatch /
   // AggregateAll locks batch mode, the first Valid() locks row mode; the

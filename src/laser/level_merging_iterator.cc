@@ -91,9 +91,11 @@ size_t LevelMergingIterator::FillRows(ScanBatch* batch, const Slice& hi_inclusiv
       // straight into the batch, bounded by the same `second`/`hi` keys, so
       // a single contributing level streams at run granularity end to end.
       ContributionSource* top = heap_.top_source();
-      const bool pushdown = !predicate_positions_.empty();
+      const bool pushdown = !predicate_positions_.empty() || arm_windows_always_;
       if (pushdown) {
         const std::vector<int>* covered = top->covered_positions();
+        // With no predicates (arm_windows_always_) the includes() check is
+        // vacuously true and the fast-forward never triggers.
         if (covered != nullptr &&
             !std::includes(covered->begin(), covered->end(),
                            predicate_positions_.begin(),

@@ -75,6 +75,12 @@ class LevelMergingIterator {
   /// flushed to engine Stats by the owning ScanIterator.
   const ScanPathCounters& counters() const { return counters_; }
 
+  /// Arms zone-map block skipping around sole-contributor drains even when
+  /// the scan has no predicates. Only AggregateAll sets this — it lets
+  /// fold-armed filters fold matching blocks, which is wrong for any
+  /// consumer that wants the rows themselves.
+  void set_arm_windows_always(bool arm) { arm_windows_always_ = arm; }
+
  private:
   /// The heap-driven merge loop; ignores the per-row prefetch state.
   size_t FillRows(ScanBatch* batch, const Slice& hi_inclusive, size_t max_rows);
@@ -104,6 +110,7 @@ class LevelMergingIterator {
   std::vector<std::unique_ptr<ContributionSource>> sources_;
   const size_t projection_size_;
   const std::vector<int> predicate_positions_;
+  bool arm_windows_always_ = false;
   SourceMinHeap heap_;
   ScanPathCounters counters_;
 

@@ -40,7 +40,14 @@ Status LaserOptions::Finalize() {
   if (cg_config.num_levels() != num_levels) {
     return Status::InvalidArgument("cg_config level count != num_levels");
   }
-  LASER_RETURN_IF_ERROR(cg_config.Validate(schema.num_columns()));
+  {
+    // Prefix validation errors with the failing field so a bad config is
+    // attributable from the Status message alone.
+    Status s = cg_config.Validate(schema.num_columns());
+    if (!s.ok()) {
+      return Status::InvalidArgument("cg_config: " + s.ToString());
+    }
+  }
   if (write_buffer_size < 4096) {
     return Status::InvalidArgument("write_buffer_size too small");
   }
@@ -66,6 +73,13 @@ Status LaserOptions::Finalize() {
   }
   if (bloom_total_bits_budget < 0) {
     return Status::InvalidArgument("bloom_total_bits_budget must be >= 0");
+  }
+  if (advisor_interval_ms < 1) {
+    return Status::InvalidArgument("advisor_interval_ms must be >= 1");
+  }
+  if (advisor_min_predicted_gain < 0 || advisor_min_predicted_gain >= 1) {
+    return Status::InvalidArgument(
+        "advisor_min_predicted_gain must be in [0, 1)");
   }
 
   // Derive the per-level filter allocation (idempotent: an explicit or

@@ -174,6 +174,22 @@ struct LaserOptions {
   /// (used by the write-amplification experiment, Fig. 7(e)).
   bool disable_auto_compactions = false;
 
+  /// Online design advisor (§6 run continuously): when true, a background
+  /// daemon periodically rebuilds a workload trace from the engine's live
+  /// telemetry counters, re-scores the current design against the advisor's
+  /// pick, and — when the predicted win exceeds
+  /// advisor_min_predicted_gain — installs the pick as the morph target.
+  /// cg_config then only seeds a freshly created tree.
+  bool enable_design_advisor = false;
+
+  /// Decision cadence of the advisor daemon.
+  int advisor_interval_ms = 1000;
+
+  /// Fractional predicted-cost win required before the advisor re-morphs the
+  /// tree (hysteresis against design thrash). 0.10 = candidate must score at
+  /// least 10% cheaper than the design the tree is already committed to.
+  double advisor_min_predicted_gain = 0.10;
+
   /// Fills defaults (env, cg_config if empty) and checks consistency.
   Status Finalize();
 };

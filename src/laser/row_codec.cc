@@ -112,6 +112,19 @@ std::string RowCodec::Project(const ColumnSet& parent, const ColumnSet& child,
   return Encode(child, child_values);
 }
 
+std::string RowCodec::Reproject(const ColumnSet& from, const ColumnSet& to,
+                                const Slice& data) const {
+  std::vector<ColumnValuePair> values;
+  Status s = Decode(from, data, &values);
+  assert(s.ok());
+  (void)s;
+  std::vector<ColumnValuePair> kept;
+  for (const auto& v : values) {
+    if (ColumnSetContains(to, v.column)) kept.push_back(v);
+  }
+  return Encode(to, kept);
+}
+
 size_t RowCodec::FullRowSize(const ColumnSet& cg) const {
   size_t size = BitmapBytes(cg);
   for (int col : cg) size += schema_->value_size(col);

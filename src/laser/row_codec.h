@@ -70,6 +70,14 @@ class RowCodec {
   std::string Project(const ColumnSet& parent, const ColumnSet& child,
                       const Slice& data) const;
 
+  /// Like Project but without the containment requirement: keeps whatever
+  /// columns of `to` are present in a row encoded for `from` (their
+  /// intersection at most). Equals Project when to ⊆ from. This is what lets
+  /// compaction and design morphing move rows between arbitrary layouts:
+  /// fragments re-encoded this way recombine via Merge when they meet.
+  std::string Reproject(const ColumnSet& from, const ColumnSet& to,
+                        const Slice& data) const;
+
   /// Number of present columns in an encoded row.
   int PresentCount(const ColumnSet& cg, const Slice& data) const;
 

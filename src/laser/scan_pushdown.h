@@ -29,6 +29,12 @@
 //    applies to unconditional skips too — dropping only one block of a
 //    straddling key could resurrect a stale value *for the predicate column
 //    itself* from the neighbor, which the null argument does not cover.
+//
+// Aggregation folds (AggregateAll) reuse the same machinery in the opposite
+// direction: inside a sole-contributor window, a block whose zone proves
+// every entry is a distinct, snapshot-visible, all-predicates-matching row
+// contributes its per-column count/sum/min/max summaries directly to the
+// scan's aggregates and is skipped without being read (TryFold's gates).
 
 #ifndef LASER_LASER_SCAN_PUSHDOWN_H_
 #define LASER_LASER_SCAN_PUSHDOWN_H_
@@ -37,6 +43,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "laser/schema.h"
 #include "sst/format.h"
 #include "util/coding.h"
 #include "util/slice.h"
@@ -99,6 +106,30 @@ inline bool PredicateMatches(const ScanPredicate& pred, uint64_t value) {
       return pred.operand <= value && value <= pred.operand2;
   }
   return true;  // unreachable
+}
+
+/// Does EVERY value in [min, max] match `pred`? Used by the aggregation
+/// fold: a block may only be folded from its zone map when no row of it can
+/// fail the predicate. Must never return true unless that holds.
+inline bool PredicateAllMatchRange(const ScanPredicate& pred, uint64_t min,
+                                   uint64_t max) {
+  switch (pred.op) {
+    case PredOp::kEq:
+      return min == max && min == pred.operand;
+    case PredOp::kNe:
+      return pred.operand < min || pred.operand > max;
+    case PredOp::kLt:
+      return max < pred.operand;
+    case PredOp::kLe:
+      return max <= pred.operand;
+    case PredOp::kGt:
+      return min > pred.operand;
+    case PredOp::kGe:
+      return min >= pred.operand;
+    case PredOp::kBetween:
+      return pred.operand <= min && max <= pred.operand2;
+  }
+  return false;  // unreachable
 }
 
 /// Could ANY value in [min, max] match `pred`? False positives are fine
@@ -164,6 +195,38 @@ class ZoneMapScanFilter final : public BlockReadFilter {
   /// never skip blocks.
   void ClearWindow() { window_active_ = false; }
 
+  /// Marks this filter's source eligible for zone-map aggregation folds:
+  /// the source stores every column of `projection` and this filter carries
+  /// every predicate of the scan. `snapshot` is the scan's read point; a
+  /// block is only folded when all of its entries are visible at it. Called
+  /// at scan planning; folding stays off until ArmFold().
+  void ConfigureFold(ColumnSet projection, uint64_t snapshot) {
+    fold_projection_ = std::move(projection);
+    fold_snapshot_ = snapshot;
+    fold_capable_ = true;
+  }
+
+  /// Switches folding on (AggregateAll only: a folded block's rows are
+  /// accounted in folded() instead of being emitted, which would be wrong
+  /// for any consumer that wants the rows). Returns whether this filter can
+  /// fold at all.
+  bool ArmFold() {
+    if (!fold_capable_) return false;
+    if (!fold_armed_) {
+      fold_armed_ = true;
+      fold_.counts.assign(fold_projection_.size(), 0);
+      fold_.sums.assign(fold_projection_.size(), 0);
+      fold_.minima.assign(fold_projection_.size(), UINT64_MAX);
+      fold_.maxima.assign(fold_projection_.size(), 0);
+    }
+    return true;
+  }
+
+  /// Aggregates of every folded block, parallel to the configured
+  /// projection. Valid once ArmFold() returned true.
+  const ScanAggregates& folded() const { return fold_; }
+  uint64_t blocks_folded() const { return blocks_folded_; }
+
   bool CanSkip(const ZoneMapEntry& zone, size_t data_blocks) override {
     return Evaluate(zone, data_blocks, /*file_level=*/false);
   }
@@ -180,10 +243,19 @@ class ZoneMapScanFilter final : public BlockReadFilter {
  private:
   bool Evaluate(const ZoneMapEntry& zone, size_t data_blocks,
                 bool file_level) {
-    if (predicates_.empty()) return false;
     if (!zone.self_contained) return false;
     const bool windowed =
         window_active_ && zone.last_user_key <= window_bound_;
+    // Aggregation fold (block level only): inside a sole-contributor window
+    // every row of the block reaches the output exactly as stored, so when
+    // the zone proves each entry is one visible, all-predicates-matching
+    // row, its count/sum/min/max summaries ARE the block's contribution.
+    if (fold_armed_ && !file_level && windowed && TryFold(zone)) {
+      blocks_skipped_ += data_blocks;
+      ++blocks_folded_;
+      return true;
+    }
+    if (predicates_.empty()) return false;
     for (size_t i = 0; i < predicates_.size(); ++i) {
       // A windowed region lets every predicate vote; outside a window only
       // unconditional predicates (sole column coverage) may.
@@ -205,6 +277,39 @@ class ZoneMapScanFilter final : public BlockReadFilter {
     return false;
   }
 
+  /// Folds `zone` into fold_ if its summaries prove the fold exact; returns
+  /// whether it did. Exactness gates: one non-deletion entry per user key
+  /// (single_version), every entry visible at the snapshot, every projected
+  /// column summarized, and every predicate column all-null-free with a
+  /// value range no row can fail.
+  bool TryFold(const ZoneMapEntry& zone) {
+    if (!zone.single_version || zone.num_entries == 0) return false;
+    if (zone.largest_seq > fold_snapshot_) return false;
+    for (const ScanPredicate& pred : predicates_) {
+      const ZoneMapColumn* col = FindColumn(zone, pred.column);
+      // Any null in a predicated column fails that row — the block then
+      // holds non-matching rows and cannot be folded wholesale.
+      if (col == nullptr || col->count != zone.num_entries ||
+          !PredicateAllMatchRange(pred, col->min, col->max)) {
+        return false;
+      }
+    }
+    // Validate before mutating: every projected column must be summarized.
+    for (int column : fold_projection_) {
+      if (FindColumn(zone, column) == nullptr) return false;
+    }
+    fold_.rows += zone.num_entries;
+    for (size_t pos = 0; pos < fold_projection_.size(); ++pos) {
+      const ZoneMapColumn* col = FindColumn(zone, fold_projection_[pos]);
+      if (col->count == 0) continue;
+      fold_.counts[pos] += col->count;
+      fold_.sums[pos] += col->sum;
+      if (col->min < fold_.minima[pos]) fold_.minima[pos] = col->min;
+      if (col->max > fold_.maxima[pos]) fold_.maxima[pos] = col->max;
+    }
+    return true;
+  }
+
   static const ZoneMapColumn* FindColumn(const ZoneMapEntry& zone,
                                          int column) {
     for (const ZoneMapColumn& col : zone.cols) {
@@ -219,6 +324,14 @@ class ZoneMapScanFilter final : public BlockReadFilter {
   uint64_t window_bound_ = 0;  // inclusive largest skippable user key
   uint64_t blocks_skipped_ = 0;
   uint64_t files_skipped_ = 0;
+
+  // Aggregation-fold state (see ConfigureFold/ArmFold).
+  ColumnSet fold_projection_;
+  uint64_t fold_snapshot_ = 0;
+  bool fold_capable_ = false;
+  bool fold_armed_ = false;
+  uint64_t blocks_folded_ = 0;
+  ScanAggregates fold_;
 };
 
 }  // namespace laser

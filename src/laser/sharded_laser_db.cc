@@ -162,6 +162,10 @@ Status ShardedLaserDB::Open(const ShardedLaserOptions& options,
     LaserOptions shard_options = options.base;
     shard_options.env = env;
     shard_options.path = ShardPath(root, i);
+    // One advisor for the whole table (hosted below, over aggregated shard
+    // telemetry): per-shard daemons would each see a slice of the workload
+    // and could morph shards toward different designs.
+    shard_options.enable_design_advisor = false;
     shard_options.prepared_commit_resolver = [committed](uint64_t xid) {
       return committed->count(xid) != 0;
     };
@@ -181,8 +185,43 @@ Status ShardedLaserDB::Open(const ShardedLaserOptions& options,
   LASER_RETURN_IF_ERROR(env->NewWritableFile(TxnLogPath(root), &txn_file));
   instance->txn_log_ = std::make_unique<wal::LogWriter>(std::move(txn_file));
 
+  if (options.base.enable_design_advisor) {
+    // One decision over the union of every shard's telemetry, fanned out to
+    // all shards, so the table converges to a single design.
+    ShardedLaserDB* raw = instance.get();
+    DesignAdvisorDaemonOptions dopts;
+    dopts.interval_ms = options.base.advisor_interval_ms;
+    dopts.min_predicted_gain = options.base.advisor_min_predicted_gain;
+    dopts.shape = LaserDB::ShapeFromOptions(raw->shards_[0]->options());
+    DesignAdvisorDaemon::Hooks hooks;
+    hooks.fill_trace = [raw](WorkloadTrace* trace) {
+      Stats aggregated;
+      raw->AggregateStats(&aggregated);
+      BuildTraceFromStats(aggregated, trace);
+    };
+    hooks.design_to_beat = [raw] {
+      CgConfig target = raw->shards_[0]->TargetDesign();
+      return target.num_levels() > 0 ? target
+                                     : raw->shards_[0]->CurrentDesign();
+    };
+    hooks.install = [raw](const CgConfig& design) {
+      for (auto& shard : raw->shards_) {
+        LASER_RETURN_IF_ERROR(shard->SetTargetDesign(design));
+      }
+      return Status::OK();
+    };
+    instance->advisor_ = std::make_unique<DesignAdvisorDaemon>(
+        &instance->shards_[0]->options().schema, dopts, std::move(hooks));
+    instance->advisor_->Start();
+  }
+
   *db = std::move(instance);
   return Status::OK();
+}
+
+ShardedLaserDB::~ShardedLaserDB() {
+  // The advisor's install hook walks shards_; stop it before they go away.
+  if (advisor_ != nullptr) advisor_->Stop();
 }
 
 Status ShardedLaserDB::Insert(uint64_t key,

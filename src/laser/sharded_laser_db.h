@@ -98,7 +98,7 @@ class ShardedLaserDB {
   static Status Open(const ShardedLaserOptions& options,
                      std::unique_ptr<ShardedLaserDB>* db);
 
-  ~ShardedLaserDB() = default;
+  ~ShardedLaserDB();  // stops the table-wide advisor before shards close
 
   ShardedLaserDB(const ShardedLaserDB&) = delete;
   ShardedLaserDB& operator=(const ShardedLaserDB&) = delete;
@@ -157,6 +157,11 @@ class ShardedLaserDB {
   std::mutex txn_mu_;
   std::unique_ptr<wal::LogWriter> txn_log_;
   std::atomic<uint64_t> next_xid_{1};
+
+  /// Table-wide advisor (base.enable_design_advisor): one decision over
+  /// aggregated shard telemetry, installed on every shard. Per-shard daemons
+  /// are forced off. Declared last so it is destroyed (stopped) first.
+  std::unique_ptr<DesignAdvisorDaemon> advisor_;
 };
 
 }  // namespace laser

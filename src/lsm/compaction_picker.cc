@@ -8,35 +8,44 @@ namespace laser {
 
 std::vector<std::pair<int, int>> CompactionJob::Claims() const {
   std::vector<std::pair<int, int>> claims;
+  if (morph) {
+    // Lock every group slot at this level, old and new indices alike, so no
+    // flush-down into the level or compaction out of it can race the re-lay.
+    const size_t slots =
+        std::max(morph_input_files.size(), child_groups.size());
+    for (size_t g = 0; g < slots; ++g) {
+      claims.emplace_back(level, static_cast<int>(g));
+    }
+    return claims;
+  }
   claims.emplace_back(level, group);
   for (int child : child_groups) claims.emplace_back(level + 1, child);
   return claims;
 }
 
 CompactionPicker::CompactionPicker(const LaserOptions* options)
-    : options_(options) {
-  const CgConfig& config = options_->cg_config;
-  const Schema& schema = options_->schema;
-  weights_.resize(config.num_levels());
-  level_weight_total_.resize(config.num_levels());
-  for (int level = 0; level < config.num_levels(); ++level) {
-    double total = 0;
-    for (const ColumnSet& group : config.groups(level)) {
-      double width = 8.0;  // key stored with every CG (simulated columns)
-      for (int col : group) {
-        width += static_cast<double>(schema.value_size(col));
-      }
-      weights_[level].push_back(width);
-      total += width;
-    }
-    level_weight_total_[level] = total;
+    : options_(options) {}
+
+double CompactionPicker::GroupWeight(const ColumnSet& columns) const {
+  double width = 8.0;  // key stored with every CG (simulated columns)
+  for (int col : columns) {
+    width += static_cast<double>(options_->schema.value_size(col));
   }
+  return width;
 }
 
-uint64_t CompactionPicker::GroupCapacityBytes(int level, int group) const {
+uint64_t CompactionPicker::GroupCapacityBytes(const Version& version, int level,
+                                              int group) const {
+  // Weights come from the Version's own design (not the options config): the
+  // layout is a live property of the tree during a morph, and capacity must
+  // follow whatever partition the level is actually stored in.
+  const std::vector<ColumnSet>& groups = version.design().groups(level);
+  double total = 0;
+  for (const ColumnSet& g : groups) total += GroupWeight(g);
+  if (total == 0) return 0;
   const double level_bytes = static_cast<double>(options_->level0_bytes) *
                              std::pow(options_->size_ratio, level);
-  const double share = weights_[level][group] / level_weight_total_[level];
+  const double share = GroupWeight(groups[group]) / total;
   return static_cast<uint64_t>(level_bytes * share);
 }
 
@@ -45,7 +54,7 @@ double CompactionPicker::Score(const Version& version, int level, int group) con
     return static_cast<double>(version.files(0, 0).size()) /
            static_cast<double>(options_->level0_file_compaction_trigger);
   }
-  const uint64_t capacity = GroupCapacityBytes(level, group);
+  const uint64_t capacity = GroupCapacityBytes(version, level, group);
   if (capacity == 0) return 0;
   // Data bytes, not file bytes: per-level filter allocation (Monkey) makes
   // filter blocks a level-dependent fraction of each file, and scoring on
@@ -57,7 +66,26 @@ double CompactionPicker::Score(const Version& version, int level, int group) con
          static_cast<double>(capacity);
 }
 
-bool CompactionPicker::NeedsCompaction(const Version& version) const {
+namespace {
+
+/// Shallowest level >= 1 whose stored partition differs from the target's,
+/// or -1 when the tree already matches the target everywhere it can.
+/// Level 0 is always row-format and never morphs.
+int ShallowestMismatch(const Version& version, const CgConfig& target) {
+  if (target.num_levels() != version.num_levels()) return -1;
+  for (int level = 1; level < version.num_levels(); ++level) {
+    if (version.design().groups(level) != target.groups(level)) return level;
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool CompactionPicker::NeedsCompaction(const Version& version,
+                                       const CgConfig* target) const {
+  if (target != nullptr && ShallowestMismatch(version, *target) >= 0) {
+    return true;
+  }
   for (int level = 0; level + 1 < version.num_levels(); ++level) {
     for (int group = 0; group < version.num_groups(level); ++group) {
       if (Score(version, level, group) >= 1.0) return true;
@@ -94,6 +122,7 @@ CompactionJob CompactionPicker::BuildJob(const Version& version, int level,
   job.level = level;
   job.group = group;
   job.parent_files = std::move(parent_files);
+  job.parent_columns = version.design().groups(level)[group];
   job.to_bottom_level = (level + 1 == version.num_levels() - 1);
 
   // Combined user-key range of the parent files.
@@ -104,15 +133,61 @@ CompactionJob CompactionPicker::BuildJob(const Version& version, int level,
     if (f->largest_user_key().compare(hi) > 0) hi = f->largest_user_key();
   }
 
-  job.child_groups = options_->cg_config.ChildGroups(level, group);
+  // Children are whichever groups at level+1 intersect the parent's columns
+  // in the Version's live design. Mid-morph the child level may be laid out
+  // in either the old or the new partition; overlapping (not containment)
+  // keeps the job well-formed in both cases.
+  job.child_groups =
+      version.design().OverlappingGroups(level + 1, job.parent_columns);
   for (int child : job.child_groups) {
+    job.child_columns.push_back(version.design().groups(level + 1)[child]);
     job.child_files.push_back(version.OverlappingFiles(level + 1, child, lo, hi));
   }
   return job;
 }
 
+CompactionJob CompactionPicker::BuildMorphJob(const Version& version, int level,
+                                              const CgConfig& target) const {
+  CompactionJob job;
+  job.morph = true;
+  job.level = level;
+  job.group = -1;
+  job.to_bottom_level = (level == version.num_levels() - 1);
+  for (int g = 0; g < version.num_groups(level); ++g) {
+    job.morph_input_columns.push_back(version.design().groups(level)[g]);
+    job.morph_input_files.push_back(version.files(level, g));
+  }
+  const std::vector<ColumnSet>& out = target.groups(level);
+  for (int g = 0; g < static_cast<int>(out.size()); ++g) {
+    job.child_groups.push_back(g);
+    job.child_columns.push_back(out[g]);
+  }
+  return job;
+}
+
 std::optional<CompactionJob> CompactionPicker::Pick(
-    const Version& version, const std::set<std::pair<int, int>>& busy) const {
+    const Version& version, const std::set<std::pair<int, int>>& busy,
+    const CgConfig* target) const {
+  const auto no_conflict = [&](const CompactionJob& job) {
+    for (const auto& claim : job.Claims()) {
+      if (busy.count(claim) > 0) return false;
+    }
+    return true;
+  };
+
+  // Morphing outranks overflow work: convert the shallowest mismatched level
+  // first so entries compacting down out of it land in already-converted
+  // children and are not re-laid twice.
+  if (target != nullptr) {
+    const int level = ShallowestMismatch(version, *target);
+    if (level >= 0) {
+      CompactionJob job = BuildMorphJob(version, level, *target);
+      if (no_conflict(job)) return job;
+      // Level busy right now — fall through to overflow work; the morph is
+      // retried at the next scheduling point (every job completion).
+    }
+  }
+
   struct Candidate {
     double score;
     int level;
@@ -140,15 +215,7 @@ std::optional<CompactionJob> CompactionPicker::Pick(
       parents.push_back(PickParentFile(run));
     }
     CompactionJob job = BuildJob(version, cand.level, cand.group, std::move(parents));
-
-    bool conflict = false;
-    for (const auto& claim : job.Claims()) {
-      if (busy.count(claim) > 0) {
-        conflict = true;
-        break;
-      }
-    }
-    if (!conflict) return job;
+    if (no_conflict(job)) return job;
   }
   return std::nullopt;
 }

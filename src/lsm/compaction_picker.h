@@ -17,17 +17,33 @@
 
 namespace laser {
 
-/// A unit of compaction work: one parent (level, group) run segment merged
-/// into the overlapping child groups at level+1.
+/// A unit of compaction work. Two shapes:
+///   * normal: one parent (level, group) run segment merged into the
+///     overlapping child groups at level+1;
+///   * morph (`morph == true`): every run of `level` re-laid in place into
+///     the target design's groups at the same level (the §4.4 layout-changing
+///     compaction, driven level-by-level toward a new design).
+/// Column sets are carried on the job (snapshotted from the picked Version's
+/// design), so execution never consults a possibly-newer config.
 struct CompactionJob {
   int level = 0;  ///< parent level
-  int group = 0;  ///< parent group index
+  int group = 0;  ///< parent group index (normal jobs; -1 for morph)
   Version::FileList parent_files;
-  std::vector<int> child_groups;                 ///< group indices at level+1
+  ColumnSet parent_columns;                      ///< columns of the parent CG
+  std::vector<int> child_groups;                 ///< output group indices
+  std::vector<ColumnSet> child_columns;          ///< parallel to child_groups
   std::vector<Version::FileList> child_files;    ///< parallel to child_groups
   bool to_bottom_level = false;  ///< output level is the last level
 
-  /// (level, group) pairs this job locks (parent + all touched children).
+  /// Morph jobs: one entry per existing group at `level` (its column set and
+  /// its full run). child_groups/child_columns describe the target partition
+  /// at the SAME level; child_files stays empty (all inputs are consumed).
+  bool morph = false;
+  std::vector<ColumnSet> morph_input_columns;
+  std::vector<Version::FileList> morph_input_files;
+
+  /// (level, group) pairs this job locks (parent + all touched children; a
+  /// morph locks every group of its level, old and new indices alike).
   std::vector<std::pair<int, int>> Claims() const;
 };
 
@@ -35,36 +51,47 @@ class CompactionPicker {
  public:
   CompactionPicker(const LaserOptions* options);
 
-  /// Byte capacity of a sorted run (level, group).
-  uint64_t GroupCapacityBytes(int level, int group) const;
+  /// Byte capacity of a sorted run (level, group) under `version`'s design:
+  /// the level capacity apportioned by the group's stored row width.
+  uint64_t GroupCapacityBytes(const Version& version, int level,
+                              int group) const;
 
   /// Overflow score; > 1 means compaction needed. Level 0 scores by file
   /// count against the compaction trigger.
   double Score(const Version& version, int level, int group) const;
 
-  /// Picks the highest-score eligible job, skipping any whose claims
-  /// intersect `busy`. Returns nullopt when nothing needs compacting.
-  std::optional<CompactionJob> Pick(
-      const Version& version,
-      const std::set<std::pair<int, int>>& busy) const;
+  /// Picks the highest-priority eligible job, skipping any whose claims
+  /// intersect `busy`. When `target` is non-null and some level >= 1 is laid
+  /// out differently than the target design, a morph job for the shallowest
+  /// such level takes priority — that drives top-down convergence so data
+  /// flushing through the tree lands in already-converted levels. Returns
+  /// nullopt when nothing needs compacting.
+  std::optional<CompactionJob> Pick(const Version& version,
+                                    const std::set<std::pair<int, int>>& busy,
+                                    const CgConfig* target = nullptr) const;
 
-  /// True if any (level, group) has score >= 1 (used to keep background
-  /// threads working until the tree is within shape).
-  bool NeedsCompaction(const Version& version) const;
+  /// True if any (level, group) has score >= 1, or (with `target`) any level
+  /// still differs from the target design.
+  bool NeedsCompaction(const Version& version,
+                       const CgConfig* target = nullptr) const;
 
  private:
   /// Builds the job for parent (level, group) given the chosen parent files.
   CompactionJob BuildJob(const Version& version, int level, int group,
                          Version::FileList parent_files) const;
 
+  /// Builds the in-place re-layout job converting `level` to the target's
+  /// partition at that level.
+  CompactionJob BuildMorphJob(const Version& version, int level,
+                              const CgConfig& target) const;
+
   /// Picks one parent SST according to the configured priority.
   std::shared_ptr<FileMetaData> PickParentFile(const Version::FileList& run) const;
 
+  /// Stored row width (key + column bytes) of `columns` under the schema.
+  double GroupWeight(const ColumnSet& columns) const;
+
   const LaserOptions* options_;
-  // row width in bytes (key + all columns) per level/group, for capacity
-  // apportioning: weights_[level][group].
-  std::vector<std::vector<double>> weights_;
-  std::vector<double> level_weight_total_;
 };
 
 }  // namespace laser

@@ -6,7 +6,55 @@
 namespace laser {
 
 namespace {
-constexpr uint32_t kManifestMagic = 0x4c4d414eu;  // "LMAN"
+
+// Bumped from "LMAN" when per-level CG designs (current + morph target)
+// joined the snapshot; older manifests fail with a clean corruption error.
+constexpr uint32_t kManifestMagic = 0x4c4d4e32u;  // "LMN2"
+
+void PutColumnSet(std::string* out, const ColumnSet& columns) {
+  PutVarint32(out, static_cast<uint32_t>(columns.size()));
+  for (int column : columns) PutVarint32(out, static_cast<uint32_t>(column));
+}
+
+bool GetColumnSet(Slice* in, ColumnSet* columns) {
+  uint32_t count;
+  if (!GetVarint32(in, &count)) return false;
+  columns->clear();
+  columns->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t column;
+    if (!GetVarint32(in, &column)) return false;
+    columns->push_back(static_cast<int>(column));
+  }
+  return true;
+}
+
+void PutDesign(std::string* out, const CgConfig& design) {
+  PutVarint32(out, static_cast<uint32_t>(design.num_levels()));
+  for (int level = 0; level < design.num_levels(); ++level) {
+    PutVarint32(out, static_cast<uint32_t>(design.num_groups(level)));
+    for (const ColumnSet& group : design.groups(level)) {
+      PutColumnSet(out, group);
+    }
+  }
+}
+
+bool GetDesign(Slice* in, CgConfig* design) {
+  uint32_t num_levels;
+  if (!GetVarint32(in, &num_levels)) return false;
+  std::vector<std::vector<ColumnSet>> levels(num_levels);
+  for (uint32_t level = 0; level < num_levels; ++level) {
+    uint32_t num_groups;
+    if (!GetVarint32(in, &num_groups)) return false;
+    levels[level].resize(num_groups);
+    for (uint32_t group = 0; group < num_groups; ++group) {
+      if (!GetColumnSet(in, &levels[level][group])) return false;
+    }
+  }
+  *design = CgConfig(std::move(levels));
+  return true;
+}
+
 }  // namespace
 
 Manifest::Manifest(Env* env, std::string db_path)
@@ -26,6 +74,9 @@ Status Manifest::Save(const ManifestData& data) {
   for (int level = 0; level < v.num_levels(); ++level) {
     PutVarint32(&out, static_cast<uint32_t>(v.num_groups(level)));
     for (int group = 0; group < v.num_groups(level); ++group) {
+      // The group's column set rides with its file list: the snapshot is the
+      // authoritative record of the physical layout, level by level.
+      PutColumnSet(&out, v.design().groups(level)[group]);
       const auto& run = v.files(level, group);
       PutVarint32(&out, static_cast<uint32_t>(run.size()));
       for (const auto& f : run) {
@@ -37,6 +88,7 @@ Status Manifest::Save(const ManifestData& data) {
       }
     }
   }
+  PutDesign(&out, data.target_design);
   PutFixed32(&out, crc32c::Mask(crc32c::Value(out.data(), out.size())));
 
   LASER_RETURN_IF_ERROR(env_->WriteStringToFile(Slice(out), TempPath(), true));
@@ -69,20 +121,23 @@ Status Manifest::Load(BlockCache* cache, Stats* stats, ManifestData* data) {
 
   uint32_t num_levels;
   if (!GetVarint32(&in, &num_levels)) return Status::Corruption("bad level count");
-  std::vector<int> groups_per_level(num_levels, 0);
 
-  auto version = std::make_shared<Version>();
   // First pass builds shape lazily: read groups per level as encountered.
   std::vector<std::vector<Version::FileList>> files;
+  std::vector<std::vector<ColumnSet>> design_levels;
   files.resize(num_levels);
+  design_levels.resize(num_levels);
   for (uint32_t level = 0; level < num_levels; ++level) {
     uint32_t num_groups;
     if (!GetVarint32(&in, &num_groups)) {
       return Status::Corruption("bad group count");
     }
     files[level].resize(num_groups);
-    groups_per_level[level] = static_cast<int>(num_groups);
+    design_levels[level].resize(num_groups);
     for (uint32_t group = 0; group < num_groups; ++group) {
+      if (!GetColumnSet(&in, &design_levels[level][group])) {
+        return Status::Corruption("bad group column set");
+      }
       uint32_t num_files;
       if (!GetVarint32(&in, &num_files)) {
         return Status::Corruption("bad file count");
@@ -109,7 +164,11 @@ Status Manifest::Load(BlockCache* cache, Stats* stats, ManifestData* data) {
     }
   }
 
-  version = Version::Empty(static_cast<int>(num_levels), groups_per_level);
+  if (!GetDesign(&in, &data->target_design)) {
+    return Status::Corruption("bad target design");
+  }
+
+  auto version = Version::Empty(CgConfig(std::move(design_levels)));
   for (uint32_t level = 0; level < num_levels; ++level) {
     for (size_t group = 0; group < files[level].size(); ++group) {
       for (auto& f : files[level][group]) {

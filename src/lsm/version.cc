@@ -20,19 +20,31 @@ std::string WalFileName(uint64_t file_number) {
   return buf;
 }
 
+std::shared_ptr<Version> Version::Empty(CgConfig design) {
+  auto v = std::make_shared<Version>();
+  v->files_.resize(design.num_levels());
+  for (int level = 0; level < design.num_levels(); ++level) {
+    v->files_[level].resize(design.num_groups(level));
+  }
+  v->design_ = std::move(design);
+  return v;
+}
+
 std::shared_ptr<Version> Version::Empty(int num_levels,
                                         const std::vector<int>& groups_per_level) {
-  auto v = std::make_shared<Version>();
-  v->files_.resize(num_levels);
+  std::vector<std::vector<ColumnSet>> levels(num_levels);
   for (int level = 0; level < num_levels; ++level) {
-    v->files_[level].resize(groups_per_level[level]);
+    for (int group = 0; group < groups_per_level[level]; ++group) {
+      levels[level].push_back({group + 1});
+    }
   }
-  return v;
+  return Empty(CgConfig(std::move(levels)));
 }
 
 std::shared_ptr<Version> Version::Clone() const {
   auto v = std::make_shared<Version>();
   v->files_ = files_;
+  v->design_ = design_;
   return v;
 }
 
@@ -137,6 +149,20 @@ void Version::ReplaceFiles(int level, int group, const FileList& remove,
 
 void Version::AddLevel0File(std::shared_ptr<FileMetaData> file) {
   files_[0][0].push_back(std::move(file));
+}
+
+void Version::ResetLevel(int level, std::vector<ColumnSet> groups,
+                         std::vector<FileList> runs) {
+  assert(runs.size() == groups.size());
+  for (auto& run : runs) {
+    std::sort(run.begin(), run.end(),
+              [](const std::shared_ptr<FileMetaData>& a,
+                 const std::shared_ptr<FileMetaData>& b) {
+                return Slice(a->smallest).compare(Slice(b->smallest)) < 0;
+              });
+  }
+  files_[level] = std::move(runs);
+  design_.SetLevelGroups(level, std::move(groups));
 }
 
 std::string Version::DebugString() const {

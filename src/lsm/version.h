@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "laser/cg_config.h"
 #include "lsm/file_meta.h"
 
 namespace laser {
@@ -25,12 +26,24 @@ class Version {
 
   Version() = default;
 
-  /// An empty tree with the given shape.
+  /// An empty tree laid out per `design`. The design travels with the
+  /// Version from here on: every reader and compaction consults the pinned
+  /// Version's design, never the (possibly newer) target, so mixed layouts
+  /// mid-morph stay coherent.
+  static std::shared_ptr<Version> Empty(CgConfig design);
+
+  /// Shape-only variant for tests/tools: synthesizes a placeholder design
+  /// with singleton column groups ({1}, {2}, ...) matching the shape.
   static std::shared_ptr<Version> Empty(int num_levels,
                                         const std::vector<int>& groups_per_level);
 
   /// Deep-copies the level/group structure (file pointers are shared).
   std::shared_ptr<Version> Clone() const;
+
+  /// The CG design this Version's files are physically laid out in. During a
+  /// morph, levels already re-laid show target groups here while untouched
+  /// levels still show the old ones — per-level authoritative everywhere.
+  const CgConfig& design() const { return design_; }
 
   int num_levels() const { return static_cast<int>(files_.size()); }
   int num_groups(int level) const {
@@ -79,6 +92,14 @@ class Version {
   /// Appends a file to level-0 (newest last).
   void AddLevel0File(std::shared_ptr<FileMetaData> file);
 
+  /// Atomically re-lays one level: replaces its design partition with
+  /// `groups` and its file lists with `runs` (one sorted run per new group).
+  /// This is how a morph compaction installs a level converted to the
+  /// target design. REQUIRES: called on a Clone not yet published and
+  /// runs.size() == groups.size().
+  void ResetLevel(int level, std::vector<ColumnSet> groups,
+                  std::vector<FileList> runs);
+
   /// Multi-line human-readable summary (files and bytes per level/group).
   std::string DebugString() const;
 
@@ -86,6 +107,8 @@ class Version {
   // files_[level][group] -> run; L0 ordered by flush time (oldest first),
   // deeper runs ordered by smallest key.
   std::vector<std::vector<FileList>> files_;
+  // Physical layout of files_; shape mirrors files_ level-by-level.
+  CgConfig design_;
 };
 
 }  // namespace laser

@@ -118,14 +118,19 @@ struct Footer {
 
 // -- zone maps: per-data-block column summaries for predicate block skipping --
 
-/// Min/max of the values one column takes within one data block.
+/// Min/max/count/sum of the values one column takes within one data block.
 /// `has_values == false` means the column is present in the block's schema
-/// but every row leaves it null (min/max are then meaningless).
+/// but every row leaves it null (min/max are then meaningless). `count` is
+/// the number of non-null values (== the block's num_entries when the column
+/// is never null), `sum` their uint64 wrapping sum — together with min/max
+/// they let an aggregation-only scan fold a whole block without reading it.
 struct ZoneMapColumn {
   uint32_t column = 0;  // 1-based schema column id
   bool has_values = false;
   uint64_t min = 0;
   uint64_t max = 0;
+  uint64_t count = 0;
+  uint64_t sum = 0;
 };
 
 /// Summary of one data block, keyed by the block's file offset (the same
@@ -135,11 +140,20 @@ struct ZoneMapColumn {
 /// `self_contained` is false when the block shares a user key with an
 /// adjacent block in the same file; such blocks must not be skipped
 /// independently (a predicate verdict needs every version of a key).
+///
+/// `single_version` is true when every entry in the block is a distinct user
+/// key and none is a deletion: each entry then materializes exactly one row
+/// (given sole contribution), which is what makes the column count/sum fold
+/// exact. `largest_seq` bounds the entries' sequence numbers so a fold can
+/// prove the whole block is visible at a snapshot.
 struct ZoneMapEntry {
   uint64_t block_offset = 0;
   uint64_t first_user_key = 0;  // decoded 8-byte user keys, inclusive
   uint64_t last_user_key = 0;
   bool self_contained = true;
+  bool single_version = false;
+  uint64_t num_entries = 0;
+  uint64_t largest_seq = 0;
   std::vector<ZoneMapColumn> cols;  // sorted by column id
 };
 
@@ -153,13 +167,19 @@ struct ZoneMaps {
       PutVarint64(dst, entry.block_offset);
       PutFixed64(dst, entry.first_user_key);
       PutFixed64(dst, entry.last_user_key);
-      PutVarint64(dst, entry.self_contained ? 1 : 0);
+      const uint64_t flags = (entry.self_contained ? 1 : 0) |
+                             (entry.single_version ? 2 : 0);
+      PutVarint64(dst, flags);
+      PutVarint64(dst, entry.num_entries);
+      PutVarint64(dst, entry.largest_seq);
       PutVarint64(dst, entry.cols.size());
       for (const ZoneMapColumn& col : entry.cols) {
         PutVarint64(dst, col.column);
         dst->push_back(col.has_values ? 1 : 0);
         PutVarint64(dst, col.min);
         PutVarint64(dst, col.max);
+        PutVarint64(dst, col.count);
+        PutVarint64(dst, col.sum);
       }
     }
   }
@@ -181,10 +201,13 @@ struct ZoneMaps {
       entry.first_user_key = DecodeFixed64(input->data());
       entry.last_user_key = DecodeFixed64(input->data() + 8);
       input->remove_prefix(16);
-      if (!GetVarint64(input, &flags) || !GetVarint64(input, &num_cols)) {
+      if (!GetVarint64(input, &flags) || !GetVarint64(input, &entry.num_entries) ||
+          !GetVarint64(input, &entry.largest_seq) ||
+          !GetVarint64(input, &num_cols)) {
         return Status::Corruption("bad zone-map entry");
       }
       entry.self_contained = (flags & 1) != 0;
+      entry.single_version = (flags & 2) != 0;
       entry.cols.reserve(num_cols);
       for (uint64_t c = 0; c < num_cols; ++c) {
         ZoneMapColumn col;
@@ -195,7 +218,8 @@ struct ZoneMaps {
         col.column = static_cast<uint32_t>(column);
         col.has_values = (*input)[0] != 0;
         input->remove_prefix(1);
-        if (!GetVarint64(input, &col.min) || !GetVarint64(input, &col.max)) {
+        if (!GetVarint64(input, &col.min) || !GetVarint64(input, &col.max) ||
+            !GetVarint64(input, &col.count) || !GetVarint64(input, &col.sum)) {
           return Status::Corruption("bad zone-map column");
         }
         entry.cols.push_back(col);

@@ -64,7 +64,14 @@ void SstBuilder::AccumulateZone(const Slice& internal_key, const Slice& value) {
     zone_block_open_ = true;
     zone_current_.first_user_key = key;
     zone_current_.self_contained = true;
-    for (ZoneMapColumn& accum : zone_accum_) accum.has_values = false;
+    zone_current_.single_version = true;
+    zone_current_.num_entries = 0;
+    zone_current_.largest_seq = 0;
+    for (ZoneMapColumn& accum : zone_accum_) {
+      accum.has_values = false;
+      accum.count = 0;
+      accum.sum = 0;
+    }
     // A user key straddling a block boundary ties the two blocks together:
     // neither may be skipped without the other (the winning version of the
     // straddling key could live in either).
@@ -72,10 +79,23 @@ void SstBuilder::AccumulateZone(const Slice& internal_key, const Slice& value) {
       zone_blocks_.back().self_contained = false;
       zone_current_.self_contained = false;
     }
+  } else if (zone_current_.last_user_key == key) {
+    // A second version of a key inside the block: an aggregation fold would
+    // over-count the key, so the block loses single_version.
+    zone_current_.single_version = false;
   }
   zone_current_.last_user_key = key;
+  zone_current_.num_entries++;
+  const SequenceNumber entry_seq = ExtractSequence(internal_key);
+  if (entry_seq > zone_current_.largest_seq) {
+    zone_current_.largest_seq = entry_seq;
+  }
 
-  if (ExtractValueType(internal_key) == kTypeDeletion) return;
+  if (ExtractValueType(internal_key) == kTypeDeletion) {
+    // A tombstone materializes no row; folds must not count it.
+    zone_current_.single_version = false;
+    return;
+  }
 
   // Row payload: presence bitmap over the full column-group set, then the
   // present columns' fixed-width LE values in order (RowCodec's layout,
@@ -110,6 +130,8 @@ void SstBuilder::AccumulateZone(const Slice& internal_key, const Slice& value) {
       if (v < accum.min) accum.min = v;
       if (v > accum.max) accum.max = v;
     }
+    accum.count++;
+    accum.sum += v;
   }
 }
 

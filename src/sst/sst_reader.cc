@@ -102,6 +102,13 @@ void SstReader::BuildFileZone() {
   file_zone_.first_user_key = blocks.front().first_user_key;
   file_zone_.last_user_key = blocks.back().last_user_key;
   file_zone_.self_contained = true;  // run files never straddle user keys
+  // The file fold feeds only skip verdicts, never aggregation folds (those
+  // are per block): leave single_version false so it can never be folded.
+  file_zone_.single_version = false;
+  for (const ZoneMapEntry& block : blocks) {
+    file_zone_.num_entries += block.num_entries;
+    file_zone_.largest_seq = std::max(file_zone_.largest_seq, block.largest_seq);
+  }
   // Fold per-column min/max; keep only columns summarized in EVERY block
   // (a column absent from one block's summary leaves that block's values
   // unbounded, so no file-wide verdict is possible for it).
@@ -122,6 +129,8 @@ void SstReader::BuildFileZone() {
             out.max = std::max(out.max, col.max);
           }
         }
+        out.count += col.count;
+        out.sum += col.sum;
         merged.push_back(out);
         break;
       }

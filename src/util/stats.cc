@@ -27,6 +27,17 @@ void Stats::AddCountersTo(Stats* out) const {
   add(filter_bytes_total, out->filter_bytes_total);
   add(point_reads, out->point_reads);
   add(range_scans, out->range_scans);
+  for (int i = 0; i < kStatsLevels; ++i) {
+    add(point_reads_by_level[i], out->point_reads_by_level[i]);
+  }
+  for (int i = 0; i < kStatsColumns; ++i) {
+    add(scan_projected_by_column[i], out->scan_projected_by_column[i]);
+    add(point_projected_by_column[i], out->point_projected_by_column[i]);
+    add(updated_by_column[i], out->updated_by_column[i]);
+  }
+  add(inserts, out->inserts);
+  add(updates, out->updates);
+  add(scan_rows_emitted, out->scan_rows_emitted);
   add(scan_rows_merged, out->scan_rows_merged);
   add(scan_batches_emitted, out->scan_batches_emitted);
   add(scan_source_advances, out->scan_source_advances);
@@ -37,6 +48,9 @@ void Stats::AddCountersTo(Stats* out) const {
   add(files_skipped_zonemap, out->files_skipped_zonemap);
   add(rows_filtered_pushdown, out->rows_filtered_pushdown);
   add(aggs_pushed, out->aggs_pushed);
+  add(aggs_from_zonemap, out->aggs_from_zonemap);
+  add(design_morph_compactions, out->design_morph_compactions);
+  add(design_morphs_completed, out->design_morphs_completed);
   add(bytes_written_wal, out->bytes_written_wal);
   add(wal_syncs, out->wal_syncs);
   add(wal_group_commits, out->wal_group_commits);
@@ -101,6 +115,17 @@ std::string Stats::ToString() const {
            static_cast<unsigned long long>(aggs_pushed.load()),
            static_cast<unsigned long long>(block_cache_effective_shards.load()));
   std::string out(buf);
+
+  snprintf(buf, sizeof(buf),
+           " inserts=%llu updates=%llu scan_rows_emitted=%llu "
+           "aggs_from_zonemap=%llu morph_jobs=%llu morphs_completed=%llu",
+           static_cast<unsigned long long>(inserts.load()),
+           static_cast<unsigned long long>(updates.load()),
+           static_cast<unsigned long long>(scan_rows_emitted.load()),
+           static_cast<unsigned long long>(aggs_from_zonemap.load()),
+           static_cast<unsigned long long>(design_morph_compactions.load()),
+           static_cast<unsigned long long>(design_morphs_completed.load()));
+  out += buf;
 
   // Per-level filter line: only levels with configured bits, live filter
   // bytes, or probe activity (keeps the line empty on fresh/filterless DBs).

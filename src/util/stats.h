@@ -17,6 +17,9 @@ class Stats {
  public:
   /// Per-level stat arrays clamp deeper levels into the last slot.
   static constexpr int kStatsLevels = 16;
+  /// Per-column stat arrays (1-based column ids; ids beyond the range clamp
+  /// into the last slot).
+  static constexpr int kStatsColumns = 128;
 
   // -- read path --
   std::atomic<uint64_t> data_block_reads{0};   ///< data blocks fetched
@@ -30,6 +33,30 @@ class Stats {
   std::atomic<uint64_t> bloom_false_positives{0};
   std::atomic<uint64_t> point_reads{0};
   std::atomic<uint64_t> range_scans{0};
+  /// Point reads resolved at each level (0 = memtable/L0; clamps like the
+  /// filter arrays). Feeds the advisor's per-level read histogram.
+  std::atomic<uint64_t> point_reads_by_level[kStatsLevels] = {};
+
+  /// Clamps a 1-based column id into the per-column arrays.
+  static int ColumnSlot(int column) {
+    if (column < 1) column = 1;
+    if (column > kStatsColumns) column = kStatsColumns;
+    return column - 1;
+  }
+
+  // -- per-column workload telemetry (feeds BuildTraceFromStats; accumulated
+  //    once per scan / point read / update op, not per row) --
+  /// Scans whose projection included the column.
+  std::atomic<uint64_t> scan_projected_by_column[kStatsColumns] = {};
+  /// Found point reads whose projection included the column.
+  std::atomic<uint64_t> point_projected_by_column[kStatsColumns] = {};
+  /// Update ops that wrote the column.
+  std::atomic<uint64_t> updated_by_column[kStatsColumns] = {};
+  std::atomic<uint64_t> inserts{0};  ///< full-row inserts
+  std::atomic<uint64_t> updates{0};  ///< partial-row update ops
+  /// Rows handed to scan consumers after pushdown filtering (selectivity =
+  /// scan_rows_emitted / range_scans).
+  std::atomic<uint64_t> scan_rows_emitted{0};
 
   // -- per-level filter telemetry (level >= kStatsLevels folds into the
   //    last slot; L0 probes are level 0) --
@@ -68,6 +95,16 @@ class Stats {
   std::atomic<uint64_t> files_skipped_zonemap{0};    ///< files never opened
   std::atomic<uint64_t> rows_filtered_pushdown{0};   ///< rows dropped by preds
   std::atomic<uint64_t> aggs_pushed{0};              ///< aggregates folded in-scan
+  /// Blocks whose aggregates were folded straight from the zone map — every
+  /// row provably matched, so count/sum/min/max contributed without the
+  /// block ever being read or decoded.
+  std::atomic<uint64_t> aggs_from_zonemap{0};
+
+  // -- adaptive design (online advisor + in-flight morphing) --
+  std::atomic<uint64_t> design_morph_compactions{0};  ///< level re-layout jobs
+  /// Morph installs after which the tree's per-level design matches the
+  /// persisted target at every level (the morph converged).
+  std::atomic<uint64_t> design_morphs_completed{0};
 
   // -- configuration gauges (set once at open; not part of Reset) --
   /// Shard count the block cache actually runs with after the min-bytes-per-
@@ -110,6 +147,15 @@ class Stats {
     }
     point_reads = 0;
     range_scans = 0;
+    for (int i = 0; i < kStatsLevels; ++i) point_reads_by_level[i] = 0;
+    for (int i = 0; i < kStatsColumns; ++i) {
+      scan_projected_by_column[i] = 0;
+      point_projected_by_column[i] = 0;
+      updated_by_column[i] = 0;
+    }
+    inserts = 0;
+    updates = 0;
+    scan_rows_emitted = 0;
     scan_rows_merged = 0;
     scan_batches_emitted = 0;
     scan_source_advances = 0;
@@ -120,6 +166,9 @@ class Stats {
     files_skipped_zonemap = 0;
     rows_filtered_pushdown = 0;
     aggs_pushed = 0;
+    aggs_from_zonemap = 0;
+    design_morph_compactions = 0;
+    design_morphs_completed = 0;
     bytes_written_wal = 0;
     wal_syncs = 0;
     wal_group_commits = 0;

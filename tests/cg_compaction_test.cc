@@ -45,6 +45,17 @@ class CgCompactionTest : public ::testing::Test {
     return ctx;
   }
 
+  /// Fills the job's column sets from the fixture's cg_config, the way
+  /// CompactionPicker snapshots them from a Version's design.
+  void FillJobColumns(CompactionJob* job) {
+    const CgConfig& config = options_.cg_config;
+    job->parent_columns = config.groups(job->level)[job->group];
+    job->child_columns.clear();
+    for (int child : job->child_groups) {
+      job->child_columns.push_back(config.groups(job->level + 1)[child]);
+    }
+  }
+
   /// Builds a memtable with `rows` full rows keyed 0..rows-1.
   MemTable* FillMemTable(int rows, SequenceNumber base_seq) {
     MemTable* mem = new MemTable();
@@ -120,6 +131,7 @@ TEST_F(CgCompactionTest, CompactionSplitsRowsIntoChildGroups) {
   job.to_bottom_level = true;
 
   CompactionResult result;
+  FillJobColumns(&job);
   ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
   ASSERT_EQ(result.outputs.size(), 2u);
   ASSERT_FALSE(result.outputs[0].empty());
@@ -165,6 +177,7 @@ TEST_F(CgCompactionTest, TombstonesReachEveryChildGroup) {
   job.to_bottom_level = false;  // tombstones must survive mid-tree
 
   CompactionResult result;
+  FillJobColumns(&job);
   ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
   for (int child = 0; child < 2; ++child) {
     auto dump = DumpRun(result.outputs[child]);
@@ -192,6 +205,7 @@ TEST_F(CgCompactionTest, BottomLevelDropsTombstones) {
   job.to_bottom_level = true;
 
   CompactionResult result;
+  FillJobColumns(&job);
   ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
   EXPECT_TRUE(result.outputs[0].empty());
   EXPECT_TRUE(result.outputs[1].empty());
@@ -217,6 +231,7 @@ TEST_F(CgCompactionTest, PartialUpdateMergesWithChildRow) {
   seed_job.child_files = {{}, {}};
   seed_job.to_bottom_level = true;
   CompactionResult seeded;
+  FillJobColumns(&seed_job);
   ASSERT_TRUE(RunCompaction(ctx, seed_job, &seeded).ok());
 
   // Newer partial row (update of column 3 only) arrives above.
@@ -236,6 +251,7 @@ TEST_F(CgCompactionTest, PartialUpdateMergesWithChildRow) {
   job.to_bottom_level = true;
 
   CompactionResult result;
+  FillJobColumns(&job);
   ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
 
   // Child <1,2>: untouched by the partial -> old values intact, 1 entry.
@@ -279,6 +295,7 @@ TEST_F(CgCompactionTest, OutputRespectsTargetSstSize) {
   job.to_bottom_level = true;
 
   CompactionResult result;
+  FillJobColumns(&job);
   ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
   EXPECT_GT(result.outputs[0].size(), 1u);
   // Files within a run must be sorted and non-overlapping.
@@ -317,6 +334,7 @@ TEST_F(CgCompactionTest, SnapshotPreservesOldVersionThroughCompaction) {
   job.to_bottom_level = true;
 
   CompactionResult result;
+  FillJobColumns(&job);
   ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
   // Both versions must survive in each child chain (seq 8 and seq 3).
   for (int child = 0; child < 2; ++child) {
@@ -342,6 +360,7 @@ TEST_F(CgCompactionTest, IdentityCompactionKeepsRowFormat) {
   job.to_bottom_level = false;
 
   CompactionResult result;
+  FillJobColumns(&job);
   ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
   ASSERT_EQ(result.outputs.size(), 1u);
   uint64_t total = 0;
@@ -378,6 +397,7 @@ TEST_F(CgCompactionTest, L0MultipleOverlappingRunsMergeNewestWins) {
   job.to_bottom_level = false;
 
   CompactionResult result;
+  FillJobColumns(&job);
   ASSERT_TRUE(RunCompaction(ctx, job, &result).ok());
   auto iter = NewRunIterator(result.outputs[0]);
   iter->SeekToFirst();

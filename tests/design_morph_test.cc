@@ -1,0 +1,511 @@
+// In-flight design morphing, end to end: (1) differential scan correctness
+// against a reference model while the tree is mid-morph at every level —
+// each staged target leaves the tree genuinely mixed (shallow levels row,
+// deep levels columnar), which is exactly the layout every read path must
+// tolerate; (2) a crash matrix over the morph phase — killed at every
+// filesystem operation from SetTargetDesign through convergence, the
+// reopened tree must hold exactly the acknowledged writes AND keep
+// converging to the persisted target instead of reverting; (3) the advisor
+// daemon's hysteresis, driven deterministically through TickOnce.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cost/design_advisor_daemon.h"
+#include "cost/trace.h"
+#include "laser/laser_db.h"
+#include "tests/recovery_harness.h"
+#include "tests/test_util.h"
+#include "util/env_fault.h"
+
+namespace laser {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Differential scans across staged morphs.
+// ---------------------------------------------------------------------------
+
+constexpr int kColumns = 6;
+constexpr int kLevels = 4;
+constexpr uint64_t kKeySpace = 700;
+
+// column id -> value; a key absent from the model is deleted/never written.
+using ModelRow = std::map<int, uint64_t>;
+using Model = std::map<uint64_t, ModelRow>;
+
+struct ResultRow {
+  uint64_t key = 0;
+  std::vector<std::optional<ColumnValue>> values;
+
+  bool operator==(const ResultRow&) const = default;
+};
+
+std::vector<ResultRow> ModelScan(const Model& model, uint64_t lo, uint64_t hi,
+                                 const ColumnSet& projection) {
+  std::vector<ResultRow> out;
+  for (auto it = model.lower_bound(lo); it != model.end() && it->first <= hi;
+       ++it) {
+    ResultRow row;
+    row.key = it->first;
+    bool any = false;
+    for (const int column : projection) {
+      auto v = it->second.find(column);
+      if (v != it->second.end()) {
+        row.values.emplace_back(v->second);
+        any = true;
+      } else {
+        row.values.emplace_back(std::nullopt);
+      }
+    }
+    if (any) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<ResultRow> FilterRows(std::vector<ResultRow> rows,
+                                  const ColumnSet& projection,
+                                  const ScanSpec& spec) {
+  std::vector<ResultRow> out;
+  for (auto& row : rows) {
+    bool keep = true;
+    for (const ScanPredicate& pred : spec.predicates) {
+      const auto pos =
+          std::find(projection.begin(), projection.end(), pred.column);
+      const auto& value = row.values[pos - projection.begin()];
+      if (!value.has_value() || !PredicateMatches(pred, *value)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(std::move(row));
+  }
+  return out;
+}
+
+std::vector<ResultRow> RowApiScan(LaserDB* db, uint64_t lo, uint64_t hi,
+                                  const ColumnSet& projection,
+                                  const ScanSpec& spec = {}) {
+  std::vector<ResultRow> out;
+  auto scan = db->NewScan(lo, hi, projection, spec);
+  EXPECT_NE(scan, nullptr);
+  if (scan == nullptr) return out;
+  for (; scan->Valid(); scan->Next()) {
+    out.push_back(ResultRow{scan->key(), scan->values()});
+  }
+  EXPECT_TRUE(scan->status().ok());
+  return out;
+}
+
+std::vector<ResultRow> BatchApiScan(LaserDB* db, uint64_t lo, uint64_t hi,
+                                    const ColumnSet& projection,
+                                    size_t batch_rows,
+                                    const ScanSpec& spec = {}) {
+  std::vector<ResultRow> out;
+  auto scan = db->NewScan(lo, hi, projection, spec);
+  EXPECT_NE(scan, nullptr);
+  if (scan == nullptr) return out;
+  ScanBatch batch;
+  while (size_t n = scan->NextBatch(&batch, batch_rows)) {
+    for (size_t i = 0; i < n; ++i) {
+      ResultRow row;
+      row.key = batch.keys[i];
+      for (size_t c = 0; c < projection.size(); ++c) {
+        if (batch.columns[c].present[i]) {
+          row.values.emplace_back(batch.columns[c].values[i]);
+        } else {
+          row.values.emplace_back(std::nullopt);
+        }
+      }
+      out.push_back(std::move(row));
+    }
+  }
+  EXPECT_TRUE(scan->status().ok());
+  return out;
+}
+
+class MidMorphScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    LaserOptions options =
+        test::TinyTreeOptions(env_.get(), "/db", kColumns, kLevels);
+    options.cg_config = CgConfig::RowOnly(kColumns, kLevels);
+    options.use_wal = false;
+    options.background_threads = 1;
+    options.disable_auto_compactions = true;
+    ASSERT_TRUE(LaserDB::Open(options, &db_).ok());
+
+    // Inserts, partial updates, deletes — enough rows that the tiny tree
+    // spreads files over several levels before the morph stages begin.
+    for (uint64_t key = 1; key <= kKeySpace; ++key) {
+      ASSERT_TRUE(db_->Insert(key, test::TestRow(key, kColumns)).ok());
+      ModelRow& row = model_[key];
+      for (int c = 1; c <= kColumns; ++c) {
+        row[c] = key * 100 + static_cast<uint64_t>(c);
+      }
+    }
+    for (uint64_t key = 3; key <= kKeySpace; key += 3) {
+      ASSERT_TRUE(db_->Update(key, {{2, key * 1000 + 2}}).ok());
+      model_[key][2] = key * 1000 + 2;
+    }
+    for (uint64_t key = 7; key <= kKeySpace; key += 7) {
+      ASSERT_TRUE(db_->Delete(key).ok());
+      model_.erase(key);
+    }
+    ASSERT_TRUE(db_->Flush().ok());
+    ASSERT_TRUE(db_->CompactUntilStable().ok());
+  }
+
+  /// Every read path against the reference model: full / narrow / single
+  /// projections, row and batch consumers (batch sizes straddling runs),
+  /// pushed-down predicates, and point reads over the whole key universe.
+  void VerifyAllReadPaths() {
+    const ColumnSet full = MakeColumnRange(1, kColumns);
+    for (const ColumnSet& projection :
+         std::vector<ColumnSet>{full, {2, 5}, {4}}) {
+      const auto expected = ModelScan(model_, 1, kKeySpace, projection);
+      EXPECT_EQ(RowApiScan(db_.get(), 1, kKeySpace, projection), expected);
+      for (const size_t batch_rows : {size_t{1}, size_t{7}, size_t{128}}) {
+        EXPECT_EQ(
+            BatchApiScan(db_.get(), 1, kKeySpace, projection, batch_rows),
+            expected);
+      }
+      // Selective pushdown on the projection's first column.
+      ScanSpec spec;
+      spec.predicates.push_back(
+          {projection[0], PredOp::kGe, kKeySpace * 50, 0});
+      const auto filtered = FilterRows(expected, projection, spec);
+      EXPECT_EQ(RowApiScan(db_.get(), 1, kKeySpace, projection, spec),
+                filtered);
+      EXPECT_EQ(BatchApiScan(db_.get(), 1, kKeySpace, projection, 64, spec),
+                filtered);
+    }
+    for (uint64_t key = 1; key <= kKeySpace; ++key) {
+      LaserDB::ReadResult result;
+      ASSERT_TRUE(db_->Read(key, full, &result).ok()) << "key " << key;
+      auto it = model_.find(key);
+      ASSERT_EQ(result.found, it != model_.end()) << "key " << key;
+      if (!result.found) continue;
+      for (int c = 1; c <= kColumns; ++c) {
+        // A resurrected key (update after delete) holds only the updated
+        // columns; absent model columns must read back as null.
+        auto v = it->second.find(c);
+        const std::optional<ColumnValue> want =
+            v != it->second.end() ? std::optional<ColumnValue>(v->second)
+                                  : std::nullopt;
+        ASSERT_EQ(result.values[c - 1], want)
+            << "key " << key << " column " << c;
+      }
+    }
+  }
+
+  std::unique_ptr<Env> env_;
+  std::unique_ptr<LaserDB> db_;
+  Model model_;
+};
+
+TEST_F(MidMorphScanTest, ScansExactWithTreeMixedAtEveryLevel) {
+  const CgConfig row = CgConfig::RowOnly(kColumns, kLevels);
+  const CgConfig columnar = CgConfig::ColumnOnly(kColumns, kLevels);
+
+  // Converge bottom-up through staged targets: stage k leaves levels
+  // [k, kLevels) columnar and everything above row — a valid design (CG
+  // containment holds when groups only narrow with depth) that is exactly
+  // the mixed layout an in-flight morph passes through. Each stage re-lays
+  // one more level, so every mixed state gets the full differential sweep.
+  VerifyAllReadPaths();  // pre-morph baseline
+  for (int k = kLevels - 1; k >= 1; --k) {
+    CgConfig stage = row;
+    for (int level = k; level < kLevels; ++level) {
+      stage.SetLevelGroups(level, columnar.groups(level));
+    }
+    const uint64_t morphs_before = db_->stats().design_morphs_completed.load();
+    ASSERT_TRUE(db_->SetTargetDesign(stage).ok()) << "stage " << k;
+    ASSERT_TRUE(db_->CompactUntilStable().ok()) << "stage " << k;
+    EXPECT_EQ(db_->CurrentDesign(), stage) << "stage " << k;
+    EXPECT_EQ(db_->TargetDesign().num_levels(), 0) << "stage " << k;
+    EXPECT_EQ(db_->stats().design_morphs_completed.load(), morphs_before + 1);
+    VerifyAllReadPaths();
+  }
+  EXPECT_EQ(db_->CurrentDesign(), columnar);
+  EXPECT_GE(db_->stats().design_morph_compactions.load(),
+            static_cast<uint64_t>(kLevels - 1));
+
+  // Writes keep working on the converged tree, and a morph straight back to
+  // row (one target, all levels mismatched at once) stays exact too.
+  for (uint64_t key = 1; key <= 8; ++key) {
+    ASSERT_TRUE(db_->Update(key, {{5, key * 9000 + 5}}).ok());
+    model_[key][5] = key * 9000 + 5;
+  }
+  ASSERT_TRUE(db_->Flush().ok());
+  ASSERT_TRUE(db_->SetTargetDesign(row).ok());
+  ASSERT_TRUE(db_->CompactUntilStable().ok());
+  EXPECT_EQ(db_->CurrentDesign(), row);
+  VerifyAllReadPaths();
+}
+
+// ---------------------------------------------------------------------------
+// Morph-resume crash matrix.
+// ---------------------------------------------------------------------------
+
+// Scripted workload for the crash matrix: build a compacted row-format tree,
+// then morph it to pure columnar with a trailing write burst. Uses the
+// recovery harness's 4-column schema so its model verifiers apply.
+struct MorphScriptOutcome {
+  test::Model model;        // acknowledged state
+  bool target_acked = false;  // SetTargetDesign returned OK
+  bool completed = false;
+  uint64_t morph_begin = 0;  // op index where the morph phase starts
+};
+
+class MorphCrashHarness {
+ public:
+  static constexpr int kCols = test::RecoveryHarness::kColumns;
+  static constexpr int kLvls = 4;
+
+  MorphCrashHarness() : base_(NewMemEnv()), fault_(base_.get()) {}
+
+  FaultInjectionEnv* fault_env() { return &fault_; }
+
+  static CgConfig InitialDesign() { return CgConfig::RowOnly(kCols, kLvls); }
+  static CgConfig TargetDesign() { return CgConfig::ColumnOnly(kCols, kLvls); }
+
+  Status Open(std::unique_ptr<LaserDB>* db) {
+    LaserOptions options;
+    options.env = &fault_;
+    options.path = "/db";
+    options.schema = Schema::UniformInt32(kCols);
+    options.num_levels = kLvls;
+    options.size_ratio = 2;
+    options.cg_config = InitialDesign();
+    options.write_buffer_size = 1 << 20;  // rotates only on explicit Flush
+    options.level0_bytes = 2 * 1024;
+    options.level0_file_compaction_trigger = 2;
+    options.target_sst_size = 2 * 1024;
+    options.block_size = 1024;
+    options.background_threads = 1;
+    options.disable_auto_compactions = true;
+    options.wal_sync_policy = WalSyncPolicy::kSyncEveryWrite;  // acked==durable
+    return LaserDB::Open(options, db);
+  }
+
+  MorphScriptOutcome RunScript(LaserDB* db) {
+    MorphScriptOutcome out;
+    auto insert = [&](uint64_t key) {
+      if (!db->Insert(key, test::TestRow(key, kCols)).ok()) return false;
+      test::RowState row(kCols);
+      for (int c = 1; c <= kCols; ++c) row[c - 1] = key * 100 + c;
+      out.model[key] = std::move(row);
+      return true;
+    };
+
+    // Build phase: two flushed batches plus a compaction, so the morph has a
+    // multi-level row tree to convert.
+    for (uint64_t key = 1; key <= 24; ++key) {
+      if (!insert(key)) return out;
+    }
+    if (!db->Flush().ok()) return out;
+    for (uint64_t key = 25; key <= 40; ++key) {
+      if (!insert(key)) return out;
+    }
+    if (!db->Update(5, {{2, 5002}}).ok()) return out;
+    out.model[5][1] = 5002;
+    if (!db->Delete(40).ok()) return out;
+    out.model.erase(40);
+    if (!db->Flush().ok()) return out;
+    if (!db->CompactUntilStable().ok()) return out;
+
+    // Morph phase: target install (manifest write) + per-level re-layouts
+    // (compaction outputs, manifest installs, obsolete-file deletes).
+    out.morph_begin = fault_.mutating_ops();
+    if (!db->SetTargetDesign(TargetDesign()).ok()) return out;
+    out.target_acked = true;
+    if (!db->CompactUntilStable().ok()) return out;
+
+    // Writes on top of the morphed tree.
+    for (uint64_t key = 41; key <= 48; ++key) {
+      if (!insert(key)) return out;
+    }
+    out.completed = true;
+    return out;
+  }
+
+ private:
+  std::unique_ptr<Env> base_;
+  FaultInjectionEnv fault_;
+};
+
+TEST(MorphCrashMatrixTest, CrashAtEveryOperationOfTheMorphResumes) {
+  // Profiling run: no faults; the script must complete and morph exactly once.
+  uint64_t total_ops = 0;
+  uint64_t morph_begin = 0;
+  test::Model final_model;
+  {
+    MorphCrashHarness harness;
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    MorphScriptOutcome baseline = harness.RunScript(db.get());
+    ASSERT_TRUE(baseline.completed);
+    EXPECT_EQ(db->CurrentDesign(), MorphCrashHarness::TargetDesign());
+    EXPECT_EQ(db->stats().design_morphs_completed.load(), 1u);
+    EXPECT_GE(db->stats().design_morph_compactions.load(), 1u);
+    test::RecoveryHarness::VerifyMatchesModel(db.get(), baseline.model);
+    total_ops = harness.fault_env()->mutating_ops();
+    morph_begin = baseline.morph_begin;
+    final_model = baseline.model;
+  }
+  ASSERT_GT(total_ops, morph_begin);
+  ASSERT_GT(total_ops - morph_begin, 10u) << "morph phase produced too few "
+                                             "filesystem ops to be a matrix";
+
+  // Crash at every op of the morph phase. After reboot: exactly the
+  // acknowledged data, a design invariant (every level laid out either as
+  // the old or the target partition, never torn), and — when the target
+  // install was acknowledged — CompactUntilStable must finish the morph the
+  // crash interrupted.
+  const CgConfig initial = MorphCrashHarness::InitialDesign();
+  const CgConfig target = MorphCrashHarness::TargetDesign();
+  for (uint64_t k = morph_begin; k < total_ops; ++k) {
+    SCOPED_TRACE("crash after op " + std::to_string(k));
+    MorphCrashHarness harness;
+    harness.fault_env()->CrashAfterOps(k);
+
+    MorphScriptOutcome outcome;
+    {
+      std::unique_ptr<LaserDB> db;
+      if (harness.Open(&db).ok()) {
+        outcome = harness.RunScript(db.get());
+      }
+    }
+    EXPECT_FALSE(outcome.completed);
+
+    harness.fault_env()->DropUnsyncedData();
+    harness.fault_env()->ClearFaults();
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(harness.Open(&db).ok());
+    test::RecoveryHarness::VerifyMatchesModel(db.get(), outcome.model);
+
+    const CgConfig recovered = db->CurrentDesign();
+    for (int level = 0; level < MorphCrashHarness::kLvls; ++level) {
+      EXPECT_TRUE(recovered.groups(level) == initial.groups(level) ||
+                  recovered.groups(level) == target.groups(level))
+          << "level " << level << " recovered mid-rewrite";
+    }
+    const CgConfig pending = db->TargetDesign();
+    if (pending.num_levels() > 0) {
+      EXPECT_EQ(pending, target) << "persisted target mutated across crash";
+    }
+
+    // Resume: the acknowledged target must win through to convergence.
+    ASSERT_TRUE(db->CompactUntilStable().ok());
+    if (outcome.target_acked) {
+      EXPECT_EQ(db->CurrentDesign(), target) << "acked morph did not resume";
+      EXPECT_EQ(db->TargetDesign().num_levels(), 0);
+    }
+    test::RecoveryHarness::VerifyMatchesModel(db.get(), outcome.model);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Advisor-daemon hysteresis (deterministic, via TickOnce).
+// ---------------------------------------------------------------------------
+
+class DaemonHysteresisTest : public ::testing::Test {
+ protected:
+  static constexpr int kCols = 8;
+  static constexpr int kLvls = 4;
+
+  DesignAdvisorDaemonOptions MakeOptions(double gain) const {
+    DesignAdvisorDaemonOptions options;
+    options.min_predicted_gain = gain;
+    options.shape.num_levels = kLvls;
+    options.shape.size_ratio = 2;
+    options.shape.entries_per_block = 4096.0 / (16.0 + 4.0 * kCols);
+    options.shape.blocks_level0 = 64;
+    options.shape.num_columns = kCols;
+    return options;
+  }
+
+  /// Scan-heavy trace over a narrow projection: the advisor will want to
+  /// split <7-8> off, which beats pure-row by far more than any reasonable
+  /// hysteresis margin.
+  void FillScanHeavyTrace(WorkloadTrace* trace) const {
+    trace->AddInsert(10000);
+    for (int i = 0; i < 500; ++i) trace->AddRangeScan({7, 8}, 4000.0);
+    trace->AddPointRead(MakeColumnRange(1, kCols), 1);
+  }
+
+  DesignAdvisorDaemon::Hooks MakeHooks() {
+    DesignAdvisorDaemon::Hooks hooks;
+    hooks.fill_trace = [this](WorkloadTrace* trace) { FillScanHeavyTrace(trace); };
+    hooks.design_to_beat = [this]() {
+      return target_.num_levels() > 0 ? target_ : committed_;
+    };
+    hooks.install = [this](const CgConfig& config) {
+      target_ = config;
+      return Status::OK();
+    };
+    return hooks;
+  }
+
+  Schema schema_ = Schema::UniformInt32(kCols);
+  CgConfig committed_ = CgConfig::RowOnly(kCols, kLvls);
+  CgConfig target_;  // in-flight morph target (empty = none)
+};
+
+TEST_F(DaemonHysteresisTest, InstallsOnceThenHoldsSteady) {
+  DesignAdvisorDaemon daemon(&schema_, MakeOptions(0.10), MakeHooks());
+
+  // First pass: the candidate beats row-only by more than 10% — installed.
+  EXPECT_TRUE(daemon.TickOnce());
+  EXPECT_EQ(daemon.installs(), 1u);
+  ASSERT_GT(target_.num_levels(), 0);
+  const CgConfig first_target = target_;
+
+  // Same telemetry, morph still in flight: the candidate now scores equal to
+  // the design to beat (the target itself), so no tick may re-install — this
+  // is the hysteresis that keeps a converging morph from being thrashed.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(daemon.TickOnce()) << "tick " << i;
+  }
+  EXPECT_EQ(daemon.installs(), 1u);
+  EXPECT_EQ(target_, first_target);
+
+  // Morph finishes (target becomes the committed design): still no churn.
+  committed_ = target_;
+  target_ = CgConfig();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(daemon.TickOnce()) << "tick " << i;
+  }
+  EXPECT_EQ(daemon.installs(), 1u);
+  EXPECT_EQ(daemon.ticks(), 11u);
+}
+
+TEST_F(DaemonHysteresisTest, GainThresholdBlocksMarginalWins) {
+  // An absurd margin: nothing can be predicted to win by 99.9%, so even a
+  // clearly better design must not be installed.
+  DesignAdvisorDaemon daemon(&schema_, MakeOptions(0.999), MakeHooks());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(daemon.TickOnce());
+  }
+  EXPECT_EQ(daemon.installs(), 0u);
+  EXPECT_EQ(target_.num_levels(), 0);
+}
+
+TEST_F(DaemonHysteresisTest, ScoreDesignMatchesInstallDecision) {
+  DesignAdvisorDaemon daemon(&schema_, MakeOptions(0.10), MakeHooks());
+  WorkloadTrace trace(kLvls);
+  FillScanHeavyTrace(&trace);
+
+  ASSERT_TRUE(daemon.TickOnce());
+  const double winner = daemon.ScoreDesign(target_, trace);
+  const double row = daemon.ScoreDesign(CgConfig::RowOnly(kCols, kLvls), trace);
+  EXPECT_LT(winner, row * (1.0 - 0.10))
+      << "installed design does not clear the advertised margin";
+}
+
+}  // namespace
+}  // namespace laser

@@ -714,6 +714,122 @@ TEST(ScanPushdownTest, MixingBatchAndRowModesIsAnError) {
 #endif
 }
 
+// Zone-map aggregation fold: over a compacted tree, AggregateAll answers
+// whole blocks from zone-map summaries (per-column count/sum plus min/max)
+// without decoding them. The fold must (a) actually fire — the
+// aggs_from_zonemap counter moves — and (b) agree exactly with the
+// row-materializing reference, with and without predicates, including after
+// updates and deletes reintroduce overlap that makes folds unprovable.
+// Row/batch consumers over the same tree must never fold (they need the rows).
+TEST(ScanPushdownTest, AggregateAllFoldsFromZoneMaps) {
+  struct FoldCase {
+    test::DesignParam design;
+    ColumnSet projection;
+  };
+  // Row-only folds a full projection; CG designs fold when the projection
+  // stays inside one group's columns.
+  const std::vector<FoldCase> cases = {
+      {{"row", 0}, MakeColumnRange(1, kColumns)},
+      {{"cg3", 3}, {1}},
+      {{"col", 1}, {4}},
+  };
+  for (const FoldCase& fold_case : cases) {
+    SCOPED_TRACE(fold_case.design.name);
+    Random rng(0xf01dab1e);
+    auto env = NewMemEnv();
+    LaserOptions options =
+        test::TinyTreeOptions(env.get(), "/db", kColumns, kLevels);
+    options.cg_config = test::DesignConfig(fold_case.design, kColumns, kLevels);
+    std::unique_ptr<LaserDB> db;
+    ASSERT_TRUE(LaserDB::Open(options, &db).ok());
+
+    Model model;
+    for (uint64_t key = 0; key < kKeySpace; ++key) {
+      std::vector<ColumnValue> row(kColumns);
+      for (int c = 0; c < kColumns; ++c) row[c] = rng.Uniform(1u << 30);
+      ASSERT_TRUE(db->Insert(key, row).ok());
+      ModelRow& mrow = model[key];
+      for (int c = 0; c < kColumns; ++c) mrow[c + 1] = row[c];
+    }
+    ASSERT_TRUE(db->CompactUntilStable().ok());
+
+    const ColumnSet& projection = fold_case.projection;
+    const auto check = [&](const ScanSpec& spec, const char* what) {
+      const auto want = FoldRows(
+          FilterRows(ModelScan(model, 0, kKeySpace, projection), projection,
+                     spec),
+          projection.size());
+      auto scan = db->NewScan(0, kKeySpace, projection, spec);
+      ASSERT_NE(scan, nullptr) << what;
+      ScanAggregates got;
+      ASSERT_TRUE(scan->AggregateAll(&got).ok()) << what;
+      EXPECT_EQ(got.rows, want.rows) << what;
+      EXPECT_EQ(got.counts, want.counts) << what;
+      EXPECT_EQ(got.sums, want.sums) << what;
+      EXPECT_EQ(got.minima, want.minima) << what;
+      EXPECT_EQ(got.maxima, want.maxima) << what;
+    };
+
+    // Predicate-free full-range aggregate: compacted single-version blocks
+    // inside sole-contributor windows fold wholesale.
+    uint64_t base = db->stats().aggs_from_zonemap.load();
+    ASSERT_NO_FATAL_FAILURE(check(ScanSpec(), "predicate-free"));
+    EXPECT_GT(db->stats().aggs_from_zonemap.load(), base)
+        << "fold never fired on a compacted tree";
+
+    // An always-true predicate is provable from min/max alone: still folds.
+    ScanSpec all_match;
+    all_match.predicates.push_back(
+        {projection[0], PredOp::kLe, UINT64_MAX, 0});
+    base = db->stats().aggs_from_zonemap.load();
+    ASSERT_NO_FATAL_FAILURE(check(all_match, "all-match predicate"));
+    EXPECT_GT(db->stats().aggs_from_zonemap.load(), base)
+        << "fold never fired under an all-match predicate";
+
+    // A selective predicate: blocks that are not provably all-match decode
+    // and filter row by row; the answer stays exact either way.
+    ScanSpec selective;
+    selective.predicates.push_back({projection[0], PredOp::kGe, 1u << 29, 0});
+    ASSERT_NO_FATAL_FAILURE(check(selective, "selective predicate"));
+
+    // Row-materializing consumers never fold: every row still comes back.
+    base = db->stats().aggs_from_zonemap.load();
+    EXPECT_EQ(RowApiScan(db.get(), 0, kKeySpace, projection).size(),
+              model.size());
+    {
+      auto scan = db->NewScan(0, kKeySpace, projection);
+      ScanBatch batch;
+      size_t rows = 0;
+      while (size_t n = scan->NextBatch(&batch, 64)) rows += n;
+      EXPECT_EQ(rows, model.size());
+    }
+    EXPECT_EQ(db->stats().aggs_from_zonemap.load(), base)
+        << "a row-materializing scan folded blocks away";
+
+    // Updates and deletes: the fresh L0 run overlaps the deep levels, so
+    // sole-contributor windows shrink and most folds stop being provable —
+    // answers must stay exact through the merged path.
+    for (uint64_t key = 0; key < kKeySpace; key += 3) {
+      ASSERT_TRUE(db->Update(key, {{projection[0], key}}).ok());
+      model[key][projection[0]] = key;
+    }
+    for (uint64_t key = 1; key < kKeySpace; key += 7) {
+      ASSERT_TRUE(db->Delete(key).ok());
+      model.erase(key);
+    }
+    ASSERT_TRUE(db->Flush().ok());
+    ASSERT_NO_FATAL_FAILURE(check(ScanSpec(), "overlapped predicate-free"));
+    ASSERT_NO_FATAL_FAILURE(check(selective, "overlapped selective"));
+
+    // After recompaction: answers stay exact whether or not folds resume
+    // (the stable tree may legitimately keep overlapping levels, which
+    // suppresses sole-contributor windows and with them every fold).
+    ASSERT_TRUE(db->CompactUntilStable().ok());
+    ASSERT_NO_FATAL_FAILURE(check(ScanSpec(), "recompacted predicate-free"));
+    ASSERT_NO_FATAL_FAILURE(check(selective, "recompacted selective"));
+  }
+}
+
 // NextBatch with max_rows == 0 is a harmless no-op that loses nothing.
 TEST(ScanBatchTest, ZeroMaxRows) {
   auto env = NewMemEnv();

@@ -174,15 +174,19 @@ class PickerTest : public ::testing::Test {
 TEST_F(PickerTest, CapacityApportionedByWidth) {
   // Level 1 capacity = 2000 bytes; groups <1,2> and <3,4> have equal widths
   // (8-byte key + 2 * 4-byte columns each).
-  EXPECT_EQ(picker_->GroupCapacityBytes(1, 0), picker_->GroupCapacityBytes(1, 1));
-  EXPECT_EQ(picker_->GroupCapacityBytes(1, 0) + picker_->GroupCapacityBytes(1, 1),
+  auto v = Version::Empty(options_.cg_config);
+  EXPECT_EQ(picker_->GroupCapacityBytes(*v, 1, 0),
+            picker_->GroupCapacityBytes(*v, 1, 1));
+  EXPECT_EQ(picker_->GroupCapacityBytes(*v, 1, 0) +
+                picker_->GroupCapacityBytes(*v, 1, 1),
             2000u);
   // Level 2 is T times bigger.
-  EXPECT_EQ(picker_->GroupCapacityBytes(2, 0), 2 * picker_->GroupCapacityBytes(1, 0));
+  EXPECT_EQ(picker_->GroupCapacityBytes(*v, 2, 0),
+            2 * picker_->GroupCapacityBytes(*v, 1, 0));
 }
 
 TEST_F(PickerTest, L0ScoreByFileCount) {
-  auto v = Version::Empty(3, {1, 2, 2});
+  auto v = Version::Empty(options_.cg_config);
   for (int i = 0; i < 4; ++i) {
     v->AddLevel0File(FakeFile(i + 1, i * 10, i * 10 + 5, 500));
   }
@@ -197,7 +201,7 @@ TEST_F(PickerTest, L0ScoreByFileCount) {
 }
 
 TEST_F(PickerTest, PicksMostOverflowingGroup) {
-  auto v = Version::Empty(3, {1, 2, 2});
+  auto v = Version::Empty(options_.cg_config);
   // Group (1,1) overflows its 1000-byte capacity; (1,0) does not.
   v->ReplaceFiles(1, 0, {}, {FakeFile(1, 0, 10, 800)});
   v->ReplaceFiles(1, 1, {}, {FakeFile(2, 0, 10, 3000)});
@@ -211,7 +215,7 @@ TEST_F(PickerTest, PicksMostOverflowingGroup) {
 }
 
 TEST_F(PickerTest, BusyClaimsBlockJob) {
-  auto v = Version::Empty(3, {1, 2, 2});
+  auto v = Version::Empty(options_.cg_config);
   v->ReplaceFiles(1, 1, {}, {FakeFile(2, 0, 10, 3000)});
   std::set<std::pair<int, int>> busy = {{2, 1}};  // child claimed
   EXPECT_FALSE(picker_->Pick(*v, busy).has_value());
@@ -223,7 +227,7 @@ TEST_F(PickerTest, BusyClaimsBlockJob) {
 TEST_F(PickerTest, PriorityOldestSmallestSeqFirst) {
   options_.compaction_priority = CompactionPriority::kOldestSmallestSeqFirst;
   CompactionPicker picker(&options_);
-  auto v = Version::Empty(3, {1, 2, 2});
+  auto v = Version::Empty(options_.cg_config);
   v->ReplaceFiles(1, 0, {},
                   {FakeFile(1, 0, 10, 2000, /*smallest_seq=*/50),
                    FakeFile(2, 20, 30, 3000, /*smallest_seq=*/10)});
@@ -236,12 +240,12 @@ TEST_F(PickerTest, PriorityOldestSmallestSeqFirst) {
 TEST_F(PickerTest, PriorityByCompensatedSize) {
   options_.compaction_priority = CompactionPriority::kByCompensatedSize;
   CompactionPicker picker(&options_);
-  auto v = Version::Empty(3, {1, 2, 2});
+  auto v = Version::Empty(options_.cg_config);
   v->ReplaceFiles(1, 0, {},
                   {FakeFile(1, 0, 10, 2000, 50), FakeFile(2, 20, 30, 3000, 10)});
   // Same data, size priority picks file 2 (larger); here both priorities
   // agree, so distinguish with reversed sizes.
-  auto v2 = Version::Empty(3, {1, 2, 2});
+  auto v2 = Version::Empty(options_.cg_config);
   v2->ReplaceFiles(1, 0, {},
                    {FakeFile(1, 0, 10, 3000, 50), FakeFile(2, 20, 30, 2000, 10)});
   auto job = picker.Pick(*v2, {});
@@ -250,13 +254,13 @@ TEST_F(PickerTest, PriorityByCompensatedSize) {
 }
 
 TEST_F(PickerTest, NothingToDoOnEmptyTree) {
-  auto v = Version::Empty(3, {1, 2, 2});
+  auto v = Version::Empty(options_.cg_config);
   EXPECT_FALSE(picker_->NeedsCompaction(*v));
   EXPECT_FALSE(picker_->Pick(*v, {}).has_value());
 }
 
 TEST_F(PickerTest, ChildFilesLimitedToOverlap) {
-  auto v = Version::Empty(3, {1, 2, 2});
+  auto v = Version::Empty(options_.cg_config);
   v->ReplaceFiles(1, 1, {}, {FakeFile(2, 20, 30, 3000)});
   v->ReplaceFiles(2, 1, {},
                   {FakeFile(3, 0, 10, 100), FakeFile(4, 25, 28, 100),

@@ -68,6 +68,10 @@ LOWER_IS_BETTER_HINTS = (
     "lag",
     "fpr",
     "false_positive",
+    # Advisor cost-model scores (bench_design_morph): predicted block I/Os
+    # per Eq. 9, so a rise means the chosen design got worse. Listed here so
+    # even a "predicted_cost_ratio"-style name can't flip to throughput.
+    "predicted_cost",
 )
 
 

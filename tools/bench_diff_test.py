@@ -134,6 +134,22 @@ class DirectionTest(unittest.TestCase):
         self.assertFalse(bench_diff.higher_is_better("bloom_false_positives"))
         self.assertTrue(bench_diff.higher_is_better("neg_lookups_per_sec"))
 
+    def test_predicted_cost_is_lower_is_better_even_as_ratio(self):
+        # Advisor scores are predicted block I/Os: rising cost is a
+        # regression, and the hint must beat the "ratio"/"rate" throughput
+        # hints for derived names too.
+        self.assertFalse(bench_diff.higher_is_better("predicted_cost"))
+        self.assertFalse(bench_diff.higher_is_better("predicted_cost_ratio"))
+        self.assertTrue(bench_diff.higher_is_better("adaptive_vs_optimal_ratio"))
+        old = [{"series": "morph", "label": "adaptive", "predicted_cost": 900.0}]
+        worse = [{"series": "morph", "label": "adaptive", "predicted_cost": 2000.0}]
+        better = [{"series": "morph", "label": "adaptive", "predicted_cost": 500.0}]
+        (regs, _, _), text = run_diff(old, worse, watch=["predicted_cost"])
+        self.assertEqual(len(regs), 1)
+        self.assertIn("REGRESSION", text)
+        (regs, _, _), _ = run_diff(old, better, watch=["predicted_cost"])
+        self.assertEqual(regs, [])
+
     def test_fpr_rise_regresses_and_drop_does_not(self):
         old = [{"series": "pl", "label": "monkey_T2", "bloom_fpr": 0.004}]
         worse = [{"series": "pl", "label": "monkey_T2", "bloom_fpr": 0.02}]
